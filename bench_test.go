@@ -1,0 +1,402 @@
+package filealloc
+
+// Benchmark harness: one benchmark per figure of the paper's evaluation
+// (section 6 and 7.3) and per ablation indexed in DESIGN.md, plus
+// micro-benchmarks of the hot paths. Each figure benchmark regenerates the
+// figure's full data series per iteration, so ns/op is the cost of
+// reproducing that figure.
+//
+// Run with:
+//
+//	go test -bench=. -benchmem
+
+import (
+	"context"
+	"testing"
+
+	"filealloc/internal/core"
+	"filealloc/internal/costmodel"
+	"filealloc/internal/experiments"
+	"filealloc/internal/multicopy"
+	"filealloc/internal/sim"
+	"filealloc/internal/topology"
+)
+
+// BenchmarkFig3ConvergenceProfiles regenerates figure 3: four convergence
+// profiles (α = 0.67, 0.3, 0.19, 0.08) on the 4-node ring.
+func BenchmarkFig3ConvergenceProfiles(b *testing.B) {
+	ctx := context.Background()
+	for i := 0; i < b.N; i++ {
+		profiles, err := experiments.Fig3(ctx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(profiles) != 4 {
+			b.Fatalf("got %d profiles", len(profiles))
+		}
+	}
+}
+
+// BenchmarkFig4Fragmentation regenerates figure 4: integral placement vs
+// fragmented optimum across ring link costs.
+func BenchmarkFig4Fragmentation(b *testing.B) {
+	ctx := context.Background()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig4(ctx, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+// BenchmarkFig5AlphaSweep regenerates figure 5: iterations to convergence
+// over 70 stepsizes.
+func BenchmarkFig5AlphaSweep(b *testing.B) {
+	ctx := context.Background()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig5(ctx, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 70 {
+			b.Fatalf("got %d rows", len(rows))
+		}
+	}
+}
+
+// BenchmarkFig6Scaling regenerates figure 6: best-stepsize iteration
+// counts for fully connected networks of 4..20 nodes (grid search
+// included, as the paper's "best possible α" requires).
+func BenchmarkFig6Scaling(b *testing.B) {
+	ctx := context.Background()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig6(ctx, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 17 {
+			b.Fatalf("got %d rows", len(rows))
+		}
+	}
+}
+
+// BenchmarkFig8MultiCopyProfiles regenerates figure 8: the two 60-
+// iteration multi-copy ring profiles.
+func BenchmarkFig8MultiCopyProfiles(b *testing.B) {
+	ctx := context.Background()
+	for i := 0; i < b.N; i++ {
+		profiles, err := experiments.Fig8(ctx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(profiles) != 2 {
+			b.Fatalf("got %d profiles", len(profiles))
+		}
+	}
+}
+
+// BenchmarkFig9OscillationDamping regenerates figure 9: fixed α = 0.1 and
+// 0.05 profiles plus the adaptive-decay run.
+func BenchmarkFig9OscillationDamping(b *testing.B) {
+	ctx := context.Background()
+	for i := 0; i < b.N; i++ {
+		profiles, err := experiments.Fig9(ctx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(profiles) != 3 {
+			b.Fatalf("got %d profiles", len(profiles))
+		}
+	}
+}
+
+// BenchmarkValidationSim regenerates the E7 validation table (analytic vs
+// discrete-event simulation) at a reduced access count per row.
+func BenchmarkValidationSim(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Validate(30000, int64(i+1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 4 {
+			b.Fatalf("got %d rows", len(rows))
+		}
+	}
+}
+
+// BenchmarkAblationSecondOrder regenerates the E8 scale-resilience table.
+func BenchmarkAblationSecondOrder(b *testing.B) {
+	ctx := context.Background()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.AblationSecondOrder(ctx, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+// BenchmarkDecentralizedRuntime regenerates the E9 table: full protocol
+// runs (broadcast and coordinator) over the in-memory transport, including
+// goroutine spawn, JSON codec, and round synchronization.
+func BenchmarkDecentralizedRuntime(b *testing.B) {
+	ctx := context.Background()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.AblationDecentralized(ctx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 2 {
+			b.Fatalf("got %d rows", len(rows))
+		}
+	}
+}
+
+// BenchmarkAblationPriceDirected regenerates the E10 mechanism-contrast
+// report.
+func BenchmarkAblationPriceDirected(b *testing.B) {
+	ctx := context.Background()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationPriceDirected(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOptimalCopies regenerates the E11 replication-degree sweep
+// (six oscillation-tolerant multi-copy solves).
+func BenchmarkOptimalCopies(b *testing.B) {
+	ctx := context.Background()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.OptimalCopies(ctx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Rows) != 6 {
+			b.Fatalf("got %d rows", len(res.Rows))
+		}
+	}
+}
+
+// BenchmarkNeighborOnly regenerates the E13 neighbours-only comparison.
+func BenchmarkNeighborOnly(b *testing.B) {
+	ctx := context.Background()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.NeighborOnly(ctx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 2 {
+			b.Fatalf("got %d rows", len(rows))
+		}
+	}
+}
+
+// BenchmarkAvailability regenerates the E14 graceful-degradation table.
+func BenchmarkAvailability(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Availability(0.1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 4 {
+			b.Fatalf("got %d rows", len(rows))
+		}
+	}
+}
+
+// BenchmarkAdaptiveEstimation regenerates the E12 estimation-driven
+// adaptation table (three full drift simulations with periodic
+// re-planning).
+func BenchmarkAdaptiveEstimation(b *testing.B) {
+	ctx := context.Background()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Adaptive(ctx, nil, int64(i+1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 3 {
+			b.Fatalf("got %d rows", len(rows))
+		}
+	}
+}
+
+// BenchmarkQuantize regenerates the E15 record-rounding table.
+func BenchmarkQuantize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Quantize(nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 5 {
+			b.Fatalf("got %d rows", len(rows))
+		}
+	}
+}
+
+// BenchmarkRecordPopularity regenerates the E16 non-uniform-popularity
+// table (optimization + four Zipf partitions of 10000 records).
+func BenchmarkRecordPopularity(b *testing.B) {
+	ctx := context.Background()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.RecordPopularity(ctx, nil, 10000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 4 {
+			b.Fatalf("got %d rows", len(rows))
+		}
+	}
+}
+
+// ---- micro-benchmarks of the hot paths ----
+
+func benchModel(b *testing.B, n int) *costmodel.SingleFile {
+	b.Helper()
+	mesh, err := topology.FullMesh(n, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	access, err := topology.AccessCosts(mesh, topology.UniformRates(n, 1), topology.RoundTrip)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := costmodel.NewSingleFile(access, []float64{1.5}, 1, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return m
+}
+
+// BenchmarkGradient64 measures one marginal-utility evaluation on a
+// 64-node system — the per-node, per-round work of the protocol.
+func BenchmarkGradient64(b *testing.B) {
+	m := benchModel(b, 64)
+	x := make([]float64, 64)
+	for i := range x {
+		x[i] = 1.0 / 64
+	}
+	grad := make([]float64, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := m.Gradient(grad, x); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPlanStep64 measures one active-set re-allocation plan.
+func BenchmarkPlanStep64(b *testing.B) {
+	m := benchModel(b, 64)
+	x := make([]float64, 64)
+	x[0] = 1 // worst case: boundary handling engaged
+	grad := make([]float64, 64)
+	if err := m.Gradient(grad, x); err != nil {
+		b.Fatal(err)
+	}
+	group := make([]int, 64)
+	for i := range group {
+		group[i] = i
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.PlanStep(x, grad, group, 0.1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSolve256 measures a full solve on a 256-node mesh with the
+// dynamic Theorem-2 stepsize.
+func BenchmarkSolve256(b *testing.B) {
+	m := benchModel(b, 256)
+	init := make([]float64, 256)
+	init[0] = 1
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		alloc, err := core.NewAllocator(m, core.WithEpsilon(1e-6), core.WithDynamicAlpha(0.5))
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := alloc.Run(context.Background(), init)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Converged {
+			b.Fatalf("did not converge: %+v", res.Reason)
+		}
+	}
+}
+
+// BenchmarkSolveKKT measures the water-filling reference solver.
+func BenchmarkSolveKKT(b *testing.B) {
+	m := benchModel(b, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.SolveKKT(1e-12); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRingGradient measures the piecewise-analytic gradient of the
+// 32-node multi-copy ring (O(n²) prefix walks).
+func BenchmarkRingGradient(b *testing.B) {
+	costs := make([]float64, 32)
+	for i := range costs {
+		costs[i] = 1
+	}
+	r, err := multicopy.New(multicopy.Config{
+		LinkCosts:    costs,
+		Rates:        []float64{1},
+		ServiceRates: []float64{2},
+		K:            1,
+		Copies:       3,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := make([]float64, 32)
+	for i := range x {
+		x[i] = 3.0 / 32
+	}
+	grad := make([]float64, 32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := r.Gradient(grad, x); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulator measures discrete-event throughput (accesses
+// simulated per op: 10000).
+func BenchmarkSimulator(b *testing.B) {
+	ring, err := topology.Ring(4, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pair, err := topology.PairCosts(ring, topology.RoundTrip)
+	if err != nil {
+		b.Fatal(err)
+	}
+	service := make([]sim.Sampler, 4)
+	for i := range service {
+		service[i] = sim.ExpSampler{Rate: 1.5}
+	}
+	w := sim.SingleFileWorkload([]float64{0.25, 0.25, 0.25, 0.25},
+		topology.UniformRates(4, 1), pair, service, 1)
+	w.Accesses = 10000
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.Seed = int64(i)
+		if _, err := sim.Run(w); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,228 @@
+// Command fapctl drives a complete allocation run from one terminal: it
+// spins up an in-process cluster of protocol agents (over an in-memory
+// network by default, or real TCP loopback sockets with -tcp), lets them
+// negotiate the allocation, and prints the outcome next to the
+// centralized solver's for comparison.
+//
+//	fapctl -n 8 -topology mesh -alpha 0.5
+//	fapctl -tcp -mode coordinator
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"time"
+
+	"filealloc/internal/agent"
+	"filealloc/internal/baseline"
+	"filealloc/internal/core"
+	"filealloc/internal/costmodel"
+	"filealloc/internal/topology"
+	"filealloc/internal/transport"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "fapctl:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("fapctl", flag.ContinueOnError)
+	n := fs.Int("n", 4, "cluster size")
+	topo := fs.String("topology", "ring", "network topology: ring | mesh | star")
+	linkCost := fs.Float64("linkcost", 1, "uniform link cost")
+	lambda := fs.Float64("lambda", 1, "total access rate")
+	mu := fs.Float64("mu", 1.5, "service rate μ")
+	k := fs.Float64("k", 1, "delay scaling factor")
+	alpha := fs.Float64("alpha", 0.3, "stepsize α")
+	epsilon := fs.Float64("epsilon", 1e-3, "termination threshold ε")
+	mode := fs.String("mode", "broadcast", "aggregation: broadcast | coordinator")
+	useTCP := fs.Bool("tcp", false, "run agents over TCP loopback sockets instead of in-memory channels")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	model, err := buildModel(*topo, *n, *linkCost, *lambda, *mu, *k)
+	if err != nil {
+		return err
+	}
+	var agentMode agent.Mode
+	switch *mode {
+	case "broadcast":
+		agentMode = agent.Broadcast
+	case "coordinator":
+		agentMode = agent.Coordinator
+	default:
+		return fmt.Errorf("unknown -mode %q", *mode)
+	}
+	init := make([]float64, *n)
+	init[0] = 0.8
+	if *n > 1 {
+		init[1] = 0.1
+	}
+	if *n > 2 {
+		init[2] = 0.1
+	}
+
+	start := time.Now()
+	var (
+		finalX    []float64
+		rounds    int
+		converged bool
+		messages  int
+	)
+	if *useTCP {
+		finalX, rounds, converged, messages, err = runTCP(model, init, *alpha, *epsilon, agentMode)
+	} else {
+		var res agent.ClusterResult
+		res, err = agent.RunCluster(context.Background(), agent.ClusterConfig{
+			Models:  agent.ModelsFromSingleFile(model),
+			Init:    init,
+			Alpha:   *alpha,
+			Epsilon: *epsilon,
+			Mode:    agentMode,
+		})
+		if err == nil {
+			finalX, rounds, converged, messages = res.X, res.Rounds, res.Converged, res.Messages
+		}
+	}
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+
+	central, err := core.NewAllocator(model, core.WithAlpha(*alpha), core.WithEpsilon(*epsilon))
+	if err != nil {
+		return err
+	}
+	centralRes, err := central.Run(context.Background(), init)
+	if err != nil {
+		return err
+	}
+	distCost, err := model.Cost(finalX)
+	if err != nil {
+		return err
+	}
+	integral, err := baseline.BestIntegral(model)
+	if err != nil {
+		return err
+	}
+
+	transportName := "memory"
+	if *useTCP {
+		transportName = "tcp"
+	}
+	fmt.Fprintf(w, "cluster: n=%d topology=%s mode=%s transport=%s\n", *n, *topo, *mode, transportName)
+	fmt.Fprintf(w, "distributed: rounds=%d converged=%v messages=%d cost=%.6f elapsed=%s\n",
+		rounds, converged, messages, distCost, elapsed.Round(time.Millisecond))
+	fmt.Fprintf(w, "centralized: iterations=%d cost=%.6f\n", centralRes.Iterations, -centralRes.Utility)
+	fmt.Fprintf(w, "best integral placement: node=%d cost=%.6f (fragmentation saves %.1f%%)\n",
+		integral.Node, integral.Cost, 100*(integral.Cost-distCost)/integral.Cost)
+	fmt.Fprintf(w, "allocation: %.4v\n", finalX)
+	var maxDiff float64
+	for i := range finalX {
+		if d := finalX[i] - centralRes.X[i]; d > maxDiff || -d > maxDiff {
+			if d < 0 {
+				d = -d
+			}
+			maxDiff = d
+		}
+	}
+	fmt.Fprintf(w, "max |distributed − centralized| = %g\n", maxDiff)
+	return nil
+}
+
+func runTCP(model *costmodel.SingleFile, init []float64, alpha, epsilon float64, mode agent.Mode) (x []float64, rounds int, converged bool, messages int, err error) {
+	n := model.Dim()
+	placeholder := make([]string, n)
+	for i := range placeholder {
+		placeholder[i] = "127.0.0.1:0"
+	}
+	eps := make([]*transport.TCPEndpoint, n)
+	defer func() {
+		for _, ep := range eps {
+			if ep != nil {
+				ep.Close() //nolint:errcheck // shutdown path
+			}
+		}
+	}()
+	for i := 0; i < n; i++ {
+		ep, lerr := transport.ListenTCP(i, placeholder)
+		if lerr != nil {
+			return nil, 0, false, 0, lerr
+		}
+		eps[i] = ep
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			if err := eps[i].SetPeerAddr(j, eps[j].Addr()); err != nil {
+				return nil, 0, false, 0, err
+			}
+		}
+	}
+	models := agent.ModelsFromSingleFile(model)
+	outcomes := make([]agent.Outcome, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			outcomes[i], errs[i] = agent.Run(context.Background(), agent.Config{
+				Endpoint: eps[i],
+				Model:    models[i],
+				Init:     init[i],
+				Alpha:    alpha,
+				Epsilon:  epsilon,
+				Mode:     mode,
+			})
+		}(i)
+	}
+	wg.Wait()
+	for i, e := range errs {
+		if e != nil {
+			return nil, 0, false, 0, fmt.Errorf("node %d: %w", i, e)
+		}
+	}
+	x = make([]float64, n)
+	for i, out := range outcomes {
+		x[i] = out.X
+		messages += out.MessagesSent
+	}
+	return x, outcomes[0].Rounds, outcomes[0].Converged, messages, nil
+}
+
+func buildModel(topo string, n int, linkCost, lambda, mu, k float64) (*costmodel.SingleFile, error) {
+	var (
+		g   *topology.Graph
+		err error
+	)
+	switch topo {
+	case "ring":
+		g, err = topology.Ring(n, linkCost)
+	case "mesh":
+		g, err = topology.FullMesh(n, linkCost)
+	case "star":
+		g, err = topology.Star(n, linkCost)
+	default:
+		return nil, fmt.Errorf("unknown -topology %q", topo)
+	}
+	if err != nil {
+		return nil, err
+	}
+	rates := topology.UniformRates(n, lambda)
+	access, err := topology.AccessCosts(g, rates, topology.RoundTrip)
+	if err != nil {
+		return nil, err
+	}
+	return costmodel.NewSingleFile(access, []float64{mu}, lambda, k)
+}

@@ -1,0 +1,61 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunMemoryBroadcast(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-n", "4"}, &b); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"transport=memory",
+		"converged=true",
+		"max |distributed − centralized| = 0",
+		"cost=2.800000",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunTCPCoordinator(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-tcp", "-mode", "coordinator"}, &b); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "transport=tcp") || !strings.Contains(out, "mode=coordinator") {
+		t.Errorf("output wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "max |distributed − centralized| = 0") {
+		t.Errorf("TCP cluster diverged from central solver:\n%s", out)
+	}
+}
+
+func TestRunMeshTopology(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-n", "6", "-topology", "mesh"}, &b); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(b.String(), "topology=mesh") {
+		t.Errorf("output wrong:\n%s", b.String())
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-mode", "gossip"}, &b); err == nil {
+		t.Error("unknown mode accepted")
+	}
+	if err := run([]string{"-topology", "torus"}, &b); err == nil {
+		t.Error("unknown topology accepted")
+	}
+	if err := run([]string{"-n", "1"}, &b); err == nil {
+		t.Error("single-node cluster accepted")
+	}
+}

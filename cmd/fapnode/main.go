@@ -1,0 +1,202 @@
+// Command fapnode runs ONE node of the decentralized file allocation
+// protocol over TCP. Start one fapnode per network node (one per machine,
+// container, or terminal); together they negotiate the optimal
+// fragmentation of the file and each prints its own final fragment.
+//
+// Every node must be given the same topology, workload, and algorithm
+// parameters; its node id selects which row it plays. Example 4-node
+// cluster on one machine:
+//
+//	fapnode -id 0 -addrs :7000,:7001,:7002,:7003 -init 0.8,0.1,0.1,0.0
+//	fapnode -id 1 -addrs :7000,:7001,:7002,:7003 -init 0.8,0.1,0.1,0.0
+//	fapnode -id 2 -addrs :7000,:7001,:7002,:7003 -init 0.8,0.1,0.1,0.0
+//	fapnode -id 3 -addrs :7000,:7001,:7002,:7003 -init 0.8,0.1,0.1,0.0
+//
+// By default the topology is a ring with unit link costs and the paper's
+// parameters (μ=1.5, k=1, λ=1 split uniformly).
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"filealloc/internal/agent"
+	"filealloc/internal/costmodel"
+	"filealloc/internal/topology"
+	"filealloc/internal/transport"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "fapnode:", err)
+		os.Exit(1)
+	}
+}
+
+type result struct {
+	Node      int     `json:"node"`
+	Fragment  float64 `json:"fragment"`
+	Rounds    int     `json:"rounds"`
+	Converged bool    `json:"converged"`
+	Messages  int     `json:"messages"`
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("fapnode", flag.ContinueOnError)
+	id := fs.Int("id", 0, "this node's id (row in -addrs)")
+	addrsFlag := fs.String("addrs", "", "comma-separated listen addresses, one per node (required)")
+	topo := fs.String("topology", "ring", "network topology: ring | mesh | star")
+	linkCost := fs.Float64("linkcost", 1, "uniform link cost")
+	ratesFlag := fs.String("rates", "", "comma-separated per-node access rates (default: uniform summing to -lambda)")
+	lambda := fs.Float64("lambda", 1, "total access rate when -rates is not given")
+	mu := fs.Float64("mu", 1.5, "service rate μ (uniform)")
+	k := fs.Float64("k", 1, "delay/communication scaling factor")
+	alpha := fs.Float64("alpha", 0.3, "stepsize α")
+	epsilon := fs.Float64("epsilon", 1e-3, "termination threshold ε")
+	initFlag := fs.String("init", "", "comma-separated initial allocation (default: uniform)")
+	mode := fs.String("mode", "broadcast", "aggregation mode: broadcast | coordinator")
+	coordinator := fs.Int("coordinator", 0, "coordinator node id in coordinator mode")
+	timeout := fs.Duration("round-timeout", 30*time.Second, "per-round message wait")
+	maxRounds := fs.Int("max-rounds", 10000, "round budget")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	addrs := splitNonEmpty(*addrsFlag)
+	n := len(addrs)
+	if n < 2 {
+		return fmt.Errorf("-addrs must list at least two nodes, got %d", n)
+	}
+	if *id < 0 || *id >= n {
+		return fmt.Errorf("-id %d outside cluster of %d nodes", *id, n)
+	}
+
+	rates, err := parseVector(*ratesFlag, n)
+	if err != nil {
+		return fmt.Errorf("parsing -rates: %w", err)
+	}
+	if rates == nil {
+		rates = topology.UniformRates(n, *lambda)
+	}
+	init, err := parseVector(*initFlag, n)
+	if err != nil {
+		return fmt.Errorf("parsing -init: %w", err)
+	}
+	if init == nil {
+		init = topology.UniformRates(n, 1) // uniform fractions
+	}
+
+	model, err := buildModel(*topo, n, *linkCost, rates, *mu, *k)
+	if err != nil {
+		return err
+	}
+	var agentMode agent.Mode
+	switch *mode {
+	case "broadcast":
+		agentMode = agent.Broadcast
+	case "coordinator":
+		agentMode = agent.Coordinator
+	default:
+		return fmt.Errorf("unknown -mode %q", *mode)
+	}
+
+	ep, err := transport.ListenTCP(*id, addrs)
+	if err != nil {
+		return err
+	}
+	defer ep.Close() //nolint:errcheck // process exit follows
+
+	fmt.Fprintf(os.Stderr, "fapnode %d: listening on %s, C_i=%.4f, waiting for peers...\n",
+		*id, ep.Addr(), model.AccessCost(*id))
+
+	outcome, err := agent.Run(context.Background(), agent.Config{
+		Endpoint:      ep,
+		Model:         agent.ModelsFromSingleFile(model)[*id],
+		Init:          init[*id],
+		Alpha:         *alpha,
+		Epsilon:       *epsilon,
+		MaxRounds:     *maxRounds,
+		Mode:          agentMode,
+		CoordinatorID: *coordinator,
+		RoundTimeout:  *timeout,
+	})
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(out)
+	return enc.Encode(result{
+		Node:      *id,
+		Fragment:  outcome.X,
+		Rounds:    outcome.Rounds,
+		Converged: outcome.Converged,
+		Messages:  outcome.MessagesSent,
+	})
+}
+
+func buildModel(topo string, n int, linkCost float64, rates []float64, mu, k float64) (*costmodel.SingleFile, error) {
+	var (
+		g   *topology.Graph
+		err error
+	)
+	switch topo {
+	case "ring":
+		g, err = topology.Ring(n, linkCost)
+	case "mesh":
+		g, err = topology.FullMesh(n, linkCost)
+	case "star":
+		g, err = topology.Star(n, linkCost)
+	default:
+		return nil, fmt.Errorf("unknown -topology %q", topo)
+	}
+	if err != nil {
+		return nil, err
+	}
+	access, err := topology.AccessCosts(g, rates, topology.RoundTrip)
+	if err != nil {
+		return nil, err
+	}
+	var lambda float64
+	for _, r := range rates {
+		lambda += r
+	}
+	return costmodel.NewSingleFile(access, []float64{mu}, lambda, k)
+}
+
+func splitNonEmpty(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	out := parts[:0]
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func parseVector(s string, n int) ([]float64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := splitNonEmpty(s)
+	if len(parts) != n {
+		return nil, fmt.Errorf("want %d values, got %d", n, len(parts))
+	}
+	out := make([]float64, n)
+	for i, p := range parts {
+		v, err := strconv.ParseFloat(p, 64)
+		if err != nil {
+			return nil, fmt.Errorf("value %d: %w", i, err)
+		}
+		out[i] = v
+	}
+	return out, nil
+}

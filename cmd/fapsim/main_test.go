@@ -1,0 +1,146 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunRequiresExperiment(t *testing.T) {
+	var b strings.Builder
+	if err := run(nil, &b); err == nil {
+		t.Error("no args accepted")
+	}
+	if err := run([]string{"fig3", "fig4"}, &b); err == nil {
+		t.Error("two experiments accepted")
+	}
+	if err := run([]string{"figure-99"}, &b); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestRunFig3RenderedOutput(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"fig3"}, &b); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"Figure 3",
+		"α=0.67",
+		"α=0.08",
+		"iterations=51",
+		"final cost=2.800000",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunCSVOutputs(t *testing.T) {
+	// Every experiment must produce parseable CSV with its documented
+	// header. (validate is exercised with a tiny access count.)
+	tests := []struct {
+		name   string
+		args   []string
+		header string
+	}{
+		{"fig3", []string{"-csv", "fig3"}, "alpha,iteration,cost"},
+		{"fig4", []string{"-csv", "fig4"}, "link_cost,integral_cost,fragmented_cost,reduction_pct,iterations"},
+		{"fig5", []string{"-csv", "fig5"}, "alpha,iterations,converged"},
+		{"fig6", []string{"-csv", "fig6"}, "n,best_alpha,iterations"},
+		{"fig8", []string{"-csv", "fig8"}, "label,iteration,cost"},
+		{"fig9", []string{"-csv", "fig9"}, "label,iteration,cost"},
+		{"validate", []string{"-csv", "-accesses", "5000", "validate"}, "label,analytic,simulated,error_pct"},
+		{"second-order", []string{"-csv", "second-order"}, "scale,first_order_iterations,second_order_iterations"},
+		{"decentralized", []string{"-csv", "decentralized"}, "mode,rounds,central_iterations,messages,max_allocation_diff"},
+		{"price-directed", []string{"-csv", "price-directed"}, "mechanism,iterations,worst_infeasibility,cost,monotone"},
+		{"copies", []string{"-csv", "copies"}, "m,access_cost,storage_cost,consistency_cost,total_cost"},
+		{"neighbor", []string{"-csv", "neighbor"}, "topology,full_iterations,full_messages,neighbor_iterations,neighbor_messages,cost_gap_pct"},
+		{"availability", []string{"-csv", "availability"}, "strategy,copies,expected_accessible,all_or_nothing"},
+		{"adaptive", []string{"-csv", "adaptive"}, "half_life,steady_gap_pct,post_drift_gap_pct,recovered_gap_pct"},
+		{"quantize", []string{"-csv", "quantize"}, "records,max_deviation,cost_penalty_pct"},
+		{"records", []string{"-csv", "records"}, "skew,hot_node_records,hot_node_share,share_error,cost_penalty_pct"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			var b strings.Builder
+			if err := run(tt.args, &b); err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+			if lines[0] != tt.header {
+				t.Errorf("header = %q, want %q", lines[0], tt.header)
+			}
+			if len(lines) < 2 {
+				t.Error("no data rows")
+			}
+			want := strings.Count(tt.header, ",")
+			for i, line := range lines[1:] {
+				if strings.Contains(line, `"`) {
+					// Quoted fields may contain commas; skip the
+					// naive count for those rows.
+					continue
+				}
+				if got := strings.Count(line, ","); got != want {
+					t.Errorf("row %d has %d commas, want %d: %q", i+1, got, want, line)
+					break
+				}
+			}
+		})
+	}
+}
+
+func TestRunRenderedOutputs(t *testing.T) {
+	// Every experiment's human-readable rendering must succeed and carry
+	// its title line.
+	tests := []struct {
+		name  string
+		args  []string
+		title string
+	}{
+		{"fig4", []string{"fig4"}, "Figure 4"},
+		{"fig5", []string{"fig5"}, "Figure 5"},
+		{"fig6", []string{"fig6"}, "Figure 6"},
+		{"fig8", []string{"fig8"}, "Figure 8"},
+		{"fig9", []string{"fig9"}, "Figure 9"},
+		{"validate", []string{"-accesses", "5000", "validate"}, "Validation"},
+		{"second-order", []string{"second-order"}, "second-derivative algorithm"},
+		{"decentralized", []string{"decentralized"}, "decentralized runtime"},
+		{"price-directed", []string{"price-directed"}, "price-directed tâtonnement"},
+		{"copies", []string{"copies"}, "optimal number of copies"},
+		{"neighbor", []string{"neighbor"}, "neighbours-only communication"},
+		{"availability", []string{"availability"}, "graceful degradation"},
+		{"adaptive", []string{"adaptive"}, "estimation-driven adaptation"},
+		{"quantize", []string{"quantize"}, "record boundaries"},
+		{"records", []string{"records"}, "non-uniform record popularity"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			var b strings.Builder
+			if err := run(tt.args, &b); err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			if !strings.Contains(b.String(), tt.title) {
+				t.Errorf("output missing title %q", tt.title)
+			}
+			if len(b.String()) < 100 {
+				t.Errorf("suspiciously short output: %q", b.String())
+			}
+		})
+	}
+}
+
+func TestRunFig6CSVValues(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-csv", "fig6"}, &b); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 18 { // header + N = 4..20
+		t.Errorf("got %d lines, want 18", len(lines))
+	}
+	if !strings.HasPrefix(lines[1], "4,") || !strings.HasPrefix(lines[17], "20,") {
+		t.Errorf("unexpected first/last rows: %q / %q", lines[1], lines[17])
+	}
+}

@@ -1,0 +1,136 @@
+// Adaptive: re-optimize the allocation as the workload drifts.
+//
+// The paper's section 8 envisions the algorithm running "in the
+// background ... occasionally at night (or whenever the system is lightly
+// loaded) to gradually improve the allocation" and "adaptively changing
+// the file allocation as the nodal file access characteristics change
+// dynamically". This example simulates a day/night workload shift on a
+// 6-node ring: the access pattern tilts from the "office" nodes to the
+// "batch" nodes every epoch, and a few background iterations per epoch
+// keep the allocation near-optimal. Because every iteration is feasible
+// and monotone, the system can serve traffic from the intermediate
+// allocations at all times.
+//
+// Run with:
+//
+//	go run ./examples/adaptive
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"math"
+
+	"filealloc/internal/core"
+	"filealloc/internal/costmodel"
+	"filealloc/internal/topology"
+)
+
+const (
+	nodes         = 6
+	mu            = 2.0
+	k             = 1.0
+	epochs        = 8
+	stepsPerEpoch = 6 // "background" iterations granted per epoch
+	totalRate     = 1.0
+)
+
+// workloadAt returns the per-node access rates for epoch e: a smooth tilt
+// between the office half (nodes 0-2) and the batch half (nodes 3-5).
+func workloadAt(e int) []float64 {
+	phase := float64(e) / float64(epochs-1) // 0 = day, 1 = night
+	rates := make([]float64, nodes)
+	officeShare := 0.85 - 0.7*phase // 85% of traffic by day, 15% by night
+	for i := 0; i < nodes; i++ {
+		if i < nodes/2 {
+			rates[i] = totalRate * officeShare / float64(nodes/2)
+		} else {
+			rates[i] = totalRate * (1 - officeShare) / float64(nodes-nodes/2)
+		}
+	}
+	return rates
+}
+
+func modelFor(g *topology.Graph, rates []float64) (*costmodel.SingleFile, error) {
+	access, err := topology.AccessCosts(g, rates, topology.RoundTrip)
+	if err != nil {
+		return nil, err
+	}
+	return costmodel.NewSingleFile(access, []float64{mu}, totalRate, k)
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("adaptive: ")
+
+	ring, err := topology.Ring(nodes, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Start from the day-optimal allocation.
+	x := make([]float64, nodes)
+	for i := range x {
+		x[i] = 1.0 / nodes
+	}
+
+	fmt.Printf("%-6s %-12s %-12s %-12s %s\n", "epoch", "cost before", "cost after", "optimal", "allocation after background steps")
+	for e := 0; e < epochs; e++ {
+		model, err := modelFor(ring, workloadAt(e))
+		if err != nil {
+			log.Fatal(err)
+		}
+		before, err := model.Cost(x)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		// A handful of background iterations from the PREVIOUS epoch's
+		// allocation: feasible and strictly improving at every step, so
+		// the file can keep serving traffic throughout.
+		alloc, err := core.NewAllocator(model,
+			core.WithAlpha(0.3),
+			core.WithEpsilon(1e-9),
+			core.WithMaxIterations(stepsPerEpoch),
+		)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := alloc.Run(context.Background(), x)
+		if err != nil {
+			log.Fatal(err)
+		}
+		x = res.X
+		after, err := model.Cost(x)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sol, err := model.SolveKKT(1e-10)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-6d %-12.4f %-12.4f %-12.4f %.3v\n", e, before, after, sol.Cost, x)
+		if after > before+1e-12 {
+			log.Fatalf("epoch %d: background steps made things worse (%.6f -> %.6f)", e, before, after)
+		}
+		if gap := (after - sol.Cost) / sol.Cost; gap > 0.05 && e > 0 {
+			fmt.Printf("       (still %.1f%% from optimal — next epoch's budget continues the descent)\n", 100*gap)
+		}
+	}
+
+	// Confirm the final night allocation has shifted mass to the batch
+	// nodes.
+	var office, batch float64
+	for i, xi := range x {
+		if i < nodes/2 {
+			office += xi
+		} else {
+			batch += xi
+		}
+	}
+	fmt.Printf("\nfinal split: office %.2f / batch %.2f (night traffic lives on batch nodes)\n", office, batch)
+	if math.IsNaN(office) || batch <= office {
+		log.Fatal("adaptation failed to follow the workload")
+	}
+}

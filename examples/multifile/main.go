@@ -1,0 +1,126 @@
+// Multifile: allocate several distinct files that share node queues.
+//
+// Section 5.4's extension: two files with different popularity are placed
+// on a 5-node star. Every fragment stored at a node adds to that node's
+// queue load, so the hot file's placement reshapes where the cold file
+// wants to live — the "resource contention phenomenon which is typically
+// not considered in most FAP formulations". The example contrasts the
+// coupled optimum with the naive per-file optimization that ignores the
+// shared queues.
+//
+// Run with:
+//
+//	go run ./examples/multifile
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"filealloc/internal/core"
+	"filealloc/internal/costmodel"
+	"filealloc/internal/topology"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("multifile: ")
+
+	const nodes = 5
+	star, err := topology.Star(nodes, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// File 0 is hot (rate 1.2), file 1 is cold (rate 0.3). Both are
+	// accessed uniformly from all nodes.
+	hotRate, coldRate := 1.2, 0.3
+	accessHot, err := topology.AccessCosts(star, topology.UniformRates(nodes, hotRate), topology.RoundTrip)
+	if err != nil {
+		log.Fatal(err)
+	}
+	accessCold, err := topology.AccessCosts(star, topology.UniformRates(nodes, coldRate), topology.RoundTrip)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const mu = 2.5 // per-node service rate; must exceed λ_hot + λ_cold
+	model, err := costmodel.NewMultiFile(
+		[][]float64{accessHot, accessCold},
+		[]float64{mu},
+		[]float64{hotRate, coldRate},
+		1, // k
+		costmodel.ShareWeights,
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Start both files spread evenly; the solver re-allocates each file
+	// under its own conservation constraint while the gradients couple
+	// through the shared queues.
+	init := make([]float64, model.Dim())
+	for f := 0; f < model.Files(); f++ {
+		for i := 0; i < nodes; i++ {
+			init[model.Index(f, i)] = 1.0 / nodes
+		}
+	}
+	alloc, err := core.NewAllocator(model,
+		core.WithAlpha(0.1),
+		core.WithEpsilon(1e-8),
+		core.WithKKTCheck(),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := alloc.Run(context.Background(), init)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cost, err := model.Cost(res.X)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("coupled optimum after %d iterations (converged=%v), expected cost %.4f\n",
+		res.Iterations, res.Converged, cost)
+	for f := 0; f < model.Files(); f++ {
+		name := "hot "
+		if f == 1 {
+			name = "cold"
+		}
+		fmt.Printf("  file %d (%s): ", f, name)
+		for i := 0; i < nodes; i++ {
+			fmt.Printf("%.3f ", res.X[model.Index(f, i)])
+		}
+		fmt.Println()
+	}
+
+	// Naive comparison: optimize each file alone as if it had the
+	// node's full service capacity to itself, then evaluate the
+	// combined placement under the true shared-queue model.
+	naive := make([]float64, model.Dim())
+	for f, spec := range []struct {
+		access []float64
+		rate   float64
+	}{{accessHot, hotRate}, {accessCold, coldRate}} {
+		single, err := costmodel.NewSingleFile(spec.access, []float64{mu}, spec.rate, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sol, err := single.SolveKKT(1e-10)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for i := 0; i < nodes; i++ {
+			naive[model.Index(f, i)] = sol.X[i]
+		}
+	}
+	naiveCost, err := model.Cost(naive)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nper-file (contention-blind) optimization costs %.4f under the real model\n", naiveCost)
+	fmt.Printf("modelling the shared queues saves %.2f%%\n", 100*(naiveCost-cost)/naiveCost)
+}

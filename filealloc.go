@@ -1,0 +1,306 @@
+// Package filealloc is a decentralized optimal file allocation library, a
+// faithful reproduction of Kurose & Simha, "A Microeconomic Approach to
+// Optimal File Allocation" (ICDCS 1986). It distributes a file (or several
+// files, or multiple copies) over the nodes of a network so as to minimize
+// the combined communication and queueing-delay cost of accessing it,
+// using a resource-directed iterative algorithm from mathematical
+// economics: each node computes the marginal utility of its file fragment,
+// and fragments flow from below-average to above-average marginal utility
+// until all marginal utilities are equal.
+//
+// This package is the high-level facade. It turns a plain description of
+// the network and workload into an optimal fragmentation plan:
+//
+//	net := filealloc.Ring(4, 1)
+//	plan, err := filealloc.Plan(ctx, net, filealloc.Workload{
+//		AccessRates:  []float64{0.25, 0.25, 0.25, 0.25},
+//		ServiceRates: []float64{1.5},
+//		DelayWeight:  1,
+//	})
+//	// plan.Fractions == [0.25 0.25 0.25 0.25], plan.Cost == 2.8
+//
+// The building blocks live in the internal packages: internal/core (the
+// iterative algorithm), internal/costmodel (the utility functions),
+// internal/topology (routing and access costs), internal/multicopy
+// (section 7's multiple copies), internal/agent + internal/transport (the
+// actual message-passing runtime), internal/baseline, internal/sim,
+// internal/quantize, and internal/experiments (the paper's figures).
+package filealloc
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"filealloc/internal/core"
+	"filealloc/internal/costmodel"
+	"filealloc/internal/quantize"
+	"filealloc/internal/topology"
+)
+
+// ErrBadSpec reports an invalid network or workload description.
+var ErrBadSpec = errors.New("filealloc: invalid specification")
+
+// Link is one communication channel of the network.
+type Link struct {
+	// From and To are node indices.
+	From, To int
+	// Cost is the communication cost of one access crossing the link.
+	Cost float64
+	// OneWay restricts the link to the From→To direction (default
+	// bidirectional).
+	OneWay bool
+}
+
+// Network describes the communication substrate.
+type Network struct {
+	// Nodes is the node count.
+	Nodes int
+	// Links lists the channels.
+	Links []Link
+	// OneWayCosts uses sp(i→j) alone as the access cost c_ij instead of
+	// the default round trip sp(i→j) + sp(j→i).
+	OneWayCosts bool
+}
+
+// Ring returns an n-node bidirectional ring with uniform link cost, the
+// paper's evaluation topology.
+func Ring(n int, linkCost float64) Network {
+	net := Network{Nodes: n}
+	for i := 0; i < n; i++ {
+		net.Links = append(net.Links, Link{From: i, To: (i + 1) % n, Cost: linkCost})
+	}
+	return net
+}
+
+// FullMesh returns an n-node fully connected network with uniform link
+// cost.
+func FullMesh(n int, linkCost float64) Network {
+	net := Network{Nodes: n}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			net.Links = append(net.Links, Link{From: i, To: j, Cost: linkCost})
+		}
+	}
+	return net
+}
+
+// Star returns an n-node star with the hub at node 0.
+func Star(n int, linkCost float64) Network {
+	net := Network{Nodes: n}
+	for i := 1; i < n; i++ {
+		net.Links = append(net.Links, Link{From: 0, To: i, Cost: linkCost})
+	}
+	return net
+}
+
+// graph materializes the topology.
+func (n Network) graph() (*topology.Graph, error) {
+	if n.Nodes < 2 {
+		return nil, fmt.Errorf("%w: network needs at least 2 nodes, got %d", ErrBadSpec, n.Nodes)
+	}
+	g := topology.New(n.Nodes)
+	for _, l := range n.Links {
+		var err error
+		if l.OneWay {
+			err = g.AddLink(l.From, l.To, l.Cost)
+		} else {
+			err = g.AddBidirectional(l.From, l.To, l.Cost)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadSpec, err)
+		}
+	}
+	return g, nil
+}
+
+// Workload describes who accesses the file and how fast nodes serve.
+type Workload struct {
+	// AccessRates holds λ_i, each node's file access generation rate.
+	AccessRates []float64
+	// ServiceRates holds μ_i (one element = homogeneous).
+	ServiceRates []float64
+	// DelayWeight is the paper's k, trading expected access delay
+	// against communication cost.
+	DelayWeight float64
+}
+
+// PlanOption tunes the solver.
+type PlanOption func(*planConfig)
+
+type planConfig struct {
+	alpha    float64
+	epsilon  float64
+	maxIter  int
+	dynamic  bool
+	initial  []float64
+	onRound  func(iteration int, cost float64, x []float64)
+	kktCheck bool
+}
+
+// WithStepsize fixes the stepsize α (default: dynamic Theorem-2 stepsize).
+func WithStepsize(alpha float64) PlanOption {
+	return func(c *planConfig) {
+		c.alpha = alpha
+		c.dynamic = false
+	}
+}
+
+// WithTolerance sets the termination threshold ε on the marginal-utility
+// spread (default 1e-6).
+func WithTolerance(eps float64) PlanOption {
+	return func(c *planConfig) { c.epsilon = eps }
+}
+
+// WithMaxIterations bounds the solve (default 100000).
+func WithMaxIterations(n int) PlanOption {
+	return func(c *planConfig) { c.maxIter = n }
+}
+
+// WithInitial sets the starting allocation (default uniform). Premature
+// termination still yields a feasible allocation at least as good as this
+// start (the paper's monotonicity property).
+func WithInitial(x []float64) PlanOption {
+	return func(c *planConfig) { c.initial = append([]float64(nil), x...) }
+}
+
+// WithProgress registers a per-iteration observer.
+func WithProgress(fn func(iteration int, cost float64, x []float64)) PlanOption {
+	return func(c *planConfig) { c.onRound = fn }
+}
+
+// Result is a computed fragmentation plan.
+type Result struct {
+	// Fractions is the optimal fraction of the file per node.
+	Fractions []float64
+	// Cost is the expected cost of one file access under the plan
+	// (communication plus DelayWeight × delay).
+	Cost float64
+	// CommCost and Delay split Cost into its components.
+	CommCost float64
+	// Delay is the expected queueing+service time of one access.
+	Delay float64
+	// Iterations the solver performed.
+	Iterations int
+	// Converged reports whether the ε-criterion fired (otherwise the
+	// plan is feasible but only approximately optimal).
+	Converged bool
+}
+
+// RecordCounts rounds the plan to whole records out of `records`,
+// conserving the total exactly (section 8.1's largest-remainder rounding).
+func (r *Result) RecordCounts(records int) ([]int, error) {
+	counts, err := quantize.Records(r.Fractions, records)
+	if err != nil {
+		return nil, fmt.Errorf("filealloc: rounding plan to records: %w", err)
+	}
+	return counts, nil
+}
+
+// Plan computes the optimal fragmentation of one file over the network.
+func Plan(ctx context.Context, net Network, w Workload, opts ...PlanOption) (*Result, error) {
+	model, err := buildModel(net, w)
+	if err != nil {
+		return nil, err
+	}
+	cfg := planConfig{
+		alpha:   0.1,
+		epsilon: 1e-6,
+		maxIter: 100000,
+		dynamic: true,
+	}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	coreOpts := []core.Option{
+		core.WithAlpha(cfg.alpha),
+		core.WithEpsilon(cfg.epsilon),
+		core.WithMaxIterations(cfg.maxIter),
+		core.WithKKTCheck(),
+	}
+	if cfg.dynamic {
+		// Half the dynamically evaluated Theorem-2 bound: guaranteed
+		// monotone, empirically near the fastest fixed stepsize.
+		coreOpts = append(coreOpts, core.WithDynamicAlpha(0.5))
+	}
+	if cfg.onRound != nil {
+		fn := cfg.onRound
+		coreOpts = append(coreOpts, core.WithTrace(func(it core.Iteration) {
+			fn(it.Index, -it.Utility, it.X)
+		}))
+	}
+	alloc, err := core.NewAllocator(model, coreOpts...)
+	if err != nil {
+		return nil, fmt.Errorf("filealloc: configuring solver: %w", err)
+	}
+	init := cfg.initial
+	if init == nil {
+		init = make([]float64, net.Nodes)
+		for i := range init {
+			init[i] = 1 / float64(net.Nodes)
+		}
+	}
+	res, err := alloc.Run(ctx, init)
+	if err != nil {
+		return nil, fmt.Errorf("filealloc: solving: %w", err)
+	}
+	cost, err := model.Cost(res.X)
+	if err != nil {
+		return nil, fmt.Errorf("filealloc: evaluating plan: %w", err)
+	}
+	comm, delay, err := model.Components(res.X)
+	if err != nil {
+		return nil, fmt.Errorf("filealloc: evaluating plan components: %w", err)
+	}
+	return &Result{
+		Fractions:  res.X,
+		Cost:       cost,
+		CommCost:   comm,
+		Delay:      delay,
+		Iterations: res.Iterations,
+		Converged:  res.Converged,
+	}, nil
+}
+
+// buildModel assembles the equation-2 objective from the specs.
+func buildModel(net Network, w Workload) (*costmodel.SingleFile, error) {
+	g, err := net.graph()
+	if err != nil {
+		return nil, err
+	}
+	if len(w.AccessRates) != net.Nodes {
+		return nil, fmt.Errorf("%w: %d access rates for %d nodes", ErrBadSpec, len(w.AccessRates), net.Nodes)
+	}
+	conv := topology.RoundTrip
+	if net.OneWayCosts {
+		conv = topology.OneWay
+	}
+	access, err := topology.AccessCosts(g, w.AccessRates, conv)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadSpec, err)
+	}
+	var lambda float64
+	for _, r := range w.AccessRates {
+		lambda += r
+	}
+	model, err := costmodel.NewSingleFile(access, w.ServiceRates, lambda, w.DelayWeight)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadSpec, err)
+	}
+	return model, nil
+}
+
+// Evaluate returns the expected per-access cost of an arbitrary feasible
+// allocation on the given system, without optimizing. Useful for comparing
+// hand-rolled placements against Plan's output.
+func Evaluate(net Network, w Workload, fractions []float64) (float64, error) {
+	model, err := buildModel(net, w)
+	if err != nil {
+		return 0, err
+	}
+	cost, err := model.Cost(fractions)
+	if err != nil {
+		return 0, fmt.Errorf("filealloc: evaluating allocation: %w", err)
+	}
+	return cost, nil
+}

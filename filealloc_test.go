@@ -1,0 +1,187 @@
+package filealloc
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+)
+
+func paperWorkload() Workload {
+	return Workload{
+		AccessRates:  []float64{0.25, 0.25, 0.25, 0.25},
+		ServiceRates: []float64{1.5},
+		DelayWeight:  1,
+	}
+}
+
+func TestPlanPaperSystem(t *testing.T) {
+	plan, err := Plan(context.Background(), Ring(4, 1), paperWorkload())
+	if err != nil {
+		t.Fatalf("Plan: %v", err)
+	}
+	if !plan.Converged {
+		t.Fatalf("did not converge: %+v", plan)
+	}
+	for i, f := range plan.Fractions {
+		if math.Abs(f-0.25) > 1e-4 {
+			t.Errorf("fraction[%d] = %g, want 0.25", i, f)
+		}
+	}
+	if math.Abs(plan.Cost-2.8) > 1e-6 {
+		t.Errorf("cost = %g, want 2.8", plan.Cost)
+	}
+	if math.Abs(plan.CommCost-2) > 1e-6 || math.Abs(plan.Delay-0.8) > 1e-6 {
+		t.Errorf("components = %g + %g, want 2 + 0.8", plan.CommCost, plan.Delay)
+	}
+}
+
+func TestPlanWithFixedStepsizeAndStart(t *testing.T) {
+	var iterations int
+	plan, err := Plan(context.Background(), Ring(4, 1), paperWorkload(),
+		WithStepsize(0.3),
+		WithTolerance(1e-3),
+		WithInitial([]float64{0.8, 0.1, 0.1, 0}),
+		WithProgress(func(it int, cost float64, x []float64) { iterations = it }),
+	)
+	if err != nil {
+		t.Fatalf("Plan: %v", err)
+	}
+	// The figure-3 α=0.3 run: 9-10 iterations.
+	if plan.Iterations < 8 || plan.Iterations > 11 {
+		t.Errorf("iterations = %d, want ≈ 9 (figure 3)", plan.Iterations)
+	}
+	if iterations != plan.Iterations {
+		t.Errorf("progress hook saw %d iterations, result says %d", iterations, plan.Iterations)
+	}
+}
+
+func TestPlanAsymmetricFavorsHub(t *testing.T) {
+	// On a star, the hub is cheapest to access; it must receive the
+	// largest fragment.
+	w := Workload{
+		AccessRates:  []float64{0.2, 0.2, 0.2, 0.2, 0.2},
+		ServiceRates: []float64{2},
+		DelayWeight:  1,
+	}
+	plan, err := Plan(context.Background(), Star(5, 1), w)
+	if err != nil {
+		t.Fatalf("Plan: %v", err)
+	}
+	for i := 1; i < 5; i++ {
+		if plan.Fractions[0] <= plan.Fractions[i] {
+			t.Errorf("hub fraction %g not above leaf %d's %g", plan.Fractions[0], i, plan.Fractions[i])
+		}
+	}
+}
+
+func TestPlanMaxIterationsStillFeasible(t *testing.T) {
+	plan, err := Plan(context.Background(), Ring(4, 1), paperWorkload(),
+		WithStepsize(0.001),
+		WithTolerance(1e-9),
+		WithMaxIterations(3),
+		WithInitial([]float64{1, 0, 0, 0}),
+	)
+	if err != nil {
+		t.Fatalf("Plan: %v", err)
+	}
+	if plan.Converged {
+		t.Error("claimed convergence after 3 tiny steps")
+	}
+	var sum float64
+	for _, f := range plan.Fractions {
+		sum += f
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("premature plan sums to %g", sum)
+	}
+}
+
+func TestPlanValidation(t *testing.T) {
+	tests := []struct {
+		name string
+		net  Network
+		w    Workload
+	}{
+		{"too few nodes", Network{Nodes: 1}, paperWorkload()},
+		{"bad link", Network{Nodes: 3, Links: []Link{{From: 0, To: 9, Cost: 1}}}, paperWorkload()},
+		{"rate count", Ring(4, 1), Workload{AccessRates: []float64{1}, ServiceRates: []float64{2}, DelayWeight: 1}},
+		{"disconnected", Network{Nodes: 3, Links: []Link{{From: 0, To: 1, Cost: 1}}}, Workload{AccessRates: []float64{1, 1, 1}, ServiceRates: []float64{5}, DelayWeight: 1}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := Plan(context.Background(), tt.net, tt.w); !errors.Is(err, ErrBadSpec) {
+				t.Errorf("error = %v, want ErrBadSpec", err)
+			}
+		})
+	}
+}
+
+func TestEvaluateMatchesPlanCost(t *testing.T) {
+	net := Ring(4, 1)
+	w := paperWorkload()
+	got, err := Evaluate(net, w, []float64{0, 0, 0, 1})
+	if err != nil {
+		t.Fatalf("Evaluate: %v", err)
+	}
+	// Integral placement on the unit ring: 2 + 1/(1.5−1) = 4.
+	if math.Abs(got-4) > 1e-9 {
+		t.Errorf("integral cost = %g, want 4", got)
+	}
+	plan, err := Plan(context.Background(), net, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replay, err := Evaluate(net, w, plan.Fractions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(replay-plan.Cost) > 1e-9 {
+		t.Errorf("Evaluate(plan) = %g, plan.Cost = %g", replay, plan.Cost)
+	}
+}
+
+func TestRecordCounts(t *testing.T) {
+	plan, err := Plan(context.Background(), Ring(4, 1), paperWorkload())
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts, err := plan.RecordCounts(1000)
+	if err != nil {
+		t.Fatalf("RecordCounts: %v", err)
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != 1000 {
+		t.Errorf("records total %d, want 1000", total)
+	}
+	if _, err := plan.RecordCounts(0); err == nil {
+		t.Error("zero records accepted")
+	}
+}
+
+func TestFullMeshTopologyHelper(t *testing.T) {
+	net := FullMesh(6, 2)
+	if len(net.Links) != 15 {
+		t.Errorf("mesh links = %d, want 15", len(net.Links))
+	}
+	w := Workload{
+		AccessRates:  []float64{0.2, 0.2, 0.2, 0.2, 0.1, 0.1},
+		ServiceRates: []float64{1.5},
+		DelayWeight:  1,
+	}
+	plan, err := Plan(context.Background(), net, w)
+	if err != nil {
+		t.Fatalf("Plan: %v", err)
+	}
+	if !plan.Converged {
+		t.Errorf("mesh plan did not converge")
+	}
+	// Higher-rate nodes are cheaper for the system to access (their own
+	// traffic is free), so they hold at least as much of the file.
+	if plan.Fractions[0] < plan.Fractions[4] {
+		t.Errorf("heavy node fraction %g below light node %g", plan.Fractions[0], plan.Fractions[4])
+	}
+}

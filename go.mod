@@ -1,0 +1,3 @@
+module filealloc
+
+go 1.22

@@ -1,0 +1,547 @@
+// Package agent implements the per-node runtime of the decentralized file
+// allocation algorithm. Each agent knows only its local model — its
+// traffic-weighted access cost C_i, service rate μ_i, the system-wide rate
+// λ and scaling factor k — computes its own marginal utility, exchanges it
+// with its peers each round (section 5.2 step a), and applies the identical
+// deterministic re-allocation every peer computes (broadcast mode) or the
+// deltas a designated central agent distributes (coordinator mode).
+//
+// Because every node plans steps with the same core.PlanStep over the same
+// round data, the distributed trajectory is bit-identical to the
+// centralized Allocator's — verified by the integration tests and the E9
+// ablation.
+package agent
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"filealloc/internal/core"
+	"filealloc/internal/protocol"
+	"filealloc/internal/secondorder"
+	"filealloc/internal/transport"
+)
+
+// Sentinel errors.
+var (
+	// ErrBadConfig reports invalid agent configuration.
+	ErrBadConfig = errors.New("agent: invalid configuration")
+	// ErrRoundTimeout reports a round that did not complete in time
+	// (lost peer or dropped message).
+	ErrRoundTimeout = errors.New("agent: round timed out")
+	// ErrProtocol reports a peer violating the protocol.
+	ErrProtocol = errors.New("agent: protocol violation")
+)
+
+// LocalModel is the node-local knowledge needed to evaluate the marginal
+// utility of the equation-2 objective at the node's own fragment:
+//
+//	∂U/∂x_i = −(C_i + k·μ_i/(μ_i − λ·x_i)²)
+//
+// C_i is computed once at setup time from the (static) topology and access
+// rates; λ is the system-wide access rate agreed at setup.
+type LocalModel struct {
+	// AccessCost is C_i.
+	AccessCost float64
+	// ServiceRate is μ_i.
+	ServiceRate float64
+	// Lambda is the system-wide access generation rate λ.
+	Lambda float64
+	// K is the delay scaling factor.
+	K float64
+}
+
+// Marginal returns ∂U/∂x_i at the local fragment size x.
+func (m LocalModel) Marginal(x float64) (float64, error) {
+	room := m.ServiceRate - m.Lambda*x
+	if room <= 0 {
+		return 0, fmt.Errorf("%w: local queue saturated (μ=%v, λ·x=%v)", core.ErrUnstable, m.ServiceRate, m.Lambda*x)
+	}
+	return -(m.AccessCost + m.K*m.ServiceRate/(room*room)), nil
+}
+
+// Curvature returns ∂²U/∂x_i² at the local fragment size x, the quantity
+// exchanged for the dynamic Theorem-2 stepsize.
+func (m LocalModel) Curvature(x float64) (float64, error) {
+	room := m.ServiceRate - m.Lambda*x
+	if room <= 0 {
+		return 0, fmt.Errorf("%w: local queue saturated (μ=%v, λ·x=%v)", core.ErrUnstable, m.ServiceRate, m.Lambda*x)
+	}
+	return -2 * m.K * m.ServiceRate * m.Lambda / (room * room * room), nil
+}
+
+// Mode selects the aggregation scheme of section 5.1.
+type Mode int
+
+const (
+	// Broadcast has every node send its marginal utility to every other
+	// node; each node then computes the identical re-allocation locally.
+	Broadcast Mode = iota + 1
+	// Coordinator has every node report to a designated central agent,
+	// which plans the step and distributes the deltas.
+	Coordinator
+)
+
+func (m Mode) String() string {
+	switch m {
+	case Broadcast:
+		return "broadcast"
+	case Coordinator:
+		return "coordinator"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Config assembles one agent.
+type Config struct {
+	// Endpoint connects the agent to its peers.
+	Endpoint transport.Endpoint
+	// Model is the node-local cost knowledge.
+	Model LocalModel
+	// Init is the node's initial fragment x_i (the cluster-wide initial
+	// allocation must be feasible).
+	Init float64
+	// Alpha is the stepsize (default 0.1).
+	Alpha float64
+	// Epsilon is the termination threshold (default 1e-3).
+	Epsilon float64
+	// MaxRounds bounds the protocol (default 10000).
+	MaxRounds int
+	// Mode selects broadcast or coordinator aggregation (default
+	// Broadcast).
+	Mode Mode
+	// CoordinatorID names the central agent in Coordinator mode.
+	CoordinatorID int
+	// RoundTimeout bounds each round's message wait (default 10s).
+	RoundTimeout time.Duration
+	// SendRetries is the number of times a failed send is retried
+	// before the agent gives up (default 0: fail fast). The protocol's
+	// rounds are lockstep, so a retried duplicate can never arrive —
+	// each (round, node) report is sent exactly once successfully.
+	SendRetries int
+	// DynamicAlphaSafety, when in (0, 1], makes every node evaluate the
+	// Theorem-2 stepsize from the round's exchanged marginals and
+	// curvatures (scaled by the safety factor) instead of the fixed
+	// Alpha — the appendix's "dynamically calculate it at each
+	// iteration" suggestion, computed identically on every node.
+	// Broadcast mode only.
+	DynamicAlphaSafety float64
+	// SecondOrder switches the re-allocation rule to the section 8.2
+	// curvature-scaled step (Δx_i = α(g_i − ν)/|h_i| with the weighted
+	// average ν); curvatures are exchanged alongside marginals. Alpha
+	// then defaults to 1, the Newton step. Broadcast mode only;
+	// mutually exclusive with DynamicAlphaSafety.
+	SecondOrder bool
+}
+
+func (c *Config) fill() error {
+	if c.Endpoint == nil {
+		return fmt.Errorf("%w: nil endpoint", ErrBadConfig)
+	}
+	if c.Alpha == 0 {
+		if c.SecondOrder {
+			c.Alpha = 1 // Newton step
+		} else {
+			c.Alpha = 0.1
+		}
+	}
+	if c.Alpha < 0 || math.IsNaN(c.Alpha) {
+		return fmt.Errorf("%w: alpha = %v", ErrBadConfig, c.Alpha)
+	}
+	if c.Epsilon == 0 {
+		c.Epsilon = 1e-3
+	}
+	if c.Epsilon < 0 {
+		return fmt.Errorf("%w: epsilon = %v", ErrBadConfig, c.Epsilon)
+	}
+	if c.MaxRounds == 0 {
+		c.MaxRounds = 10000
+	}
+	if c.MaxRounds < 1 {
+		return fmt.Errorf("%w: max rounds = %d", ErrBadConfig, c.MaxRounds)
+	}
+	if c.Mode == 0 {
+		c.Mode = Broadcast
+	}
+	if c.Mode != Broadcast && c.Mode != Coordinator {
+		return fmt.Errorf("%w: mode = %v", ErrBadConfig, c.Mode)
+	}
+	if c.CoordinatorID < 0 || c.CoordinatorID >= c.Endpoint.Peers() {
+		return fmt.Errorf("%w: coordinator id %d outside cluster of %d", ErrBadConfig, c.CoordinatorID, c.Endpoint.Peers())
+	}
+	if c.RoundTimeout == 0 {
+		c.RoundTimeout = 10 * time.Second
+	}
+	if c.Init < 0 || math.IsNaN(c.Init) {
+		return fmt.Errorf("%w: initial fragment %v", ErrBadConfig, c.Init)
+	}
+	if c.SendRetries < 0 {
+		return fmt.Errorf("%w: send retries = %d", ErrBadConfig, c.SendRetries)
+	}
+	if c.DynamicAlphaSafety < 0 || c.DynamicAlphaSafety > 1 || math.IsNaN(c.DynamicAlphaSafety) {
+		return fmt.Errorf("%w: dynamic-alpha safety = %v", ErrBadConfig, c.DynamicAlphaSafety)
+	}
+	if c.DynamicAlphaSafety > 0 && c.Mode != Broadcast {
+		return fmt.Errorf("%w: dynamic alpha requires broadcast mode", ErrBadConfig)
+	}
+	if c.SecondOrder {
+		if c.Mode != Broadcast {
+			return fmt.Errorf("%w: second-order step requires broadcast mode", ErrBadConfig)
+		}
+		if c.DynamicAlphaSafety > 0 {
+			return fmt.Errorf("%w: second-order step and dynamic alpha are mutually exclusive", ErrBadConfig)
+		}
+	}
+	return nil
+}
+
+// dynamicAlpha evaluates the Theorem-2 expression from a round's exchanged
+// data; it matches core's dynamic stepsize bit for bit so the distributed
+// trajectory stays identical to the centralized one. Returns 0 when
+// degenerate.
+func dynamicAlpha(gs, hs []float64, safety float64) float64 {
+	var avg float64
+	for _, g := range gs {
+		avg += g
+	}
+	avg /= float64(len(gs))
+	var num, den float64
+	for i, g := range gs {
+		dev := g - avg
+		num += dev * dev
+		den += hs[i] * dev * dev
+	}
+	den = math.Abs(den)
+	if den < 1e-300 || num <= 0 {
+		return 0
+	}
+	return safety * 2 * num / den
+}
+
+// sendReliably sends payload to one peer, retrying transient failures up
+// to cfg.SendRetries times.
+func sendReliably(ctx context.Context, cfg Config, to int, payload []byte) error {
+	var err error
+	for attempt := 0; attempt <= cfg.SendRetries; attempt++ {
+		if err = cfg.Endpoint.Send(ctx, to, payload); err == nil {
+			return nil
+		}
+		if ctx.Err() != nil {
+			break
+		}
+	}
+	return err
+}
+
+// broadcastReliably sends payload to every peer with per-peer retries.
+func broadcastReliably(ctx context.Context, cfg Config, payload []byte) (sent int, err error) {
+	ep := cfg.Endpoint
+	for to := 0; to < ep.Peers(); to++ {
+		if to == ep.ID() {
+			continue
+		}
+		if err := sendReliably(ctx, cfg, to, payload); err != nil {
+			return sent, err
+		}
+		sent++
+	}
+	return sent, nil
+}
+
+// Outcome is one agent's view of the finished protocol.
+type Outcome struct {
+	// X is the node's final fragment.
+	X float64
+	// FullX is the full final allocation as seen by this node. It is
+	// populated in Broadcast mode and on the coordinator; other agents
+	// in Coordinator mode only learn their own fragment.
+	FullX []float64
+	// Rounds is the number of re-allocation rounds performed.
+	Rounds int
+	// Converged reports whether the ε-criterion fired (vs MaxRounds).
+	Converged bool
+	// MessagesSent counts protocol messages this agent sent.
+	MessagesSent int
+}
+
+// Run executes the agent until convergence, MaxRounds, or context
+// cancellation. It is the caller's responsibility to run one agent per
+// node id of the endpoint's cluster.
+func Run(ctx context.Context, cfg Config) (Outcome, error) {
+	if err := cfg.fill(); err != nil {
+		return Outcome{}, err
+	}
+	switch cfg.Mode {
+	case Coordinator:
+		if cfg.Endpoint.ID() == cfg.CoordinatorID {
+			return runCoordinator(ctx, cfg)
+		}
+		return runWorker(ctx, cfg)
+	default:
+		return runBroadcast(ctx, cfg)
+	}
+}
+
+// group01n returns [0, 1, ..., n-1].
+func group01n(n int) []int {
+	g := make([]int, n)
+	for i := range g {
+		g[i] = i
+	}
+	return g
+}
+
+// collectReports receives until the buffer holds `want` reports for round.
+func collectReports(ctx context.Context, cfg Config, buf *protocol.RoundBuffer, round, want int) error {
+	deadline, cancel := context.WithTimeout(ctx, cfg.RoundTimeout)
+	defer cancel()
+	for !buf.Complete(round, want) {
+		msg, err := cfg.Endpoint.Recv(deadline)
+		if err != nil {
+			if errors.Is(err, context.DeadlineExceeded) {
+				return fmt.Errorf("%w: waiting for round %d reports", ErrRoundTimeout, round)
+			}
+			return fmt.Errorf("agent: receiving round %d: %w", round, err)
+		}
+		env, err := protocol.Decode(msg.Payload)
+		if err != nil {
+			return fmt.Errorf("agent: round %d: %w", round, err)
+		}
+		if env.Kind != protocol.KindReport {
+			return fmt.Errorf("%w: unexpected %q message during report collection", ErrProtocol, env.Kind)
+		}
+		rep := env.Report
+		if rep.Node != msg.From {
+			return fmt.Errorf("%w: node %d sent a report claiming to be node %d", ErrProtocol, msg.From, rep.Node)
+		}
+		if rep.Round < round {
+			// Stale rebroadcast; the protocol sends one report per
+			// round, so this is a violation.
+			return fmt.Errorf("%w: stale report for round %d during round %d", ErrProtocol, rep.Round, round)
+		}
+		if err := buf.Add(*rep); err != nil {
+			return fmt.Errorf("agent: round %d: %w", round, err)
+		}
+	}
+	return nil
+}
+
+// runBroadcast is the fully decentralized mode: everyone talks to everyone.
+func runBroadcast(ctx context.Context, cfg Config) (Outcome, error) {
+	ep := cfg.Endpoint
+	n := ep.Peers()
+	id := ep.ID()
+	group := group01n(n)
+	buf := protocol.NewRoundBuffer(n)
+
+	x := cfg.Init
+	out := Outcome{}
+	xs := make([]float64, n)
+	gs := make([]float64, n)
+	hs := make([]float64, n)
+	alpha := cfg.Alpha
+	for round := 0; round < cfg.MaxRounds; round++ {
+		if err := ctx.Err(); err != nil {
+			return out, fmt.Errorf("agent: canceled at round %d: %w", round, err)
+		}
+		g, err := cfg.Model.Marginal(x)
+		if err != nil {
+			return out, fmt.Errorf("agent: round %d: %w", round, err)
+		}
+		var h float64
+		if cfg.DynamicAlphaSafety > 0 || cfg.SecondOrder {
+			if h, err = cfg.Model.Curvature(x); err != nil {
+				return out, fmt.Errorf("agent: round %d: %w", round, err)
+			}
+		}
+		payload, err := protocol.EncodeReport(protocol.Report{
+			Round: round, Node: id, Marginal: g, Alloc: x, Curvature: h,
+		})
+		if err != nil {
+			return out, err
+		}
+		sent, err := broadcastReliably(ctx, cfg, payload)
+		out.MessagesSent += sent
+		if err != nil {
+			return out, fmt.Errorf("agent: broadcasting round %d: %w", round, err)
+		}
+		if err := collectReports(ctx, cfg, buf, round, n-1); err != nil {
+			return out, err
+		}
+		reports := buf.Take(round)
+		xs[id], gs[id], hs[id] = x, g, h
+		for node, rep := range reports {
+			xs[node], gs[node], hs[node] = rep.Alloc, rep.Marginal, rep.Curvature
+		}
+		if cfg.DynamicAlphaSafety > 0 {
+			if dyn := dynamicAlpha(gs, hs, cfg.DynamicAlphaSafety); dyn > 0 {
+				alpha = dyn
+			}
+		}
+		var step core.Step
+		if cfg.SecondOrder {
+			step, err = secondorder.PlanStep(xs, gs, hs, group, alpha)
+		} else {
+			step, err = core.PlanStep(xs, gs, group, alpha)
+		}
+		if err != nil {
+			return out, fmt.Errorf("agent: planning round %d: %w", round, err)
+		}
+		if step.Spread(gs, group) < cfg.Epsilon {
+			out.X = x
+			out.FullX = append([]float64(nil), xs...)
+			out.Rounds = round
+			out.Converged = true
+			return out, nil
+		}
+		if step.IsNoOp() {
+			out.X = x
+			out.FullX = append([]float64(nil), xs...)
+			out.Rounds = round
+			return out, nil
+		}
+		x += step.Delta[id]
+		if x < 0 && x > -1e-9 {
+			x = 0
+		}
+	}
+	out.X = x
+	out.Rounds = cfg.MaxRounds
+	return out, nil
+}
+
+// runCoordinator is the central agent of Coordinator mode: it collects
+// reports, plans the identical step the broadcast mode would, and
+// distributes the full delta vector.
+func runCoordinator(ctx context.Context, cfg Config) (Outcome, error) {
+	ep := cfg.Endpoint
+	n := ep.Peers()
+	id := ep.ID()
+	group := group01n(n)
+	buf := protocol.NewRoundBuffer(n)
+
+	x := cfg.Init
+	out := Outcome{}
+	xs := make([]float64, n)
+	gs := make([]float64, n)
+	for round := 0; round < cfg.MaxRounds; round++ {
+		if err := ctx.Err(); err != nil {
+			return out, fmt.Errorf("agent: canceled at round %d: %w", round, err)
+		}
+		g, err := cfg.Model.Marginal(x)
+		if err != nil {
+			return out, fmt.Errorf("agent: round %d: %w", round, err)
+		}
+		if err := collectReports(ctx, cfg, buf, round, n-1); err != nil {
+			return out, err
+		}
+		reports := buf.Take(round)
+		xs[id], gs[id] = x, g
+		for node, rep := range reports {
+			xs[node], gs[node] = rep.Alloc, rep.Marginal
+		}
+		step, err := core.PlanStep(xs, gs, group, cfg.Alpha)
+		if err != nil {
+			return out, fmt.Errorf("agent: planning round %d: %w", round, err)
+		}
+		done := step.Spread(gs, group) < cfg.Epsilon || step.IsNoOp()
+		payload, err := protocol.EncodeUpdate(protocol.Update{Round: round, Delta: step.Delta, Done: done})
+		if err != nil {
+			return out, err
+		}
+		sent, err := broadcastReliably(ctx, cfg, payload)
+		out.MessagesSent += sent
+		if err != nil {
+			return out, fmt.Errorf("agent: distributing round %d: %w", round, err)
+		}
+		if done {
+			out.X = x
+			out.FullX = append([]float64(nil), xs...)
+			out.Rounds = round
+			out.Converged = step.Spread(gs, group) < cfg.Epsilon
+			return out, nil
+		}
+		x += step.Delta[id]
+		if x < 0 && x > -1e-9 {
+			x = 0
+		}
+	}
+	out.X = x
+	out.Rounds = cfg.MaxRounds
+	return out, nil
+}
+
+// runWorker is a non-coordinator node in Coordinator mode.
+func runWorker(ctx context.Context, cfg Config) (Outcome, error) {
+	ep := cfg.Endpoint
+	id := ep.ID()
+	x := cfg.Init
+	out := Outcome{}
+	for round := 0; round < cfg.MaxRounds; round++ {
+		if err := ctx.Err(); err != nil {
+			return out, fmt.Errorf("agent: canceled at round %d: %w", round, err)
+		}
+		g, err := cfg.Model.Marginal(x)
+		if err != nil {
+			return out, fmt.Errorf("agent: round %d: %w", round, err)
+		}
+		payload, err := protocol.EncodeReport(protocol.Report{Round: round, Node: id, Marginal: g, Alloc: x})
+		if err != nil {
+			return out, err
+		}
+		if err := sendReliably(ctx, cfg, cfg.CoordinatorID, payload); err != nil {
+			return out, fmt.Errorf("agent: reporting round %d: %w", round, err)
+		}
+		out.MessagesSent++
+
+		update, err := awaitUpdate(ctx, cfg, round)
+		if err != nil {
+			return out, err
+		}
+		if update.Done {
+			out.X = x
+			out.Rounds = round
+			out.Converged = true
+			return out, nil
+		}
+		if id >= len(update.Delta) {
+			return out, fmt.Errorf("%w: update with %d deltas for node %d", ErrProtocol, len(update.Delta), id)
+		}
+		x += update.Delta[id]
+		if x < 0 && x > -1e-9 {
+			x = 0
+		}
+	}
+	out.X = x
+	out.Rounds = cfg.MaxRounds
+	return out, nil
+}
+
+func awaitUpdate(ctx context.Context, cfg Config, round int) (*protocol.Update, error) {
+	deadline, cancel := context.WithTimeout(ctx, cfg.RoundTimeout)
+	defer cancel()
+	for {
+		msg, err := cfg.Endpoint.Recv(deadline)
+		if err != nil {
+			if errors.Is(err, context.DeadlineExceeded) {
+				return nil, fmt.Errorf("%w: waiting for round %d update", ErrRoundTimeout, round)
+			}
+			return nil, fmt.Errorf("agent: receiving round %d update: %w", round, err)
+		}
+		env, err := protocol.Decode(msg.Payload)
+		if err != nil {
+			return nil, fmt.Errorf("agent: round %d: %w", round, err)
+		}
+		if env.Kind != protocol.KindUpdate {
+			return nil, fmt.Errorf("%w: unexpected %q message while awaiting update", ErrProtocol, env.Kind)
+		}
+		if env.Update.Round != round {
+			return nil, fmt.Errorf("%w: update for round %d while in round %d", ErrProtocol, env.Update.Round, round)
+		}
+		return env.Update, nil
+	}
+}

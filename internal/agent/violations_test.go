@@ -1,0 +1,132 @@
+package agent
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"filealloc/internal/protocol"
+	"filealloc/internal/transport"
+)
+
+// byzantineScenario runs one honest agent (node 0 of a 2-node cluster)
+// against a scripted peer that sends the given payloads, and returns the
+// agent's error.
+func byzantineScenario(t *testing.T, mode Mode, coordinatorID int, payloads ...[]byte) error {
+	t.Helper()
+	net, err := transport.NewMemoryNetwork(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer net.Close()
+	honest, err := net.Endpoint(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	peer, err := net.Endpoint(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range payloads {
+		if err := peer.Send(context.Background(), 0, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, err = Run(context.Background(), Config{
+		Endpoint:      honest,
+		Model:         LocalModel{AccessCost: 1, ServiceRate: 2, Lambda: 1, K: 1},
+		Init:          0.5,
+		Mode:          mode,
+		CoordinatorID: coordinatorID,
+		RoundTimeout:  2 * time.Second,
+	})
+	return err
+}
+
+func mustEncodeReport(t *testing.T, r protocol.Report) []byte {
+	t.Helper()
+	b, err := protocol.EncodeReport(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestAgentRejectsSpoofedSender(t *testing.T) {
+	// Node 1 sends a report claiming to be node 0.
+	err := byzantineScenario(t, Broadcast, 0,
+		mustEncodeReport(t, protocol.Report{Round: 0, Node: 0, Marginal: -1, Alloc: 0.5}))
+	if !errors.Is(err, ErrProtocol) {
+		t.Errorf("error = %v, want ErrProtocol", err)
+	}
+}
+
+func TestAgentRejectsStaleReport(t *testing.T) {
+	err := byzantineScenario(t, Broadcast, 0,
+		mustEncodeReport(t, protocol.Report{Round: -1, Node: 1, Marginal: -1, Alloc: 0.5}))
+	if !errors.Is(err, ErrProtocol) {
+		t.Errorf("error = %v, want ErrProtocol", err)
+	}
+}
+
+func TestAgentRejectsGarbagePayload(t *testing.T) {
+	err := byzantineScenario(t, Broadcast, 0, []byte("{{{{"))
+	if !errors.Is(err, protocol.ErrBadMessage) {
+		t.Errorf("error = %v, want ErrBadMessage", err)
+	}
+}
+
+func TestAgentRejectsWrongKindDuringCollection(t *testing.T) {
+	// An Update arriving while collecting Reports in broadcast mode.
+	upd, err := protocol.EncodeUpdate(protocol.Update{Round: 0, Delta: []float64{0, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := byzantineScenario(t, Broadcast, 0, upd); !errors.Is(err, ErrProtocol) {
+		t.Errorf("error = %v, want ErrProtocol", err)
+	}
+}
+
+func TestWorkerRejectsWrongRoundUpdate(t *testing.T) {
+	// Worker (node 0, coordinator is node 1) receives an update for the
+	// wrong round.
+	upd, err := protocol.EncodeUpdate(protocol.Update{Round: 7, Delta: []float64{0, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := byzantineScenario(t, Coordinator, 1, upd); !errors.Is(err, ErrProtocol) {
+		t.Errorf("error = %v, want ErrProtocol", err)
+	}
+}
+
+func TestWorkerRejectsReportWhileAwaitingUpdate(t *testing.T) {
+	rep := mustEncodeReport(t, protocol.Report{Round: 0, Node: 1, Marginal: -1, Alloc: 0.5})
+	if err := byzantineScenario(t, Coordinator, 1, rep); !errors.Is(err, ErrProtocol) {
+		t.Errorf("error = %v, want ErrProtocol", err)
+	}
+}
+
+func TestWorkerRejectsShortDeltaVector(t *testing.T) {
+	// Update whose delta vector is too short for this node id... node 0
+	// needs Delta[0], so send an empty delta.
+	upd, err := protocol.EncodeUpdate(protocol.Update{Round: 0, Delta: nil})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := byzantineScenario(t, Coordinator, 1, upd); !errors.Is(err, ErrProtocol) {
+		t.Errorf("error = %v, want ErrProtocol", err)
+	}
+}
+
+func TestAgentRejectsDuplicateReports(t *testing.T) {
+	rep := protocol.Report{Round: 0, Node: 1, Marginal: -1, Alloc: 0.5}
+	err := byzantineScenario(t, Broadcast, 0,
+		mustEncodeReport(t, rep), mustEncodeReport(t, rep))
+	// The first report completes round 0 and the agent moves on; the
+	// duplicate then surfaces either as a duplicate (if read in round 0)
+	// or as a stale report in round 1. Both are protocol violations.
+	if !errors.Is(err, ErrProtocol) && !errors.Is(err, protocol.ErrBadMessage) {
+		t.Errorf("error = %v, want a protocol violation", err)
+	}
+}

@@ -1,0 +1,213 @@
+// Package avail quantifies the reliability argument for fragmentation and
+// replication made in the paper's sections 4 and 7.1: "If the file is
+// distributed over a number of nodes then failure of one or more nodes
+// only means that the portions of the file stored at those nodes cannot
+// be accessed. File accesses are, therefore, not completely disabled by
+// individual node failures" (graceful degradation), and "carefully
+// placing different copies of files ... will increase reliability against
+// node failure".
+//
+// Given an allocation and independent per-node failure probabilities, the
+// package computes the expected accessible fraction of the file —
+// analytically for single-copy fragmentation and for the virtual-ring
+// multi-copy layout (where a record survives unless every node holding
+// one of its replicas is down) — plus Monte Carlo estimation for
+// cross-checks and arbitrary layouts.
+package avail
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// ErrBadInput reports invalid availability inputs.
+var ErrBadInput = errors.New("avail: invalid input")
+
+// validateProbs checks failure probabilities.
+func validateProbs(probs []float64) error {
+	for i, p := range probs {
+		if p < 0 || p > 1 || math.IsNaN(p) {
+			return fmt.Errorf("%w: failure probability p[%d] = %v", ErrBadInput, i, p)
+		}
+	}
+	return nil
+}
+
+// SingleCopy returns the expected accessible fraction of a single-copy
+// fragmented file: record shares x_i survive with probability 1−p_i
+// independently, so E[accessible] = Σ x_i·(1−p_i). Concentrating the file
+// (integral allocation) makes this all-or-nothing; spreading it degrades
+// gracefully.
+func SingleCopy(x, failProbs []float64) (float64, error) {
+	if len(x) != len(failProbs) {
+		return 0, fmt.Errorf("%w: %d fragments vs %d failure probabilities", ErrBadInput, len(x), len(failProbs))
+	}
+	if err := validateProbs(failProbs); err != nil {
+		return 0, err
+	}
+	var total, sum float64
+	for i, xi := range x {
+		if xi < 0 || math.IsNaN(xi) {
+			return 0, fmt.Errorf("%w: x[%d] = %v", ErrBadInput, i, xi)
+		}
+		total += xi
+		sum += xi * (1 - failProbs[i])
+	}
+	if total <= 0 {
+		return 0, fmt.Errorf("%w: empty allocation", ErrBadInput)
+	}
+	return sum / total, nil
+}
+
+// segment is one node's stretch of file content in ring layout order.
+type segment struct {
+	node       int
+	start, end float64 // positions in [0, m), content position = pos mod 1
+}
+
+// ringSegments lays the allocation out end-to-end around the ring
+// starting at node 0, the section 7.2 contiguous layout.
+func ringSegments(x []float64) []segment {
+	segs := make([]segment, 0, len(x))
+	pos := 0.0
+	for i, xi := range x {
+		if xi <= 0 {
+			continue
+		}
+		segs = append(segs, segment{node: i, start: pos, end: pos + xi})
+		pos += xi
+	}
+	return segs
+}
+
+// MultiCopyRing returns the expected accessible fraction of a file whose m
+// copies are laid contiguously around a virtual ring (allocation x sums to
+// m ≥ 1). A content position u ∈ [0,1) is replicated at every node whose
+// segment covers u + k for some integer k < m; it is lost only when all
+// of those nodes are down:
+//
+//	E[accessible] = ∫₀¹ (1 − Π_{i ∈ holders(u)} p_i) du
+//
+// evaluated exactly by splitting [0,1) at every segment boundary mod 1.
+func MultiCopyRing(x, failProbs []float64) (float64, error) {
+	if len(x) != len(failProbs) {
+		return 0, fmt.Errorf("%w: %d fragments vs %d failure probabilities", ErrBadInput, len(x), len(failProbs))
+	}
+	if err := validateProbs(failProbs); err != nil {
+		return 0, err
+	}
+	var total float64
+	for i, xi := range x {
+		if xi < 0 || math.IsNaN(xi) {
+			return 0, fmt.Errorf("%w: x[%d] = %v", ErrBadInput, i, xi)
+		}
+		total += xi
+	}
+	if total < 1-1e-9 {
+		return 0, fmt.Errorf("%w: allocation sums to %v < 1 copy", ErrBadInput, total)
+	}
+
+	segs := ringSegments(x)
+	// Breakpoints of holder sets: every segment boundary folded into
+	// [0, 1).
+	cuts := []float64{0, 1}
+	for _, s := range segs {
+		cuts = append(cuts, math.Mod(s.start, 1), math.Mod(s.end, 1))
+	}
+	sort.Float64s(cuts)
+
+	var accessible float64
+	for c := 0; c+1 < len(cuts); c++ {
+		lo, hi := cuts[c], cuts[c+1]
+		width := hi - lo
+		if width <= 1e-15 {
+			continue
+		}
+		mid := lo + width/2
+		// Probability every holder of this sliver is down.
+		allDown := 1.0
+		held := false
+		for _, s := range segs {
+			if coversMod1(s, mid) {
+				held = true
+				allDown *= failProbs[s.node]
+			}
+		}
+		if held {
+			accessible += width * (1 - allDown)
+		}
+	}
+	return accessible, nil
+}
+
+// coversMod1 reports whether the segment covers content position u (for
+// some unfolding u + k, k = 0, 1, 2, ...).
+func coversMod1(s segment, u float64) bool {
+	for base := math.Floor(s.start); base <= s.end; base++ {
+		if s.start <= base+u && base+u < s.end {
+			return true
+		}
+	}
+	return false
+}
+
+// MonteCarlo estimates the expected accessible fraction for the
+// virtual-ring layout by sampling node failures, for cross-checking the
+// closed form and for layouts the analytic path does not cover.
+func MonteCarlo(x, failProbs []float64, trials int, seed int64) (float64, error) {
+	if len(x) != len(failProbs) {
+		return 0, fmt.Errorf("%w: %d fragments vs %d failure probabilities", ErrBadInput, len(x), len(failProbs))
+	}
+	if err := validateProbs(failProbs); err != nil {
+		return 0, err
+	}
+	if trials < 1 {
+		return 0, fmt.Errorf("%w: %d trials", ErrBadInput, trials)
+	}
+	segs := ringSegments(x)
+	rng := rand.New(rand.NewSource(seed))
+	up := make([]bool, len(x))
+	var sum float64
+	for t := 0; t < trials; t++ {
+		for i := range up {
+			up[i] = rng.Float64() >= failProbs[i]
+		}
+		// Accessible measure: union over up nodes of their folded
+		// segments, computed by the same cut construction.
+		cuts := []float64{0, 1}
+		for _, s := range segs {
+			if up[s.node] {
+				cuts = append(cuts, math.Mod(s.start, 1), math.Mod(s.end, 1))
+			}
+		}
+		sort.Float64s(cuts)
+		var acc float64
+		for c := 0; c+1 < len(cuts); c++ {
+			lo, hi := cuts[c], cuts[c+1]
+			if hi-lo <= 1e-15 {
+				continue
+			}
+			mid := lo + (hi-lo)/2
+			for _, s := range segs {
+				if up[s.node] && coversMod1(s, mid) {
+					acc += hi - lo
+					break
+				}
+			}
+		}
+		sum += acc
+	}
+	return sum / float64(trials), nil
+}
+
+// UniformFailure returns n identical failure probabilities.
+func UniformFailure(n int, p float64) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = p
+	}
+	return out
+}

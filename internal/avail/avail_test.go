@@ -1,0 +1,173 @@
+package avail
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestSingleCopyGracefulDegradation(t *testing.T) {
+	p := UniformFailure(4, 0.1)
+	// Fragmented: expected accessible = 1 − p regardless of split.
+	frag, err := SingleCopy([]float64{0.25, 0.25, 0.25, 0.25}, p)
+	if err != nil {
+		t.Fatalf("SingleCopy: %v", err)
+	}
+	if math.Abs(frag-0.9) > 1e-12 {
+		t.Errorf("fragmented availability = %g, want 0.9", frag)
+	}
+	// Integral: same expectation but all-or-nothing; the expectation
+	// matches yet the variance differs (checked below via the full-file
+	// survival probability).
+	integral, err := SingleCopy([]float64{0, 0, 0, 1}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(integral-0.9) > 1e-12 {
+		t.Errorf("integral availability = %g, want 0.9", integral)
+	}
+}
+
+func TestSingleCopyWeightsByFragment(t *testing.T) {
+	// Unreliable node holds most of the file.
+	got, err := SingleCopy([]float64{0.8, 0.2}, []float64{0.5, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-(0.8*0.5+0.2)) > 1e-12 {
+		t.Errorf("availability = %g, want 0.6", got)
+	}
+}
+
+func TestSingleCopyValidation(t *testing.T) {
+	tests := []struct {
+		name string
+		x    []float64
+		p    []float64
+	}{
+		{"length mismatch", []float64{1}, []float64{0.1, 0.1}},
+		{"bad probability", []float64{1}, []float64{1.5}},
+		{"negative fragment", []float64{-1, 2}, []float64{0.1, 0.1}},
+		{"empty allocation", []float64{0, 0}, []float64{0.1, 0.1}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := SingleCopy(tt.x, tt.p); !errors.Is(err, ErrBadInput) {
+				t.Errorf("error = %v, want ErrBadInput", err)
+			}
+		})
+	}
+}
+
+func TestMultiCopyRingTwoFullReplicas(t *testing.T) {
+	// Nodes 0 and 1 each hold a whole copy: a record is lost only when
+	// both fail: availability = 1 − p².
+	p := 0.2
+	got, err := MultiCopyRing([]float64{1, 1, 0}, UniformFailure(3, p))
+	if err != nil {
+		t.Fatalf("MultiCopyRing: %v", err)
+	}
+	want := 1 - p*p
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("availability = %g, want %g", got, want)
+	}
+}
+
+func TestMultiCopyRingBeatsOneCopy(t *testing.T) {
+	// Same fragmentation pattern, one copy vs two copies: replication
+	// must strictly increase availability.
+	p := UniformFailure(4, 0.15)
+	one, err := MultiCopyRing([]float64{0.25, 0.25, 0.25, 0.25}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	two, err := MultiCopyRing([]float64{0.5, 0.5, 0.5, 0.5}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if two <= one {
+		t.Errorf("two copies availability %g not above one copy %g", two, one)
+	}
+	// One fragmented copy: availability = 1 − p = 0.85.
+	if math.Abs(one-0.85) > 1e-9 {
+		t.Errorf("single-copy ring availability = %g, want 0.85", one)
+	}
+	// Two copies, offset by half a copy: each record held by exactly 2
+	// distinct nodes → 1 − p² = 0.9775.
+	if math.Abs(two-(1-0.15*0.15)) > 1e-9 {
+		t.Errorf("two-copy availability = %g, want %g", two, 1-0.15*0.15)
+	}
+}
+
+func TestMultiCopyRingSelfOverlappingSegment(t *testing.T) {
+	// One node holding 1.7 copies covers every record at least once by
+	// itself; a second node holds the remaining 0.3. Records in the
+	// doubly-covered 0.7 stretch of node 0 gain nothing (same node), so
+	// availability = (1 − p0) for node-0-only records weighted
+	// appropriately.
+	p0, p1 := 0.2, 0.5
+	got, err := MultiCopyRing([]float64{1.7, 0.3}, []float64{p0, p1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Layout: node 0 covers [0,1.7) → content [0,1) fully and [0,0.7)
+	// again; node 1 covers [1.7,2) → content [0.7,1). So content
+	// [0,0.7): node 0 only (twice — same machine). Content [0.7,1):
+	// nodes 0 and 1.
+	want := 0.7*(1-p0) + 0.3*(1-p0*p1)
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("availability = %g, want %g", got, want)
+	}
+}
+
+func TestMultiCopyRingMatchesMonteCarlo(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 8; trial++ {
+		n := 3 + rng.Intn(4)
+		m := 1 + rng.Intn(3)
+		x := make([]float64, n)
+		var sum float64
+		for i := range x {
+			x[i] = rng.Float64()
+			sum += x[i]
+		}
+		for i := range x {
+			x[i] *= float64(m) / sum
+		}
+		probs := make([]float64, n)
+		for i := range probs {
+			probs[i] = rng.Float64() * 0.5
+		}
+		exact, err := MultiCopyRing(x, probs)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		mc, err := MonteCarlo(x, probs, 60000, int64(trial))
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if math.Abs(exact-mc) > 0.01 {
+			t.Errorf("trial %d: exact %g vs Monte Carlo %g", trial, exact, mc)
+		}
+	}
+}
+
+func TestMultiCopyRingValidation(t *testing.T) {
+	if _, err := MultiCopyRing([]float64{0.4, 0.4}, UniformFailure(2, 0.1)); !errors.Is(err, ErrBadInput) {
+		t.Errorf("sub-copy total: error = %v, want ErrBadInput", err)
+	}
+	if _, err := MultiCopyRing([]float64{1, 0.5}, []float64{0.1}); !errors.Is(err, ErrBadInput) {
+		t.Errorf("length mismatch: error = %v, want ErrBadInput", err)
+	}
+	if _, err := MonteCarlo([]float64{1, 0}, UniformFailure(2, 0.1), 0, 1); !errors.Is(err, ErrBadInput) {
+		t.Errorf("zero trials: error = %v, want ErrBadInput", err)
+	}
+}
+
+func TestUniformFailure(t *testing.T) {
+	p := UniformFailure(3, 0.25)
+	if len(p) != 3 || p[0] != 0.25 || p[2] != 0.25 {
+		t.Errorf("UniformFailure = %v", p)
+	}
+}

@@ -1,0 +1,264 @@
+package baseline
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"filealloc/internal/costmodel"
+)
+
+func mustModel(t *testing.T, access []float64, mu []float64, lambda, k float64) *costmodel.SingleFile {
+	t.Helper()
+	m, err := costmodel.NewSingleFile(access, mu, lambda, k)
+	if err != nil {
+		t.Fatalf("NewSingleFile: %v", err)
+	}
+	return m
+}
+
+func TestBestIntegralPicksCheapestNode(t *testing.T) {
+	// Node 1 has the lowest access cost; all queues behave identically.
+	m := mustModel(t, []float64{3, 1, 2}, []float64{2}, 1, 1)
+	res, err := BestIntegral(m)
+	if err != nil {
+		t.Fatalf("BestIntegral: %v", err)
+	}
+	if res.Node != 1 {
+		t.Errorf("best node = %d, want 1", res.Node)
+	}
+	// Cost at node 1: C_1 + k/(μ−λ) = 1 + 1/(2−1) = 2.
+	if math.Abs(res.Cost-2) > 1e-12 {
+		t.Errorf("cost = %g, want 2", res.Cost)
+	}
+	if res.X[1] != 1 || res.X[0] != 0 || res.X[2] != 0 {
+		t.Errorf("X = %v, want (0,1,0)", res.X)
+	}
+	for i, want := range []float64{4, 2, 3} {
+		if math.Abs(res.PerNode[i]-want) > 1e-12 {
+			t.Errorf("PerNode[%d] = %g, want %g", i, res.PerNode[i], want)
+		}
+	}
+}
+
+func TestBestIntegralSkipsSaturatedNodes(t *testing.T) {
+	// Node 0 cannot host the whole file (μ_0 < λ); node 1 can.
+	m := mustModel(t, []float64{0, 5}, []float64{0.5, 3}, 1, 1)
+	res, err := BestIntegral(m)
+	if err != nil {
+		t.Fatalf("BestIntegral: %v", err)
+	}
+	if res.Node != 1 {
+		t.Errorf("best node = %d, want 1", res.Node)
+	}
+	if !math.IsNaN(res.PerNode[0]) {
+		t.Errorf("PerNode[0] = %g, want NaN (saturated)", res.PerNode[0])
+	}
+}
+
+func TestBestIntegralNoFeasible(t *testing.T) {
+	m := mustModel(t, []float64{0, 0}, []float64{0.5}, 1, 1)
+	if _, err := BestIntegral(m); !errors.Is(err, ErrNoFeasible) {
+		t.Errorf("error = %v, want ErrNoFeasible", err)
+	}
+}
+
+func TestBestIntegralVersusFragmentedOptimum(t *testing.T) {
+	// The figure-4 claim: the fragmented optimum strictly beats the best
+	// integral placement on the symmetric ring.
+	m := mustModel(t, []float64{2, 2, 2, 2}, []float64{1.5}, 1, 1)
+	integral, err := BestIntegral(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := m.SolveKKT(1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Cost >= integral.Cost {
+		t.Errorf("fragmented optimum %g not below integral %g", sol.Cost, integral.Cost)
+	}
+	// Explicit values: integral 4, fragmented 2.8 → 30% reduction.
+	if math.Abs(integral.Cost-4) > 1e-12 || math.Abs(sol.Cost-2.8) > 1e-9 {
+		t.Errorf("costs = %g and %g, want 4 and 2.8", integral.Cost, sol.Cost)
+	}
+}
+
+func TestUniform(t *testing.T) {
+	x := Uniform(5)
+	var sum float64
+	for _, v := range x {
+		if v != 0.2 {
+			t.Errorf("entry = %g, want 0.2", v)
+		}
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Errorf("sum = %g, want 1", sum)
+	}
+}
+
+func TestProjectedGradientFindsOptimum(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 10; trial++ {
+		n := 3 + rng.Intn(5)
+		access := make([]float64, n)
+		for i := range access {
+			access[i] = rng.Float64() * 4
+		}
+		lambda := 0.5 + rng.Float64()
+		m := mustModel(t, access, []float64{lambda + 1}, lambda, 0.5)
+		x, err := ProjectedGradient(m, Uniform(n), 0.05, 5000, 1)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		sol, err := m.SolveKKT(1e-12)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := m.Cost(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-sol.Cost) > 1e-4*(1+sol.Cost) {
+			t.Errorf("trial %d: projected gradient cost %g vs KKT %g", trial, got, sol.Cost)
+		}
+	}
+}
+
+func TestProjectedGradientValidation(t *testing.T) {
+	m := mustModel(t, []float64{1, 2}, []float64{3}, 1, 1)
+	if _, err := ProjectedGradient(m, Uniform(2), 0, 10, 1); err == nil {
+		t.Error("zero stepsize: expected error")
+	}
+	if _, err := ProjectedGradient(m, Uniform(3), 0.1, 10, 1); err == nil {
+		t.Error("wrong init length: expected error")
+	}
+}
+
+func TestProjectSimplex(t *testing.T) {
+	tests := []struct {
+		name  string
+		in    []float64
+		total float64
+		want  []float64
+	}{
+		{"already feasible", []float64{0.3, 0.7}, 1, []float64{0.3, 0.7}},
+		{"uniform shift", []float64{1, 1}, 1, []float64{0.5, 0.5}},
+		{"clips negative", []float64{1.5, -0.5}, 1, []float64{1, 0}},
+		{"total 2", []float64{2, 2}, 2, []float64{1, 1}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			v := append([]float64(nil), tt.in...)
+			projectSimplex(v, tt.total)
+			var sum float64
+			for i := range v {
+				if math.Abs(v[i]-tt.want[i]) > 1e-9 {
+					t.Errorf("v[%d] = %g, want %g", i, v[i], tt.want[i])
+				}
+				if v[i] < 0 {
+					t.Errorf("v[%d] = %g negative", i, v[i])
+				}
+				sum += v[i]
+			}
+			if math.Abs(sum-tt.total) > 1e-9 {
+				t.Errorf("sum = %g, want %g", sum, tt.total)
+			}
+		})
+	}
+}
+
+func TestPriceDirectedClearsAtKKTOptimum(t *testing.T) {
+	m := mustModel(t, []float64{2, 1, 3, 2}, []float64{1.5}, 1, 1)
+	res, err := PriceDirected(m, PriceDirectedConfig{Gamma: 0.5, Tolerance: 1e-9, MaxIterations: 100000})
+	if err != nil {
+		t.Fatalf("PriceDirected: %v", err)
+	}
+	if !res.Converged {
+		t.Fatalf("did not converge after %d iterations", res.Iterations)
+	}
+	sol, err := m.SolveKKT(1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Cost-sol.Cost) > 1e-6*(1+sol.Cost) {
+		t.Errorf("tâtonnement cost %g vs KKT %g", res.Cost, sol.Cost)
+	}
+	if math.Abs(res.Price-sol.Q) > 1e-4*(1+math.Abs(sol.Q)) {
+		t.Errorf("clearing price %g vs multiplier %g", res.Price, sol.Q)
+	}
+}
+
+func TestPriceDirectedIntermediateInfeasibility(t *testing.T) {
+	// The section-2 drawback: before convergence the demands do not sum
+	// to 1. The trace must show at least one materially infeasible round.
+	m := mustModel(t, []float64{2, 1, 3, 2}, []float64{1.5}, 1, 1)
+	res, err := PriceDirected(m, PriceDirectedConfig{Gamma: 0.5, Tolerance: 1e-9, MaxIterations: 100000, KeepTrace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Trace) < 2 {
+		t.Fatalf("trace too short: %d", len(res.Trace))
+	}
+	worst := 0.0
+	for _, it := range res.Trace {
+		if math.Abs(it.Excess) > worst {
+			worst = math.Abs(it.Excess)
+		}
+	}
+	if worst < 0.01 {
+		t.Errorf("worst excess demand %g; expected materially infeasible iterates", worst)
+	}
+	// Final X is normalized feasible regardless.
+	var sum float64
+	for _, v := range res.X {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("final allocation sums to %g", sum)
+	}
+}
+
+func TestPriceDirectedNonConvergence(t *testing.T) {
+	// With an absurdly large gain the price oscillates; the result must
+	// report non-convergence yet still return a feasible allocation.
+	m := mustModel(t, []float64{2, 1, 3, 2}, []float64{1.5}, 1, 1)
+	res, err := PriceDirected(m, PriceDirectedConfig{Gamma: 1e6, Tolerance: 1e-12, MaxIterations: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Converged {
+		t.Error("expected non-convergence with huge gain")
+	}
+	var sum float64
+	for _, v := range res.X {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("allocation sums to %g, want 1", sum)
+	}
+}
+
+func TestPriceDirectedValidation(t *testing.T) {
+	m := mustModel(t, []float64{1, 2}, []float64{3}, 1, 1)
+	if _, err := PriceDirected(m, PriceDirectedConfig{Gamma: -1}); err == nil {
+		t.Error("negative gain: expected error")
+	}
+}
+
+func TestDemandAtMonotoneInPrice(t *testing.T) {
+	m := mustModel(t, []float64{2}, []float64{1.5}, 1, 1)
+	prev := -1.0
+	for q := 0.5; q < 30; q += 0.25 {
+		d := demandAt(m, 0, q)
+		if d < prev-1e-12 {
+			t.Fatalf("demand decreased in price at q=%g: %g -> %g", q, prev, d)
+		}
+		if d < 0 || d > 1 {
+			t.Fatalf("demand %g outside [0,1]", d)
+		}
+		prev = d
+	}
+}

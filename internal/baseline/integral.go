@@ -1,0 +1,170 @@
+// Package baseline implements the comparison allocators the paper measures
+// its algorithm against or positions itself relative to: whole-file
+// (integral) placement in the tradition of Chu's 0/1 formulation, the naive
+// uniform split, the price-directed tâtonnement of section 2's contrast
+// class, and a projected-gradient reference optimizer used to certify
+// optima independently.
+package baseline
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"filealloc/internal/core"
+	"filealloc/internal/costmodel"
+)
+
+// ErrNoFeasible is returned when no allocation in the searched class keeps
+// every queue stable.
+var ErrNoFeasible = errors.New("baseline: no feasible allocation in class")
+
+// IntegralResult describes the best whole-file placement.
+type IntegralResult struct {
+	// Node is the node holding the entire file.
+	Node int
+	// Cost is the expected access cost of that placement.
+	Cost float64
+	// X is the corresponding allocation vector (1 at Node, 0 elsewhere).
+	X []float64
+	// PerNode lists the cost of placing the whole file at each node
+	// (NaN where the placement saturates the node's queue).
+	PerNode []float64
+}
+
+// BestIntegral exhaustively evaluates the N whole-file placements — the
+// classical FAP restriction that "a file must reside wholly at one node" —
+// and returns the cheapest. This is the figure-4 baseline that the
+// fragmented optimum is compared against.
+func BestIntegral(m *costmodel.SingleFile) (IntegralResult, error) {
+	n := m.Dim()
+	res := IntegralResult{
+		Node:    -1,
+		Cost:    math.Inf(1),
+		PerNode: make([]float64, n),
+	}
+	x := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x[i] = 1
+		cost, err := m.Cost(x)
+		switch {
+		case errors.Is(err, costmodel.ErrUnstable):
+			res.PerNode[i] = math.NaN()
+		case err != nil:
+			return IntegralResult{}, fmt.Errorf("baseline: evaluating placement at node %d: %w", i, err)
+		default:
+			res.PerNode[i] = cost
+			if cost < res.Cost {
+				res.Cost = cost
+				res.Node = i
+			}
+		}
+		x[i] = 0
+	}
+	if res.Node < 0 {
+		return IntegralResult{}, fmt.Errorf("%w: every single-node placement saturates its queue", ErrNoFeasible)
+	}
+	res.X = make([]float64, n)
+	res.X[res.Node] = 1
+	return res, nil
+}
+
+// Uniform returns the even split x_i = 1/n, the delay-optimal allocation
+// for symmetric systems and a natural initial allocation for the iterative
+// algorithm.
+func Uniform(n int) []float64 {
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = 1 / float64(n)
+	}
+	return x
+}
+
+// ProjectedGradient is an independent reference optimizer: plain gradient
+// ascent followed by Euclidean projection onto the simplex
+// {x ≥ 0, Σx = total}. It shares no code with the paper's algorithm (the
+// projection is Michelot/Condat-style, not marginal-value reallocation), so
+// agreement between the two certifies an optimum.
+func ProjectedGradient(obj core.Objective, init []float64, stepsize float64, iterations int, total float64) ([]float64, error) {
+	if stepsize <= 0 || iterations < 1 {
+		return nil, fmt.Errorf("baseline: bad projected-gradient parameters (step=%v, iters=%d)", stepsize, iterations)
+	}
+	if len(init) != obj.Dim() {
+		return nil, fmt.Errorf("baseline: init has %d entries for dimension %d", len(init), obj.Dim())
+	}
+	x := append([]float64(nil), init...)
+	grad := make([]float64, len(x))
+	work := make([]float64, len(x))
+	for it := 0; it < iterations; it++ {
+		if err := obj.Gradient(grad, x); err != nil {
+			return nil, fmt.Errorf("baseline: projected gradient iteration %d: %w", it, err)
+		}
+		for i := range x {
+			work[i] = x[i] + stepsize*grad[i]
+		}
+		projectSimplex(work, total)
+		// Guard against stepping into queue saturation: halve the step
+		// until the projected point evaluates.
+		ok := false
+		for shrink := 0; shrink < 60; shrink++ {
+			if _, err := obj.Utility(work); err == nil {
+				ok = true
+				break
+			}
+			for i := range work {
+				work[i] = (work[i] + x[i]) / 2
+			}
+			projectSimplex(work, total)
+		}
+		if !ok {
+			return nil, fmt.Errorf("%w: projected point saturates a queue", ErrNoFeasible)
+		}
+		copy(x, work)
+	}
+	return x, nil
+}
+
+// projectSimplex replaces v with its Euclidean projection onto
+// {x ≥ 0, Σx = total} using the sort-free Michelot iteration.
+func projectSimplex(v []float64, total float64) {
+	n := len(v)
+	active := make([]bool, n)
+	count := n
+	for i := range active {
+		active[i] = true
+	}
+	for {
+		var sum float64
+		for i, on := range active {
+			if on {
+				sum += v[i]
+			}
+		}
+		shift := (sum - total) / float64(count)
+		changed := false
+		for i, on := range active {
+			if on && v[i]-shift < 0 {
+				active[i] = false
+				count--
+				changed = true
+			}
+		}
+		if !changed {
+			for i, on := range active {
+				if on {
+					v[i] -= shift
+				} else {
+					v[i] = 0
+				}
+			}
+			return
+		}
+		if count == 0 {
+			// Degenerate: all mass forced out; spread evenly.
+			for i := range v {
+				v[i] = total / float64(n)
+			}
+			return
+		}
+	}
+}

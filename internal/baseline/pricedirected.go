@@ -1,0 +1,160 @@
+package baseline
+
+import (
+	"fmt"
+	"math"
+
+	"filealloc/internal/costmodel"
+)
+
+// PriceIteration is one round of the tâtonnement: the posted price, the
+// per-node demands at that price, and the resulting excess demand
+// (Σ x_i(q) − 1). Until the process converges the demands do NOT form a
+// feasible allocation — the drawback of price-directed mechanisms that
+// section 2 contrasts with the resource-directed approach.
+type PriceIteration struct {
+	Price  float64
+	Demand []float64
+	Excess float64
+}
+
+// PriceDirectedResult is the outcome of the tâtonnement.
+type PriceDirectedResult struct {
+	// X is the final (feasible, after normalization at convergence)
+	// allocation.
+	X []float64
+	// Price is the market-clearing price: the common marginal cost q.
+	Price float64
+	// Cost is C(X).
+	Cost float64
+	// Iterations counts price adjustments performed.
+	Iterations int
+	// Converged is false when the excess demand never fell below the
+	// tolerance; X then holds the last (infeasible) demand vector
+	// normalized to sum 1.
+	Converged bool
+	// Trace holds every iteration when tracing was requested.
+	Trace []PriceIteration
+}
+
+// PriceDirectedConfig tunes the tâtonnement.
+type PriceDirectedConfig struct {
+	// Gamma is the price adjustment gain: q ← q + Gamma·(1 − Σx(q)).
+	// Defaults to 1 when zero.
+	Gamma float64
+	// Tolerance is the excess-demand threshold for convergence
+	// (default 1e-6).
+	Tolerance float64
+	// MaxIterations bounds the process (default 10000).
+	MaxIterations int
+	// KeepTrace records every iteration in the result.
+	KeepTrace bool
+}
+
+// PriceDirected runs a price-directed (tâtonnement) allocation of the
+// single file, the contrast class of section 2. A fictitious auctioneer
+// posts a price q per unit of file hosted; each node independently demands
+// the amount at which its marginal cost of serving accesses equals the
+// price,
+//
+//	x_i(q): C_i + k·μ_i/(μ_i − λ·x_i)² = q,
+//
+// and the auctioneer raises the price when total demand falls short of the
+// one copy available and lowers it when demand exceeds it. Intermediate
+// demand vectors are infeasible (they do not sum to 1) — unlike every
+// iterate of the resource-directed algorithm — which is the property the
+// E10 ablation demonstrates. At the clearing price the allocation
+// coincides with the KKT optimum, since both equalize marginal costs.
+func PriceDirected(m *costmodel.SingleFile, cfg PriceDirectedConfig) (PriceDirectedResult, error) {
+	if cfg.Gamma == 0 {
+		cfg.Gamma = 1
+	}
+	if cfg.Gamma < 0 {
+		return PriceDirectedResult{}, fmt.Errorf("baseline: negative price gain %v", cfg.Gamma)
+	}
+	if cfg.Tolerance <= 0 {
+		cfg.Tolerance = 1e-6
+	}
+	if cfg.MaxIterations <= 0 {
+		cfg.MaxIterations = 10000
+	}
+
+	n := m.Dim()
+	// Start at the lowest price at which anyone hosts anything.
+	price := math.Inf(1)
+	for i := 0; i < n; i++ {
+		if floor := m.AccessCost(i) + m.K()/m.ServiceRate(i); floor < price {
+			price = floor
+		}
+	}
+	res := PriceDirectedResult{}
+	demand := make([]float64, n)
+	for it := 1; it <= cfg.MaxIterations; it++ {
+		var total float64
+		for i := 0; i < n; i++ {
+			demand[i] = demandAt(m, i, price)
+			total += demand[i]
+		}
+		excess := total - 1
+		if cfg.KeepTrace {
+			res.Trace = append(res.Trace, PriceIteration{
+				Price:  price,
+				Demand: append([]float64(nil), demand...),
+				Excess: excess,
+			})
+		}
+		res.Iterations = it
+		if math.Abs(excess) < cfg.Tolerance {
+			res.Converged = true
+			break
+		}
+		price -= cfg.Gamma * excess
+	}
+
+	// Normalize the final demands so callers always receive a feasible
+	// allocation; when converged the normalization is a no-op up to the
+	// tolerance.
+	var total float64
+	for _, d := range demand {
+		total += d
+	}
+	x := append([]float64(nil), demand...)
+	if total > 0 {
+		for i := range x {
+			x[i] /= total
+		}
+	} else {
+		copy(x, Uniform(n))
+	}
+	cost, err := m.Cost(x)
+	if err != nil {
+		return PriceDirectedResult{}, fmt.Errorf("baseline: evaluating tâtonnement allocation: %w", err)
+	}
+	res.X = x
+	res.Price = price
+	res.Cost = cost
+	return res, nil
+}
+
+// demandAt inverts node i's marginal hosting cost at the given price,
+// clipped to [0, 1].
+func demandAt(m *costmodel.SingleFile, i int, price float64) float64 {
+	floor := m.AccessCost(i) + m.K()/m.ServiceRate(i)
+	if price <= floor {
+		return 0
+	}
+	if m.K() == 0 {
+		// Zero delay weight: marginal cost is flat at C_i; demand is
+		// all-or-nothing.
+		return 1
+	}
+	mu := m.ServiceRate(i)
+	x := (mu - math.Sqrt(m.K()*mu/(price-m.AccessCost(i)))) / m.Lambda()
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}

@@ -1,0 +1,428 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math"
+)
+
+// StopReason explains why Run returned.
+type StopReason int
+
+const (
+	// StopConverged means the termination criterion was met: all marginal
+	// utilities over each active set differ by less than ε.
+	StopConverged StopReason = iota + 1
+	// StopMaxIterations means the iteration budget ran out first. The
+	// returned allocation is still feasible and no worse than any earlier
+	// iterate (the paper's premature-termination property).
+	StopMaxIterations
+	// StopStalled means no group could move (active sets collapsed to
+	// singletons) before the ε criterion was met.
+	StopStalled
+	// StopCostDelta means the oscillation-tolerant criterion fired: the
+	// utility change between successive iterations fell below the
+	// configured threshold (section 7.3's modified halting rule).
+	StopCostDelta
+	// StopCanceled means the context was canceled mid-run.
+	StopCanceled
+)
+
+func (r StopReason) String() string {
+	switch r {
+	case StopConverged:
+		return "converged"
+	case StopMaxIterations:
+		return "max-iterations"
+	case StopStalled:
+		return "stalled"
+	case StopCostDelta:
+		return "cost-delta"
+	case StopCanceled:
+		return "canceled"
+	default:
+		return fmt.Sprintf("StopReason(%d)", int(r))
+	}
+}
+
+// Iteration is a snapshot passed to trace hooks after each completed
+// iteration (and once, with Index 0, for the initial allocation).
+type Iteration struct {
+	// Index is the iteration number; 0 is the initial allocation.
+	Index int
+	// X is the allocation after this iteration. The slice is reused
+	// between calls; hooks must copy it to retain it.
+	X []float64
+	// Utility is U(X).
+	Utility float64
+	// Spread is the largest marginal-utility spread over any group's
+	// active set (0 for the initial snapshot).
+	Spread float64
+	// Alpha is the stepsize used for this iteration.
+	Alpha float64
+}
+
+// Result summarizes a Run.
+type Result struct {
+	// X is the final allocation.
+	X []float64
+	// Utility is U(X).
+	Utility float64
+	// Iterations is the number of re-allocation steps performed.
+	Iterations int
+	// Reason reports why the run stopped.
+	Reason StopReason
+	// Converged is true when Reason is StopConverged or StopCostDelta.
+	Converged bool
+}
+
+// Option configures an Allocator.
+type Option func(*Allocator)
+
+// WithAlpha sets the fixed stepsize α (default 0.1).
+func WithAlpha(alpha float64) Option {
+	return func(a *Allocator) { a.alpha = alpha }
+}
+
+// WithEpsilon sets the termination threshold ε on the marginal-utility
+// spread (default 1e-3, the paper's experimental setting).
+func WithEpsilon(eps float64) Option {
+	return func(a *Allocator) { a.epsilon = eps }
+}
+
+// WithMaxIterations bounds the number of iterations (default 10000).
+func WithMaxIterations(n int) Option {
+	return func(a *Allocator) { a.maxIter = n }
+}
+
+// WithTrace registers a hook invoked after every iteration. The hook runs
+// synchronously on the solver goroutine.
+func WithTrace(fn func(Iteration)) Option {
+	return func(a *Allocator) { a.trace = fn }
+}
+
+// WithDynamicAlpha recomputes the stepsize each iteration from the
+// Theorem-2 bound evaluated at the current gradient and curvature
+// (the appendix's closing remark: "we could get a better value for α if we
+// dynamically calculate it at each iteration"). The objective must
+// implement Curvature. safety in (0,1] scales the bound; values near 1
+// step aggressively, small values conservatively.
+func WithDynamicAlpha(safety float64) Option {
+	return func(a *Allocator) { a.dynamicSafety = safety }
+}
+
+// AdaptAlphaConfig tunes the oscillation-triggered stepsize decay used for
+// discontinuous objectives such as the multiple-copy ring (section 7.3).
+type AdaptAlphaConfig struct {
+	// Patience is the number of utility decreases tolerated before α is
+	// reduced.
+	Patience int
+	// Factor multiplies α at each reduction; must be in (0, 1).
+	Factor float64
+	// MinAlpha stops further reductions.
+	MinAlpha float64
+	// CostDelta, when positive, stops the run once |ΔU| between
+	// successive iterations falls below it (the paper's modified
+	// termination rule for oscillatory problems).
+	CostDelta float64
+}
+
+// WithAdaptiveAlpha enables section 7.3's oscillation handling: when the
+// utility decreases Patience times since the last reduction, α is multiplied
+// by Factor; the run additionally stops when |ΔU| < CostDelta.
+func WithAdaptiveAlpha(cfg AdaptAlphaConfig) Option {
+	return func(a *Allocator) { a.adapt = &cfg }
+}
+
+// WithKKTCheck additionally requires, for termination, that every variable
+// held at zero outside the active set has a marginal utility of at most the
+// active-set average plus ε (the boundary half of the optimality conditions
+// in section 5.3). The paper's own termination test omits this; it is
+// implied by the active-set re-admission rule but checking it makes the
+// convergence claim explicit.
+func WithKKTCheck() Option {
+	return func(a *Allocator) { a.kktCheck = true }
+}
+
+// Allocator runs the decentralized file allocation iteration in-process.
+// It is the centralized counterpart of the agent runtime: both plan steps
+// with PlanStep, so their trajectories are identical.
+type Allocator struct {
+	obj     Objective
+	groups  [][]int
+	alpha   float64
+	epsilon float64
+	maxIter int
+	trace   func(Iteration)
+
+	dynamicSafety float64
+	adapt         *AdaptAlphaConfig
+	kktCheck      bool
+}
+
+// NewAllocator returns a solver for the given objective.
+func NewAllocator(obj Objective, opts ...Option) (*Allocator, error) {
+	if obj == nil {
+		return nil, fmt.Errorf("%w: nil objective", ErrBadConfig)
+	}
+	a := &Allocator{
+		obj:     obj,
+		alpha:   0.1,
+		epsilon: 1e-3,
+		maxIter: 10000,
+	}
+	for _, opt := range opts {
+		opt(a)
+	}
+	switch {
+	case a.alpha <= 0 || math.IsNaN(a.alpha):
+		return nil, fmt.Errorf("%w: alpha = %v", ErrBadConfig, a.alpha)
+	case a.epsilon <= 0:
+		return nil, fmt.Errorf("%w: epsilon = %v", ErrBadConfig, a.epsilon)
+	case a.maxIter < 1:
+		return nil, fmt.Errorf("%w: max iterations = %d", ErrBadConfig, a.maxIter)
+	case a.dynamicSafety < 0 || a.dynamicSafety > 1:
+		return nil, fmt.Errorf("%w: dynamic-alpha safety = %v", ErrBadConfig, a.dynamicSafety)
+	}
+	if a.dynamicSafety > 0 {
+		if _, ok := obj.(Curvature); !ok {
+			return nil, fmt.Errorf("%w: dynamic alpha requires a Curvature objective", ErrBadConfig)
+		}
+	}
+	if a.adapt != nil {
+		if a.adapt.Factor <= 0 || a.adapt.Factor >= 1 {
+			return nil, fmt.Errorf("%w: adaptive-alpha factor = %v", ErrBadConfig, a.adapt.Factor)
+		}
+		if a.adapt.Patience < 1 {
+			return nil, fmt.Errorf("%w: adaptive-alpha patience = %d", ErrBadConfig, a.adapt.Patience)
+		}
+	}
+	if g, ok := obj.(Grouped); ok {
+		a.groups = g.Groups()
+	}
+	if len(a.groups) == 0 {
+		all := make([]int, obj.Dim())
+		for i := range all {
+			all[i] = i
+		}
+		a.groups = [][]int{all}
+	}
+	if err := validateGroups(a.groups, obj.Dim()); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+func validateGroups(groups [][]int, dim int) error {
+	seen := make([]bool, dim)
+	for _, g := range groups {
+		if len(g) == 0 {
+			return fmt.Errorf("%w: empty constraint group", ErrBadConfig)
+		}
+		for _, gi := range g {
+			if gi < 0 || gi >= dim {
+				return fmt.Errorf("%w: group index %d outside dimension %d", ErrDimension, gi, dim)
+			}
+			if seen[gi] {
+				return fmt.Errorf("%w: variable %d appears in two groups", ErrBadConfig, gi)
+			}
+			seen[gi] = true
+		}
+	}
+	for i, ok := range seen {
+		if !ok {
+			return fmt.Errorf("%w: variable %d belongs to no group", ErrBadConfig, i)
+		}
+	}
+	return nil
+}
+
+// CheckFeasible verifies that x has the objective's dimension, is
+// non-negative, and that each constraint group sums to the corresponding
+// total (within a small tolerance).
+func (a *Allocator) CheckFeasible(x []float64, totals []float64) error {
+	if len(x) != a.obj.Dim() {
+		return fmt.Errorf("%w: allocation has %d entries for dimension %d", ErrDimension, len(x), a.obj.Dim())
+	}
+	if len(totals) != len(a.groups) {
+		return fmt.Errorf("%w: %d totals for %d groups", ErrDimension, len(totals), len(a.groups))
+	}
+	for i, v := range x {
+		if v < 0 || math.IsNaN(v) {
+			return fmt.Errorf("%w: x[%d] = %v", ErrInfeasible, i, v)
+		}
+	}
+	for gi, g := range a.groups {
+		var sum float64
+		for _, idx := range g {
+			sum += x[idx]
+		}
+		if math.Abs(sum-totals[gi]) > 1e-9*math.Max(1, totals[gi]) {
+			return fmt.Errorf("%w: group %d sums to %v, want %v", ErrInfeasible, gi, sum, totals[gi])
+		}
+	}
+	return nil
+}
+
+// Run iterates from the initial allocation init until convergence, stall,
+// cancellation, or the iteration budget. init is not modified. Totals are
+// inferred from init: each group conserves its initial sum, so init must
+// already be feasible for the intended problem (e.g. sum 1 for a single
+// file, m for m copies).
+func (a *Allocator) Run(ctx context.Context, init []float64) (Result, error) {
+	totals := make([]float64, len(a.groups))
+	for gi, g := range a.groups {
+		for _, idx := range g {
+			if idx < len(init) {
+				totals[gi] += init[idx]
+			}
+		}
+	}
+	if err := a.CheckFeasible(init, totals); err != nil {
+		return Result{}, err
+	}
+
+	x := append([]float64(nil), init...)
+	grad := make([]float64, len(x))
+	alpha := a.alpha
+
+	u, err := a.obj.Utility(x)
+	if err != nil {
+		return Result{}, fmt.Errorf("core: evaluating initial utility: %w", err)
+	}
+	if a.trace != nil {
+		a.trace(Iteration{Index: 0, X: x, Utility: u, Alpha: alpha})
+	}
+
+	decreases := 0
+	prevU := u
+	for iter := 1; iter <= a.maxIter; iter++ {
+		if err := ctx.Err(); err != nil {
+			return Result{X: x, Utility: prevU, Iterations: iter - 1, Reason: StopCanceled}, nil
+		}
+		if err := a.obj.Gradient(grad, x); err != nil {
+			return Result{}, fmt.Errorf("core: gradient at iteration %d: %w", iter, err)
+		}
+		if a.dynamicSafety > 0 {
+			dyn, err := a.dynamicAlpha(x, grad)
+			if err != nil {
+				return Result{}, fmt.Errorf("core: dynamic alpha at iteration %d: %w", iter, err)
+			}
+			if dyn > 0 {
+				alpha = dyn
+			}
+		}
+
+		steps := make([]Step, len(a.groups))
+		converged := true
+		movable := false
+		spread := 0.0
+		for gi, g := range a.groups {
+			st, err := PlanStep(x, grad, g, alpha)
+			if err != nil {
+				return Result{}, fmt.Errorf("core: planning iteration %d: %w", iter, err)
+			}
+			steps[gi] = st
+			sp := st.Spread(grad, g)
+			if sp > spread {
+				spread = sp
+			}
+			if sp >= a.epsilon {
+				converged = false
+			} else if a.kktCheck && !kktHolds(st, grad, x, g, a.epsilon) {
+				converged = false
+			}
+			for _, d := range st.Delta {
+				if d != 0 {
+					movable = true
+				}
+			}
+		}
+		if converged {
+			return Result{X: x, Utility: prevU, Iterations: iter - 1, Reason: StopConverged, Converged: true}, nil
+		}
+		if !movable {
+			return Result{X: x, Utility: prevU, Iterations: iter - 1, Reason: StopStalled}, nil
+		}
+		for gi, g := range a.groups {
+			if err := steps[gi].Apply(x, g); err != nil {
+				return Result{}, fmt.Errorf("core: applying iteration %d: %w", iter, err)
+			}
+		}
+
+		u, err := a.obj.Utility(x)
+		if err != nil {
+			return Result{}, fmt.Errorf("core: utility at iteration %d: %w", iter, err)
+		}
+		if math.IsNaN(u) || math.IsInf(u, 0) {
+			return Result{}, fmt.Errorf("%w: utility %v at iteration %d", ErrDiverged, u, iter)
+		}
+		if a.trace != nil {
+			a.trace(Iteration{Index: iter, X: x, Utility: u, Spread: spread, Alpha: alpha})
+		}
+
+		if a.adapt != nil {
+			if u < prevU {
+				decreases++
+				if decreases >= a.adapt.Patience {
+					decreases = 0
+					if next := alpha * a.adapt.Factor; next >= a.adapt.MinAlpha {
+						alpha = next
+					}
+				}
+			}
+			if a.adapt.CostDelta > 0 && math.Abs(u-prevU) < a.adapt.CostDelta {
+				return Result{X: x, Utility: u, Iterations: iter, Reason: StopCostDelta, Converged: true}, nil
+			}
+		}
+		prevU = u
+	}
+	return Result{X: x, Utility: prevU, Iterations: a.maxIter, Reason: StopMaxIterations}, nil
+}
+
+// kktHolds reports whether every variable excluded from the active set and
+// held at (numerically) zero satisfies the boundary optimality condition
+// ∂U/∂x_i ≤ q + ε.
+func kktHolds(st Step, grad, x []float64, group []int, eps float64) bool {
+	for k, gi := range group {
+		if st.Active[k] {
+			continue
+		}
+		if x[gi] <= 1e-12 && grad[gi] > st.AvgMarginal+eps {
+			return false
+		}
+	}
+	return true
+}
+
+// dynamicAlpha evaluates the Theorem-2 expression
+//
+//	α < 2·Σ g_i(g_i − ḡ) / |Σ h_i (g_i − ḡ)²|
+//
+// at the current point, scaled by the configured safety factor. It returns
+// 0 when the expression is degenerate (already converged or flat).
+func (a *Allocator) dynamicAlpha(x, grad []float64) (float64, error) {
+	curv := a.obj.(Curvature) // checked in NewAllocator
+	hess := make([]float64, len(x))
+	if err := curv.SecondDerivative(hess, x); err != nil {
+		return 0, err
+	}
+	var num, den float64
+	for _, g := range a.groups {
+		var avg float64
+		for _, gi := range g {
+			avg += grad[gi]
+		}
+		avg /= float64(len(g))
+		for _, gi := range g {
+			dev := grad[gi] - avg
+			num += dev * dev // Lemma 1: Σ g(g−ḡ) = Σ (g−ḡ)²
+			den += hess[gi] * dev * dev
+		}
+	}
+	den = math.Abs(den)
+	if den < 1e-300 || num <= 0 {
+		return 0, nil
+	}
+	return a.dynamicSafety * 2 * num / den, nil
+}

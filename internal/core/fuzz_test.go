@@ -1,0 +1,70 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzPlanStep feeds arbitrary 4-variable instances to the step planner:
+// whatever it accepts must produce zero-sum deltas that keep the
+// allocation non-negative and never decrease the linearized utility.
+func FuzzPlanStep(f *testing.F) {
+	f.Add(0.8, 0.1, 0.1, 0.0, -5.0, -2.7, -2.7, -2.6, 0.67)
+	f.Add(0.25, 0.25, 0.25, 0.25, -1.0, -2.0, -3.0, -4.0, 0.1)
+	f.Add(1.0, 0.0, 0.0, 0.0, -1.0, -1.0, -1.0, -1.0, 10.0)
+	f.Add(0.0, 0.0, 0.0, 0.0, 1.0, 2.0, 3.0, 4.0, 0.5)
+
+	f.Fuzz(func(t *testing.T, x0, x1, x2, x3, g0, g1, g2, g3, alpha float64) {
+		x := []float64{x0, x1, x2, x3}
+		grad := []float64{g0, g1, g2, g3}
+		// Sanitize into the planner's documented domain: the planner
+		// requires a non-negative allocation, finite gradients, and a
+		// positive finite alpha; anything else must be rejected with an
+		// error (also exercised here).
+		valid := !(alpha <= 0 || math.IsNaN(alpha) || math.IsInf(alpha, 0))
+		for _, v := range grad {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				valid = false
+			}
+		}
+		for i, v := range x {
+			if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+				// Clamp: PlanStep does not validate x signs itself
+				// (the solver does); keep the fuzz inside the
+				// non-negative domain.
+				x[i] = math.Abs(v)
+				if math.IsNaN(x[i]) || math.IsInf(x[i], 0) {
+					x[i] = 0
+				}
+			}
+		}
+		st, err := PlanStep(x, grad, []int{0, 1, 2, 3}, alpha)
+		if !valid {
+			if err == nil {
+				t.Fatalf("invalid input accepted: x=%v g=%v α=%v", x, grad, alpha)
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("valid input rejected: %v (x=%v g=%v α=%v)", err, x, grad, alpha)
+		}
+		var sum, dot float64
+		for i, d := range st.Delta {
+			sum += d
+			dot += grad[i] * d
+			if after := x[i] + d; after < -1e-9*(1+x[i]) {
+				t.Fatalf("variable %d driven to %g (x=%v Δ=%v)", i, after, x, st.Delta)
+			}
+		}
+		scale := 0.0
+		for _, d := range st.Delta {
+			scale += math.Abs(d)
+		}
+		if math.Abs(sum) > 1e-9*(1+scale) {
+			t.Fatalf("deltas sum to %g (Δ=%v)", sum, st.Delta)
+		}
+		if dot < -1e-6*(1+scale) {
+			t.Fatalf("descent direction: ⟨g,Δ⟩ = %g", dot)
+		}
+	})
+}

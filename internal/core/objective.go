@@ -1,0 +1,73 @@
+// Package core implements the paper's primary contribution: the
+// resource-directed, decentralized, iterative file allocation algorithm of
+// Kurose & Simha (section 5), together with its active-set procedure,
+// convergence criteria, and the adaptive stepsize control used for the
+// multiple-copy extension (section 7.3).
+//
+// The algorithm maximizes a concave system-wide utility U(x) over
+// allocations x that conserve the total amount of resource. Each iteration
+// moves resource toward variables whose marginal utility ∂U/∂x_i is above
+// the average and away from those below it:
+//
+//	Δx_i = α · (∂U/∂x_i − avg_{j∈A} ∂U/∂x_j)
+//
+// which preserves feasibility (Theorem 1), increases utility monotonically
+// for α under the Theorem-2 bound, and converges to the KKT point where all
+// marginal utilities on the support are equal.
+package core
+
+import "errors"
+
+// Objective is a differentiable system-wide utility over allocations.
+// Implementations are provided by the costmodel and multicopy packages; any
+// continuous resource allocation problem can supply its own (section 5.4:
+// "the optimization algorithm itself is very general in nature").
+type Objective interface {
+	// Dim returns the number of allocation variables.
+	Dim() int
+	// Utility returns U(x), the quantity the algorithm maximizes. For the
+	// paper's cost models this is the negative of the expected access
+	// cost (eq. 2).
+	Utility(x []float64) (float64, error)
+	// Gradient fills grad with the marginal utilities ∂U/∂x_i evaluated
+	// at x. len(grad) == len(x) == Dim().
+	Gradient(grad, x []float64) error
+}
+
+// Curvature is an optional extension exposing the diagonal of the Hessian,
+// ∂²U/∂x_i². The paper's utility has no cross partials (Theorem 2), so the
+// diagonal is the whole Hessian. It enables the dynamically computed
+// Theorem-2 stepsize and the second-derivative algorithm of section 8.2.
+type Curvature interface {
+	// SecondDerivative fills hess with ∂²U/∂x_i² evaluated at x.
+	SecondDerivative(hess, x []float64) error
+}
+
+// Grouped is an optional extension for objectives with more than one
+// conservation constraint. Each group of variable indices conserves its own
+// total (section 5.4's multi-file extension: Σ_i x_i^j = 1 per file j).
+// Objectives without this extension have a single group covering all
+// variables.
+type Grouped interface {
+	// Groups returns the constraint groups as index slices. Every
+	// variable must belong to exactly one group. Callers must not
+	// mutate the returned slices.
+	Groups() [][]int
+}
+
+// Sentinel errors returned by the solver and objectives.
+var (
+	// ErrInfeasible reports an initial allocation that violates the
+	// conservation constraint or non-negativity.
+	ErrInfeasible = errors.New("core: infeasible allocation")
+	// ErrUnstable reports an allocation that drives a queue beyond its
+	// capacity (μ ≤ λ·x), where the M/M/1 delay is undefined.
+	ErrUnstable = errors.New("core: queueing model unstable at allocation")
+	// ErrDiverged reports an iteration whose utility became NaN/Inf or
+	// oscillated without bound.
+	ErrDiverged = errors.New("core: iteration diverged")
+	// ErrBadConfig reports invalid solver options.
+	ErrBadConfig = errors.New("core: invalid configuration")
+	// ErrDimension reports mismatched slice lengths.
+	ErrDimension = errors.New("core: dimension mismatch")
+)

@@ -1,0 +1,248 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// boundaryTol is the allocation level below which a variable counts as
+// sitting on the non-negativity boundary for active-set purposes.
+const boundaryTol = 1e-12
+
+// Step is the outcome of planning one iteration over one constraint group:
+// the per-variable deltas and the active set A that produced them. Deltas of
+// variables outside A are zero, and the deltas always sum to zero, so
+// applying a Step preserves feasibility (Theorem 1).
+type Step struct {
+	// Delta has one entry per variable in the group's index order.
+	Delta []float64
+	// Active marks, per variable in group order, membership in the
+	// active set A.
+	Active []bool
+	// AvgMarginal is the mean marginal utility over the final active set.
+	AvgMarginal float64
+	// Truncation is the feasible-step scaling factor applied (1 when the
+	// full step was feasible; see below).
+	Truncation float64
+}
+
+// PlanStep computes the re-allocation for one constraint group following
+// the paper's section 5.2 procedure:
+//
+//	Δx_i = α·(∂U/∂x_i − avg_{j∈A} ∂U/∂x_j),  i ∈ A
+//
+// x and grad are the full allocation and marginal-utility vectors; group
+// lists the variable indices belonging to this constraint; alpha is the
+// stepsize.
+//
+// The active set A starts as the whole group and is refined to a fixed
+// point by the paper's steps (i)–(v): variables on the non-negativity
+// boundary whose share would shrink are excluded (their allocation is
+// frozen at zero), and the excluded variable with the highest marginal
+// utility is re-admitted whenever it exceeds the average over A.
+//
+// One deliberate refinement of the paper's literal step (i): when a large
+// stepsize would drive a variable with a substantial positive allocation
+// below zero (e.g. the paper's own α = 0.67 run from x⁰ = (0.8, 0.1, 0.1, 0),
+// whose first step asks node 1 for 1.17 of its 0.8), excluding that
+// variable from A would freeze its allocation and prevent convergence.
+// Instead PlanStep applies the classical feasible-direction ratio test:
+// the whole step is scaled by the largest t ≤ 1 keeping every allocation
+// non-negative, so the binding variable lands exactly on the boundary and
+// is handled by the exclusion rule on the next iteration. Scaling the whole
+// step preserves both feasibility (the deltas still sum to zero) and the
+// ascent property (⟨∇U, Δx⟩ = t·α·Σ(g_i − ḡ)² ≥ 0, Lemma 1). For stepsizes
+// in the regime of the paper's theorems the test never fires and the
+// procedure is exactly the paper's.
+//
+// PlanStep is deterministic: the decentralized runtime relies on every node
+// planning byte-identical steps from identical round data.
+func PlanStep(x, grad []float64, group []int, alpha float64) (Step, error) {
+	if len(x) != len(grad) {
+		return Step{}, fmt.Errorf("%w: len(x)=%d len(grad)=%d", ErrDimension, len(x), len(grad))
+	}
+	if alpha <= 0 || math.IsNaN(alpha) || math.IsInf(alpha, 0) {
+		return Step{}, fmt.Errorf("%w: alpha = %v", ErrBadConfig, alpha)
+	}
+	m := len(group)
+	if m == 0 {
+		return Step{}, fmt.Errorf("%w: empty constraint group", ErrBadConfig)
+	}
+	for _, gi := range group {
+		if gi < 0 || gi >= len(x) {
+			return Step{}, fmt.Errorf("%w: group index %d outside dimension %d", ErrDimension, gi, len(x))
+		}
+		if math.IsNaN(grad[gi]) || math.IsInf(grad[gi], 0) {
+			return Step{}, fmt.Errorf("%w: non-finite marginal utility at variable %d", ErrDiverged, gi)
+		}
+	}
+
+	step := Step{
+		Delta:      make([]float64, m),
+		Active:     make([]bool, m),
+		Truncation: 1,
+	}
+	for k := range step.Active {
+		step.Active[k] = true
+	}
+
+	// Fixed-point refinement of the active set. Each pass either drops
+	// boundary variables that would shrink, re-admits the best excluded
+	// variable whose marginal utility beats the A average, or terminates.
+	// Drops and re-admissions each happen at most once per variable per
+	// monotone phase, so 4m+4 passes are ample; exceeding the cap means a
+	// logic error, not a hard problem instance.
+	for pass := 0; ; pass++ {
+		if pass > 4*m+4 {
+			return Step{}, fmt.Errorf("%w: active-set computation did not reach a fixed point", ErrDiverged)
+		}
+		active := 0
+		avg := 0.0
+		for k, on := range step.Active {
+			if on {
+				active++
+				avg += grad[group[k]]
+			}
+		}
+		if active == 0 {
+			// Everything sits on the boundary and wants to shrink;
+			// no move is possible this iteration.
+			for k := range step.Delta {
+				step.Delta[k] = 0
+			}
+			step.AvgMarginal = math.NaN()
+			return step, nil
+		}
+		avg /= float64(active)
+		step.AvgMarginal = avg
+
+		for k, on := range step.Active {
+			if on {
+				step.Delta[k] = alpha * (grad[group[k]] - avg)
+			} else {
+				step.Delta[k] = 0
+			}
+		}
+		if active == 1 {
+			// A singleton active set cannot move (its delta is zero
+			// by construction); the plan is a no-op.
+			return step, nil
+		}
+
+		// Paper step (i), boundary case: exclude variables at zero
+		// whose share would shrink further.
+		dropped := false
+		for k, on := range step.Active {
+			if on && x[group[k]] <= boundaryTol && step.Delta[k] <= 0 {
+				step.Active[k] = false
+				dropped = true
+			}
+		}
+		if dropped {
+			continue
+		}
+
+		// Paper steps (ii)–(iv): re-admit the excluded variable with
+		// the highest marginal utility if it beats the average over A.
+		best := -1
+		for k, on := range step.Active {
+			if !on && (best < 0 || grad[group[k]] > grad[group[best]]) {
+				best = k
+			}
+		}
+		if best >= 0 && grad[group[best]] > avg {
+			step.Active[best] = true
+			continue
+		}
+		break
+	}
+
+	// Feasible-direction ratio test: scale the step so no interior
+	// variable is driven below zero.
+	t := 1.0
+	for k, gi := range group {
+		if d := step.Delta[k]; d < 0 {
+			if ratio := x[gi] / -d; ratio < t {
+				t = ratio
+			}
+		}
+	}
+	if t < 1 {
+		step.Truncation = t
+		for k := range step.Delta {
+			step.Delta[k] *= t
+		}
+	}
+	return step, nil
+}
+
+// Apply adds the planned deltas for group into x in place, clamping the
+// tiny negative residue float addition can leave on a variable planned to
+// land exactly on the boundary.
+func (s Step) Apply(x []float64, group []int) error {
+	if len(s.Delta) != len(group) {
+		return fmt.Errorf("%w: step for %d variables applied to group of %d", ErrDimension, len(s.Delta), len(group))
+	}
+	for k, gi := range group {
+		if gi < 0 || gi >= len(x) {
+			return fmt.Errorf("%w: group index %d outside dimension %d", ErrDimension, gi, len(x))
+		}
+		x[gi] += s.Delta[k]
+		if x[gi] < 0 && x[gi] > -1e-9 {
+			x[gi] = 0
+		}
+	}
+	return nil
+}
+
+// IsNoOp reports whether the step moves nothing.
+func (s Step) IsNoOp() bool {
+	for _, d := range s.Delta {
+		if d != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Spread returns the largest pairwise difference of marginal utilities over
+// the active set, the quantity compared against ε in the termination test
+// (section 5.2's UNTIL clause).
+func (s Step) Spread(grad []float64, group []int) float64 {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for k, gi := range group {
+		if !s.Active[k] {
+			continue
+		}
+		g := grad[gi]
+		if g < lo {
+			lo = g
+		}
+		if g > hi {
+			hi = g
+		}
+	}
+	if math.IsInf(lo, 1) {
+		return 0
+	}
+	return hi - lo
+}
+
+// GradientSpread returns the largest pairwise difference of marginal
+// utilities over an entire group, ignoring active-set membership.
+func GradientSpread(grad []float64, group []int) float64 {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, gi := range group {
+		g := grad[gi]
+		if g < lo {
+			lo = g
+		}
+		if g > hi {
+			hi = g
+		}
+	}
+	if math.IsInf(lo, 1) {
+		return 0
+	}
+	return hi - lo
+}

@@ -1,0 +1,123 @@
+package costmodel
+
+import (
+	"fmt"
+	"math"
+)
+
+// KKTSolution is the water-filling optimum of the single-file problem.
+type KKTSolution struct {
+	// X is the optimal allocation.
+	X []float64
+	// Q is the common marginal cost level q = ∂C/∂x_i on the support
+	// (the Lagrange multiplier of section 5.3).
+	Q float64
+	// Cost is C(X).
+	Cost float64
+}
+
+// SolveKKT computes the exact optimum of the single-file objective by
+// bisection on the Lagrange multiplier q. At the optimum (section 5.3),
+// every node with x_i > 0 has marginal cost C_i + k·μ_i/(μ_i − λ·x_i)² = q
+// and every node with x_i = 0 has marginal cost ≥ q. Inverting the marginal
+// cost gives the demand
+//
+//	x_i(q) = (μ_i − sqrt(k·μ_i/(q − C_i)))/λ     for q > C_i + k/μ_i
+//
+// which is continuous and strictly increasing in q, so the feasibility
+// equation Σ_i x_i(q) = 1 has a unique root found by bisection. This solver
+// is independent of the iterative algorithm and is used in tests and
+// experiments to certify the optima the algorithm converges to.
+//
+// With k = 0 the delay term vanishes and the optimum concentrates the file
+// on the cheapest node(s); that case is handled directly.
+func (m *SingleFile) SolveKKT(tol float64) (KKTSolution, error) {
+	if tol <= 0 {
+		return KKTSolution{}, fmt.Errorf("%w: tolerance = %v", ErrBadParam, tol)
+	}
+	n := len(m.access)
+	if m.k == 0 {
+		return m.solveLinear()
+	}
+
+	demand := func(q float64) []float64 {
+		x := make([]float64, n)
+		for i := 0; i < n; i++ {
+			floor := m.access[i] + m.k/m.service[i] // marginal cost at x_i = 0
+			if q <= floor {
+				continue
+			}
+			xi := (m.service[i] - math.Sqrt(m.k*m.service[i]/(q-m.access[i]))) / m.lambda
+			if xi < 0 {
+				xi = 0
+			}
+			if xi > 1 {
+				xi = 1
+			}
+			x[i] = xi
+		}
+		return x
+	}
+	sum := func(x []float64) float64 {
+		var s float64
+		for _, v := range x {
+			s += v
+		}
+		return s
+	}
+
+	// Bracket the multiplier: at q = min marginal cost at zero, demand is
+	// 0; grow q until demand reaches 1.
+	lo := math.Inf(1)
+	for i := 0; i < n; i++ {
+		lo = math.Min(lo, m.access[i]+m.k/m.service[i])
+	}
+	hi := lo + m.k
+	for iter := 0; sum(demand(hi)) < 1; iter++ {
+		if iter > 200 {
+			return KKTSolution{}, fmt.Errorf("%w: cannot bracket KKT multiplier (total capacity too small?)", ErrUnstable)
+		}
+		hi = lo + (hi-lo)*2
+	}
+	for iter := 0; iter < 200 && hi-lo > tol*math.Max(1, math.Abs(hi)); iter++ {
+		mid := lo + (hi-lo)/2
+		if sum(demand(mid)) < 1 {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	q := lo + (hi-lo)/2
+	x := demand(q)
+	// Repair the residual rounding so the allocation is exactly feasible:
+	// scale the support (it is strictly positive, so small scaling keeps
+	// it valid).
+	if s := sum(x); s > 0 {
+		for i := range x {
+			x[i] /= s
+		}
+	}
+	cost, err := m.Cost(x)
+	if err != nil {
+		return KKTSolution{}, fmt.Errorf("costmodel: evaluating KKT solution: %w", err)
+	}
+	return KKTSolution{X: x, Q: q, Cost: cost}, nil
+}
+
+// solveLinear handles k = 0: cost is Σ C_i·x_i, minimized by the cheapest
+// node.
+func (m *SingleFile) solveLinear() (KKTSolution, error) {
+	best := 0
+	for i, c := range m.access {
+		if c < m.access[best] {
+			best = i
+		}
+	}
+	x := make([]float64, len(m.access))
+	x[best] = 1
+	cost, err := m.Cost(x)
+	if err != nil {
+		return KKTSolution{}, fmt.Errorf("costmodel: evaluating linear solution: %w", err)
+	}
+	return KKTSolution{X: x, Q: m.access[best], Cost: cost}, nil
+}

@@ -1,0 +1,209 @@
+package costmodel
+
+import (
+	"fmt"
+	"math"
+
+	"filealloc/internal/core"
+)
+
+// ServiceDist describes a service-time distribution by its first two
+// moments, which is all the M/G/1 delay formula needs.
+type ServiceDist struct {
+	// Mean is E[S], the mean service time.
+	Mean float64
+	// SecondMoment is E[S²].
+	SecondMoment float64
+}
+
+// Exponential returns the service distribution of an exponential server
+// with rate mu: E[S] = 1/μ, E[S²] = 2/μ². With this distribution the M/G/1
+// model reduces exactly to the paper's M/M/1 model.
+func Exponential(mu float64) ServiceDist {
+	return ServiceDist{Mean: 1 / mu, SecondMoment: 2 / (mu * mu)}
+}
+
+// Deterministic returns a constant service time d (E[S²] = d²), the M/D/1
+// case with half the M/M/1 queueing delay.
+func Deterministic(d float64) ServiceDist {
+	return ServiceDist{Mean: d, SecondMoment: d * d}
+}
+
+// UniformService returns a service time uniform on [a, b].
+func UniformService(a, b float64) ServiceDist {
+	return ServiceDist{
+		Mean:         (a + b) / 2,
+		SecondMoment: (a*a + a*b + b*b) / 3,
+	}
+}
+
+// Hyperexponential returns a two-phase hyperexponential service: with
+// probability p the rate is mu1, otherwise mu2. Its coefficient of
+// variation exceeds 1, stressing the delay model beyond M/M/1.
+func Hyperexponential(p, mu1, mu2 float64) ServiceDist {
+	return ServiceDist{
+		Mean:         p/mu1 + (1-p)/mu2,
+		SecondMoment: 2*p/(mu1*mu1) + 2*(1-p)/(mu2*mu2),
+	}
+}
+
+// SCV returns the squared coefficient of variation Var[S]/E[S]².
+func (d ServiceDist) SCV() float64 {
+	v := d.SecondMoment - d.Mean*d.Mean
+	return v / (d.Mean * d.Mean)
+}
+
+// valid reports whether the moments are usable (positive mean and a second
+// moment of at least Mean², per Jensen).
+func (d ServiceDist) valid() bool {
+	return d.Mean > 0 && !math.IsNaN(d.Mean) && !math.IsInf(d.Mean, 0) &&
+		d.SecondMoment >= d.Mean*d.Mean && !math.IsInf(d.SecondMoment, 0)
+}
+
+// MG1SingleFile is the section 5.4 variant that replaces the M/M/1 delay
+// with the M/G/1 expected sojourn time from the Pollaczek–Khinchine
+// formula:
+//
+//	T_i(x_i) = E[S_i] + λ·x_i·E[S_i²] / (2·(1 − λ·x_i·E[S_i]))
+//
+//	C(x) = Σ_i (C_i + k·T_i(x_i))·x_i
+//
+// As the paper notes, swapping the queueing model preserves the
+// feasibility and monotonicity machinery; only the Theorem-2 α bound is
+// specific to M/M/1.
+type MG1SingleFile struct {
+	access  []float64
+	service []ServiceDist
+	lambda  float64
+	k       float64
+}
+
+var (
+	_ core.Objective = (*MG1SingleFile)(nil)
+	_ core.Curvature = (*MG1SingleFile)(nil)
+)
+
+// NewMG1SingleFile builds the M/G/1 objective. Pass one ServiceDist to use
+// the same distribution at every node or one per node.
+func NewMG1SingleFile(accessCosts []float64, service []ServiceDist, lambda, k float64) (*MG1SingleFile, error) {
+	n := len(accessCosts)
+	if n == 0 {
+		return nil, fmt.Errorf("%w: no nodes", ErrBadParam)
+	}
+	if lambda <= 0 || math.IsNaN(lambda) {
+		return nil, fmt.Errorf("%w: lambda = %v", ErrBadParam, lambda)
+	}
+	if k < 0 || math.IsNaN(k) {
+		return nil, fmt.Errorf("%w: k = %v", ErrBadParam, k)
+	}
+	for i, c := range accessCosts {
+		if c < 0 || math.IsNaN(c) || math.IsInf(c, 0) {
+			return nil, fmt.Errorf("%w: access cost C_%d = %v", ErrBadParam, i, c)
+		}
+	}
+	var dists []ServiceDist
+	switch len(service) {
+	case 1:
+		dists = make([]ServiceDist, n)
+		for i := range dists {
+			dists[i] = service[0]
+		}
+	case n:
+		dists = append([]ServiceDist(nil), service...)
+	default:
+		return nil, fmt.Errorf("%w: %d service distributions for %d nodes", ErrBadParam, len(service), n)
+	}
+	for i, d := range dists {
+		if !d.valid() {
+			return nil, fmt.Errorf("%w: service distribution at node %d: mean=%v E[S²]=%v", ErrBadParam, i, d.Mean, d.SecondMoment)
+		}
+	}
+	return &MG1SingleFile{
+		access:  append([]float64(nil), accessCosts...),
+		service: dists,
+		lambda:  lambda,
+		k:       k,
+	}, nil
+}
+
+// Dim returns the number of nodes.
+func (m *MG1SingleFile) Dim() int { return len(m.access) }
+
+// Delay returns T_i evaluated at allocation fraction xi.
+func (m *MG1SingleFile) Delay(i int, xi float64) (float64, error) {
+	d := m.service[i]
+	rho := m.lambda * xi * d.Mean
+	if rho >= 1 {
+		return 0, fmt.Errorf("%w: node %d has utilization %v", ErrUnstable, i, rho)
+	}
+	return d.Mean + m.lambda*xi*d.SecondMoment/(2*(1-rho)), nil
+}
+
+// Cost returns C(x).
+func (m *MG1SingleFile) Cost(x []float64) (float64, error) {
+	if len(x) != len(m.access) {
+		return 0, fmt.Errorf("%w: allocation has %d entries for %d nodes", ErrBadParam, len(x), len(m.access))
+	}
+	var total float64
+	for i, xi := range x {
+		if xi == 0 {
+			continue
+		}
+		t, err := m.Delay(i, xi)
+		if err != nil {
+			return 0, err
+		}
+		total += (m.access[i] + m.k*t) * xi
+	}
+	return total, nil
+}
+
+// Utility returns −Cost(x).
+func (m *MG1SingleFile) Utility(x []float64) (float64, error) {
+	c, err := m.Cost(x)
+	if err != nil {
+		return 0, err
+	}
+	return -c, nil
+}
+
+// Gradient fills the marginal utilities. Writing b = E[S], s₂ = E[S²],
+// a = λ·b:
+//
+//	∂C/∂x_i = C_i + k·(b + λ·s₂·x_i·(2 − a·x_i) / (2·(1 − a·x_i)²))
+func (m *MG1SingleFile) Gradient(grad, x []float64) error {
+	if len(grad) != len(m.access) || len(x) != len(m.access) {
+		return fmt.Errorf("%w: gradient/allocation size mismatch", ErrBadParam)
+	}
+	for i, xi := range x {
+		d := m.service[i]
+		a := m.lambda * d.Mean
+		rem := 1 - a*xi
+		if rem <= 0 {
+			return fmt.Errorf("%w: node %d has utilization %v", ErrUnstable, i, a*xi)
+		}
+		grad[i] = -(m.access[i] + m.k*(d.Mean+m.lambda*d.SecondMoment*xi*(2-a*xi)/(2*rem*rem)))
+	}
+	return nil
+}
+
+// SecondDerivative fills the Hessian diagonal
+//
+//	∂²C/∂x_i² = k·λ·s₂ / (1 − a·x_i)³
+//
+// (negated for the utility). For exponential service this reduces to the
+// M/M/1 expression 2·k·λ·μ/(μ − λ·x)³.
+func (m *MG1SingleFile) SecondDerivative(hess, x []float64) error {
+	if len(hess) != len(m.access) || len(x) != len(m.access) {
+		return fmt.Errorf("%w: hessian/allocation size mismatch", ErrBadParam)
+	}
+	for i, xi := range x {
+		d := m.service[i]
+		rem := 1 - m.lambda*d.Mean*xi
+		if rem <= 0 {
+			return fmt.Errorf("%w: node %d has utilization %v", ErrUnstable, i, m.lambda*d.Mean*xi)
+		}
+		hess[i] = -m.k * m.lambda * d.SecondMoment / (rem * rem * rem)
+	}
+	return nil
+}

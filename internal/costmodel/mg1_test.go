@@ -1,0 +1,252 @@
+package costmodel
+
+import (
+	"context"
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"filealloc/internal/core"
+)
+
+func TestMG1ReducesToMM1WithExponentialService(t *testing.T) {
+	// With exponential service the Pollaczek–Khinchine sojourn time is
+	// exactly the M/M/1 delay, so the two models must agree everywhere.
+	access := []float64{2, 1, 3, 2}
+	mm1 := mustSingleFile(t, access, []float64{1.5}, 1, 1)
+	mg1, err := NewMG1SingleFile(access, []ServiceDist{Exponential(1.5)}, 1, 1)
+	if err != nil {
+		t.Fatalf("NewMG1SingleFile: %v", err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 20; trial++ {
+		x := randomSimplex(rng, 4, 1)
+		c1, err := mm1.Cost(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c2, err := mg1.Cost(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(c1-c2) > 1e-10 {
+			t.Fatalf("trial %d: M/M/1 %g vs M/G/1 %g", trial, c1, c2)
+		}
+		g1 := make([]float64, 4)
+		g2 := make([]float64, 4)
+		if err := mm1.Gradient(g1, x); err != nil {
+			t.Fatal(err)
+		}
+		if err := mg1.Gradient(g2, x); err != nil {
+			t.Fatal(err)
+		}
+		for i := range g1 {
+			if math.Abs(g1[i]-g2[i]) > 1e-9 {
+				t.Fatalf("trial %d: grad[%d] %g vs %g", trial, i, g1[i], g2[i])
+			}
+		}
+		h1 := make([]float64, 4)
+		h2 := make([]float64, 4)
+		if err := mm1.SecondDerivative(h1, x); err != nil {
+			t.Fatal(err)
+		}
+		if err := mg1.SecondDerivative(h2, x); err != nil {
+			t.Fatal(err)
+		}
+		for i := range h1 {
+			if math.Abs(h1[i]-h2[i]) > 1e-9 {
+				t.Fatalf("trial %d: hess[%d] %g vs %g", trial, i, h1[i], h2[i])
+			}
+		}
+	}
+}
+
+func TestMG1GradientMatchesFiniteDifferences(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	dists := []ServiceDist{
+		Exponential(2),
+		Deterministic(0.4),
+		UniformService(0.1, 0.5),
+		Hyperexponential(0.3, 1, 5),
+	}
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(5)
+		access := make([]float64, n)
+		service := make([]ServiceDist, n)
+		for i := range access {
+			access[i] = rng.Float64() * 4
+			service[i] = dists[rng.Intn(len(dists))]
+		}
+		m, err := NewMG1SingleFile(access, service, 0.5+rng.Float64(), 0.5+rng.Float64())
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		x := randomSimplex(rng, n, 1)
+		grad := make([]float64, n)
+		if err := m.Gradient(grad, x); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		num := numericGradient(t, m.Utility, x, 1e-6)
+		for i := range grad {
+			if math.Abs(grad[i]-num[i]) > 1e-4*(1+math.Abs(num[i])) {
+				t.Errorf("trial %d: grad[%d] = %g, numeric %g", trial, i, grad[i], num[i])
+			}
+		}
+		hess := make([]float64, n)
+		if err := m.SecondDerivative(hess, x); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for v := 0; v < n; v++ {
+			gfun := func(y []float64) (float64, error) {
+				g := make([]float64, n)
+				if err := m.Gradient(g, y); err != nil {
+					return 0, err
+				}
+				return g[v], nil
+			}
+			num := numericGradient(t, gfun, x, 1e-6)
+			if math.Abs(hess[v]-num[v]) > 1e-3*(1+math.Abs(num[v])) {
+				t.Errorf("trial %d: hess[%d] = %g, numeric %g", trial, v, hess[v], num[v])
+			}
+		}
+	}
+}
+
+func TestMG1DeterministicServiceHalvesQueueing(t *testing.T) {
+	// M/D/1 waiting time is half the M/M/1 waiting time at equal mean
+	// service, so a deterministic server should yield lower delay cost.
+	access := []float64{0, 0}
+	mm1, err := NewMG1SingleFile(access, []ServiceDist{Exponential(2)}, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	md1, err := NewMG1SingleFile(access, []ServiceDist{Deterministic(0.5)}, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := []float64{0.5, 0.5}
+	cm, err := mm1.Cost(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cd, err := md1.Cost(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cd >= cm {
+		t.Errorf("M/D/1 cost %g should be below M/M/1 cost %g", cd, cm)
+	}
+	// Explicit values: ρ = 0.25 per node. M/M/1: T = 1/(2−0.5) = 2/3.
+	// M/D/1: T = 0.5 + 0.5·0.25/(2·(1−0.25)) · ... = 0.5 + λx·E[S²]/(2(1−ρ))
+	// = 0.5 + 0.5·0.25/(2·0.75) = 0.5833….
+	if math.Abs(cm-2.0/3) > 1e-12 {
+		t.Errorf("M/M/1 cost = %g, want 2/3", cm)
+	}
+	want := 0.5 + 0.5*0.25/(2*0.75)
+	if math.Abs(cd-want) > 1e-12 {
+		t.Errorf("M/D/1 cost = %g, want %g", cd, want)
+	}
+}
+
+func TestMG1SolverConverges(t *testing.T) {
+	// The allocation algorithm works unchanged on the M/G/1 objective
+	// (section 5.4's claim).
+	access := []float64{1, 2, 1.5}
+	m, err := NewMG1SingleFile(access, []ServiceDist{Hyperexponential(0.4, 1.5, 6)}, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alloc, err := core.NewAllocator(m, core.WithAlpha(0.05), core.WithEpsilon(1e-8), core.WithKKTCheck())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := alloc.Run(context.Background(), []float64{1.0 / 3, 1.0 / 3, 1.0 / 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("did not converge: %+v", res)
+	}
+	// Verify the KKT conditions directly.
+	grad := make([]float64, 3)
+	if err := m.Gradient(grad, res.X); err != nil {
+		t.Fatal(err)
+	}
+	var q float64 = math.Inf(-1)
+	for i, xi := range res.X {
+		if xi > 1e-9 && grad[i] > q {
+			q = grad[i]
+		}
+	}
+	for i, xi := range res.X {
+		if xi > 1e-9 && math.Abs(grad[i]-q) > 1e-6 {
+			t.Errorf("support gradient %d = %g, want %g", i, grad[i], q)
+		}
+	}
+}
+
+func TestMG1Unstable(t *testing.T) {
+	m, err := NewMG1SingleFile([]float64{0, 0}, []ServiceDist{Exponential(1.2)}, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Cost([]float64{0.7, 0.3}); !errors.Is(err, ErrUnstable) {
+		t.Errorf("Cost error = %v, want ErrUnstable", err)
+	}
+	if _, err := m.Delay(0, 0.7); !errors.Is(err, ErrUnstable) {
+		t.Errorf("Delay error = %v, want ErrUnstable", err)
+	}
+}
+
+func TestMG1Validation(t *testing.T) {
+	tests := []struct {
+		name    string
+		access  []float64
+		service []ServiceDist
+		lambda  float64
+		k       float64
+	}{
+		{"no nodes", nil, []ServiceDist{Exponential(1)}, 1, 1},
+		{"bad lambda", []float64{1}, []ServiceDist{Exponential(1)}, -1, 1},
+		{"bad k", []float64{1}, []ServiceDist{Exponential(1)}, 1, -1},
+		{"wrong service count", []float64{1, 1, 1}, []ServiceDist{Exponential(1), Exponential(2)}, 1, 1},
+		{"zero mean", []float64{1}, []ServiceDist{{Mean: 0, SecondMoment: 1}}, 1, 1},
+		{"jensen violation", []float64{1}, []ServiceDist{{Mean: 1, SecondMoment: 0.5}}, 1, 1},
+		{"negative access", []float64{-1}, []ServiceDist{Exponential(1)}, 1, 1},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := NewMG1SingleFile(tt.access, tt.service, tt.lambda, tt.k); !errors.Is(err, ErrBadParam) {
+				t.Errorf("error = %v, want ErrBadParam", err)
+			}
+		})
+	}
+}
+
+func TestServiceDistMoments(t *testing.T) {
+	tests := []struct {
+		name     string
+		d        ServiceDist
+		wantMean float64
+		wantSCV  float64
+	}{
+		{"exponential", Exponential(2), 0.5, 1},
+		{"deterministic", Deterministic(0.3), 0.3, 0},
+		{"uniform", UniformService(0, 1), 0.5, 1.0 / 3},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if math.Abs(tt.d.Mean-tt.wantMean) > 1e-12 {
+				t.Errorf("mean = %g, want %g", tt.d.Mean, tt.wantMean)
+			}
+			if math.Abs(tt.d.SCV()-tt.wantSCV) > 1e-12 {
+				t.Errorf("SCV = %g, want %g", tt.d.SCV(), tt.wantSCV)
+			}
+		})
+	}
+	h := Hyperexponential(0.5, 1, 4)
+	if h.SCV() <= 1 {
+		t.Errorf("hyperexponential SCV = %g, want > 1", h.SCV())
+	}
+}

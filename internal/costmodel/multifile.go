@@ -1,0 +1,261 @@
+package costmodel
+
+import (
+	"fmt"
+	"math"
+
+	"filealloc/internal/core"
+)
+
+// MultiFile is the section 5.4 extension to M distinct files (one copy
+// each). The variable x_i^f is the fraction of file f stored at node i;
+// each file conserves its own total (Σ_i x_i^f = 1) while all files stored
+// at node i share its single access queue, whose load is
+//
+//	L_i = Σ_f λ^f·x_i^f.
+//
+// The expected cost is
+//
+//	C(x) = Σ_i Σ_f w_f·(C_i^f + k/(μ_i − L_i))·x_i^f
+//
+// where w_f weights file f's accesses. The paper's formula uses w_f = 1
+// (NewMultiFile with PaperWeights); weighting by access share w_f = λ^f/Σλ
+// makes C the expected cost of a random access (ShareWeights). The delay
+// term couples the files through the shared queues, the "real-world
+// resource contention phenomenon ... typically not considered in most FAP
+// formulations".
+//
+// Variables are flattened file-major: index(f, i) = f·N + i, so each file's
+// constraint group is contiguous.
+type MultiFile struct {
+	access  [][]float64 // access[f][i] = C_i^f
+	service []float64   // μ_i
+	rates   []float64   // λ^f
+	weights []float64   // w_f
+	k       float64
+	n       int
+	groups  [][]int
+}
+
+var (
+	_ core.Objective = (*MultiFile)(nil)
+	_ core.Curvature = (*MultiFile)(nil)
+	_ core.Grouped   = (*MultiFile)(nil)
+)
+
+// WeightScheme selects the per-file weights w_f.
+type WeightScheme int
+
+const (
+	// PaperWeights sets w_f = 1, reproducing section 5.4's formula
+	// verbatim.
+	PaperWeights WeightScheme = iota + 1
+	// ShareWeights sets w_f = λ^f/Σ_g λ^g so the cost is the expected
+	// cost of one randomly chosen access.
+	ShareWeights
+)
+
+// NewMultiFile builds the multi-file objective. accessCosts[f][i] is C_i^f
+// for file f at node i (use the same slice per file when access patterns
+// coincide); serviceRates holds μ_i (single element = homogeneous);
+// fileRates holds λ^f per file.
+func NewMultiFile(accessCosts [][]float64, serviceRates, fileRates []float64, k float64, scheme WeightScheme) (*MultiFile, error) {
+	files := len(accessCosts)
+	if files == 0 {
+		return nil, fmt.Errorf("%w: no files", ErrBadParam)
+	}
+	if len(fileRates) != files {
+		return nil, fmt.Errorf("%w: %d file rates for %d files", ErrBadParam, len(fileRates), files)
+	}
+	n := len(accessCosts[0])
+	if n == 0 {
+		return nil, fmt.Errorf("%w: no nodes", ErrBadParam)
+	}
+	if k < 0 || math.IsNaN(k) {
+		return nil, fmt.Errorf("%w: k = %v", ErrBadParam, k)
+	}
+	access := make([][]float64, files)
+	for f, row := range accessCosts {
+		if len(row) != n {
+			return nil, fmt.Errorf("%w: file %d has %d access costs, want %d", ErrBadParam, f, len(row), n)
+		}
+		for i, c := range row {
+			if c < 0 || math.IsNaN(c) || math.IsInf(c, 0) {
+				return nil, fmt.Errorf("%w: access cost C_%d^%d = %v", ErrBadParam, i, f, c)
+			}
+		}
+		access[f] = append([]float64(nil), row...)
+	}
+	var mu []float64
+	switch len(serviceRates) {
+	case 1:
+		mu = make([]float64, n)
+		for i := range mu {
+			mu[i] = serviceRates[0]
+		}
+	case n:
+		mu = append([]float64(nil), serviceRates...)
+	default:
+		return nil, fmt.Errorf("%w: %d service rates for %d nodes", ErrBadParam, len(serviceRates), n)
+	}
+	for i, m := range mu {
+		if m <= 0 || math.IsNaN(m) || math.IsInf(m, 0) {
+			return nil, fmt.Errorf("%w: service rate μ_%d = %v", ErrBadParam, i, m)
+		}
+	}
+	var totalRate float64
+	for f, r := range fileRates {
+		if r <= 0 || math.IsNaN(r) || math.IsInf(r, 0) {
+			return nil, fmt.Errorf("%w: file rate λ^%d = %v", ErrBadParam, f, r)
+		}
+		totalRate += r
+	}
+	weights := make([]float64, files)
+	for f := range weights {
+		switch scheme {
+		case ShareWeights:
+			weights[f] = fileRates[f] / totalRate
+		default:
+			weights[f] = 1
+		}
+	}
+	groups := make([][]int, files)
+	for f := 0; f < files; f++ {
+		g := make([]int, n)
+		for i := 0; i < n; i++ {
+			g[i] = f*n + i
+		}
+		groups[f] = g
+	}
+	return &MultiFile{
+		access:  access,
+		service: mu,
+		rates:   append([]float64(nil), fileRates...),
+		weights: weights,
+		k:       k,
+		n:       n,
+		groups:  groups,
+	}, nil
+}
+
+// Dim returns files × nodes.
+func (m *MultiFile) Dim() int { return len(m.access) * m.n }
+
+// Nodes returns the node count N.
+func (m *MultiFile) Nodes() int { return m.n }
+
+// Files returns the file count M.
+func (m *MultiFile) Files() int { return len(m.access) }
+
+// Groups returns one constraint group per file (section 5.4's
+// Σ_i x_i^f = 1 for each f).
+func (m *MultiFile) Groups() [][]int { return m.groups }
+
+// Index flattens (file, node) to the variable index.
+func (m *MultiFile) Index(file, node int) int { return file*m.n + node }
+
+// load returns L_i = Σ_f λ^f·x_i^f and W_i = Σ_f w_f·x_i^f for node i.
+func (m *MultiFile) load(x []float64, i int) (load, weighted float64) {
+	for f := range m.access {
+		xi := x[f*m.n+i]
+		load += m.rates[f] * xi
+		weighted += m.weights[f] * xi
+	}
+	return load, weighted
+}
+
+// Cost returns C(x).
+func (m *MultiFile) Cost(x []float64) (float64, error) {
+	if len(x) != m.Dim() {
+		return 0, fmt.Errorf("%w: allocation has %d entries, want %d", ErrBadParam, len(x), m.Dim())
+	}
+	var total float64
+	for i := 0; i < m.n; i++ {
+		load, _ := m.load(x, i)
+		room := m.service[i] - load
+		var commPart, weighted float64
+		for f := range m.access {
+			xi := x[f*m.n+i]
+			commPart += m.weights[f] * m.access[f][i] * xi
+			weighted += m.weights[f] * xi
+		}
+		if weighted == 0 {
+			continue
+		}
+		if room <= 0 {
+			return 0, fmt.Errorf("%w: node %d has μ=%v, load=%v", ErrUnstable, i, m.service[i], load)
+		}
+		total += commPart + m.k*weighted/room
+	}
+	return total, nil
+}
+
+// Utility returns −Cost(x).
+func (m *MultiFile) Utility(x []float64) (float64, error) {
+	c, err := m.Cost(x)
+	if err != nil {
+		return 0, err
+	}
+	return -c, nil
+}
+
+// Gradient fills the marginal utilities
+//
+//	∂U/∂x_i^f = −(w_f·C_i^f + k·(w_f·(μ_i−L_i) + W_i·λ^f)/(μ_i−L_i)²).
+func (m *MultiFile) Gradient(grad, x []float64) error {
+	if len(grad) != m.Dim() || len(x) != m.Dim() {
+		return fmt.Errorf("%w: gradient/allocation size mismatch", ErrBadParam)
+	}
+	for i := 0; i < m.n; i++ {
+		load, weighted := m.load(x, i)
+		room := m.service[i] - load
+		if room <= 0 {
+			return fmt.Errorf("%w: node %d has μ=%v, load=%v", ErrUnstable, i, m.service[i], load)
+		}
+		for f := range m.access {
+			grad[f*m.n+i] = -(m.weights[f]*m.access[f][i] +
+				m.k*(m.weights[f]*room+weighted*m.rates[f])/(room*room))
+		}
+	}
+	return nil
+}
+
+// SecondDerivative fills the Hessian diagonal
+//
+//	∂²U/∂(x_i^f)² = −2·k·λ^f·(w_f·(μ_i−L_i) + W_i·λ^f)/(μ_i−L_i)³.
+//
+// Unlike the single-file model, the multi-file utility has nonzero cross
+// partials between files sharing a node, so the diagonal is not the full
+// Hessian; it is still the quantity the second-order algorithm scales by.
+func (m *MultiFile) SecondDerivative(hess, x []float64) error {
+	if len(hess) != m.Dim() || len(x) != m.Dim() {
+		return fmt.Errorf("%w: hessian/allocation size mismatch", ErrBadParam)
+	}
+	for i := 0; i < m.n; i++ {
+		load, weighted := m.load(x, i)
+		room := m.service[i] - load
+		if room <= 0 {
+			return fmt.Errorf("%w: node %d has μ=%v, load=%v", ErrUnstable, i, m.service[i], load)
+		}
+		for f := range m.access {
+			hess[f*m.n+i] = -2 * m.k * m.rates[f] *
+				(m.weights[f]*room + weighted*m.rates[f]) / (room * room * room)
+		}
+	}
+	return nil
+}
+
+// ServiceRate returns μ_i.
+func (m *MultiFile) ServiceRate(i int) float64 { return m.service[i] }
+
+// AccessCost returns C_i^f for file f at node i.
+func (m *MultiFile) AccessCost(file, node int) float64 { return m.access[file][node] }
+
+// FileRates returns a copy of the per-file access rates λ^f.
+func (m *MultiFile) FileRates() []float64 { return append([]float64(nil), m.rates...) }
+
+// FileWeights returns a copy of the per-file weights w_f.
+func (m *MultiFile) FileWeights() []float64 { return append([]float64(nil), m.weights...) }
+
+// K returns the delay scaling factor.
+func (m *MultiFile) K() float64 { return m.k }

@@ -1,0 +1,259 @@
+package costmodel
+
+import (
+	"context"
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"filealloc/internal/core"
+)
+
+func mustMultiFile(t *testing.T, access [][]float64, mu, rates []float64, k float64, scheme WeightScheme) *MultiFile {
+	t.Helper()
+	m, err := NewMultiFile(access, mu, rates, k, scheme)
+	if err != nil {
+		t.Fatalf("NewMultiFile: %v", err)
+	}
+	return m
+}
+
+func TestMultiFileReducesToSingleFile(t *testing.T) {
+	// One file with PaperWeights must equal the SingleFile model exactly.
+	access := []float64{1, 3, 2}
+	single := mustSingleFile(t, access, []float64{2.5}, 1.2, 0.7)
+	multi := mustMultiFile(t, [][]float64{access}, []float64{2.5}, []float64{1.2}, 0.7, PaperWeights)
+
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 20; trial++ {
+		x := randomSimplex(rng, 3, 1)
+		cs, err := single.Cost(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cm, err := multi.Cost(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(cs-cm) > 1e-12 {
+			t.Fatalf("trial %d: single %g vs multi %g", trial, cs, cm)
+		}
+		gs := make([]float64, 3)
+		gm := make([]float64, 3)
+		if err := single.Gradient(gs, x); err != nil {
+			t.Fatal(err)
+		}
+		if err := multi.Gradient(gm, x); err != nil {
+			t.Fatal(err)
+		}
+		for i := range gs {
+			if math.Abs(gs[i]-gm[i]) > 1e-12 {
+				t.Fatalf("trial %d: grad[%d]: single %g vs multi %g", trial, i, gs[i], gm[i])
+			}
+		}
+	}
+}
+
+func TestMultiFileGradientMatchesFiniteDifferences(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 25; trial++ {
+		files := 1 + rng.Intn(3)
+		n := 2 + rng.Intn(5)
+		access := make([][]float64, files)
+		rates := make([]float64, files)
+		var totalRate float64
+		for f := range access {
+			access[f] = make([]float64, n)
+			for i := range access[f] {
+				access[f][i] = rng.Float64() * 5
+			}
+			rates[f] = 0.2 + rng.Float64()*0.5
+			totalRate += rates[f]
+		}
+		mu := totalRate + 0.5 + rng.Float64()*2
+		scheme := PaperWeights
+		if trial%2 == 0 {
+			scheme = ShareWeights
+		}
+		m := mustMultiFile(t, access, []float64{mu}, rates, 0.4+rng.Float64(), scheme)
+		x := make([]float64, m.Dim())
+		for f := 0; f < files; f++ {
+			part := randomSimplex(rng, n, 1)
+			for i, v := range part {
+				x[m.Index(f, i)] = v
+			}
+		}
+		grad := make([]float64, m.Dim())
+		if err := m.Gradient(grad, x); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		num := numericGradient(t, m.Utility, x, 1e-6)
+		for i := range grad {
+			if math.Abs(grad[i]-num[i]) > 1e-4*(1+math.Abs(num[i])) {
+				t.Errorf("trial %d: grad[%d] = %g, numeric %g", trial, i, grad[i], num[i])
+			}
+		}
+		hess := make([]float64, m.Dim())
+		if err := m.SecondDerivative(hess, x); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for v := 0; v < m.Dim(); v++ {
+			gfun := func(y []float64) (float64, error) {
+				g := make([]float64, m.Dim())
+				if err := m.Gradient(g, y); err != nil {
+					return 0, err
+				}
+				return g[v], nil
+			}
+			num := numericGradient(t, gfun, x, 1e-6)
+			if math.Abs(hess[v]-num[v]) > 1e-3*(1+math.Abs(num[v])) {
+				t.Errorf("trial %d: hess[%d] = %g, numeric %g", trial, v, hess[v], num[v])
+			}
+		}
+	}
+}
+
+func TestMultiFileGroupsAreContiguousPerFile(t *testing.T) {
+	m := mustMultiFile(t,
+		[][]float64{{1, 2}, {3, 4}, {5, 6}},
+		[]float64{10}, []float64{1, 1, 1}, 1, PaperWeights)
+	groups := m.Groups()
+	if len(groups) != 3 {
+		t.Fatalf("got %d groups, want 3", len(groups))
+	}
+	for f, g := range groups {
+		if len(g) != 2 {
+			t.Fatalf("group %d has %d vars, want 2", f, len(g))
+		}
+		for i, idx := range g {
+			if idx != m.Index(f, i) {
+				t.Errorf("group %d[%d] = %d, want %d", f, i, idx, m.Index(f, i))
+			}
+		}
+	}
+	if m.Nodes() != 2 || m.Files() != 3 || m.Dim() != 6 {
+		t.Errorf("shape accessors wrong: nodes=%d files=%d dim=%d", m.Nodes(), m.Files(), m.Dim())
+	}
+}
+
+func TestMultiFileContentionCouplesFiles(t *testing.T) {
+	// Two files, all communication costs zero: only queueing matters.
+	// Stacking both files on node 0 must cost strictly more than
+	// spreading them on separate nodes — the contention effect the paper
+	// highlights in section 5.4.
+	zero := []float64{0, 0}
+	m := mustMultiFile(t, [][]float64{zero, zero}, []float64{3}, []float64{1, 1}, 1, PaperWeights)
+	stacked := []float64{1, 0 /* file 0 */, 1, 0 /* file 1 */}
+	spread := []float64{1, 0, 0, 1}
+	cs, err := m.Cost(stacked)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp, err := m.Cost(spread)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs <= cp {
+		t.Errorf("stacked cost %g should exceed spread cost %g", cs, cp)
+	}
+	// Stacked: both files feed node 0's queue: 2·(1/(3−2)) = 2.
+	if math.Abs(cs-2) > 1e-12 {
+		t.Errorf("stacked cost = %g, want 2", cs)
+	}
+	// Spread: each node serves one file: 2·(1/(3−1)) = 1.
+	if math.Abs(cp-1) > 1e-12 {
+		t.Errorf("spread cost = %g, want 1", cp)
+	}
+}
+
+func TestMultiFileSolveBalancesLoad(t *testing.T) {
+	// Symmetric two-file, two-node system with no communication cost:
+	// cost depends only on node loads, so the optimum is the continuum
+	// of allocations with equal loads L_0 = L_1 = 1 and cost
+	// 2·(1/(3−1)) = 1. The solver must reach some point of it while
+	// conserving each file's total separately.
+	zero := []float64{0, 0}
+	m := mustMultiFile(t, [][]float64{zero, zero}, []float64{3}, []float64{1, 1}, 1, PaperWeights)
+	alloc, err := core.NewAllocator(m, core.WithAlpha(0.1), core.WithEpsilon(1e-9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := alloc.Run(context.Background(), []float64{1, 0, 0.3, 0.7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("did not converge: %+v", res)
+	}
+	cost, err := m.Cost(res.X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(cost-1) > 1e-6 {
+		t.Errorf("cost = %g, want 1 (balanced loads)", cost)
+	}
+	load0 := res.X[0] + res.X[2]
+	load1 := res.X[1] + res.X[3]
+	if math.Abs(load0-load1) > 1e-4 {
+		t.Errorf("loads not balanced: %g vs %g", load0, load1)
+	}
+	if math.Abs(res.X[0]+res.X[1]-1) > 1e-9 || math.Abs(res.X[2]+res.X[3]-1) > 1e-9 {
+		t.Errorf("per-file totals not conserved: %v", res.X)
+	}
+}
+
+func TestMultiFileUnstable(t *testing.T) {
+	zero := []float64{0, 0}
+	m := mustMultiFile(t, [][]float64{zero, zero}, []float64{1.5}, []float64{1, 1}, 1, PaperWeights)
+	// Both files at node 0: load 2 > μ.
+	if _, err := m.Cost([]float64{1, 0, 1, 0}); !errors.Is(err, ErrUnstable) {
+		t.Errorf("Cost error = %v, want ErrUnstable", err)
+	}
+	grad := make([]float64, 4)
+	if err := m.Gradient(grad, []float64{1, 0, 1, 0}); !errors.Is(err, ErrUnstable) {
+		t.Errorf("Gradient error = %v, want ErrUnstable", err)
+	}
+}
+
+func TestMultiFileValidation(t *testing.T) {
+	good := [][]float64{{1, 2}, {3, 4}}
+	tests := []struct {
+		name   string
+		access [][]float64
+		mu     []float64
+		rates  []float64
+		k      float64
+	}{
+		{"no files", nil, []float64{1}, nil, 1},
+		{"rate count mismatch", good, []float64{1}, []float64{1}, 1},
+		{"ragged access", [][]float64{{1, 2}, {3}}, []float64{1}, []float64{1, 1}, 1},
+		{"negative k", good, []float64{1}, []float64{1, 1}, -1},
+		{"bad mu count", good, []float64{1, 1, 1}, []float64{1, 1}, 1},
+		{"zero rate", good, []float64{1}, []float64{1, 0}, 1},
+		{"negative access", [][]float64{{1, -2}, {3, 4}}, []float64{1}, []float64{1, 1}, 1},
+		{"zero mu", good, []float64{0}, []float64{1, 1}, 1},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := NewMultiFile(tt.access, tt.mu, tt.rates, tt.k, PaperWeights); !errors.Is(err, ErrBadParam) {
+				t.Errorf("error = %v, want ErrBadParam", err)
+			}
+		})
+	}
+}
+
+func TestMultiFileShareWeights(t *testing.T) {
+	// With ShareWeights the cost is a weighted average over files: for
+	// two identical files with rates 3 and 1, weights are 0.75/0.25.
+	access := []float64{2, 2}
+	m := mustMultiFile(t, [][]float64{access, access}, []float64{10}, []float64{3, 1}, 0, ShareWeights)
+	c, err := m.Cost([]float64{1, 0, 1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pure communication: 0.75·2 + 0.25·2 = 2.
+	if math.Abs(c-2) > 1e-12 {
+		t.Errorf("cost = %g, want 2", c)
+	}
+}

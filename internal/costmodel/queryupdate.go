@@ -1,0 +1,85 @@
+package costmodel
+
+import (
+	"fmt"
+	"math"
+)
+
+// QueryUpdateSpec describes a workload that distinguishes queries from
+// updates (section 5.4: "Different costs for queries and updates can be
+// easily taken into account by splitting the cost function into two
+// separate costs ... and weighting these costs appropriately").
+type QueryUpdateSpec struct {
+	// QueryRates and UpdateRates hold per-node generation rates for the
+	// two access classes.
+	QueryRates  []float64
+	UpdateRates []float64
+	// QueryCosts and UpdateCosts hold the pairwise communication cost
+	// matrices c_ij for each class (updates typically cost more: larger
+	// payloads, write-ahead traffic).
+	QueryCosts  [][]float64
+	UpdateCosts [][]float64
+	// QueryWeight and UpdateWeight scale the two classes' contribution
+	// to the combined cost; both default to 1 when zero.
+	QueryWeight  float64
+	UpdateWeight float64
+}
+
+// Combine folds the two access classes into the effective per-node access
+// costs C_i and total rate λ expected by NewSingleFile:
+//
+//	C_i = Σ_j (w_q·λ_j^q·c_ji^q + w_u·λ_j^u·c_ji^u) / λ,   λ = Σ_j (λ_j^q + λ_j^u)
+//
+// Both classes load the same queue, so λ is their sum.
+func (s QueryUpdateSpec) Combine() (accessCosts []float64, lambda float64, err error) {
+	n := len(s.QueryRates)
+	if n == 0 || len(s.UpdateRates) != n {
+		return nil, 0, fmt.Errorf("%w: query/update rate vectors must be equal-length and non-empty (%d, %d)",
+			ErrBadParam, len(s.QueryRates), len(s.UpdateRates))
+	}
+	if len(s.QueryCosts) != n || len(s.UpdateCosts) != n {
+		return nil, 0, fmt.Errorf("%w: cost matrices must be %d x %d", ErrBadParam, n, n)
+	}
+	wq, wu := s.QueryWeight, s.UpdateWeight
+	if wq == 0 {
+		wq = 1
+	}
+	if wu == 0 {
+		wu = 1
+	}
+	if wq < 0 || wu < 0 {
+		return nil, 0, fmt.Errorf("%w: negative class weight (query=%v, update=%v)", ErrBadParam, wq, wu)
+	}
+	for j := 0; j < n; j++ {
+		if len(s.QueryCosts[j]) != n || len(s.UpdateCosts[j]) != n {
+			return nil, 0, fmt.Errorf("%w: cost matrix row %d has wrong length", ErrBadParam, j)
+		}
+		if s.QueryRates[j] < 0 || s.UpdateRates[j] < 0 ||
+			math.IsNaN(s.QueryRates[j]) || math.IsNaN(s.UpdateRates[j]) {
+			return nil, 0, fmt.Errorf("%w: negative rate at node %d", ErrBadParam, j)
+		}
+		lambda += s.QueryRates[j] + s.UpdateRates[j]
+	}
+	if lambda <= 0 {
+		return nil, 0, fmt.Errorf("%w: total access rate must be positive", ErrBadParam)
+	}
+	accessCosts = make([]float64, n)
+	for i := 0; i < n; i++ {
+		var sum float64
+		for j := 0; j < n; j++ {
+			sum += wq*s.QueryRates[j]*s.QueryCosts[j][i] + wu*s.UpdateRates[j]*s.UpdateCosts[j][i]
+		}
+		accessCosts[i] = sum / lambda
+	}
+	return accessCosts, lambda, nil
+}
+
+// NewQueryUpdateSingleFile builds a SingleFile objective from a
+// query/update workload.
+func NewQueryUpdateSingleFile(spec QueryUpdateSpec, serviceRates []float64, k float64) (*SingleFile, error) {
+	access, lambda, err := spec.Combine()
+	if err != nil {
+		return nil, err
+	}
+	return NewSingleFile(access, serviceRates, lambda, k)
+}

@@ -1,0 +1,112 @@
+package costmodel
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func uniformMatrix(n int, v float64) [][]float64 {
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = make([]float64, n)
+		for j := range m[i] {
+			if i != j {
+				m[i][j] = v
+			}
+		}
+	}
+	return m
+}
+
+func TestQueryUpdateCombineReducesToPlainAccess(t *testing.T) {
+	// With identical rates, costs, and unit weights for both classes,
+	// the combined C_i equals the plain single-class computation.
+	spec := QueryUpdateSpec{
+		QueryRates:  []float64{0.5, 0.5},
+		UpdateRates: []float64{0.5, 0.5},
+		QueryCosts:  uniformMatrix(2, 3),
+		UpdateCosts: uniformMatrix(2, 3),
+	}
+	access, lambda, err := spec.Combine()
+	if err != nil {
+		t.Fatalf("Combine: %v", err)
+	}
+	if lambda != 2 {
+		t.Errorf("lambda = %g, want 2", lambda)
+	}
+	// C_i = Σ_j (λ_j/λ)c_ji = (1/2)·3 for the remote node only = 1.5.
+	for i, c := range access {
+		if math.Abs(c-1.5) > 1e-12 {
+			t.Errorf("C_%d = %g, want 1.5", i, c)
+		}
+	}
+}
+
+func TestQueryUpdateWeightsExpensiveUpdates(t *testing.T) {
+	// Updates cost 3x queries. Node 1 generates only updates, so the
+	// access cost of storing the file away from node 1 should be
+	// dominated by update traffic.
+	spec := QueryUpdateSpec{
+		QueryRates:   []float64{1, 0},
+		UpdateRates:  []float64{0, 1},
+		QueryCosts:   uniformMatrix(2, 1),
+		UpdateCosts:  uniformMatrix(2, 3),
+		QueryWeight:  1,
+		UpdateWeight: 2,
+	}
+	access, lambda, err := spec.Combine()
+	if err != nil {
+		t.Fatalf("Combine: %v", err)
+	}
+	if lambda != 2 {
+		t.Errorf("lambda = %g, want 2", lambda)
+	}
+	// C_0 sees node 1's updates: (2·1·3)/2 = 3.
+	// C_1 sees node 0's queries: (1·1·1)/2 = 0.5.
+	if math.Abs(access[0]-3) > 1e-12 || math.Abs(access[1]-0.5) > 1e-12 {
+		t.Errorf("access = %v, want [3, 0.5]", access)
+	}
+}
+
+func TestNewQueryUpdateSingleFile(t *testing.T) {
+	spec := QueryUpdateSpec{
+		QueryRates:  []float64{0.4, 0.4},
+		UpdateRates: []float64{0.1, 0.1},
+		QueryCosts:  uniformMatrix(2, 1),
+		UpdateCosts: uniformMatrix(2, 4),
+	}
+	m, err := NewQueryUpdateSingleFile(spec, []float64{3}, 1)
+	if err != nil {
+		t.Fatalf("NewQueryUpdateSingleFile: %v", err)
+	}
+	if m.Dim() != 2 || m.Lambda() != 1 {
+		t.Errorf("dim=%d lambda=%v", m.Dim(), m.Lambda())
+	}
+	if _, err := m.Cost([]float64{0.5, 0.5}); err != nil {
+		t.Errorf("Cost: %v", err)
+	}
+}
+
+func TestQueryUpdateValidation(t *testing.T) {
+	good := uniformMatrix(2, 1)
+	tests := []struct {
+		name string
+		spec QueryUpdateSpec
+	}{
+		{"empty", QueryUpdateSpec{}},
+		{"length mismatch", QueryUpdateSpec{QueryRates: []float64{1}, UpdateRates: []float64{1, 1}, QueryCosts: good, UpdateCosts: good}},
+		{"missing matrices", QueryUpdateSpec{QueryRates: []float64{1, 1}, UpdateRates: []float64{1, 1}}},
+		{"ragged matrix", QueryUpdateSpec{QueryRates: []float64{1, 1}, UpdateRates: []float64{1, 1}, QueryCosts: [][]float64{{0}, {0, 0}}, UpdateCosts: good}},
+		{"negative rate", QueryUpdateSpec{QueryRates: []float64{-1, 1}, UpdateRates: []float64{1, 1}, QueryCosts: good, UpdateCosts: good}},
+		{"zero total", QueryUpdateSpec{QueryRates: []float64{0, 0}, UpdateRates: []float64{0, 0}, QueryCosts: good, UpdateCosts: good}},
+		{"negative weight", QueryUpdateSpec{QueryRates: []float64{1, 1}, UpdateRates: []float64{1, 1}, QueryCosts: good, UpdateCosts: good, QueryWeight: -1}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, _, err := tt.spec.Combine(); !errors.Is(err, ErrBadParam) {
+				t.Errorf("error = %v, want ErrBadParam", err)
+			}
+		})
+	}
+}

@@ -1,0 +1,238 @@
+// Package costmodel implements the paper's utility functions: the
+// single-file M/M/1 model of equation 2, the heterogeneous-service and
+// query/update generalizations of section 5.4, the multi-file coupled-queue
+// utility, and an M/G/1 (Pollaczek–Khinchine) variant. It also provides the
+// Theorem-2 stepsize bound and an independent KKT reference solver used to
+// verify the iterative algorithm's optima.
+package costmodel
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"filealloc/internal/core"
+)
+
+// Sentinel errors for model construction and evaluation.
+var (
+	// ErrBadParam reports invalid model parameters.
+	ErrBadParam = errors.New("costmodel: invalid parameter")
+	// ErrUnstable reports an allocation at which a queue is saturated
+	// (μ_i ≤ λ·x_i), where the steady-state delay is undefined.
+	ErrUnstable = errors.New("costmodel: queue unstable at allocation")
+)
+
+// SingleFile is the paper's equation-2 objective for one copy of one file:
+//
+//	U(x) = −Σ_i (C_i + k/(μ_i − λ·x_i))·x_i
+//
+// x_i is the fraction of the file stored at node i; because record accesses
+// are uniform, x_i is also the probability an access is served by node i,
+// so node i's queue sees Poisson arrivals at rate λ·x_i with exponential
+// service at rate μ_i (M/M/1 delay 1/(μ_i − λ·x_i)).
+//
+// The paper presents the homogeneous case μ_i = μ; per-node service rates
+// are the section 5.4 relaxation.
+type SingleFile struct {
+	access  []float64 // C_i, traffic-weighted communication cost of accessing node i
+	service []float64 // μ_i
+	lambda  float64   // λ, network-wide access generation rate
+	k       float64   // delay-vs-communication scaling factor
+}
+
+var (
+	_ core.Objective = (*SingleFile)(nil)
+	_ core.Curvature = (*SingleFile)(nil)
+)
+
+// NewSingleFile builds the equation-2 objective. accessCosts holds C_i per
+// node (see topology.AccessCosts); serviceRates holds μ_i per node (pass a
+// single-element slice to use one rate for all nodes); lambda is the total
+// access rate λ; k scales delay against communication cost.
+//
+// For the delay term to be defined over every feasible allocation
+// (0 ≤ x_i ≤ 1), each μ_i must exceed λ·1 in the worst case; construction
+// only requires μ_i > 0 and evaluation reports ErrUnstable if an allocation
+// saturates a queue.
+func NewSingleFile(accessCosts, serviceRates []float64, lambda, k float64) (*SingleFile, error) {
+	n := len(accessCosts)
+	if n == 0 {
+		return nil, fmt.Errorf("%w: no nodes", ErrBadParam)
+	}
+	if lambda <= 0 || math.IsNaN(lambda) {
+		return nil, fmt.Errorf("%w: lambda = %v", ErrBadParam, lambda)
+	}
+	if k < 0 || math.IsNaN(k) {
+		return nil, fmt.Errorf("%w: k = %v", ErrBadParam, k)
+	}
+	for i, c := range accessCosts {
+		if c < 0 || math.IsNaN(c) || math.IsInf(c, 0) {
+			return nil, fmt.Errorf("%w: access cost C_%d = %v", ErrBadParam, i, c)
+		}
+	}
+	var mu []float64
+	switch len(serviceRates) {
+	case 1:
+		mu = make([]float64, n)
+		for i := range mu {
+			mu[i] = serviceRates[0]
+		}
+	case n:
+		mu = append([]float64(nil), serviceRates...)
+	default:
+		return nil, fmt.Errorf("%w: %d service rates for %d nodes", ErrBadParam, len(serviceRates), n)
+	}
+	for i, m := range mu {
+		if m <= 0 || math.IsNaN(m) || math.IsInf(m, 0) {
+			return nil, fmt.Errorf("%w: service rate μ_%d = %v", ErrBadParam, i, m)
+		}
+	}
+	return &SingleFile{
+		access:  append([]float64(nil), accessCosts...),
+		service: mu,
+		lambda:  lambda,
+		k:       k,
+	}, nil
+}
+
+// Dim returns the number of nodes.
+func (m *SingleFile) Dim() int { return len(m.access) }
+
+// Lambda returns the network-wide access rate λ.
+func (m *SingleFile) Lambda() float64 { return m.lambda }
+
+// K returns the delay scaling factor k.
+func (m *SingleFile) K() float64 { return m.k }
+
+// AccessCost returns C_i.
+func (m *SingleFile) AccessCost(i int) float64 { return m.access[i] }
+
+// ServiceRate returns μ_i.
+func (m *SingleFile) ServiceRate(i int) float64 { return m.service[i] }
+
+// Cost returns the expected access cost C(x) of equation 1.
+func (m *SingleFile) Cost(x []float64) (float64, error) {
+	if len(x) != len(m.access) {
+		return 0, fmt.Errorf("%w: allocation has %d entries for %d nodes", ErrBadParam, len(x), len(m.access))
+	}
+	var total float64
+	for i, xi := range x {
+		if xi == 0 {
+			continue
+		}
+		room := m.service[i] - m.lambda*xi
+		if room <= 0 {
+			return 0, fmt.Errorf("%w: node %d has μ=%v, λ·x=%v", ErrUnstable, i, m.service[i], m.lambda*xi)
+		}
+		total += (m.access[i] + m.k/room) * xi
+	}
+	return total, nil
+}
+
+// Utility returns −Cost(x) (equation 2).
+func (m *SingleFile) Utility(x []float64) (float64, error) {
+	c, err := m.Cost(x)
+	if err != nil {
+		return 0, err
+	}
+	return -c, nil
+}
+
+// Gradient fills grad with the marginal utilities
+//
+//	∂U/∂x_i = −(C_i + k·μ_i/(μ_i − λ·x_i)²).
+func (m *SingleFile) Gradient(grad, x []float64) error {
+	if len(grad) != len(m.access) || len(x) != len(m.access) {
+		return fmt.Errorf("%w: gradient/allocation size mismatch", ErrBadParam)
+	}
+	for i, xi := range x {
+		room := m.service[i] - m.lambda*xi
+		if room <= 0 {
+			return fmt.Errorf("%w: node %d has μ=%v, λ·x=%v", ErrUnstable, i, m.service[i], m.lambda*xi)
+		}
+		grad[i] = -(m.access[i] + m.k*m.service[i]/(room*room))
+	}
+	return nil
+}
+
+// SecondDerivative fills hess with
+//
+//	∂²U/∂x_i² = −2·k·μ_i·λ/(μ_i − λ·x_i)³.
+//
+// The utility has no cross partials, so this diagonal is the full Hessian
+// (the fact Theorem 2's Taylor expansion relies on).
+func (m *SingleFile) SecondDerivative(hess, x []float64) error {
+	if len(hess) != len(m.access) || len(x) != len(m.access) {
+		return fmt.Errorf("%w: hessian/allocation size mismatch", ErrBadParam)
+	}
+	for i, xi := range x {
+		room := m.service[i] - m.lambda*xi
+		if room <= 0 {
+			return fmt.Errorf("%w: node %d has μ=%v, λ·x=%v", ErrUnstable, i, m.service[i], m.lambda*xi)
+		}
+		hess[i] = -2 * m.k * m.service[i] * m.lambda / (room * room * room)
+	}
+	return nil
+}
+
+// Components splits the expected cost at x into its communication and delay
+// parts (both non-negative; Cost = Comm + k·Delay where Delay is the
+// expected queueing+service time of a random access).
+func (m *SingleFile) Components(x []float64) (comm, delay float64, err error) {
+	if len(x) != len(m.access) {
+		return 0, 0, fmt.Errorf("%w: allocation has %d entries for %d nodes", ErrBadParam, len(x), len(m.access))
+	}
+	for i, xi := range x {
+		if xi == 0 {
+			continue
+		}
+		room := m.service[i] - m.lambda*xi
+		if room <= 0 {
+			return 0, 0, fmt.Errorf("%w: node %d has μ=%v, λ·x=%v", ErrUnstable, i, m.service[i], m.lambda*xi)
+		}
+		comm += m.access[i] * xi
+		delay += xi / room
+	}
+	return comm, delay, nil
+}
+
+// AlphaBound evaluates the Theorem-2 guarantee for the homogeneous-service
+// model:
+//
+//	α < ε²(μ−λ)⁴ / (2·n·k·λ·((C_max−C_min)·μ·(μ−λ) + λ·k·(2μ−λ))²)
+//
+// Any stepsize below the returned value yields strictly monotonic utility
+// improvement until convergence. The bound is deliberately conservative
+// (the paper notes much larger stepsizes usually converge faster); it
+// requires μ > λ and a homogeneous μ.
+func (m *SingleFile) AlphaBound(epsilon float64) (float64, error) {
+	if epsilon <= 0 {
+		return 0, fmt.Errorf("%w: epsilon = %v", ErrBadParam, epsilon)
+	}
+	mu := m.service[0]
+	for i, s := range m.service {
+		if s != mu {
+			return 0, fmt.Errorf("%w: Theorem-2 bound requires homogeneous service rates (μ_0=%v, μ_%d=%v)", ErrBadParam, mu, i, s)
+		}
+	}
+	if mu <= m.lambda {
+		return 0, fmt.Errorf("%w: bound requires μ > λ (μ=%v, λ=%v)", ErrBadParam, mu, m.lambda)
+	}
+	cmin, cmax := math.Inf(1), math.Inf(-1)
+	for _, c := range m.access {
+		cmin = math.Min(cmin, c)
+		cmax = math.Max(cmax, c)
+	}
+	n := float64(len(m.access))
+	room := mu - m.lambda
+	den := (cmax-cmin)*mu*room + m.lambda*m.k*(2*mu-m.lambda)
+	if den == 0 {
+		// k = 0 and uniform communication costs: the objective is
+		// constant in any direction the algorithm can move, so any α
+		// is "safe"; report +Inf.
+		return math.Inf(1), nil
+	}
+	return epsilon * epsilon * room * room * room * room /
+		(2 * n * m.k * m.lambda * den * den), nil
+}

@@ -1,0 +1,30 @@
+package costmodel
+
+import "fmt"
+
+// NewSingleFileWithStorage builds the equation-2 objective extended with
+// per-node storage costs (section 8.2: "the cost of storage and copy
+// maintenance will affect the optimal number of copies" — the same
+// economics apply to fragments of a single copy when node storage prices
+// differ). Holding fraction x_i at node i costs storageCosts[i]·x_i per
+// access interval, which folds into the linear term exactly like a
+// communication cost:
+//
+//	C(x) = Σ_i (C_i + s_i + k/(μ_i − λ·x_i))·x_i
+//
+// so all algorithm properties (feasibility, monotonicity, the Theorem-2
+// bound with C'_i = C_i + s_i) carry over unchanged. Expensive storage
+// pushes fragments toward cheap nodes even when they are farther away.
+func NewSingleFileWithStorage(accessCosts, storageCosts, serviceRates []float64, lambda, k float64) (*SingleFile, error) {
+	if len(storageCosts) != len(accessCosts) {
+		return nil, fmt.Errorf("%w: %d storage costs for %d nodes", ErrBadParam, len(storageCosts), len(accessCosts))
+	}
+	combined := make([]float64, len(accessCosts))
+	for i := range combined {
+		if storageCosts[i] < 0 {
+			return nil, fmt.Errorf("%w: storage cost s_%d = %v", ErrBadParam, i, storageCosts[i])
+		}
+		combined[i] = accessCosts[i] + storageCosts[i]
+	}
+	return NewSingleFile(combined, serviceRates, lambda, k)
+}

@@ -1,0 +1,70 @@
+package costmodel
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestStorageCostsShiftTheOptimum(t *testing.T) {
+	// Symmetric communication costs; node 0 has expensive storage. The
+	// optimum must hold less there than the storage-free optimum does.
+	access := []float64{2, 2, 2, 2}
+	free, err := NewSingleFile(access, []float64{1.5}, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	priced, err := NewSingleFileWithStorage(access, []float64{1.5, 0, 0, 0}, []float64{1.5}, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	solFree, err := free.SolveKKT(1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	solPriced, err := priced.SolveKKT(1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if solPriced.X[0] >= solFree.X[0] {
+		t.Errorf("expensive-storage node holds %g, storage-free %g", solPriced.X[0], solFree.X[0])
+	}
+	// Remaining symmetric nodes split the displaced mass evenly.
+	if math.Abs(solPriced.X[1]-solPriced.X[2]) > 1e-9 {
+		t.Errorf("symmetric nodes unequal: %v", solPriced.X)
+	}
+}
+
+func TestStorageCostsFoldIntoLinearTerm(t *testing.T) {
+	access := []float64{1, 2}
+	storage := []float64{0.5, 0.25}
+	m, err := NewSingleFileWithStorage(access, storage, []float64{3}, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := NewSingleFile([]float64{1.5, 2.25}, []float64{3}, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := []float64{0.4, 0.6}
+	a, err := m.Cost(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := direct.Cost(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("folded cost %g vs direct %g", a, b)
+	}
+}
+
+func TestStorageCostsValidation(t *testing.T) {
+	if _, err := NewSingleFileWithStorage([]float64{1, 2}, []float64{1}, []float64{3}, 1, 1); !errors.Is(err, ErrBadParam) {
+		t.Errorf("length mismatch: error = %v", err)
+	}
+	if _, err := NewSingleFileWithStorage([]float64{1}, []float64{-1}, []float64{3}, 1, 1); !errors.Is(err, ErrBadParam) {
+		t.Errorf("negative storage: error = %v", err)
+	}
+}

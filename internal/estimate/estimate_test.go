@@ -1,0 +1,188 @@
+package estimate
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestRateEstimatorUnbiasedOnPoisson(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, lambda := range []float64{0.5, 2, 10} {
+		est, err := NewRateEstimator(50 / lambda) // ~50 expected events per half-life
+		if err != nil {
+			t.Fatal(err)
+		}
+		now := 0.0
+		for i := 0; i < 20000; i++ {
+			now += rng.ExpFloat64() / lambda
+			if err := est.Observe(now); err != nil {
+				t.Fatal(err)
+			}
+		}
+		got := est.Rate(now)
+		if math.Abs(got-lambda) > 0.15*lambda {
+			t.Errorf("λ=%g: estimate %g", lambda, got)
+		}
+	}
+}
+
+func TestRateEstimatorTracksDrift(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	est, err := NewRateEstimator(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := 0.0
+	// Phase 1: rate 1 for 500 time units.
+	for now < 500 {
+		now += rng.ExpFloat64()
+		if err := est.Observe(now); err != nil {
+			t.Fatal(err)
+		}
+	}
+	phase1 := est.Rate(now)
+	// Phase 2: rate jumps to 5.
+	for now < 700 {
+		now += rng.ExpFloat64() / 5
+		if err := est.Observe(now); err != nil {
+			t.Fatal(err)
+		}
+	}
+	phase2 := est.Rate(now)
+	if math.Abs(phase1-1) > 0.3 {
+		t.Errorf("phase 1 estimate %g, want ≈ 1", phase1)
+	}
+	if math.Abs(phase2-5) > 1.2 {
+		t.Errorf("phase 2 estimate %g, want ≈ 5", phase2)
+	}
+}
+
+func TestRateEstimatorDecaysWithoutEvents(t *testing.T) {
+	// Start far in the past so the warm-up correction factor is ≈ 1 and
+	// the pure exponential decay is observable.
+	est, err := NewRateEstimatorAt(10, -10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := est.Observe(0); err != nil {
+		t.Fatal(err)
+	}
+	early := est.Rate(1)
+	late := est.Rate(100)
+	if late >= early {
+		t.Errorf("estimate did not decay: %g then %g", early, late)
+	}
+	// One half-life halves the estimate.
+	if r10, r0 := est.Rate(10), est.Rate(0); math.Abs(r10-r0/2) > 1e-9 {
+		t.Errorf("half-life decay wrong: %g vs %g/2", r10, r0)
+	}
+}
+
+func TestRateEstimatorWarmupCorrection(t *testing.T) {
+	// After only a fraction of a half-life, the corrected estimate is
+	// already unbiased where the raw window would under-report.
+	rng := rand.New(rand.NewSource(21))
+	const lambda = 4.0
+	est, err := NewRateEstimator(1000) // very long half-life
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := 0.0
+	for now < 100 { // a tenth of the half-life
+		now += rng.ExpFloat64() / lambda
+		if err := est.Observe(now); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := est.Rate(100)
+	if math.Abs(got-lambda) > 0.25*lambda {
+		t.Errorf("corrected early estimate %g, want ≈ %g", got, lambda)
+	}
+}
+
+func TestRateEstimatorValidation(t *testing.T) {
+	if _, err := NewRateEstimator(0); !errors.Is(err, ErrBadParam) {
+		t.Errorf("zero half-life: error = %v", err)
+	}
+	est, err := NewRateEstimator(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Rate(5) != 0 {
+		t.Error("fresh estimator rate not 0")
+	}
+	if err := est.Observe(math.NaN()); !errors.Is(err, ErrBadParam) {
+		t.Errorf("NaN time: error = %v", err)
+	}
+	if err := est.Observe(10); err != nil {
+		t.Fatal(err)
+	}
+	if err := est.Observe(5); !errors.Is(err, ErrBadParam) {
+		t.Errorf("time regression: error = %v", err)
+	}
+}
+
+func TestServiceEstimatorMoments(t *testing.T) {
+	var est ServiceEstimator
+	rng := rand.New(rand.NewSource(13))
+	mu := 2.0
+	for i := 0; i < 100000; i++ {
+		if err := est.Observe(rng.ExpFloat64() / mu); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if math.Abs(est.Mean()-1/mu) > 0.01 {
+		t.Errorf("mean = %g, want %g", est.Mean(), 1/mu)
+	}
+	if math.Abs(est.SecondMoment()-2/(mu*mu)) > 0.02 {
+		t.Errorf("E[S²] = %g, want %g", est.SecondMoment(), 2/(mu*mu))
+	}
+	if est.Count() != 100000 {
+		t.Errorf("count = %d", est.Count())
+	}
+}
+
+func TestServiceEstimatorValidation(t *testing.T) {
+	var est ServiceEstimator
+	if err := est.Observe(-1); !errors.Is(err, ErrBadParam) {
+		t.Errorf("negative duration: error = %v", err)
+	}
+	if est.Mean() != 0 || est.SecondMoment() != 0 {
+		t.Error("zero-observation moments not 0")
+	}
+}
+
+func TestTrackerPerNodeRates(t *testing.T) {
+	tr, err := NewTracker(3, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(17))
+	trueRates := []float64{0.5, 2, 4}
+	clocks := []float64{0, 0, 0}
+	for i := 0; i < 30000; i++ {
+		node := i % 3
+		clocks[node] += rng.ExpFloat64() / trueRates[node]
+		// Feed until each clock passes 2000.
+		if clocks[node] > 2000 {
+			continue
+		}
+		if err := tr.Observe(node, clocks[node]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rates := tr.Rates(2000)
+	for i, want := range trueRates {
+		if math.Abs(rates[i]-want) > 0.35*want {
+			t.Errorf("node %d: estimate %g, want ≈ %g", i, rates[i], want)
+		}
+	}
+	if err := tr.Observe(9, 1); !errors.Is(err, ErrBadParam) {
+		t.Errorf("bad node: error = %v", err)
+	}
+	if _, err := NewTracker(0, 1); !errors.Is(err, ErrBadParam) {
+		t.Errorf("zero nodes: error = %v", err)
+	}
+}

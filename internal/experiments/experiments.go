@@ -1,0 +1,85 @@
+// Package experiments regenerates every figure of the paper's evaluation
+// (section 6 and 7.3) plus the validation and ablation studies indexed in
+// DESIGN.md. Each experiment returns structured series; cmd/fapsim renders
+// them and EXPERIMENTS.md records paper-vs-measured values.
+//
+// The shared configuration is the paper's: service rate μ = 1.5, scaling
+// constant k = 1, network-wide access rate λ = 1 split uniformly, and
+// stopping criterion ε = 0.001.
+package experiments
+
+import (
+	"errors"
+	"fmt"
+
+	"filealloc/internal/costmodel"
+	"filealloc/internal/topology"
+)
+
+// Paper-wide experimental constants (section 6).
+const (
+	// Mu is the service rate μ = 1.5.
+	Mu = 1.5
+	// K is the delay/communication scaling constant k = 1.
+	K = 1.0
+	// Lambda is the network-wide access rate λ = 1.
+	Lambda = 1.0
+	// Epsilon is the stopping criterion ε = 0.001.
+	Epsilon = 1e-3
+)
+
+// ErrExperiment wraps failures inside experiment harnesses.
+var ErrExperiment = errors.New("experiments: run failed")
+
+// PaperStart returns the paper's starting allocation (0.8, 0.1, 0.1, 0,
+// ..., 0) padded to n nodes.
+func PaperStart(n int) []float64 {
+	x := make([]float64, n)
+	x[0] = 0.8
+	if n > 1 {
+		x[1] = 0.1
+	}
+	if n > 2 {
+		x[2] = 0.1
+	}
+	return x
+}
+
+// RingSystem builds the figure 2/3 evaluation system: an n-node
+// bidirectional ring with the given link cost, uniform rates summing to
+// Lambda, and the paper's μ and k.
+func RingSystem(n int, linkCost float64) (*costmodel.SingleFile, error) {
+	ring, err := topology.Ring(n, linkCost)
+	if err != nil {
+		return nil, fmt.Errorf("%w: building ring: %w", ErrExperiment, err)
+	}
+	rates := topology.UniformRates(n, Lambda)
+	access, err := topology.AccessCosts(ring, rates, topology.RoundTrip)
+	if err != nil {
+		return nil, fmt.Errorf("%w: computing access costs: %w", ErrExperiment, err)
+	}
+	m, err := costmodel.NewSingleFile(access, []float64{Mu}, Lambda, K)
+	if err != nil {
+		return nil, fmt.Errorf("%w: building cost model: %w", ErrExperiment, err)
+	}
+	return m, nil
+}
+
+// MeshSystem builds the figure 6 system: an n-node fully connected network
+// with unit link costs.
+func MeshSystem(n int) (*costmodel.SingleFile, error) {
+	mesh, err := topology.FullMesh(n, 1)
+	if err != nil {
+		return nil, fmt.Errorf("%w: building mesh: %w", ErrExperiment, err)
+	}
+	rates := topology.UniformRates(n, Lambda)
+	access, err := topology.AccessCosts(mesh, rates, topology.RoundTrip)
+	if err != nil {
+		return nil, fmt.Errorf("%w: computing access costs: %w", ErrExperiment, err)
+	}
+	m, err := costmodel.NewSingleFile(access, []float64{Mu}, Lambda, K)
+	if err != nil {
+		return nil, fmt.Errorf("%w: building cost model: %w", ErrExperiment, err)
+	}
+	return m, nil
+}

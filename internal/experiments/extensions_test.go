@@ -1,0 +1,189 @@
+package experiments
+
+import (
+	"context"
+	"math"
+	"testing"
+)
+
+func TestOptimalCopiesExperiment(t *testing.T) {
+	res, err := OptimalCopies(context.Background())
+	if err != nil {
+		t.Fatalf("OptimalCopies: %v", err)
+	}
+	if len(res.Rows) != 6 {
+		t.Fatalf("got %d rows", len(res.Rows))
+	}
+	best := res.Rows[res.Best]
+	if best.M <= 1 || best.M >= 6 {
+		t.Errorf("best m = %d; the chosen economics should give an interior optimum", best.M)
+	}
+	// Read cost falls with m; total is U-shaped around the best.
+	if res.Rows[0].AccessCost <= res.Rows[len(res.Rows)-1].AccessCost {
+		t.Errorf("access cost did not fall with m: %g at m=1 vs %g at m=6",
+			res.Rows[0].AccessCost, res.Rows[len(res.Rows)-1].AccessCost)
+	}
+}
+
+func TestNeighborOnlyExperiment(t *testing.T) {
+	rows, err := NeighborOnly(context.Background())
+	if err != nil {
+		t.Fatalf("NeighborOnly: %v", err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, row := range rows {
+		// The neighbours-only algorithm reaches (essentially) the same
+		// optimum...
+		if math.Abs(row.CostGapPct) > 0.5 {
+			t.Errorf("%s: cost gap %.3f%%", row.Topology, row.CostGapPct)
+		}
+		// ...with more iterations (diffusion) ...
+		if row.NeighborIterations <= row.FullIterations {
+			t.Errorf("%s: neighbor iterations %d not above full %d",
+				row.Topology, row.NeighborIterations, row.FullIterations)
+		}
+		// ...but far fewer messages per iteration; the line's total
+		// message bill should still be competitive or better per unit
+		// of progress. At minimum, messages/iteration must be lower.
+		nbPerIter := float64(row.NeighborMessages) / float64(row.NeighborIterations)
+		fullPerIter := float64(row.FullMessages) / float64(row.FullIterations+1)
+		if nbPerIter >= fullPerIter {
+			t.Errorf("%s: neighbor %.1f msgs/iter not below full %.1f",
+				row.Topology, nbPerIter, fullPerIter)
+		}
+	}
+}
+
+func TestAvailabilityExperiment(t *testing.T) {
+	rows, err := Availability(0.1)
+	if err != nil {
+		t.Fatalf("Availability: %v", err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	integral, fragmented, twoCopies, threeCopies := rows[0], rows[1], rows[2], rows[3]
+	// Same expected fraction for integral and fragmented single copies...
+	if math.Abs(integral.ExpectedAccessible-fragmented.ExpectedAccessible) > 1e-9 {
+		t.Errorf("single-copy expectations differ: %g vs %g",
+			integral.ExpectedAccessible, fragmented.ExpectedAccessible)
+	}
+	// ...but the integral placement is all-or-nothing: its whole-file
+	// survival (0.9) beats the fragmented one (0.9⁴) while the
+	// fragmented placement degrades gracefully instead of catastrophically.
+	if integral.AllOrNothing <= fragmented.AllOrNothing {
+		t.Errorf("whole-file survival: integral %g should exceed fragmented %g",
+			integral.AllOrNothing, fragmented.AllOrNothing)
+	}
+	// Replication strictly improves expected accessibility.
+	if twoCopies.ExpectedAccessible <= fragmented.ExpectedAccessible {
+		t.Errorf("m=2 availability %g not above single copy %g",
+			twoCopies.ExpectedAccessible, fragmented.ExpectedAccessible)
+	}
+	if threeCopies.ExpectedAccessible <= twoCopies.ExpectedAccessible {
+		t.Errorf("m=3 availability %g not above m=2 %g",
+			threeCopies.ExpectedAccessible, twoCopies.ExpectedAccessible)
+	}
+	// m=2 spread evenly on 4 nodes: every record on 2 distinct nodes →
+	// 1 − p².
+	if math.Abs(twoCopies.ExpectedAccessible-(1-0.01)) > 1e-9 {
+		t.Errorf("m=2 availability = %g, want 0.99", twoCopies.ExpectedAccessible)
+	}
+}
+
+func TestQuantizeExperiment(t *testing.T) {
+	rows, err := Quantize(nil)
+	if err != nil {
+		t.Fatalf("Quantize: %v", err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for i, row := range rows {
+		if row.CostPenaltyPct < -1e-9 {
+			t.Errorf("records=%d: negative penalty %g%%", row.Records, row.CostPenaltyPct)
+		}
+		if row.MaxDeviation > 1.0/float64(row.Records)+1e-12 {
+			t.Errorf("records=%d: deviation %g exceeds one record", row.Records, row.MaxDeviation)
+		}
+		if i > 0 && row.CostPenaltyPct > rows[i-1].CostPenaltyPct+1e-9 {
+			t.Errorf("penalty grew from %d to %d records (%g%% -> %g%%)",
+				rows[i-1].Records, row.Records, rows[i-1].CostPenaltyPct, row.CostPenaltyPct)
+		}
+	}
+	last := rows[len(rows)-1]
+	if last.CostPenaltyPct > 1e-4 {
+		t.Errorf("penalty at %d records = %g%%, want ≈ 0", last.Records, last.CostPenaltyPct)
+	}
+}
+
+func TestRecordPopularityExperiment(t *testing.T) {
+	rows, err := RecordPopularity(context.Background(), nil, 10000)
+	if err != nil {
+		t.Fatalf("RecordPopularity: %v", err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	uniform := rows[0]
+	if uniform.Skew != 0 {
+		t.Fatalf("first row skew = %g", uniform.Skew)
+	}
+	// Uniform popularity: records ∝ access share.
+	wantRecords := int(uniform.HotNodeShare * 10000)
+	if diff := uniform.HotNodeRecords - wantRecords; diff < -2 || diff > 2 {
+		t.Errorf("uniform hot node stores %d records, want ≈ %d", uniform.HotNodeRecords, wantRecords)
+	}
+	// Increasing skew: the hot node (which hosts the popular head)
+	// stores monotonically fewer records for the same access share.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].HotNodeRecords >= rows[i-1].HotNodeRecords {
+			t.Errorf("skew %g: hot node records %d did not shrink from %d",
+				rows[i].Skew, rows[i].HotNodeRecords, rows[i-1].HotNodeRecords)
+		}
+	}
+	// Cost penalty of record granularity stays small throughout. At
+	// skew 1.5 the single head record carries ≈ 38% of all accesses by
+	// itself, so the boundary can be off by a whole hot record; even
+	// then the penalty stays well under 1%.
+	for _, r := range rows {
+		if r.CostPenaltyPct > 0.5 || r.CostPenaltyPct < -1e-9 {
+			t.Errorf("skew %g: cost penalty %g%%", r.Skew, r.CostPenaltyPct)
+		}
+	}
+}
+
+func TestAdaptiveExperiment(t *testing.T) {
+	rows, err := Adaptive(context.Background(), []float64{5, 400}, 1)
+	if err != nil {
+		t.Fatalf("Adaptive: %v", err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	short, long := rows[0], rows[1]
+	// The adaptation trade-off: the short half-life recovers from the
+	// drift much better than the stale long-half-life estimator...
+	if short.PostDriftGapPct >= long.PostDriftGapPct {
+		t.Errorf("post-drift gaps: short %g%% should be below long %g%%",
+			short.PostDriftGapPct, long.PostDriftGapPct)
+	}
+	// ...while the long half-life is near-perfect in steady state where
+	// the short one pays an estimation-noise premium.
+	if long.SteadyGapPct > 1 || long.SteadyGapPct < -1e-9 {
+		t.Errorf("long half-life steady gap %g%%, want < 1%%", long.SteadyGapPct)
+	}
+	if short.SteadyGapPct <= long.SteadyGapPct {
+		t.Errorf("steady gaps: short %g%% should exceed long %g%% (noise premium)",
+			short.SteadyGapPct, long.SteadyGapPct)
+	}
+	if short.SteadyGapPct > 20 {
+		t.Errorf("short half-life steady gap %g%% unreasonably large", short.SteadyGapPct)
+	}
+	// Given time, even the short estimator is near-optimal again.
+	if short.RecoveredGapPct > 10 {
+		t.Errorf("short half-life recovered gap %g%%", short.RecoveredGapPct)
+	}
+}

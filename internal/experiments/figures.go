@@ -1,0 +1,246 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"filealloc/internal/baseline"
+	"filealloc/internal/core"
+	"filealloc/internal/trace"
+)
+
+// Profile is one convergence curve: the cost after each iteration for one
+// parameterization.
+type Profile struct {
+	// Label names the curve (e.g. "α=0.30").
+	Label string
+	// Alpha is the stepsize used.
+	Alpha float64
+	// Costs holds the cost per iteration, Costs[0] being the initial
+	// allocation's cost.
+	Costs []float64
+	// Iterations is the number of re-allocation steps until the
+	// ε-criterion fired.
+	Iterations int
+	// Converged reports whether it fired at all.
+	Converged bool
+	// FinalX is the final allocation.
+	FinalX []float64
+}
+
+// Fig3 reproduces figure 3: convergence profiles of the 4-node ring for
+// α ∈ {0.67, 0.3, 0.19, 0.08} from the starting allocation
+// (0.8, 0.1, 0.1, 0). The paper reports 4/10/20/51 iterations and the
+// optimal allocation (0.25, 0.25, 0.25, 0.25) at cost 2.8 (with C_i = 2).
+func Fig3(ctx context.Context) ([]Profile, error) {
+	return ConvergenceProfiles(ctx, []float64{0.67, 0.3, 0.19, 0.08}, PaperStart(4))
+}
+
+// ConvergenceProfiles runs the figure-3 system once per stepsize from the
+// given start.
+func ConvergenceProfiles(ctx context.Context, alphas []float64, start []float64) ([]Profile, error) {
+	m, err := RingSystem(len(start), 1)
+	if err != nil {
+		return nil, err
+	}
+	profiles := make([]Profile, 0, len(alphas))
+	for _, alpha := range alphas {
+		rec := trace.NewRecorder(false)
+		alloc, err := core.NewAllocator(m,
+			core.WithAlpha(alpha),
+			core.WithEpsilon(Epsilon),
+			core.WithTrace(rec.Hook),
+		)
+		if err != nil {
+			return nil, fmt.Errorf("%w: configuring α=%v: %w", ErrExperiment, alpha, err)
+		}
+		res, err := alloc.Run(ctx, start)
+		if err != nil {
+			return nil, fmt.Errorf("%w: running α=%v: %w", ErrExperiment, alpha, err)
+		}
+		profiles = append(profiles, Profile{
+			Label:      fmt.Sprintf("α=%.2f", alpha),
+			Alpha:      alpha,
+			Costs:      rec.Costs(),
+			Iterations: res.Iterations,
+			Converged:  res.Converged,
+			FinalX:     res.X,
+		})
+	}
+	return profiles, nil
+}
+
+// Fig4Row compares the best integral placement against the fragmented
+// optimum for one link-cost setting.
+type Fig4Row struct {
+	// LinkCost is the uniform ring link cost v.
+	LinkCost float64
+	// IntegralCost is the cost of the best whole-file placement — the
+	// paper's starting point (0, 0, 0, 1).
+	IntegralCost float64
+	// FragmentedCost is the cost after the algorithm converges.
+	FragmentedCost float64
+	// ReductionPct is 100·(Integral − Fragmented)/Integral; the paper
+	// reports ≈ 25%.
+	ReductionPct float64
+	// Profile is the convergence curve from the integral start.
+	Profile []float64
+	// Iterations to convergence.
+	Iterations int
+}
+
+// Fig4 reproduces figure 4: starting with the entire file at one node and
+// fragmenting it. The paper's ring has "equal link costs" of unstated
+// magnitude; the reduction depends on that magnitude
+// (1.2/(2v+2) under the round-trip convention), so the experiment sweeps
+// v and reports each point; v ≈ 1.4 matches the paper's 25%.
+func Fig4(ctx context.Context, linkCosts []float64) ([]Fig4Row, error) {
+	if len(linkCosts) == 0 {
+		linkCosts = []float64{1, 1.4, 2, 3}
+	}
+	rows := make([]Fig4Row, 0, len(linkCosts))
+	for _, v := range linkCosts {
+		m, err := RingSystem(4, v)
+		if err != nil {
+			return nil, err
+		}
+		integral, err := baseline.BestIntegral(m)
+		if err != nil {
+			return nil, fmt.Errorf("%w: integral baseline at v=%v: %w", ErrExperiment, v, err)
+		}
+		rec := trace.NewRecorder(false)
+		alloc, err := core.NewAllocator(m,
+			core.WithAlpha(0.3),
+			core.WithEpsilon(Epsilon),
+			core.WithTrace(rec.Hook),
+		)
+		if err != nil {
+			return nil, fmt.Errorf("%w: configuring v=%v: %w", ErrExperiment, v, err)
+		}
+		// The paper starts from (0, 0, 0, 1): the whole file at one
+		// node, which is integrally optimal by symmetry.
+		start := make([]float64, 4)
+		start[3] = 1
+		res, err := alloc.Run(ctx, start)
+		if err != nil {
+			return nil, fmt.Errorf("%w: running v=%v: %w", ErrExperiment, v, err)
+		}
+		frag := -res.Utility
+		rows = append(rows, Fig4Row{
+			LinkCost:       v,
+			IntegralCost:   integral.Cost,
+			FragmentedCost: frag,
+			ReductionPct:   100 * (integral.Cost - frag) / integral.Cost,
+			Profile:        rec.Costs(),
+			Iterations:     res.Iterations,
+		})
+	}
+	return rows, nil
+}
+
+// Fig5Row is one point of the iterations-vs-α curve.
+type Fig5Row struct {
+	Alpha      float64
+	Iterations int
+	Converged  bool
+}
+
+// Fig5 reproduces figure 5: the number of iterations required for
+// convergence across stepsizes on the figure-3 system. Small α converges
+// slowly; a wide basin of α values is near-optimal; α beyond the
+// stability threshold (≈ 2/s ≈ 1.3 here) fails to converge.
+func Fig5(ctx context.Context, alphas []float64) ([]Fig5Row, error) {
+	if len(alphas) == 0 {
+		for i := 1; i <= 70; i++ {
+			// Exact division keeps the grid values identical to the
+			// decimal literals callers look up (0.66, 1.4, ...).
+			alphas = append(alphas, float64(2*i)/100)
+		}
+	}
+	m, err := RingSystem(4, 1)
+	if err != nil {
+		return nil, err
+	}
+	start := PaperStart(4)
+	rows := make([]Fig5Row, 0, len(alphas))
+	for _, alpha := range alphas {
+		alloc, err := core.NewAllocator(m,
+			core.WithAlpha(alpha),
+			core.WithEpsilon(Epsilon),
+			core.WithMaxIterations(2000),
+		)
+		if err != nil {
+			return nil, fmt.Errorf("%w: configuring α=%v: %w", ErrExperiment, alpha, err)
+		}
+		res, err := alloc.Run(ctx, start)
+		if err != nil {
+			return nil, fmt.Errorf("%w: running α=%v: %w", ErrExperiment, alpha, err)
+		}
+		rows = append(rows, Fig5Row{Alpha: alpha, Iterations: res.Iterations, Converged: res.Converged})
+	}
+	return rows, nil
+}
+
+// Fig6Row is one network size of the scaling experiment.
+type Fig6Row struct {
+	// N is the node count.
+	N int
+	// BestAlpha is the stepsize that converged fastest.
+	BestAlpha float64
+	// Iterations at BestAlpha.
+	Iterations int
+	// FinalSpread is max_i |x_i − 1/N| at convergence.
+	FinalSpread float64
+}
+
+// Fig6 reproduces figure 6: iterations to convergence (at the best α found
+// by grid search) for fully connected networks of N = 4..20 nodes, start
+// (0.8, 0.1, 0.1, 0, ..., 0). The paper's salient observation: the count
+// barely grows with N.
+func Fig6(ctx context.Context, sizes []int) ([]Fig6Row, error) {
+	if len(sizes) == 0 {
+		for n := 4; n <= 20; n++ {
+			sizes = append(sizes, n)
+		}
+	}
+	rows := make([]Fig6Row, 0, len(sizes))
+	for _, n := range sizes {
+		m, err := MeshSystem(n)
+		if err != nil {
+			return nil, err
+		}
+		start := PaperStart(n)
+		best := Fig6Row{N: n, Iterations: math.MaxInt}
+		for a := 0.05; a <= 1.5; a += 0.05 {
+			alloc, err := core.NewAllocator(m,
+				core.WithAlpha(a),
+				core.WithEpsilon(Epsilon),
+				core.WithMaxIterations(2000),
+			)
+			if err != nil {
+				return nil, fmt.Errorf("%w: configuring n=%d α=%v: %w", ErrExperiment, n, a, err)
+			}
+			res, err := alloc.Run(ctx, start)
+			if err != nil {
+				return nil, fmt.Errorf("%w: running n=%d α=%v: %w", ErrExperiment, n, a, err)
+			}
+			if res.Converged && res.Iterations < best.Iterations {
+				best.BestAlpha = a
+				best.Iterations = res.Iterations
+				var spread float64
+				for _, xi := range res.X {
+					if d := math.Abs(xi - 1/float64(n)); d > spread {
+						spread = d
+					}
+				}
+				best.FinalSpread = spread
+			}
+		}
+		if best.Iterations == math.MaxInt {
+			return nil, fmt.Errorf("%w: no α converged for n=%d", ErrExperiment, n)
+		}
+		rows = append(rows, best)
+	}
+	return rows, nil
+}

@@ -1,0 +1,177 @@
+package experiments
+
+import (
+	"context"
+	"math"
+	"testing"
+)
+
+func TestFig3ReproducesPaperIterationCounts(t *testing.T) {
+	// Paper (figure 3): 4 iterations for α=0.67, 10 for α=0.3, 20 for
+	// α=0.19, 51 for α=0.08. Our counting converges one check earlier
+	// for two of them (4/9/19/51); assert within ±1 of the paper.
+	profiles, err := Fig3(context.Background())
+	if err != nil {
+		t.Fatalf("Fig3: %v", err)
+	}
+	want := map[float64]int{0.67: 4, 0.3: 10, 0.19: 20, 0.08: 51}
+	for _, p := range profiles {
+		if !p.Converged {
+			t.Errorf("%s did not converge", p.Label)
+			continue
+		}
+		paper := want[p.Alpha]
+		if diff := p.Iterations - paper; diff < -1 || diff > 1 {
+			t.Errorf("%s: %d iterations, paper reports %d", p.Label, p.Iterations, paper)
+		}
+		// Optimum (0.25, 0.25, 0.25, 0.25) at cost 2.8.
+		for i, xi := range p.FinalX {
+			if math.Abs(xi-0.25) > 1e-2 {
+				t.Errorf("%s: x[%d] = %g, want ≈ 0.25", p.Label, i, xi)
+			}
+		}
+		final := p.Costs[len(p.Costs)-1]
+		if math.Abs(final-2.8) > 1e-3 {
+			t.Errorf("%s: final cost %g, want ≈ 2.8", p.Label, final)
+		}
+	}
+}
+
+func TestFig3MonotoneAndRapidPhase(t *testing.T) {
+	profiles, err := Fig3(context.Background())
+	if err != nil {
+		t.Fatalf("Fig3: %v", err)
+	}
+	for _, p := range profiles {
+		for i := 1; i < len(p.Costs); i++ {
+			if p.Costs[i] > p.Costs[i-1]+1e-12 {
+				t.Errorf("%s: cost increased at iteration %d (%g -> %g)",
+					p.Label, i, p.Costs[i-1], p.Costs[i])
+			}
+		}
+		// Rapid convergence phase: the first third of iterations
+		// captures most of the total improvement.
+		if len(p.Costs) >= 6 {
+			total := p.Costs[0] - p.Costs[len(p.Costs)-1]
+			third := p.Costs[0] - p.Costs[len(p.Costs)/3]
+			if third < 0.5*total {
+				t.Errorf("%s: first third achieved only %g of %g improvement", p.Label, third, total)
+			}
+		}
+	}
+}
+
+func TestFig4FragmentationWins(t *testing.T) {
+	rows, err := Fig4(context.Background(), nil)
+	if err != nil {
+		t.Fatalf("Fig4: %v", err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("no rows")
+	}
+	for _, row := range rows {
+		if row.FragmentedCost >= row.IntegralCost {
+			t.Errorf("v=%g: fragmented %g not below integral %g",
+				row.LinkCost, row.FragmentedCost, row.IntegralCost)
+		}
+		// Closed form: integral v + 2 ... wait: integral cost is
+		// C_best + k/(μ−λ) with C_i = 2v on the round-trip unit ring
+		// weighted 1/4·(0+2v+4v+2v) = 2v; so integral = 2v + 2 and
+		// fragmented optimum = 2v + 0.8.
+		wantIntegral := 2*row.LinkCost + 2
+		wantFrag := 2*row.LinkCost + 0.8
+		if math.Abs(row.IntegralCost-wantIntegral) > 1e-6 {
+			t.Errorf("v=%g: integral = %g, want %g", row.LinkCost, row.IntegralCost, wantIntegral)
+		}
+		if math.Abs(row.FragmentedCost-wantFrag) > 1e-3 {
+			t.Errorf("v=%g: fragmented = %g, want %g", row.LinkCost, row.FragmentedCost, wantFrag)
+		}
+	}
+	// The paper's 25% point: v = 1.4 gives 1.2/(2·1.4+2) = 25%.
+	for _, row := range rows {
+		if row.LinkCost == 1.4 {
+			if math.Abs(row.ReductionPct-25) > 0.5 {
+				t.Errorf("v=1.4: reduction %g%%, paper reports ≈ 25%%", row.ReductionPct)
+			}
+		}
+	}
+}
+
+func TestFig5AlphaSweepShape(t *testing.T) {
+	rows, err := Fig5(context.Background(), nil)
+	if err != nil {
+		t.Fatalf("Fig5: %v", err)
+	}
+	// Shape: small α slow, wide near-optimal basin, divergence beyond
+	// the stability threshold.
+	byAlpha := map[float64]Fig5Row{}
+	for _, r := range rows {
+		byAlpha[r.Alpha] = r
+	}
+	small, ok := byAlpha[0.02]
+	if !ok {
+		t.Fatal("missing α=0.02 row")
+	}
+	if !small.Converged || small.Iterations < 100 {
+		t.Errorf("α=0.02: %d iterations (converged=%v), expected slow convergence", small.Iterations, small.Converged)
+	}
+	good, ok := byAlpha[0.66]
+	if !ok {
+		t.Fatal("missing α=0.66 row")
+	}
+	if !good.Converged || good.Iterations > 8 {
+		t.Errorf("α=0.66: %d iterations, expected near-optimal speed", good.Iterations)
+	}
+	// Beyond 2/s ≈ 1.30 the iteration must not converge.
+	diverged, ok := byAlpha[1.4]
+	if !ok {
+		t.Fatal("missing α=1.4 row")
+	}
+	if diverged.Converged {
+		t.Errorf("α=1.4 converged; expected divergence beyond the stability window")
+	}
+	// A wide basin: at least 20 of the sampled α values converge within
+	// 2x the best.
+	best := math.MaxInt
+	for _, r := range rows {
+		if r.Converged && r.Iterations < best {
+			best = r.Iterations
+		}
+	}
+	nearOptimal := 0
+	for _, r := range rows {
+		if r.Converged && r.Iterations <= 2*best+2 {
+			nearOptimal++
+		}
+	}
+	if nearOptimal < 20 {
+		t.Errorf("only %d α values near-optimal; paper reports a relatively large range", nearOptimal)
+	}
+}
+
+func TestFig6IterationsFlatInN(t *testing.T) {
+	rows, err := Fig6(context.Background(), []int{4, 8, 12, 16, 20})
+	if err != nil {
+		t.Fatalf("Fig6: %v", err)
+	}
+	// The paper's salient feature: increasing the problem size does not
+	// significantly increase the iteration count.
+	lo, hi := math.MaxInt, 0
+	for _, r := range rows {
+		if r.Iterations < lo {
+			lo = r.Iterations
+		}
+		if r.Iterations > hi {
+			hi = r.Iterations
+		}
+		if r.FinalSpread > 1e-2 {
+			t.Errorf("n=%d: final allocation off uniform by %g", r.N, r.FinalSpread)
+		}
+	}
+	if hi > 3*lo+3 {
+		t.Errorf("iterations vary too much with N: min %d max %d", lo, hi)
+	}
+	if hi > 15 {
+		t.Errorf("best-α iterations reach %d; paper shows consistently small counts", hi)
+	}
+}

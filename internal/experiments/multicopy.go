@@ -1,0 +1,175 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"filealloc/internal/core"
+	"filealloc/internal/multicopy"
+)
+
+// multiCopyRing builds the section 7.3 evaluation ring: 4 nodes, m = 2
+// copies, μ = 1.5, k = 1, λ = 1 split uniformly.
+func multiCopyRing(linkCosts []float64) (*multicopy.Ring, error) {
+	r, err := multicopy.New(multicopy.Config{
+		LinkCosts:    linkCosts,
+		Rates:        []float64{Lambda},
+		ServiceRates: []float64{Mu},
+		K:            K,
+		Copies:       2,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("%w: building virtual ring: %w", ErrExperiment, err)
+	}
+	return r, nil
+}
+
+// multiCopyStart is the skewed starting allocation used for the section 7
+// profiles (two copies, most of the mass at node 0).
+func multiCopyStart() []float64 { return []float64{1.4, 0.2, 0.2, 0.2} }
+
+// MultiCopyProfile is one section-7.3 convergence curve.
+type MultiCopyProfile struct {
+	// Label names the ring or stepsize variant.
+	Label string
+	// Alpha is the (initial) stepsize.
+	Alpha float64
+	// Costs per iteration.
+	Costs []float64
+	// BestCost is the lowest cost observed.
+	BestCost float64
+	// Oscillation is the mean |cost_t − cost_{t−1}| over the second half
+	// of the run — the amplitude measure for figures 8 and 9.
+	Oscillation float64
+	// Iterations performed.
+	Iterations int
+}
+
+// oscillation measures the mean absolute successive cost difference over
+// the tail half of a profile.
+func oscillation(costs []float64) float64 {
+	if len(costs) < 3 {
+		return 0
+	}
+	start := len(costs) / 2
+	var sum float64
+	var count int
+	for i := start + 1; i < len(costs); i++ {
+		sum += math.Abs(costs[i] - costs[i-1])
+		count++
+	}
+	if count == 0 {
+		return 0
+	}
+	return sum / float64(count)
+}
+
+// runMultiCopy executes one profile with a fixed stepsize (no decay), the
+// raw behaviour figures 8 and 9 display.
+func runMultiCopy(ctx context.Context, r *multicopy.Ring, alpha float64, iterations int, label string) (MultiCopyProfile, error) {
+	var costs []float64
+	best := math.Inf(1)
+	alloc, err := core.NewAllocator(r,
+		core.WithAlpha(alpha),
+		core.WithEpsilon(Epsilon),
+		core.WithMaxIterations(iterations),
+		core.WithTrace(func(it core.Iteration) {
+			c := -it.Utility
+			costs = append(costs, c)
+			if c < best {
+				best = c
+			}
+		}),
+	)
+	if err != nil {
+		return MultiCopyProfile{}, fmt.Errorf("%w: configuring %s: %w", ErrExperiment, label, err)
+	}
+	res, err := alloc.Run(ctx, multiCopyStart())
+	if err != nil {
+		return MultiCopyProfile{}, fmt.Errorf("%w: running %s: %w", ErrExperiment, label, err)
+	}
+	return MultiCopyProfile{
+		Label:       label,
+		Alpha:       alpha,
+		Costs:       costs,
+		BestCost:    best,
+		Oscillation: oscillation(costs),
+		Iterations:  res.Iterations,
+	}, nil
+}
+
+// Fig8 reproduces figure 8: convergence profiles of the 4-node virtual
+// ring with m = 2 copies at α = 0.1, for link costs (4,1,1,1)
+// (communication-dominated, oscillates more) versus (1,1,1,1)
+// (delay-dominated, small oscillations).
+func Fig8(ctx context.Context) ([]MultiCopyProfile, error) {
+	const iterations = 60
+	configs := []struct {
+		label string
+		costs []float64
+	}{
+		{"links (4,1,1,1)", []float64{4, 1, 1, 1}},
+		{"links (1,1,1,1)", []float64{1, 1, 1, 1}},
+	}
+	profiles := make([]MultiCopyProfile, 0, len(configs))
+	for _, cfg := range configs {
+		r, err := multiCopyRing(cfg.costs)
+		if err != nil {
+			return nil, err
+		}
+		p, err := runMultiCopy(ctx, r, 0.1, iterations, cfg.label)
+		if err != nil {
+			return nil, err
+		}
+		profiles = append(profiles, p)
+	}
+	return profiles, nil
+}
+
+// Fig9 reproduces figure 9: the oscillating (4,1,1,1) ring at α = 0.1
+// versus α = 0.05 — halving the stepsize halves the oscillation amplitude —
+// plus the section 7.3 adaptive-decay run that actually terminates.
+func Fig9(ctx context.Context) ([]MultiCopyProfile, error) {
+	const iterations = 60
+	profiles := make([]MultiCopyProfile, 0, 3)
+	for _, alpha := range []float64{0.1, 0.05} {
+		r, err := multiCopyRing([]float64{4, 1, 1, 1})
+		if err != nil {
+			return nil, err
+		}
+		p, err := runMultiCopy(ctx, r, alpha, iterations, fmt.Sprintf("α=%.2f fixed", alpha))
+		if err != nil {
+			return nil, err
+		}
+		profiles = append(profiles, p)
+	}
+
+	// The modified termination rule: decay α on oscillation, stop on
+	// small cost delta, return the best observed point.
+	r, err := multiCopyRing([]float64{4, 1, 1, 1})
+	if err != nil {
+		return nil, err
+	}
+	var costs []float64
+	res, err := r.Solve(ctx, multiCopyStart(), multicopy.SolveConfig{
+		Alpha:         0.1,
+		CostDelta:     1e-6,
+		MaxIterations: 2000,
+		OnIteration: func(it core.Iteration) {
+			costs = append(costs, -it.Utility)
+		},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("%w: adaptive solve: %w", ErrExperiment, err)
+	}
+	profiles = append(profiles, MultiCopyProfile{
+		Label:       "α=0.10 adaptive decay",
+		Alpha:       0.1,
+		Costs:       costs,
+		BestCost:    res.Cost,
+		Oscillation: oscillation(costs),
+		Iterations:  res.Iterations,
+	})
+	return profiles, nil
+}

@@ -1,0 +1,146 @@
+package experiments
+
+import (
+	"context"
+	"testing"
+)
+
+func TestFig8CommDominatedOscillatesMore(t *testing.T) {
+	profiles, err := Fig8(context.Background())
+	if err != nil {
+		t.Fatalf("Fig8: %v", err)
+	}
+	if len(profiles) != 2 {
+		t.Fatalf("got %d profiles, want 2", len(profiles))
+	}
+	commDominated, delayDominated := profiles[0], profiles[1]
+	// "A dominant communication cost is likely to result in greater
+	// oscillation than in the case where the delay term is larger."
+	if commDominated.Oscillation <= delayDominated.Oscillation {
+		t.Errorf("comm-dominated oscillation %g not above delay-dominated %g",
+			commDominated.Oscillation, delayDominated.Oscillation)
+	}
+	// Both runs must still have improved on the start.
+	for _, p := range profiles {
+		if len(p.Costs) < 2 {
+			t.Fatalf("%s: profile too short", p.Label)
+		}
+		if p.BestCost >= p.Costs[0] {
+			t.Errorf("%s: best cost %g did not improve on start %g", p.Label, p.BestCost, p.Costs[0])
+		}
+	}
+}
+
+func TestFig9SmallerAlphaSmallerOscillation(t *testing.T) {
+	profiles, err := Fig9(context.Background())
+	if err != nil {
+		t.Fatalf("Fig9: %v", err)
+	}
+	if len(profiles) != 3 {
+		t.Fatalf("got %d profiles, want 3", len(profiles))
+	}
+	a10, a05, adaptive := profiles[0], profiles[1], profiles[2]
+	// "Decreasing this parameter causes the oscillations to be smaller."
+	if a05.Oscillation >= a10.Oscillation {
+		t.Errorf("α=0.05 oscillation %g not below α=0.10 oscillation %g",
+			a05.Oscillation, a10.Oscillation)
+	}
+	// The adaptive decay damps the tail oscillation below the fixed
+	// α=0.10 run and actually terminates via the cost-delta rule.
+	if adaptive.Oscillation >= a10.Oscillation {
+		t.Errorf("adaptive oscillation %g not below fixed %g", adaptive.Oscillation, a10.Oscillation)
+	}
+	if adaptive.BestCost > a10.BestCost+1e-6 {
+		t.Errorf("adaptive best cost %g worse than fixed run's %g", adaptive.BestCost, a10.BestCost)
+	}
+}
+
+func TestValidateAnalyticWithinFivePercent(t *testing.T) {
+	rows, err := Validate(150000, 1)
+	if err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if len(rows) < 4 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, row := range rows {
+		if row.ErrorPct > 5 {
+			t.Errorf("%s: simulated %g vs analytic %g (%.2f%% error)",
+				row.Label, row.Simulated, row.Analytic, row.ErrorPct)
+		}
+	}
+}
+
+func TestAblationSecondOrderScaleResilience(t *testing.T) {
+	rows, err := AblationSecondOrder(context.Background(), []float64{1, 10, 100})
+	if err != nil {
+		t.Fatalf("AblationSecondOrder: %v", err)
+	}
+	base := rows[0]
+	if base.FirstOrderIterations < 0 {
+		t.Fatal("first-order failed at scale 1 where its α was tuned")
+	}
+	for _, row := range rows[1:] {
+		// Second-order iteration count stays put under scaling.
+		if diff := row.SecondOrderIterations - base.SecondOrderIterations; diff < -2 || diff > 2 {
+			t.Errorf("scale %g: second-order iterations %d vs %d at scale 1",
+				row.Scale, row.SecondOrderIterations, base.SecondOrderIterations)
+		}
+	}
+	// First-order at the fixed α must degrade at the largest scale:
+	// either diverge or need far more iterations.
+	last := rows[len(rows)-1]
+	if last.FirstOrderIterations >= 0 && last.FirstOrderIterations <= 3*base.FirstOrderIterations {
+		t.Errorf("first-order unaffected by 100x scaling (%d vs %d iterations) — expected degradation",
+			last.FirstOrderIterations, base.FirstOrderIterations)
+	}
+}
+
+func TestAblationDecentralizedMatchesCentral(t *testing.T) {
+	rows, err := AblationDecentralized(context.Background())
+	if err != nil {
+		t.Fatalf("AblationDecentralized: %v", err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(rows))
+	}
+	for _, row := range rows {
+		if !row.Converged {
+			t.Errorf("%s did not converge", row.Mode)
+		}
+		if row.MaxAllocationDiff != 0 {
+			t.Errorf("%s: allocation differs from central by %g (want bit-identical)",
+				row.Mode, row.MaxAllocationDiff)
+		}
+		if row.Rounds != row.CentralIterations {
+			t.Errorf("%s: %d rounds vs %d central iterations", row.Mode, row.Rounds, row.CentralIterations)
+		}
+	}
+	if rows[1].Messages >= rows[0].Messages {
+		t.Errorf("coordinator messages %d not below broadcast %d", rows[1].Messages, rows[0].Messages)
+	}
+}
+
+func TestAblationPriceDirectedContrast(t *testing.T) {
+	report, err := AblationPriceDirected(context.Background())
+	if err != nil {
+		t.Fatalf("AblationPriceDirected: %v", err)
+	}
+	// The resource-directed algorithm never leaves the feasible set.
+	if report.ResourceWorstInfeasibility > 1e-9 {
+		t.Errorf("resource-directed infeasibility %g, want 0", report.ResourceWorstInfeasibility)
+	}
+	if !report.ResourceMonotone {
+		t.Error("resource-directed cost was not monotone")
+	}
+	// The tâtonnement's iterates are materially infeasible on the way.
+	if report.PriceWorstInfeasibility < 0.01 {
+		t.Errorf("price-directed worst infeasibility %g; expected material excess demand",
+			report.PriceWorstInfeasibility)
+	}
+	// Both land on (approximately) the same optimal cost.
+	if diff := report.PriceCost - report.ResourceCost; diff < -1e-3 || diff > 1e-3 {
+		t.Errorf("mechanisms disagree on the optimum: price %g vs resource %g",
+			report.PriceCost, report.ResourceCost)
+	}
+}

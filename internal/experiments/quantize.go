@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"fmt"
+
+	"filealloc/internal/costmodel"
+	"filealloc/internal/quantize"
+)
+
+// QuantizeRow reports the cost of rounding the optimal fractions to record
+// boundaries at one file granularity (experiment E15, section 8.1).
+type QuantizeRow struct {
+	// Records per copy.
+	Records int
+	// MaxDeviation is the worst per-node |x_i − rounded_i|.
+	MaxDeviation float64
+	// CostPenaltyPct is 100·(C(rounded) − C(x*))/C(x*).
+	CostPenaltyPct float64
+}
+
+// Quantize runs E15: round the figure-3 optimum (computed on an asymmetric
+// system so the fractions are irrational-ish) to various record counts and
+// measure the cost penalty. Section 8.1: "the larger the number of
+// records the closer the rounded-off fractions will be to the prescribed
+// fractions and thus the closer the final allocation will be to
+// optimality."
+func Quantize(recordCounts []int) ([]QuantizeRow, error) {
+	if len(recordCounts) == 0 {
+		recordCounts = []int{10, 50, 100, 1000, 10000}
+	}
+	// An asymmetric system so the optimum is not a round fraction.
+	m, err := costmodel.NewSingleFile([]float64{2, 1, 3, 2.5}, []float64{Mu}, Lambda, K)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrExperiment, err)
+	}
+	sol, err := m.SolveKKT(1e-12)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrExperiment, err)
+	}
+	rows := make([]QuantizeRow, 0, len(recordCounts))
+	for _, records := range recordCounts {
+		counts, err := quantize.Records(sol.X, records)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrExperiment, err)
+		}
+		penalty, err := quantize.CostPenalty(m.Cost, sol.X, counts, records)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrExperiment, err)
+		}
+		rows = append(rows, QuantizeRow{
+			Records:        records,
+			MaxDeviation:   quantize.MaxDeviation(sol.X, counts, records),
+			CostPenaltyPct: 100 * penalty / sol.Cost,
+		})
+	}
+	return rows, nil
+}

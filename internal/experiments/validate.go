@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"filealloc/internal/sim"
+	"filealloc/internal/topology"
+)
+
+// ValidationRow compares the analytic equation-1 cost against the
+// discrete-event simulator for one allocation.
+type ValidationRow struct {
+	// Label names the allocation.
+	Label string
+	// X is the allocation.
+	X []float64
+	// Analytic is the closed-form cost C(x).
+	Analytic float64
+	// Simulated is the measured cost over the simulated accesses.
+	Simulated float64
+	// ErrorPct is 100·|Simulated − Analytic|/Analytic.
+	ErrorPct float64
+}
+
+// Validate runs experiment E7: it simulates the figure-3 system at several
+// allocations and reports the relative error of the analytic model. The
+// paper relies on the M/M/1 formula for its delay term; this experiment is
+// the evidence the formula describes the simulated system.
+func Validate(accesses int, seed int64) ([]ValidationRow, error) {
+	if accesses <= 0 {
+		accesses = 200000
+	}
+	const n = 4
+	ring, err := topology.Ring(n, 1)
+	if err != nil {
+		return nil, fmt.Errorf("%w: building ring: %w", ErrExperiment, err)
+	}
+	rates := topology.UniformRates(n, Lambda)
+	pair, err := topology.PairCosts(ring, topology.RoundTrip)
+	if err != nil {
+		return nil, fmt.Errorf("%w: pair costs: %w", ErrExperiment, err)
+	}
+	model, err := RingSystem(n, 1)
+	if err != nil {
+		return nil, err
+	}
+	service := make([]sim.Sampler, n)
+	for i := range service {
+		service[i] = sim.ExpSampler{Rate: Mu}
+	}
+	cases := []struct {
+		label string
+		x     []float64
+	}{
+		{"uniform optimum", []float64{0.25, 0.25, 0.25, 0.25}},
+		{"paper start", []float64{0.8, 0.1, 0.1, 0.0}},
+		{"integral", []float64{0, 0, 0, 1}},
+		{"skewed", []float64{0.5, 0.3, 0.15, 0.05}},
+	}
+	rows := make([]ValidationRow, 0, len(cases))
+	for i, c := range cases {
+		analytic, err := model.Cost(c.x)
+		if err != nil {
+			return nil, fmt.Errorf("%w: analytic cost of %q: %w", ErrExperiment, c.label, err)
+		}
+		w := sim.SingleFileWorkload(c.x, rates, pair, service, K)
+		w.Accesses = accesses
+		w.Seed = seed + int64(i)
+		res, err := sim.Run(w)
+		if err != nil {
+			return nil, fmt.Errorf("%w: simulating %q: %w", ErrExperiment, c.label, err)
+		}
+		rows = append(rows, ValidationRow{
+			Label:     c.label,
+			X:         c.x,
+			Analytic:  analytic,
+			Simulated: res.TotalCost,
+			ErrorPct:  100 * math.Abs(res.TotalCost-analytic) / analytic,
+		})
+	}
+	return rows, nil
+}

@@ -1,0 +1,224 @@
+package multicopy
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+
+	"filealloc/internal/core"
+)
+
+// BiRing is a step toward the "less restrictive topology" the paper's
+// section 8.2 leaves open ("the virtual ring structure may be construed
+// as too severe a restriction to impose on an arbitrary network. It would
+// be worthwhile to define a less restrictive topology and yet preserve
+// the tractability of the current model").
+//
+// The copies keep the section 7.2 contiguous layout, but links carry
+// traffic in both directions and every reader fetches each piece of
+// content from its NEAREST holder — distance being the cheaper of the
+// clockwise and counter-clockwise routes. The unidirectional model's
+// forward walk is exactly nearest-holder under one-way distances, so this
+// is the natural relaxation; tractability survives because the contiguous
+// layout keeps the holder set of any content position computable in
+// O(n).
+//
+// The objective remains piecewise smooth with jumps at layout boundaries;
+// gradients are computed by central finite differences (the analytic
+// piecewise form buys little here because nearest-holder assignments
+// reshuffle between kinks).
+type BiRing struct {
+	linkCosts []float64   // linkCosts[i]: cost of the (bidirectional) link between i and i+1
+	dist      [][]float64 // min(cw, ccw) distance matrix
+	rates     []float64
+	service   []float64
+	lambda    float64
+	k         float64
+	copies    float64
+}
+
+var _ core.Objective = (*BiRing)(nil)
+
+// NewBidirectional validates the configuration and builds the model. The
+// Config is interpreted as for New, except links work in both directions
+// at the same cost.
+func NewBidirectional(cfg Config) (*BiRing, error) {
+	base, err := New(cfg) // reuse validation
+	if err != nil {
+		return nil, err
+	}
+	n := base.Dim()
+	r := &BiRing{
+		linkCosts: base.linkCosts,
+		rates:     base.rates,
+		service:   base.service,
+		lambda:    base.lambda,
+		k:         base.k,
+		copies:    base.copies,
+	}
+	var total float64
+	for _, c := range r.linkCosts {
+		total += c
+	}
+	r.dist = make([][]float64, n)
+	for j := 0; j < n; j++ {
+		r.dist[j] = make([]float64, n)
+		forward := 0.0
+		for step := 1; step < n; step++ {
+			forward += r.linkCosts[(j+step-1)%n]
+			i := (j + step) % n
+			r.dist[j][i] = math.Min(forward, total-forward)
+		}
+	}
+	return r, nil
+}
+
+// Dim returns the node count.
+func (r *BiRing) Dim() int { return len(r.linkCosts) }
+
+// Copies returns m.
+func (r *BiRing) Copies() float64 { return r.copies }
+
+// Demands returns a[j][i]: the share of the file reader j fetches from
+// node i under nearest-holder assignment. Content is cut at every layout
+// boundary (mod 1); each sliver goes to the holder with the smallest
+// bidirectional distance from j (ties to the lower node index).
+func (r *BiRing) Demands(x []float64) ([][]float64, error) {
+	n := r.Dim()
+	if err := (&Ring{linkCosts: r.linkCosts, rates: r.rates, service: r.service,
+		lambda: r.lambda, k: r.k, copies: r.copies}).checkAllocation(x); err != nil {
+		return nil, err
+	}
+	// Layout segments in ring order starting at node 0, folded into
+	// content space [0, 1).
+	type seg struct {
+		node       int
+		start, end float64
+	}
+	var segs []seg
+	pos := 0.0
+	for i, xi := range x {
+		if xi > 0 {
+			segs = append(segs, seg{node: i, start: pos, end: pos + xi})
+		}
+		pos += xi
+	}
+	cuts := []float64{0, 1}
+	for _, s := range segs {
+		cuts = append(cuts, math.Mod(s.start, 1), math.Mod(s.end, 1))
+	}
+	sort.Float64s(cuts)
+
+	covers := func(s seg, u float64) bool {
+		for base := math.Floor(s.start); base <= s.end; base++ {
+			if s.start <= base+u && base+u < s.end {
+				return true
+			}
+		}
+		return false
+	}
+	a := make([][]float64, n)
+	for j := 0; j < n; j++ {
+		a[j] = make([]float64, n)
+		for c := 0; c+1 < len(cuts); c++ {
+			lo, hi := cuts[c], cuts[c+1]
+			width := hi - lo
+			if width <= 1e-15 {
+				continue
+			}
+			mid := lo + width/2
+			best := -1
+			for _, s := range segs {
+				if !covers(s, mid) {
+					continue
+				}
+				if best < 0 || r.dist[j][s.node] < r.dist[j][best] {
+					best = s.node
+				}
+			}
+			if best < 0 {
+				return nil, fmt.Errorf("%w: content %v has no holder", ErrBadParam, mid)
+			}
+			a[j][best] += width
+		}
+	}
+	return a, nil
+}
+
+// Cost returns the expected cost of one access, as for Ring.
+func (r *BiRing) Cost(x []float64) (float64, error) {
+	a, err := r.Demands(x)
+	if err != nil {
+		return 0, err
+	}
+	n := r.Dim()
+	arrivals := make([]float64, n)
+	for j := 0; j < n; j++ {
+		for i := 0; i < n; i++ {
+			arrivals[i] += r.rates[j] * a[j][i]
+		}
+	}
+	var total float64
+	for i, lam := range arrivals {
+		if lam == 0 {
+			continue
+		}
+		room := r.service[i] - lam
+		if room <= 0 {
+			return 0, fmt.Errorf("%w: node %d has μ=%v, Λ=%v", ErrUnstable, i, r.service[i], lam)
+		}
+		for j := 0; j < n; j++ {
+			if a[j][i] > 0 {
+				total += r.rates[j] * a[j][i] * (r.dist[j][i] + r.k/room)
+			}
+		}
+	}
+	return total / r.lambda, nil
+}
+
+// Utility returns −Cost(x).
+func (r *BiRing) Utility(x []float64) (float64, error) {
+	c, err := r.Cost(x)
+	if err != nil {
+		return 0, err
+	}
+	return -c, nil
+}
+
+// Gradient estimates the marginal utilities by central finite differences
+// (h = 1e-7), projected to keep the perturbed points inside the feasible
+// cone. At layout kinks this returns the average of the one-sided
+// derivatives, which is what the oscillation-tolerant solver expects.
+func (r *BiRing) Gradient(grad, x []float64) error {
+	n := r.Dim()
+	if len(grad) != n || len(x) != n {
+		return fmt.Errorf("%w: gradient/allocation size mismatch", ErrBadParam)
+	}
+	const h = 1e-7
+	for v := 0; v < n; v++ {
+		xp := append([]float64(nil), x...)
+		xm := append([]float64(nil), x...)
+		xp[v] += h
+		hm := h
+		if xm[v] < h {
+			hm = xm[v] // one-sided at the boundary
+		}
+		xm[v] -= hm
+		up, err := r.Utility(xp)
+		if err != nil {
+			return err
+		}
+		um, err := r.Utility(xm)
+		if err != nil {
+			return err
+		}
+		grad[v] = (up - um) / (h + hm)
+	}
+	return nil
+}
+
+// Solve runs the oscillation-tolerant solver on the bidirectional model.
+func (r *BiRing) Solve(ctx context.Context, init []float64, cfg SolveConfig) (SolveResult, error) {
+	return solveObjective(ctx, r, init, cfg)
+}

@@ -1,0 +1,60 @@
+package multicopy_test
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"filealloc/internal/multicopy"
+)
+
+// ExampleRing_Solve places two copies of a file on a 4-node virtual ring
+// using the section 7.3 oscillation-tolerant solver. Counter to the
+// single-copy intuition, the best observed point is NOT the uniform
+// spread: alternating fragment sizes shorten the average forward walk
+// slightly (1.304 vs 1.307 at uniform) — the kind of structure the
+// discontinuous multi-copy objective hides.
+func ExampleRing_Solve() {
+	ring, err := multicopy.New(multicopy.Config{
+		LinkCosts:    []float64{1, 1, 1, 1},
+		Rates:        []float64{1}, // λ = 1 split uniformly
+		ServiceRates: []float64{1.5},
+		K:            1,
+		Copies:       2,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := ring.Solve(context.Background(),
+		[]float64{1.7, 0.1, 0.1, 0.1}, // both copies piled near node 0
+		multicopy.SolveConfig{Alpha: 0.1, CostDelta: 1e-7},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("best allocation: %.2f (cost %.3f)\n", res.X, res.Cost)
+	// Output:
+	// best allocation: [0.57 0.43 0.57 0.43] (cost 1.304)
+}
+
+// ExampleRing_Demands shows who reads what: each node takes its own
+// fragment first and walks forward until it has seen one full copy.
+func ExampleRing_Demands() {
+	ring, err := multicopy.New(multicopy.Config{
+		LinkCosts:    []float64{1, 1, 1, 1},
+		Rates:        []float64{1},
+		ServiceRates: []float64{10},
+		K:            1,
+		Copies:       2,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	a, err := ring.Demands([]float64{0.5, 0.5, 0.5, 0.5})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("node 0 reads: %.2f\n", a[0])
+	// Output:
+	// node 0 reads: [0.50 0.50 0.00 0.00]
+}

@@ -1,0 +1,352 @@
+// Package multicopy implements the paper's section 7 extension: allocating
+// m copies of a file laid out contiguously around a virtual ring. Copies
+// are placed end-to-end in ring order, so from any node's viewpoint the
+// file is contiguous: a reader takes its own fragment first and walks
+// forward around the ring collecting fragments until it has seen the whole
+// file.
+//
+// The resulting cost function is piecewise smooth: as the allocation
+// changes, whole link costs enter or leave a reader's path, so the marginal
+// utilities "change in jumps, the jumps being whole link costs". The
+// gradient implemented here is the piecewise-analytic one (exact between
+// kinks, one-sided at them); the iterative algorithm consequently
+// oscillates near the optimum, which section 7.3 handles by decaying the
+// stepsize — see Solve.
+package multicopy
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"filealloc/internal/core"
+)
+
+// Sentinel errors.
+var (
+	// ErrBadParam reports invalid ring parameters.
+	ErrBadParam = errors.New("multicopy: invalid parameter")
+	// ErrUnstable reports an allocation that saturates a node's queue.
+	ErrUnstable = errors.New("multicopy: queue unstable at allocation")
+)
+
+// Ring is the virtual-ring cost model. Node i forwards file accesses to
+// node (i+1) mod n over a link of cost linkCosts[i]; m copies of the file
+// circulate the ring end-to-end.
+type Ring struct {
+	linkCosts []float64
+	dist      [][]float64 // dist[j][i]: forward distance j -> i
+	rates     []float64   // λ_j
+	service   []float64   // μ_i
+	lambda    float64     // Σ λ_j
+	k         float64
+	copies    float64 // m
+}
+
+var (
+	_ core.Objective = (*Ring)(nil)
+)
+
+// Config assembles a Ring.
+type Config struct {
+	// LinkCosts[i] is the cost of the directed link i -> (i+1) mod n;
+	// its length fixes the node count (≥ 3).
+	LinkCosts []float64
+	// Rates holds λ_j per node; pass a single element for uniform rates
+	// whose SUM equals that value (matching the paper's λ = 1 split
+	// over the ring).
+	Rates []float64
+	// ServiceRates holds μ_i per node, or a single homogeneous value.
+	ServiceRates []float64
+	// K scales delay against communication cost.
+	K float64
+	// Copies is m ≥ 1, the number of circulating copies.
+	Copies float64
+}
+
+// New validates the configuration and builds the model.
+func New(cfg Config) (*Ring, error) {
+	n := len(cfg.LinkCosts)
+	if n < 3 {
+		return nil, fmt.Errorf("%w: ring needs at least 3 nodes, got %d", ErrBadParam, n)
+	}
+	for i, c := range cfg.LinkCosts {
+		if c < 0 || math.IsNaN(c) || math.IsInf(c, 0) {
+			return nil, fmt.Errorf("%w: link cost %d = %v", ErrBadParam, i, c)
+		}
+	}
+	if cfg.Copies < 1 || math.IsNaN(cfg.Copies) || math.IsInf(cfg.Copies, 0) {
+		return nil, fmt.Errorf("%w: copies m = %v, need m ≥ 1", ErrBadParam, cfg.Copies)
+	}
+	if cfg.K < 0 || math.IsNaN(cfg.K) {
+		return nil, fmt.Errorf("%w: k = %v", ErrBadParam, cfg.K)
+	}
+	var rates []float64
+	switch len(cfg.Rates) {
+	case 1:
+		rates = make([]float64, n)
+		for i := range rates {
+			rates[i] = cfg.Rates[0] / float64(n)
+		}
+	case n:
+		rates = append([]float64(nil), cfg.Rates...)
+	default:
+		return nil, fmt.Errorf("%w: %d rates for %d nodes", ErrBadParam, len(cfg.Rates), n)
+	}
+	var lambda float64
+	for j, r := range rates {
+		if r < 0 || math.IsNaN(r) || math.IsInf(r, 0) {
+			return nil, fmt.Errorf("%w: rate λ_%d = %v", ErrBadParam, j, r)
+		}
+		lambda += r
+	}
+	if lambda <= 0 {
+		return nil, fmt.Errorf("%w: total access rate must be positive", ErrBadParam)
+	}
+	var service []float64
+	switch len(cfg.ServiceRates) {
+	case 1:
+		service = make([]float64, n)
+		for i := range service {
+			service[i] = cfg.ServiceRates[0]
+		}
+	case n:
+		service = append([]float64(nil), cfg.ServiceRates...)
+	default:
+		return nil, fmt.Errorf("%w: %d service rates for %d nodes", ErrBadParam, len(cfg.ServiceRates), n)
+	}
+	for i, mu := range service {
+		if mu <= 0 || math.IsNaN(mu) || math.IsInf(mu, 0) {
+			return nil, fmt.Errorf("%w: service rate μ_%d = %v", ErrBadParam, i, mu)
+		}
+	}
+	r := &Ring{
+		linkCosts: append([]float64(nil), cfg.LinkCosts...),
+		rates:     rates,
+		service:   service,
+		lambda:    lambda,
+		k:         cfg.K,
+		copies:    cfg.Copies,
+	}
+	r.dist = make([][]float64, n)
+	for j := 0; j < n; j++ {
+		r.dist[j] = make([]float64, n)
+		acc := 0.0
+		for step := 1; step < n; step++ {
+			acc += r.linkCosts[(j+step-1)%n]
+			r.dist[j][(j+step)%n] = acc
+		}
+	}
+	return r, nil
+}
+
+// Dim returns the node count.
+func (r *Ring) Dim() int { return len(r.linkCosts) }
+
+// Copies returns m.
+func (r *Ring) Copies() float64 { return r.copies }
+
+// Lambda returns the total access rate.
+func (r *Ring) Lambda() float64 { return r.lambda }
+
+// Demands returns the matrix a[j][i]: the fraction of the file reader j
+// obtains from node i. Reader j takes its own fragment first, then walks
+// forward around the ring until it has accumulated one full copy; the
+// fragment of node (j+t) serves the file sub-interval
+// [min(1, P_{t−1}), min(1, P_t)) where P_t is the prefix sum of fragments
+// in walk order.
+func (r *Ring) Demands(x []float64) ([][]float64, error) {
+	n := r.Dim()
+	if err := r.checkAllocation(x); err != nil {
+		return nil, err
+	}
+	a := make([][]float64, n)
+	for j := 0; j < n; j++ {
+		a[j] = make([]float64, n)
+		prev := 0.0
+		acc := 0.0
+		for t := 0; t < n; t++ {
+			i := (j + t) % n
+			acc += x[i]
+			cur := math.Min(1, acc)
+			a[j][i] = cur - prev
+			prev = cur
+			if cur >= 1 {
+				break
+			}
+		}
+	}
+	return a, nil
+}
+
+func (r *Ring) checkAllocation(x []float64) error {
+	n := r.Dim()
+	if len(x) != n {
+		return fmt.Errorf("%w: allocation has %d entries for %d nodes", ErrBadParam, len(x), n)
+	}
+	var sum float64
+	for i, v := range x {
+		if v < 0 || math.IsNaN(v) {
+			return fmt.Errorf("%w: x[%d] = %v", ErrBadParam, i, v)
+		}
+		sum += v
+	}
+	if sum < 1-1e-9 {
+		return fmt.Errorf("%w: allocation sums to %v < 1 full copy", ErrBadParam, sum)
+	}
+	return nil
+}
+
+// ArrivalRates returns Λ_i = Σ_j λ_j·a_{j,i}, the access traffic directed
+// at each node (a node's own accesses to its local fragment included, as in
+// the paper's worked example).
+func (r *Ring) ArrivalRates(x []float64) ([]float64, error) {
+	a, err := r.Demands(x)
+	if err != nil {
+		return nil, err
+	}
+	n := r.Dim()
+	arrivals := make([]float64, n)
+	for j := 0; j < n; j++ {
+		for i := 0; i < n; i++ {
+			arrivals[i] += r.rates[j] * a[j][i]
+		}
+	}
+	return arrivals, nil
+}
+
+// NodeCommCost returns the raw (rate-weighted, unnormalized) communication
+// cost of the accesses directed at node i, Σ_j λ_j·a_{j,i}·d(j→i): the
+// quantity the paper's section 7.2 example evaluates to 8.3 for node 4.
+func (r *Ring) NodeCommCost(x []float64, i int) (float64, error) {
+	a, err := r.Demands(x)
+	if err != nil {
+		return 0, err
+	}
+	var sum float64
+	for j := range a {
+		sum += r.rates[j] * a[j][i] * r.dist[j][i]
+	}
+	return sum, nil
+}
+
+// Cost returns the expected cost of one access:
+//
+//	C(x) = (1/λ)·Σ_j λ_j·Σ_i a_{j,i}·(d(j→i) + k·T_i),   T_i = 1/(μ_i − Λ_i).
+func (r *Ring) Cost(x []float64) (float64, error) {
+	a, err := r.Demands(x)
+	if err != nil {
+		return 0, err
+	}
+	n := r.Dim()
+	arrivals := make([]float64, n)
+	for j := 0; j < n; j++ {
+		for i := 0; i < n; i++ {
+			arrivals[i] += r.rates[j] * a[j][i]
+		}
+	}
+	delay := make([]float64, n)
+	for i, lam := range arrivals {
+		if lam == 0 {
+			continue
+		}
+		room := r.service[i] - lam
+		if room <= 0 {
+			return 0, fmt.Errorf("%w: node %d has μ=%v, Λ=%v", ErrUnstable, i, r.service[i], lam)
+		}
+		delay[i] = 1 / room
+	}
+	var total float64
+	for j := 0; j < n; j++ {
+		for i := 0; i < n; i++ {
+			if a[j][i] == 0 {
+				continue
+			}
+			total += r.rates[j] * a[j][i] * (r.dist[j][i] + r.k*delay[i])
+		}
+	}
+	return total / r.lambda, nil
+}
+
+// Utility returns −Cost(x).
+func (r *Ring) Utility(x []float64) (float64, error) {
+	c, err := r.Cost(x)
+	if err != nil {
+		return 0, err
+	}
+	return -c, nil
+}
+
+// Gradient fills the piecewise-analytic marginal utilities. Between kinks
+// (prefix sums crossing a whole copy) the cost is smooth and the gradient
+// exact; at a kink the one-sided derivative with the strict P < 1
+// convention is used, matching the paper's observation that the
+// derivatives jump by whole link costs there.
+//
+// Derivation: with demands a_{j,t} = clip(P_{j,t}) − clip(P_{j,t−1}) and
+// the delay cost written as k·Σ_i Λ_i/(μ_i − Λ_i), the chain rule through
+// both the communication term and Λ gives
+//
+//	λ·∂C/∂x_v = Σ_j λ_j · Σ_{t ≤ n−2 : P_{j,t} < 1} (c_{j,t} − c_{j,t+1}) · 1[v ∈ prefix_{j,t}]
+//
+// with the marginal node cost c_{j,t} = d(j→j+t) + k·μ/(μ − Λ_{j+t})².
+// (∂(Λ·T)/∂Λ = μ/(μ−Λ)² folds the reader's own delay and the congestion
+// externality into one term.) For each reader the prefix membership
+// telescopes into a suffix sum, evaluated below in O(n) per reader.
+func (r *Ring) Gradient(grad, x []float64) error {
+	n := r.Dim()
+	if len(grad) != n {
+		return fmt.Errorf("%w: gradient has %d entries for %d nodes", ErrBadParam, len(grad), n)
+	}
+	a, err := r.Demands(x)
+	if err != nil {
+		return err
+	}
+	arrivals := make([]float64, n)
+	for j := 0; j < n; j++ {
+		for i := 0; i < n; i++ {
+			arrivals[i] += r.rates[j] * a[j][i]
+		}
+	}
+	// margNode[i] = k·∂(Λ_i·T_i)/∂Λ_i = k·μ_i/(μ_i − Λ_i)².
+	margNode := make([]float64, n)
+	for i, lam := range arrivals {
+		room := r.service[i] - lam
+		if room <= 0 {
+			return fmt.Errorf("%w: node %d has μ=%v, Λ=%v", ErrUnstable, i, r.service[i], lam)
+		}
+		margNode[i] = r.k * r.service[i] / (room * room)
+	}
+
+	for i := range grad {
+		grad[i] = 0
+	}
+	diffs := make([]float64, n)
+	for j := 0; j < n; j++ {
+		if r.rates[j] == 0 {
+			continue
+		}
+		// Collect (c_t − c_{t+1}) for every live boundary t (P_t < 1).
+		stop := 0
+		acc := 0.0
+		for t := 0; t < n-1; t++ {
+			iCur := (j + t) % n
+			iNext := (j + t + 1) % n
+			acc += x[iCur]
+			if acc >= 1 {
+				break
+			}
+			diffs[t] = (r.dist[j][iCur] + margNode[iCur]) - (r.dist[j][iNext] + margNode[iNext])
+			stop = t + 1
+		}
+		// Variable at walk position u receives Σ_{t ≥ u} diffs[t]: a
+		// suffix sum.
+		w := r.rates[j] / r.lambda
+		suffix := 0.0
+		for u := stop - 1; u >= 0; u-- {
+			suffix += diffs[u]
+			grad[(j+u)%n] -= w * suffix // utility gradient = −∂C/∂x
+		}
+	}
+	return nil
+}

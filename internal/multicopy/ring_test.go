@@ -1,0 +1,437 @@
+package multicopy
+
+import (
+	"context"
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"filealloc/internal/core"
+)
+
+// paperRing reproduces the section 7.2 worked example: a 7-node
+// unidirectional ring (paper nodes 1..7 → indices 0..6) with link costs
+// ℓ(1→2)=2, ℓ(2→3)=3, ℓ(3→4)=2, ℓ(7→1)=4 (remaining links unit), unit
+// per-node access rates, and the allocation placing 0.8 of the file at
+// node 4 (index 3). The allocation is reverse-engineered from the paper's
+// demand figures: node 7 wants 0.1 from node 4, node 1 wants 0.3, node 2
+// wants 0.7, node 3 wants 0.8.
+func paperRing(t *testing.T) (*Ring, []float64) {
+	t.Helper()
+	r, err := New(Config{
+		LinkCosts:    []float64{2, 3, 2, 1, 1, 1, 4},
+		Rates:        []float64{1, 1, 1, 1, 1, 1, 1},
+		ServiceRates: []float64{10},
+		K:            1,
+		Copies:       2,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	x := []float64{0.4, 0.1, 0.2, 0.8, 0.1, 0.2, 0.2} // sums to 2 copies
+	return r, x
+}
+
+func TestPaperExampleCommCost(t *testing.T) {
+	// The paper computes the communication cost of the accesses directed
+	// at node 4 as 11·0.1 + 7·0.3 + 5·0.7 + 2·0.8 + 0·0.8 = 8.3.
+	r, x := paperRing(t)
+	got, err := r.NodeCommCost(x, 3)
+	if err != nil {
+		t.Fatalf("NodeCommCost: %v", err)
+	}
+	if math.Abs(got-8.3) > 1e-9 {
+		t.Errorf("node 4 communication cost = %g, want 8.3", got)
+	}
+}
+
+func TestPaperExampleArrivalRate(t *testing.T) {
+	// "... with the arrival rate λ = 0.1 + 0.3 + 0.7 + 0.8 + 0.8 = 2.7."
+	r, x := paperRing(t)
+	arrivals, err := r.ArrivalRates(x)
+	if err != nil {
+		t.Fatalf("ArrivalRates: %v", err)
+	}
+	if math.Abs(arrivals[3]-2.7) > 1e-9 {
+		t.Errorf("node 4 arrival rate = %g, want 2.7", arrivals[3])
+	}
+}
+
+func TestPaperExampleDemands(t *testing.T) {
+	r, x := paperRing(t)
+	a, err := r.Demands(x)
+	if err != nil {
+		t.Fatalf("Demands: %v", err)
+	}
+	// Per-reader demand on node 4 (index 3), from the paper.
+	wantOn4 := map[int]float64{
+		6: 0.1, // node 7
+		0: 0.3, // node 1
+		1: 0.7, // node 2
+		2: 0.8, // node 3
+		3: 0.8, // node 4 itself
+		4: 0,   // node 5 finds the other copy first
+		5: 0,   // node 6 likewise
+	}
+	for j, want := range wantOn4 {
+		if math.Abs(a[j][3]-want) > 1e-9 {
+			t.Errorf("a[%d][3] = %g, want %g", j, a[j][3], want)
+		}
+	}
+	// Every reader obtains exactly one full copy.
+	for j := range a {
+		var total float64
+		for i := range a[j] {
+			total += a[j][i]
+			if a[j][i] < -1e-12 {
+				t.Errorf("negative demand a[%d][%d] = %g", j, i, a[j][i])
+			}
+		}
+		if math.Abs(total-1) > 1e-9 {
+			t.Errorf("reader %d obtains %g of the file, want 1", j, total)
+		}
+	}
+}
+
+func TestDemandsSelfSufficientNode(t *testing.T) {
+	// A node holding a whole copy (or more) reads everything locally.
+	r, err := New(Config{
+		LinkCosts:    []float64{1, 1, 1, 1},
+		Rates:        []float64{1},
+		ServiceRates: []float64{10},
+		K:            1,
+		Copies:       2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := r.Demands([]float64{1.7, 0.1, 0.1, 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a[0][0] != 1 {
+		t.Errorf("a[0][0] = %g, want 1 (self-sufficient)", a[0][0])
+	}
+	for i := 1; i < 4; i++ {
+		if a[0][i] != 0 {
+			t.Errorf("a[0][%d] = %g, want 0", i, a[0][i])
+		}
+	}
+}
+
+func TestGradientMatchesFiniteDifferences(t *testing.T) {
+	// The analytic piecewise gradient must match central finite
+	// differences away from kinks. Random interior points on random
+	// rings.
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 40; trial++ {
+		n := 4 + rng.Intn(5)
+		costs := make([]float64, n)
+		rates := make([]float64, n)
+		for i := range costs {
+			costs[i] = 0.5 + rng.Float64()*3
+			rates[i] = 0.1 + rng.Float64()*0.4
+		}
+		m := 1 + float64(rng.Intn(2))
+		r, err := New(Config{
+			LinkCosts:    costs,
+			Rates:        rates,
+			ServiceRates: []float64{6 + rng.Float64()*4},
+			K:            0.5 + rng.Float64(),
+			Copies:       m,
+		})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		x := make([]float64, n)
+		var sum float64
+		for i := range x {
+			x[i] = 0.05 + rng.Float64()
+			sum += x[i]
+		}
+		for i := range x {
+			x[i] *= m / sum
+		}
+		// Skip points too close to a kink (any reader prefix within
+		// 1e-4 of a copy boundary) where one-sided derivatives differ.
+		if nearKink(x, 1e-4) {
+			continue
+		}
+		grad := make([]float64, n)
+		if err := r.Gradient(grad, x); err != nil {
+			t.Fatalf("trial %d: Gradient: %v", trial, err)
+		}
+		h := 1e-7
+		for v := 0; v < n; v++ {
+			xp := append([]float64(nil), x...)
+			xm := append([]float64(nil), x...)
+			xp[v] += h
+			xm[v] -= h
+			up, err := r.Utility(xp)
+			if err != nil {
+				t.Fatalf("trial %d: %v", trial, err)
+			}
+			um, err := r.Utility(xm)
+			if err != nil {
+				t.Fatalf("trial %d: %v", trial, err)
+			}
+			num := (up - um) / (2 * h)
+			if math.Abs(grad[v]-num) > 1e-4*(1+math.Abs(num)) {
+				t.Errorf("trial %d: grad[%d] = %g, numeric %g (x=%v)", trial, v, grad[v], num, x)
+			}
+		}
+	}
+}
+
+// nearKink reports whether any reader's prefix sum falls within tol of the
+// copy boundary 1, where the cost function is non-differentiable.
+func nearKink(x []float64, tol float64) bool {
+	n := len(x)
+	for j := 0; j < n; j++ {
+		acc := 0.0
+		for t := 0; t < n; t++ {
+			acc += x[(j+t)%n]
+			if math.Abs(acc-1) < tol {
+				return true
+			}
+			if acc > 1 {
+				break
+			}
+		}
+	}
+	return false
+}
+
+func TestGradientJumpsAtKink(t *testing.T) {
+	// The paper: "the marginal utilities will therefore change in jumps,
+	// the jumps being whole link costs". Verify a one-sided derivative
+	// discontinuity across a copy boundary.
+	r, err := New(Config{
+		LinkCosts:    []float64{4, 1, 1, 1},
+		Rates:        []float64{0.25, 0.25, 0.25, 0.25},
+		ServiceRates: []float64{1.5},
+		K:            1,
+		Copies:       2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reader 0's prefix hits exactly 1 after nodes {0,1}: kink.
+	atKink := []float64{0.5, 0.5, 0.5, 0.5}
+	gLeft := make([]float64, 4)
+	gRight := make([]float64, 4)
+	eps := 1e-6
+	left := []float64{0.5 - eps, 0.5, 0.5, 0.5 + eps}
+	right := []float64{0.5 + eps, 0.5, 0.5, 0.5 - eps}
+	if err := r.Gradient(gLeft, left); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Gradient(gRight, right); err != nil {
+		t.Fatal(err)
+	}
+	var maxJump float64
+	for i := range gLeft {
+		if j := math.Abs(gLeft[i] - gRight[i]); j > maxJump {
+			maxJump = j
+		}
+	}
+	if maxJump < 0.1 {
+		t.Errorf("max gradient jump across kink = %g; expected a link-cost-sized discontinuity", maxJump)
+	}
+	// The cost itself remains continuous across the kink.
+	cAt, err := r.Cost(atKink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cLeft, err := r.Cost(left)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(cAt-cLeft) > 0.01 {
+		t.Errorf("cost jumped across kink: %g vs %g", cAt, cLeft)
+	}
+}
+
+func TestCostUnstable(t *testing.T) {
+	r, err := New(Config{
+		LinkCosts:    []float64{1, 1, 1},
+		Rates:        []float64{2, 2, 2}, // total 6 ≫ μ when concentrated
+		ServiceRates: []float64{3},
+		K:            1,
+		Copies:       1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Cost([]float64{1, 0, 0}); !errors.Is(err, ErrUnstable) {
+		t.Errorf("Cost error = %v, want ErrUnstable", err)
+	}
+	grad := make([]float64, 3)
+	if err := r.Gradient(grad, []float64{1, 0, 0}); !errors.Is(err, ErrUnstable) {
+		t.Errorf("Gradient error = %v, want ErrUnstable", err)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	good := Config{
+		LinkCosts:    []float64{1, 1, 1},
+		Rates:        []float64{1},
+		ServiceRates: []float64{2},
+		K:            1,
+		Copies:       1,
+	}
+	mutate := []struct {
+		name string
+		fn   func(Config) Config
+	}{
+		{"too few nodes", func(c Config) Config { c.LinkCosts = []float64{1, 1}; return c }},
+		{"negative link", func(c Config) Config { c.LinkCosts = []float64{1, -1, 1}; return c }},
+		{"copies below 1", func(c Config) Config { c.Copies = 0.5; return c }},
+		{"negative k", func(c Config) Config { c.K = -1; return c }},
+		{"bad rate count", func(c Config) Config { c.Rates = []float64{1, 1}; return c }},
+		{"negative rate", func(c Config) Config { c.Rates = []float64{1, -1, 1}; return c }},
+		{"zero rates", func(c Config) Config { c.Rates = []float64{0, 0, 0}; return c }},
+		{"bad service count", func(c Config) Config { c.ServiceRates = []float64{1, 1}; return c }},
+		{"zero service", func(c Config) Config { c.ServiceRates = []float64{0}; return c }},
+	}
+	for _, tt := range mutate {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := New(tt.fn(good)); !errors.Is(err, ErrBadParam) {
+				t.Errorf("error = %v, want ErrBadParam", err)
+			}
+		})
+	}
+	if _, err := New(good); err != nil {
+		t.Errorf("good config rejected: %v", err)
+	}
+}
+
+func TestAllocationValidation(t *testing.T) {
+	r, err := New(Config{
+		LinkCosts:    []float64{1, 1, 1},
+		Rates:        []float64{1},
+		ServiceRates: []float64{2},
+		K:            1,
+		Copies:       1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Demands([]float64{0.5, 0.5}); !errors.Is(err, ErrBadParam) {
+		t.Errorf("short allocation: error = %v, want ErrBadParam", err)
+	}
+	if _, err := r.Demands([]float64{-0.1, 0.6, 0.5}); !errors.Is(err, ErrBadParam) {
+		t.Errorf("negative allocation: error = %v, want ErrBadParam", err)
+	}
+	if _, err := r.Demands([]float64{0.2, 0.2, 0.2}); !errors.Is(err, ErrBadParam) {
+		t.Errorf("sub-copy allocation: error = %v, want ErrBadParam", err)
+	}
+}
+
+func TestSolveImprovesCostAndTracksBest(t *testing.T) {
+	// Unit-cost ring (delay-dominated): section 7.3 reports convergence
+	// with small oscillations. The solver must improve materially on a
+	// skewed start and return the best observed allocation.
+	r, err := New(Config{
+		LinkCosts:    []float64{1, 1, 1, 1},
+		Rates:        []float64{1},
+		ServiceRates: []float64{1.5},
+		K:            1,
+		Copies:       2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	init := []float64{1.7, 0.1, 0.1, 0.1}
+	startCost, err := r.Cost(init)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.Solve(context.Background(), init, SolveConfig{Alpha: 0.1})
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if res.Cost >= startCost {
+		t.Errorf("solve cost %g did not improve on start %g", res.Cost, startCost)
+	}
+	// Best-observed cost must be no worse than the final iterate's.
+	finalCost, err := r.Cost(res.FinalX)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost > finalCost+1e-12 {
+		t.Errorf("best cost %g worse than final %g", res.Cost, finalCost)
+	}
+	// Feasibility: copies conserved.
+	var sum float64
+	for _, v := range res.X {
+		sum += v
+	}
+	if math.Abs(sum-2) > 1e-6 {
+		t.Errorf("allocation sums to %g, want 2", sum)
+	}
+	// By symmetry the optimum spreads evenly; the solver should get
+	// close to cost at the uniform point.
+	uniformCost, err := r.Cost(r.SpreadEvenly())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost > uniformCost*1.05 {
+		t.Errorf("solve cost %g far above symmetric optimum %g", res.Cost, uniformCost)
+	}
+}
+
+func TestSolveOscillatoryCommDominatedRing(t *testing.T) {
+	// Link costs (4,1,1,1): communication dominates and the profile
+	// oscillates (figure 8). The solver must still terminate and return
+	// a cost no worse than the starting point.
+	r, err := New(Config{
+		LinkCosts:    []float64{4, 1, 1, 1},
+		Rates:        []float64{1},
+		ServiceRates: []float64{1.5},
+		K:            1,
+		Copies:       2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	init := []float64{1.4, 0.2, 0.2, 0.2}
+	startCost, err := r.Cost(init)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var costs []float64
+	res, err := r.Solve(context.Background(), init, SolveConfig{
+		Alpha:       0.1,
+		OnIteration: func(it core.Iteration) { costs = append(costs, -it.Utility) },
+	})
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if res.Cost > startCost {
+		t.Errorf("best cost %g worse than start %g", res.Cost, startCost)
+	}
+	if len(costs) == 0 {
+		t.Fatal("no iterations observed")
+	}
+}
+
+func TestSpreadEvenly(t *testing.T) {
+	r, err := New(Config{
+		LinkCosts:    []float64{1, 1, 1, 1},
+		Rates:        []float64{1},
+		ServiceRates: []float64{2},
+		K:            1,
+		Copies:       3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := r.SpreadEvenly()
+	for _, v := range x {
+		if v != 0.75 {
+			t.Errorf("entry = %g, want 0.75", v)
+		}
+	}
+}

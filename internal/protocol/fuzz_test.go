@@ -1,0 +1,52 @@
+package protocol
+
+import (
+	"testing"
+)
+
+// FuzzDecode feeds arbitrary bytes to the wire decoder: it must never
+// panic, and whatever it accepts must carry a consistent envelope.
+func FuzzDecode(f *testing.F) {
+	seed, err := EncodeReport(Report{Round: 1, Node: 2, Marginal: -3.5, Alloc: 0.25})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+	upd, err := EncodeUpdate(Update{Round: 9, Delta: []float64{0.1, -0.1}})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(upd)
+	vec, err := EncodeVectorReport(VectorReport{Round: 3, Node: 0, Marginals: []float64{1}, Allocs: []float64{1}})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(vec)
+	f.Add([]byte(`{"kind":"report"}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(``))
+	f.Add([]byte(`{"kind":"update","update":{"round":-1}}`))
+
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		env, err := Decode(payload)
+		if err != nil {
+			return
+		}
+		switch env.Kind {
+		case KindReport:
+			if env.Report == nil {
+				t.Fatal("report kind without report body")
+			}
+		case KindUpdate:
+			if env.Update == nil {
+				t.Fatal("update kind without update body")
+			}
+		case KindVectorReport:
+			if env.Vector == nil {
+				t.Fatal("vector kind without vector body")
+			}
+		default:
+			t.Fatalf("accepted unknown kind %q", env.Kind)
+		}
+	})
+}

@@ -1,0 +1,224 @@
+// Package protocol defines the wire messages and round bookkeeping of the
+// decentralized allocation algorithm. Each iteration is one synchronous
+// round: every node announces its marginal utility and current fragment
+// (section 5.2 step a), and either every node plans the identical
+// re-allocation locally (broadcast mode) or a designated central agent
+// plans it and distributes the deltas (coordinator mode) — the paper's two
+// aggregation schemes.
+package protocol
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+)
+
+// ErrBadMessage reports an undecodable or out-of-protocol message.
+var ErrBadMessage = errors.New("protocol: bad message")
+
+// Kind discriminates wire messages.
+type Kind string
+
+const (
+	// KindReport carries one node's marginal utility and allocation for
+	// a round.
+	KindReport Kind = "report"
+	// KindUpdate carries the coordinator's planned deltas for a round.
+	KindUpdate Kind = "update"
+	// KindVectorReport carries one node's per-file marginal utilities
+	// and fragments for a round (the multi-file protocol).
+	KindVectorReport Kind = "vector-report"
+)
+
+// Report is section 5.2 step (a): node i announces ∂U/∂x_i and x_i.
+// Curvature optionally carries ∂²U/∂x_i², which lets every node evaluate
+// the Theorem-2 stepsize bound for the round (the appendix's dynamic-α
+// suggestion) from the same data; it is zero when the dynamic stepsize is
+// disabled.
+type Report struct {
+	Round     int     `json:"round"`
+	Node      int     `json:"node"`
+	Marginal  float64 `json:"marginal"`
+	Alloc     float64 `json:"alloc"`
+	Curvature float64 `json:"curvature,omitempty"`
+}
+
+// Update is the coordinator's reply in central-agent mode: the full delta
+// vector for the round and whether the termination criterion fired.
+type Update struct {
+	Round int       `json:"round"`
+	Delta []float64 `json:"delta"`
+	Done  bool      `json:"done"`
+}
+
+// VectorReport is the multi-file analogue of Report: node i announces
+// ∂U/∂x_i^f and x_i^f for every file f it may host.
+type VectorReport struct {
+	Round     int       `json:"round"`
+	Node      int       `json:"node"`
+	Marginals []float64 `json:"marginals"`
+	Allocs    []float64 `json:"allocs"`
+}
+
+// envelope wraps a message with its kind for wire framing.
+type envelope struct {
+	Kind   Kind            `json:"kind"`
+	Report *Report         `json:"report,omitempty"`
+	Update *Update         `json:"update,omitempty"`
+	Vector *VectorReport   `json:"vector,omitempty"`
+	Extra  json.RawMessage `json:"extra,omitempty"`
+}
+
+// Envelope is a decoded wire message: exactly one of the payload fields
+// matching Kind is non-nil.
+type Envelope struct {
+	Kind   Kind
+	Report *Report
+	Update *Update
+	Vector *VectorReport
+}
+
+// EncodeReport serializes a Report.
+func EncodeReport(r Report) ([]byte, error) {
+	b, err := json.Marshal(envelope{Kind: KindReport, Report: &r})
+	if err != nil {
+		return nil, fmt.Errorf("protocol: encoding report: %w", err)
+	}
+	return b, nil
+}
+
+// EncodeUpdate serializes an Update.
+func EncodeUpdate(u Update) ([]byte, error) {
+	b, err := json.Marshal(envelope{Kind: KindUpdate, Update: &u})
+	if err != nil {
+		return nil, fmt.Errorf("protocol: encoding update: %w", err)
+	}
+	return b, nil
+}
+
+// EncodeVectorReport serializes a VectorReport.
+func EncodeVectorReport(v VectorReport) ([]byte, error) {
+	b, err := json.Marshal(envelope{Kind: KindVectorReport, Vector: &v})
+	if err != nil {
+		return nil, fmt.Errorf("protocol: encoding vector report: %w", err)
+	}
+	return b, nil
+}
+
+// Decode parses a wire payload.
+func Decode(payload []byte) (Envelope, error) {
+	var env envelope
+	if err := json.Unmarshal(payload, &env); err != nil {
+		return Envelope{}, fmt.Errorf("%w: %v", ErrBadMessage, err)
+	}
+	switch env.Kind {
+	case KindReport:
+		if env.Report == nil {
+			return Envelope{}, fmt.Errorf("%w: report envelope without body", ErrBadMessage)
+		}
+		return Envelope{Kind: KindReport, Report: env.Report}, nil
+	case KindUpdate:
+		if env.Update == nil {
+			return Envelope{}, fmt.Errorf("%w: update envelope without body", ErrBadMessage)
+		}
+		return Envelope{Kind: KindUpdate, Update: env.Update}, nil
+	case KindVectorReport:
+		if env.Vector == nil {
+			return Envelope{}, fmt.Errorf("%w: vector-report envelope without body", ErrBadMessage)
+		}
+		return Envelope{Kind: KindVectorReport, Vector: env.Vector}, nil
+	default:
+		return Envelope{}, fmt.Errorf("%w: unknown kind %q", ErrBadMessage, env.Kind)
+	}
+}
+
+// RoundBuffer collects per-round reports, tolerating peers that run one
+// round ahead (a fast node may broadcast round r+1 before a slow peer has
+// read round r).
+type RoundBuffer struct {
+	peers   int
+	pending map[int]map[int]Report // round -> node -> report
+}
+
+// NewRoundBuffer sizes the buffer for a cluster of peers nodes.
+func NewRoundBuffer(peers int) *RoundBuffer {
+	return &RoundBuffer{
+		peers:   peers,
+		pending: make(map[int]map[int]Report),
+	}
+}
+
+// Add stores a report. Duplicate reports for the same (round, node) are
+// rejected — the protocol sends exactly one per peer per round, so a
+// duplicate indicates a faulty or byzantine peer.
+func (b *RoundBuffer) Add(r Report) error {
+	if r.Node < 0 || r.Node >= b.peers {
+		return fmt.Errorf("%w: report from unknown node %d", ErrBadMessage, r.Node)
+	}
+	byNode, ok := b.pending[r.Round]
+	if !ok {
+		byNode = make(map[int]Report, b.peers)
+		b.pending[r.Round] = byNode
+	}
+	if _, dup := byNode[r.Node]; dup {
+		return fmt.Errorf("%w: duplicate report from node %d for round %d", ErrBadMessage, r.Node, r.Round)
+	}
+	byNode[r.Node] = r
+	return nil
+}
+
+// Complete reports whether `want` distinct reports have arrived for the
+// round.
+func (b *RoundBuffer) Complete(round, want int) bool {
+	return len(b.pending[round]) >= want
+}
+
+// Take removes and returns the round's reports keyed by node id.
+func (b *RoundBuffer) Take(round int) map[int]Report {
+	byNode := b.pending[round]
+	delete(b.pending, round)
+	return byNode
+}
+
+// VectorRoundBuffer is RoundBuffer's multi-file counterpart.
+type VectorRoundBuffer struct {
+	peers   int
+	pending map[int]map[int]VectorReport
+}
+
+// NewVectorRoundBuffer sizes the buffer for a cluster of peers nodes.
+func NewVectorRoundBuffer(peers int) *VectorRoundBuffer {
+	return &VectorRoundBuffer{
+		peers:   peers,
+		pending: make(map[int]map[int]VectorReport),
+	}
+}
+
+// Add stores a vector report, rejecting duplicates and unknown nodes.
+func (b *VectorRoundBuffer) Add(r VectorReport) error {
+	if r.Node < 0 || r.Node >= b.peers {
+		return fmt.Errorf("%w: vector report from unknown node %d", ErrBadMessage, r.Node)
+	}
+	byNode, ok := b.pending[r.Round]
+	if !ok {
+		byNode = make(map[int]VectorReport, b.peers)
+		b.pending[r.Round] = byNode
+	}
+	if _, dup := byNode[r.Node]; dup {
+		return fmt.Errorf("%w: duplicate vector report from node %d for round %d", ErrBadMessage, r.Node, r.Round)
+	}
+	byNode[r.Node] = r
+	return nil
+}
+
+// Complete reports whether `want` distinct reports arrived for the round.
+func (b *VectorRoundBuffer) Complete(round, want int) bool {
+	return len(b.pending[round]) >= want
+}
+
+// Take removes and returns the round's reports keyed by node id.
+func (b *VectorRoundBuffer) Take(round int) map[int]VectorReport {
+	byNode := b.pending[round]
+	delete(b.pending, round)
+	return byNode
+}

@@ -1,0 +1,189 @@
+package protocol
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestReportRoundTrip(t *testing.T) {
+	in := Report{Round: 7, Node: 3, Marginal: -2.718281828459045, Alloc: 0.1}
+	payload, err := EncodeReport(in)
+	if err != nil {
+		t.Fatalf("EncodeReport: %v", err)
+	}
+	env, err := Decode(payload)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if env.Kind != KindReport || env.Update != nil {
+		t.Fatalf("kind = %v, update = %v", env.Kind, env.Update)
+	}
+	if *env.Report != in {
+		t.Errorf("round trip = %+v, want %+v", *env.Report, in)
+	}
+}
+
+func TestReportFloatExactness(t *testing.T) {
+	// The protocol's determinism depends on float64 values surviving the
+	// wire bit-exactly; Go's JSON encoder guarantees shortest
+	// round-tripping representations.
+	values := []float64{
+		-2.9387528349794507,
+		1.0 / 3,
+		0.1 + 0.2,
+		5e-324, // smallest denormal
+	}
+	for _, v := range values {
+		payload, err := EncodeReport(Report{Marginal: v, Alloc: v})
+		if err != nil {
+			t.Fatal(err)
+		}
+		env, err := Decode(payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if env.Report.Marginal != v || env.Report.Alloc != v {
+			t.Errorf("value %v did not survive the wire: %v / %v", v, env.Report.Marginal, env.Report.Alloc)
+		}
+	}
+}
+
+func TestUpdateRoundTrip(t *testing.T) {
+	in := Update{Round: 2, Delta: []float64{0.1, -0.05, -0.05}, Done: true}
+	payload, err := EncodeUpdate(in)
+	if err != nil {
+		t.Fatalf("EncodeUpdate: %v", err)
+	}
+	env, err := Decode(payload)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if env.Kind != KindUpdate || env.Report != nil {
+		t.Fatalf("kind = %v, report = %v", env.Kind, env.Report)
+	}
+	if env.Update.Round != 2 || !env.Update.Done || len(env.Update.Delta) != 3 {
+		t.Errorf("round trip = %+v", *env.Update)
+	}
+}
+
+func TestVectorReportRoundTrip(t *testing.T) {
+	in := VectorReport{
+		Round:     4,
+		Node:      2,
+		Marginals: []float64{-1.5, -2.25, -0.125},
+		Allocs:    []float64{0.5, 0.25, 0.25},
+	}
+	payload, err := EncodeVectorReport(in)
+	if err != nil {
+		t.Fatalf("EncodeVectorReport: %v", err)
+	}
+	env, err := Decode(payload)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if env.Kind != KindVectorReport || env.Vector == nil {
+		t.Fatalf("kind = %v", env.Kind)
+	}
+	got := env.Vector
+	if got.Round != in.Round || got.Node != in.Node {
+		t.Errorf("round trip = %+v", got)
+	}
+	for f := range in.Marginals {
+		if got.Marginals[f] != in.Marginals[f] || got.Allocs[f] != in.Allocs[f] {
+			t.Errorf("entry %d did not survive: %+v", f, got)
+		}
+	}
+}
+
+func TestVectorRoundBuffer(t *testing.T) {
+	buf := NewVectorRoundBuffer(3)
+	if err := buf.Add(VectorReport{Round: 0, Node: 1, Marginals: []float64{1}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := buf.Add(VectorReport{Round: 0, Node: 1}); !errors.Is(err, ErrBadMessage) {
+		t.Errorf("duplicate: error = %v", err)
+	}
+	if err := buf.Add(VectorReport{Round: 0, Node: 9}); !errors.Is(err, ErrBadMessage) {
+		t.Errorf("stranger: error = %v", err)
+	}
+	if buf.Complete(0, 2) {
+		t.Error("complete with one report")
+	}
+	if err := buf.Add(VectorReport{Round: 0, Node: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if !buf.Complete(0, 2) {
+		t.Error("not complete with both")
+	}
+	got := buf.Take(0)
+	if len(got) != 2 || got[1].Marginals[0] != 1 {
+		t.Errorf("Take = %+v", got)
+	}
+	if buf.Complete(0, 1) {
+		t.Error("round not cleared after Take")
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	tests := []struct {
+		name    string
+		payload []byte
+	}{
+		{"garbage", []byte("{{{{")},
+		{"unknown kind", []byte(`{"kind":"gossip"}`)},
+		{"report without body", []byte(`{"kind":"report"}`)},
+		{"update without body", []byte(`{"kind":"update"}`)},
+		{"vector without body", []byte(`{"kind":"vector-report"}`)},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := Decode(tt.payload); !errors.Is(err, ErrBadMessage) {
+				t.Errorf("error = %v, want ErrBadMessage", err)
+			}
+		})
+	}
+}
+
+func TestRoundBufferCollects(t *testing.T) {
+	buf := NewRoundBuffer(3)
+	if buf.Complete(0, 2) {
+		t.Error("empty buffer reported complete")
+	}
+	if err := buf.Add(Report{Round: 0, Node: 1}); err != nil {
+		t.Fatal(err)
+	}
+	// A peer running one round ahead must not satisfy round 0.
+	if err := buf.Add(Report{Round: 1, Node: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Complete(0, 2) {
+		t.Error("round 0 complete with a round-1 report")
+	}
+	if err := buf.Add(Report{Round: 0, Node: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if !buf.Complete(0, 2) {
+		t.Error("round 0 not complete with both reports")
+	}
+	got := buf.Take(0)
+	if len(got) != 2 || got[1].Round != 0 || got[2].Round != 0 {
+		t.Errorf("Take = %+v", got)
+	}
+	// Round 1's early report is still buffered.
+	if !buf.Complete(1, 1) {
+		t.Error("round 1 early report lost")
+	}
+}
+
+func TestRoundBufferRejectsDuplicatesAndStrangers(t *testing.T) {
+	buf := NewRoundBuffer(2)
+	if err := buf.Add(Report{Round: 0, Node: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := buf.Add(Report{Round: 0, Node: 1}); !errors.Is(err, ErrBadMessage) {
+		t.Errorf("duplicate: error = %v, want ErrBadMessage", err)
+	}
+	if err := buf.Add(Report{Round: 0, Node: 5}); !errors.Is(err, ErrBadMessage) {
+		t.Errorf("stranger: error = %v, want ErrBadMessage", err)
+	}
+}

@@ -1,0 +1,120 @@
+// Package quantize rounds the algorithm's real-valued file fractions to
+// record boundaries (section 8.1: "a file of records cannot be divided up
+// in this manner. The real-number fractions will have to be rounded or
+// truncated in some suitable manner so that the file ... will fragment at
+// record boundaries"). The largest-remainder method used here conserves
+// the record count exactly and is within one record of the ideal fraction
+// at every node, so the cost penalty vanishes as the record count grows —
+// "the larger the number of records the closer the rounded-off fractions
+// will be to the prescribed fractions".
+package quantize
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ErrBadInput reports invalid quantization input.
+var ErrBadInput = errors.New("quantize: invalid input")
+
+// Records rounds the fractional allocation x (non-negative, summing to the
+// number of file copies) to whole records out of `records` per copy,
+// using the largest-remainder (Hamilton) method: every node first gets
+// ⌊x_i·R⌋ records, then the leftover records go to the nodes with the
+// largest remainders. Ties break toward the lower node index for
+// determinism. The returned counts sum to round(sum(x)·R).
+func Records(x []float64, records int) ([]int, error) {
+	if records < 1 {
+		return nil, fmt.Errorf("%w: %d records", ErrBadInput, records)
+	}
+	if len(x) == 0 {
+		return nil, fmt.Errorf("%w: empty allocation", ErrBadInput)
+	}
+	var sum float64
+	for i, v := range x {
+		if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("%w: x[%d] = %v", ErrBadInput, i, v)
+		}
+		sum += v
+	}
+	total := int(math.Round(sum * float64(records)))
+	counts := make([]int, len(x))
+	remainders := make([]float64, len(x))
+	assigned := 0
+	for i, v := range x {
+		ideal := v * float64(records)
+		counts[i] = int(math.Floor(ideal))
+		remainders[i] = ideal - float64(counts[i])
+		assigned += counts[i]
+	}
+	leftover := total - assigned
+	if leftover < 0 {
+		// Rounding artifacts (sum slightly below an integer multiple);
+		// remove from the smallest remainders.
+		leftover = 0
+	}
+	order := make([]int, len(x))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		if remainders[order[a]] != remainders[order[b]] {
+			return remainders[order[a]] > remainders[order[b]]
+		}
+		return order[a] < order[b]
+	})
+	for k := 0; k < leftover && k < len(order); k++ {
+		counts[order[k]]++
+	}
+	return counts, nil
+}
+
+// Fractions converts record counts back to fractions of one copy.
+func Fractions(counts []int, records int) ([]float64, error) {
+	if records < 1 {
+		return nil, fmt.Errorf("%w: %d records", ErrBadInput, records)
+	}
+	out := make([]float64, len(counts))
+	for i, c := range counts {
+		if c < 0 {
+			return nil, fmt.Errorf("%w: counts[%d] = %d", ErrBadInput, i, c)
+		}
+		out[i] = float64(c) / float64(records)
+	}
+	return out, nil
+}
+
+// MaxDeviation returns the largest |x_i − counts_i/R| over the nodes: the
+// per-node rounding error, bounded by 1/R for the largest-remainder
+// method.
+func MaxDeviation(x []float64, counts []int, records int) float64 {
+	var worst float64
+	for i := range x {
+		d := math.Abs(x[i] - float64(counts[i])/float64(records))
+		if d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// CostPenalty evaluates a cost function at the ideal and quantized
+// allocations and returns (quantizedCost − idealCost): the price of
+// fragmenting at record boundaries.
+func CostPenalty(cost func([]float64) (float64, error), x []float64, counts []int, records int) (float64, error) {
+	ideal, err := cost(x)
+	if err != nil {
+		return 0, fmt.Errorf("quantize: evaluating ideal allocation: %w", err)
+	}
+	frac, err := Fractions(counts, records)
+	if err != nil {
+		return 0, err
+	}
+	quantized, err := cost(frac)
+	if err != nil {
+		return 0, fmt.Errorf("quantize: evaluating quantized allocation: %w", err)
+	}
+	return quantized - ideal, nil
+}

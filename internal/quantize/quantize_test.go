@@ -1,0 +1,189 @@
+package quantize
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"filealloc/internal/costmodel"
+)
+
+func TestRecordsExactFractions(t *testing.T) {
+	counts, err := Records([]float64{0.25, 0.25, 0.25, 0.25}, 100)
+	if err != nil {
+		t.Fatalf("Records: %v", err)
+	}
+	for i, c := range counts {
+		if c != 25 {
+			t.Errorf("counts[%d] = %d, want 25", i, c)
+		}
+	}
+}
+
+func TestRecordsLargestRemainder(t *testing.T) {
+	// 0.4/0.35/0.25 of 10 records: floors 4/3/2 leave one record, which
+	// goes to the largest remainder (0.5 at node 1).
+	counts, err := Records([]float64{0.4, 0.35, 0.25}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{4, 4, 2}
+	for i := range want {
+		if counts[i] != want[i] {
+			t.Errorf("counts = %v, want %v", counts, want)
+			break
+		}
+	}
+}
+
+func TestRecordsDeterministicTieBreak(t *testing.T) {
+	// Equal remainders: lower index wins.
+	counts, err := Records([]float64{0.5, 0.5}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counts[0] != 2 || counts[1] != 1 {
+		t.Errorf("counts = %v, want [2 1]", counts)
+	}
+}
+
+func TestRecordsMultipleCopies(t *testing.T) {
+	// Two copies over 4 nodes, 10 records per copy: 20 records total.
+	counts, err := Records([]float64{0.7, 0.5, 0.5, 0.3}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int
+	for _, c := range counts {
+		total += c
+	}
+	if total != 20 {
+		t.Errorf("total records = %d, want 20", total)
+	}
+}
+
+func TestRecordsValidation(t *testing.T) {
+	if _, err := Records([]float64{1}, 0); !errors.Is(err, ErrBadInput) {
+		t.Errorf("zero records: error = %v, want ErrBadInput", err)
+	}
+	if _, err := Records(nil, 10); !errors.Is(err, ErrBadInput) {
+		t.Errorf("empty: error = %v, want ErrBadInput", err)
+	}
+	if _, err := Records([]float64{-0.1, 1.1}, 10); !errors.Is(err, ErrBadInput) {
+		t.Errorf("negative: error = %v, want ErrBadInput", err)
+	}
+}
+
+func TestFractions(t *testing.T) {
+	frac, err := Fractions([]int{2, 3, 5}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0.2, 0.3, 0.5}
+	for i := range want {
+		if math.Abs(frac[i]-want[i]) > 1e-12 {
+			t.Errorf("frac = %v, want %v", frac, want)
+			break
+		}
+	}
+	if _, err := Fractions([]int{-1}, 10); !errors.Is(err, ErrBadInput) {
+		t.Errorf("negative count: error = %v, want ErrBadInput", err)
+	}
+	if _, err := Fractions([]int{1}, 0); !errors.Is(err, ErrBadInput) {
+		t.Errorf("zero records: error = %v, want ErrBadInput", err)
+	}
+}
+
+// TestRecordsProperties: for random allocations, quantization conserves the
+// total and stays within one record per node.
+func TestRecordsProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	prop := func(raw []float64, recRaw uint16) bool {
+		records := 1 + int(recRaw)%1000
+		n := len(raw)
+		if n < 1 {
+			return true
+		}
+		if n > 20 {
+			n = 20
+		}
+		x := make([]float64, n)
+		var sum float64
+		for i := 0; i < n; i++ {
+			v := math.Abs(raw[i])
+			if math.IsNaN(v) || math.IsInf(v, 0) || v > 1e6 {
+				v = rng.Float64()
+			}
+			x[i] = v
+			sum += v
+		}
+		if sum == 0 {
+			x[0], sum = 1, 1
+		}
+		for i := range x {
+			x[i] /= sum // normalize to one copy
+		}
+		counts, err := Records(x, records)
+		if err != nil {
+			return false
+		}
+		var total int
+		for i, c := range counts {
+			total += c
+			if math.Abs(float64(c)/float64(records)-x[i]) > 1.0/float64(records)+1e-12 {
+				return false
+			}
+		}
+		return total == records
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMaxDeviationBound(t *testing.T) {
+	x := []float64{0.123, 0.456, 0.421}
+	counts, err := Records(x, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := MaxDeviation(x, counts, 50); d > 1.0/50 {
+		t.Errorf("deviation %g exceeds one record (%g)", d, 1.0/50)
+	}
+}
+
+func TestCostPenaltyShrinksWithRecordCount(t *testing.T) {
+	// Section 8.1: more records → quantized allocation closer to optimal
+	// → smaller cost penalty.
+	m, err := costmodel.NewSingleFile([]float64{2, 1, 3, 2}, []float64{1.5}, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := m.SolveKKT(1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := math.Inf(1)
+	for _, records := range []int{10, 100, 1000, 10000} {
+		counts, err := Records(sol.X, records)
+		if err != nil {
+			t.Fatal(err)
+		}
+		penalty, err := CostPenalty(m.Cost, sol.X, counts, records)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if penalty < -1e-9 {
+			t.Errorf("records=%d: negative penalty %g (quantized beat the optimum?)", records, penalty)
+		}
+		if penalty > prev+1e-9 {
+			t.Errorf("records=%d: penalty %g grew from %g", records, penalty, prev)
+		}
+		prev = penalty
+	}
+	if prev > 1e-6 {
+		t.Errorf("penalty at 10000 records = %g, want ≈ 0", prev)
+	}
+}

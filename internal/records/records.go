@@ -1,0 +1,205 @@
+// Package records relaxes the paper's uniform record-access assumption
+// (section 4: "We will assume that the individual records with a file are
+// accessed on a uniform basis (although this can be easily relaxed)").
+//
+// With non-uniform record popularity, the quantity the cost model cares
+// about is each node's ACCESS share p_i — the probability a random access
+// lands on a record the node stores — not its storage share. The
+// optimization therefore runs unchanged over access shares (equation 1 is
+// already written in those terms), and this package supplies the missing
+// translation: given a record-popularity distribution, Partition maps the
+// optimal access shares to a contiguous record assignment (popularity
+// quantiles), and AccessShare maps any assignment back to realized access
+// shares. Hot records concentrate on nodes with large access shares even
+// when those nodes store few records — the practical upshot of the
+// relaxation.
+package records
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrBadInput reports invalid popularity or assignment inputs.
+var ErrBadInput = errors.New("records: invalid input")
+
+// Popularity is a probability distribution over a file's records.
+type Popularity struct {
+	probs []float64
+	cdf   []float64 // cdf[r] = P(record index ≤ r)
+}
+
+// Custom builds a popularity from raw per-record weights (normalized
+// internally).
+func Custom(weights []float64) (*Popularity, error) {
+	if len(weights) == 0 {
+		return nil, fmt.Errorf("%w: no records", ErrBadInput)
+	}
+	var total float64
+	for r, w := range weights {
+		if w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+			return nil, fmt.Errorf("%w: weight[%d] = %v", ErrBadInput, r, w)
+		}
+		total += w
+	}
+	if total <= 0 {
+		return nil, fmt.Errorf("%w: zero total weight", ErrBadInput)
+	}
+	p := &Popularity{
+		probs: make([]float64, len(weights)),
+		cdf:   make([]float64, len(weights)),
+	}
+	acc := 0.0
+	for r, w := range weights {
+		p.probs[r] = w / total
+		acc += w / total
+		p.cdf[r] = acc
+	}
+	p.cdf[len(weights)-1] = 1 // absorb rounding
+	return p, nil
+}
+
+// Uniform returns the paper's base case: every record equally likely.
+func Uniform(records int) (*Popularity, error) {
+	if records < 1 {
+		return nil, fmt.Errorf("%w: %d records", ErrBadInput, records)
+	}
+	weights := make([]float64, records)
+	for r := range weights {
+		weights[r] = 1
+	}
+	return Custom(weights)
+}
+
+// Zipf returns a Zipf(s) popularity: record r (0-based) has weight
+// 1/(r+1)^s. s = 0 reduces to uniform; larger s concentrates accesses on
+// the head of the file.
+func Zipf(records int, s float64) (*Popularity, error) {
+	if records < 1 {
+		return nil, fmt.Errorf("%w: %d records", ErrBadInput, records)
+	}
+	if s < 0 || math.IsNaN(s) || math.IsInf(s, 0) {
+		return nil, fmt.Errorf("%w: exponent s = %v", ErrBadInput, s)
+	}
+	weights := make([]float64, records)
+	for r := range weights {
+		weights[r] = math.Pow(float64(r+1), -s)
+	}
+	return Custom(weights)
+}
+
+// Records returns the record count.
+func (p *Popularity) Records() int { return len(p.probs) }
+
+// Prob returns record r's access probability.
+func (p *Popularity) Prob(r int) float64 { return p.probs[r] }
+
+// AccessShare converts a contiguous assignment (counts[i] records to node
+// i, in file order) into realized per-node access shares. The counts must
+// cover the file exactly once.
+func (p *Popularity) AccessShare(counts []int) ([]float64, error) {
+	if len(counts) == 0 {
+		return nil, fmt.Errorf("%w: empty assignment", ErrBadInput)
+	}
+	total := 0
+	for i, c := range counts {
+		if c < 0 {
+			return nil, fmt.Errorf("%w: counts[%d] = %d", ErrBadInput, i, c)
+		}
+		total += c
+	}
+	if total != len(p.probs) {
+		return nil, fmt.Errorf("%w: assignment covers %d of %d records", ErrBadInput, total, len(p.probs))
+	}
+	shares := make([]float64, len(counts))
+	r := 0
+	for i, c := range counts {
+		for k := 0; k < c; k++ {
+			shares[i] += p.probs[r]
+			r++
+		}
+	}
+	return shares, nil
+}
+
+// Partition maps target access shares (non-negative, summing to 1) to the
+// contiguous record assignment whose realized shares best track the
+// running targets: node i's range ends at the first record where the CDF
+// reaches the cumulative target Σ_{j≤i} shares[j] (nearest-boundary
+// rounding). The assignment always covers the file exactly once.
+func (p *Popularity) Partition(targetShares []float64) ([]int, error) {
+	n := len(targetShares)
+	if n == 0 {
+		return nil, fmt.Errorf("%w: no nodes", ErrBadInput)
+	}
+	var sum float64
+	for i, s := range targetShares {
+		if s < 0 || math.IsNaN(s) {
+			return nil, fmt.Errorf("%w: share[%d] = %v", ErrBadInput, i, s)
+		}
+		sum += s
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		return nil, fmt.Errorf("%w: shares sum to %v, want 1", ErrBadInput, sum)
+	}
+	counts := make([]int, n)
+	records := len(p.probs)
+	cum := 0.0
+	prevBoundary := 0 // records assigned so far
+	for i := 0; i < n; i++ {
+		cum += targetShares[i]
+		boundary := prevBoundary
+		if i == n-1 {
+			boundary = records
+		} else {
+			// Advance to the record where the CDF crosses cum,
+			// choosing the nearer side of the crossing. If the CDF
+			// already exceeds cum at prevBoundary, this node's range
+			// is empty and no adjustment applies.
+			for boundary < records && p.cdf[boundary] < cum {
+				boundary++
+			}
+			if boundary < records && boundary > prevBoundary {
+				// cdf[boundary] ≥ cum > cdf[boundary-1]; decide
+				// whether record `boundary` itself belongs left or
+				// right.
+				cdfBefore := 0.0
+				if boundary > 0 {
+					cdfBefore = p.cdf[boundary-1]
+				}
+				left := cum - cdfBefore
+				right := p.cdf[boundary] - cum
+				if right < left {
+					boundary++
+				}
+			}
+			if boundary > records {
+				boundary = records
+			}
+		}
+		counts[i] = boundary - prevBoundary
+		prevBoundary = boundary
+	}
+	return counts, nil
+}
+
+// ShareError returns the largest |realized − target| access share after a
+// Partition, a measure of how well the record granularity supports the
+// optimal fractions.
+func (p *Popularity) ShareError(targetShares []float64, counts []int) (float64, error) {
+	realized, err := p.AccessShare(counts)
+	if err != nil {
+		return 0, err
+	}
+	if len(realized) != len(targetShares) {
+		return 0, fmt.Errorf("%w: %d realized vs %d target shares", ErrBadInput, len(realized), len(targetShares))
+	}
+	var worst float64
+	for i := range realized {
+		if d := math.Abs(realized[i] - targetShares[i]); d > worst {
+			worst = d
+		}
+	}
+	return worst, nil
+}

@@ -1,0 +1,224 @@
+package records
+
+import (
+	"context"
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"filealloc/internal/core"
+	"filealloc/internal/costmodel"
+)
+
+func TestUniformMatchesStorageShares(t *testing.T) {
+	// Under uniform popularity, access share = storage share — the
+	// paper's base case.
+	p, err := Uniform(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := []int{25, 25, 25, 25}
+	shares, err := p.AccessShare(counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range shares {
+		if math.Abs(s-0.25) > 1e-12 {
+			t.Errorf("share[%d] = %g, want 0.25", i, s)
+		}
+	}
+}
+
+func TestZipfConcentratesOnHead(t *testing.T) {
+	p, err := Zipf(1000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The first 10% of records carry far more than 10% of accesses.
+	shares, err := p.AccessShare([]int{100, 900})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shares[0] < 0.5 {
+		t.Errorf("head share = %g, want > 0.5 under Zipf(1)", shares[0])
+	}
+	// Zipf(0) is uniform.
+	u, err := Zipf(10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 10; r++ {
+		if math.Abs(u.Prob(r)-0.1) > 1e-12 {
+			t.Errorf("Zipf(0) prob[%d] = %g", r, u.Prob(r))
+		}
+	}
+}
+
+func TestPartitionTracksTargets(t *testing.T) {
+	p, err := Zipf(10000, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	targets := []float64{0.4, 0.3, 0.2, 0.1}
+	counts, err := p.Partition(targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != 10000 {
+		t.Fatalf("assignment covers %d records", total)
+	}
+	worst, err := p.ShareError(targets, counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With 10k records each boundary is off by at most one record's
+	// mass; the head record carries the largest probability.
+	if worst > 2*p.Prob(0) {
+		t.Errorf("share error %g exceeds head-record mass %g", worst, p.Prob(0))
+	}
+	// The hot node (share 0.4) stores FEWER records than the uniform
+	// 40% because it got the hot head of the file.
+	if counts[0] >= 4000 {
+		t.Errorf("hot node stores %d records; expected far fewer than 4000 under Zipf", counts[0])
+	}
+}
+
+func TestPartitionHandlesZeroShares(t *testing.T) {
+	p, err := Uniform(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts, err := p.Partition([]float64{0.5, 0, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counts[1] != 0 {
+		t.Errorf("zero-share node got %d records", counts[1])
+	}
+	if counts[0]+counts[2] != 10 {
+		t.Errorf("counts = %v", counts)
+	}
+}
+
+func TestPartitionPropertyCoverageAndOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 100; trial++ {
+		records := 10 + rng.Intn(500)
+		s := rng.Float64() * 1.5
+		p, err := Zipf(records, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := 2 + rng.Intn(6)
+		targets := make([]float64, n)
+		var sum float64
+		for i := range targets {
+			targets[i] = rng.Float64()
+			sum += targets[i]
+		}
+		for i := range targets {
+			targets[i] /= sum
+		}
+		counts, err := p.Partition(targets)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		total := 0
+		for i, c := range counts {
+			if c < 0 {
+				t.Fatalf("trial %d: negative count at %d", trial, i)
+			}
+			total += c
+		}
+		if total != records {
+			t.Fatalf("trial %d: covers %d of %d records", trial, total, records)
+		}
+	}
+}
+
+func TestEndToEndZipfAllocation(t *testing.T) {
+	// Full pipeline: optimize access shares with the paper's algorithm,
+	// then map to records under Zipf popularity. The realized shares
+	// must reproduce the optimal cost closely.
+	m, err := costmodel.NewSingleFile([]float64{2, 1, 3, 2.5}, []float64{1.5}, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alloc, err := core.NewAllocator(m, core.WithAlpha(0.1), core.WithEpsilon(1e-8), core.WithKKTCheck())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := alloc.Run(context.Background(), []float64{0.25, 0.25, 0.25, 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("optimization did not converge")
+	}
+	optCost, err := m.Cost(res.X)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	p, err := Zipf(20000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts, err := p.Partition(res.X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	realized, err := p.AccessShare(counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	realCost, err := m.Cost(realized)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if (realCost-optCost)/optCost > 0.01 {
+		t.Errorf("record-granular cost %g vs optimal %g (> 1%% penalty)", realCost, optCost)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := Custom(nil); !errors.Is(err, ErrBadInput) {
+		t.Errorf("empty: %v", err)
+	}
+	if _, err := Custom([]float64{-1, 2}); !errors.Is(err, ErrBadInput) {
+		t.Errorf("negative: %v", err)
+	}
+	if _, err := Custom([]float64{0, 0}); !errors.Is(err, ErrBadInput) {
+		t.Errorf("zero: %v", err)
+	}
+	if _, err := Uniform(0); !errors.Is(err, ErrBadInput) {
+		t.Errorf("no records: %v", err)
+	}
+	if _, err := Zipf(10, -1); !errors.Is(err, ErrBadInput) {
+		t.Errorf("negative s: %v", err)
+	}
+	p, err := Uniform(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.AccessShare([]int{5, 4}); !errors.Is(err, ErrBadInput) {
+		t.Errorf("under-coverage: %v", err)
+	}
+	if _, err := p.AccessShare([]int{-1, 11}); !errors.Is(err, ErrBadInput) {
+		t.Errorf("negative count: %v", err)
+	}
+	if _, err := p.Partition([]float64{0.5, 0.4}); !errors.Is(err, ErrBadInput) {
+		t.Errorf("bad target sum: %v", err)
+	}
+	if _, err := p.Partition(nil); !errors.Is(err, ErrBadInput) {
+		t.Errorf("no nodes: %v", err)
+	}
+	if p.Records() != 10 {
+		t.Errorf("Records = %d", p.Records())
+	}
+}

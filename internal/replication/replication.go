@@ -1,0 +1,139 @@
+// Package replication answers the question the paper's section 8.2 calls
+// "the most salient issue" left open by the multiple-copy extension: "how
+// many copies are optimal for the system? i.e. what is the best value of
+// m? Since there are copies of files we may wish to include consistency
+// and concurrency control costs and distinguish between reads and writes.
+// Furthermore, the cost of storage and copy maintenance will affect the
+// optimal number of copies."
+//
+// The model combines three terms, each rising or falling in m:
+//
+//   - Access cost: the optimized virtual-ring cost of serving reads from
+//     m circulating copies (internal/multicopy) — decreasing in m, since
+//     more copies mean shorter forward walks and less queue contention.
+//   - Storage cost: StoragePerCopy per full copy held — linear in m.
+//   - Consistency cost: every update must be applied to all m copies, so
+//     each update pays PropagationCost for each of the other m−1 replicas
+//     — linear in m, scaled by the update share of the workload.
+//
+// The sum is swept over m = 1..MaxCopies; the minimum is the optimal
+// replication degree.
+package replication
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+
+	"filealloc/internal/multicopy"
+)
+
+// ErrBadConfig reports invalid sweep parameters.
+var ErrBadConfig = errors.New("replication: invalid configuration")
+
+// Config describes the system and the copy-cost economics.
+type Config struct {
+	// LinkCosts defines the virtual ring (length = node count).
+	LinkCosts []float64
+	// Rates holds per-node access rates, or one element meaning that
+	// total split uniformly.
+	Rates []float64
+	// ServiceRates holds μ_i, or one homogeneous element.
+	ServiceRates []float64
+	// K is the delay scaling factor.
+	K float64
+	// UpdateShare is the fraction of accesses that are updates (writes),
+	// in [0, 1].
+	UpdateShare float64
+	// StoragePerCopy is the cost (in the same units as communication
+	// cost, per access) of keeping one additional full copy.
+	StoragePerCopy float64
+	// PropagationCost is the communication cost of applying one update
+	// to one additional replica.
+	PropagationCost float64
+	// MaxCopies bounds the sweep (default: node count).
+	MaxCopies int
+	// Solve tunes the per-m allocation solves.
+	Solve multicopy.SolveConfig
+}
+
+// Row is the cost breakdown at one replication degree.
+type Row struct {
+	// M is the number of copies.
+	M int
+	// AccessCost is the optimized expected read cost per access.
+	AccessCost float64
+	// StorageCost is StoragePerCopy·M.
+	StorageCost float64
+	// ConsistencyCost is UpdateShare·PropagationCost·(M−1) per access.
+	ConsistencyCost float64
+	// TotalCost is the sum.
+	TotalCost float64
+	// X is the optimized allocation at this M.
+	X []float64
+}
+
+// Result is the sweep outcome.
+type Result struct {
+	// Rows holds one entry per replication degree, ascending.
+	Rows []Row
+	// Best is the index into Rows of the cheapest degree.
+	Best int
+}
+
+// OptimalCopies sweeps the replication degree and returns the full cost
+// breakdown plus the optimum.
+func OptimalCopies(ctx context.Context, cfg Config) (Result, error) {
+	n := len(cfg.LinkCosts)
+	if n < 3 {
+		return Result{}, fmt.Errorf("%w: ring needs at least 3 nodes, got %d", ErrBadConfig, n)
+	}
+	if cfg.UpdateShare < 0 || cfg.UpdateShare > 1 || math.IsNaN(cfg.UpdateShare) {
+		return Result{}, fmt.Errorf("%w: update share = %v", ErrBadConfig, cfg.UpdateShare)
+	}
+	if cfg.StoragePerCopy < 0 || cfg.PropagationCost < 0 {
+		return Result{}, fmt.Errorf("%w: negative storage (%v) or propagation (%v) cost",
+			ErrBadConfig, cfg.StoragePerCopy, cfg.PropagationCost)
+	}
+	maxCopies := cfg.MaxCopies
+	if maxCopies == 0 {
+		maxCopies = n
+	}
+	if maxCopies < 1 {
+		return Result{}, fmt.Errorf("%w: max copies = %d", ErrBadConfig, maxCopies)
+	}
+
+	res := Result{Best: -1}
+	bestCost := math.Inf(1)
+	for m := 1; m <= maxCopies; m++ {
+		ring, err := multicopy.New(multicopy.Config{
+			LinkCosts:    cfg.LinkCosts,
+			Rates:        cfg.Rates,
+			ServiceRates: cfg.ServiceRates,
+			K:            cfg.K,
+			Copies:       float64(m),
+		})
+		if err != nil {
+			return Result{}, fmt.Errorf("replication: building ring for m=%d: %w", m, err)
+		}
+		solved, err := ring.Solve(ctx, ring.SpreadEvenly(), cfg.Solve)
+		if err != nil {
+			return Result{}, fmt.Errorf("replication: solving m=%d: %w", m, err)
+		}
+		row := Row{
+			M:               m,
+			AccessCost:      solved.Cost,
+			StorageCost:     cfg.StoragePerCopy * float64(m),
+			ConsistencyCost: cfg.UpdateShare * cfg.PropagationCost * float64(m-1),
+			X:               solved.X,
+		}
+		row.TotalCost = row.AccessCost + row.StorageCost + row.ConsistencyCost
+		res.Rows = append(res.Rows, row)
+		if row.TotalCost < bestCost {
+			bestCost = row.TotalCost
+			res.Best = len(res.Rows) - 1
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,119 @@
+package replication
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"filealloc/internal/multicopy"
+)
+
+func baseConfig() Config {
+	return Config{
+		LinkCosts:    []float64{2, 2, 2, 2, 2, 2},
+		Rates:        []float64{1},
+		ServiceRates: []float64{1.5},
+		K:            1,
+		UpdateShare:  0.2,
+		// Each extra copy costs storage and update propagation; chosen
+		// so the optimum is interior (neither 1 nor n copies).
+		StoragePerCopy:  0.25,
+		PropagationCost: 1.5,
+		MaxCopies:       6,
+		Solve: multicopy.SolveConfig{
+			Alpha:         0.1,
+			CostDelta:     1e-6,
+			MaxIterations: 1500,
+		},
+	}
+}
+
+func TestOptimalCopiesInteriorOptimum(t *testing.T) {
+	res, err := OptimalCopies(context.Background(), baseConfig())
+	if err != nil {
+		t.Fatalf("OptimalCopies: %v", err)
+	}
+	if len(res.Rows) != 6 {
+		t.Fatalf("got %d rows, want 6", len(res.Rows))
+	}
+	best := res.Rows[res.Best]
+	if best.M <= 1 || best.M >= 6 {
+		t.Errorf("optimal m = %d; expected an interior optimum with these costs", best.M)
+	}
+	for _, row := range res.Rows {
+		if row.TotalCost < best.TotalCost {
+			t.Errorf("m=%d cheaper (%g) than reported best m=%d (%g)",
+				row.M, row.TotalCost, best.M, best.TotalCost)
+		}
+	}
+}
+
+func TestOptimalCopiesAccessCostDecreasesInM(t *testing.T) {
+	cfg := baseConfig()
+	cfg.StoragePerCopy = 0
+	cfg.PropagationCost = 0
+	res, err := OptimalCopies(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With free copies the read cost must (weakly) fall with m and the
+	// best m is the maximum.
+	for i := 1; i < len(res.Rows); i++ {
+		if res.Rows[i].AccessCost > res.Rows[i-1].AccessCost+5e-3 {
+			t.Errorf("access cost rose from m=%d (%g) to m=%d (%g)",
+				res.Rows[i-1].M, res.Rows[i-1].AccessCost, res.Rows[i].M, res.Rows[i].AccessCost)
+		}
+	}
+	if res.Rows[res.Best].M < 4 {
+		t.Errorf("free copies: best m = %d, expected near the maximum", res.Rows[res.Best].M)
+	}
+}
+
+func TestOptimalCopiesExpensiveCopiesPickOne(t *testing.T) {
+	cfg := baseConfig()
+	cfg.StoragePerCopy = 10
+	res, err := OptimalCopies(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[res.Best].M != 1 {
+		t.Errorf("prohibitive storage: best m = %d, want 1", res.Rows[res.Best].M)
+	}
+}
+
+func TestOptimalCopiesCostBreakdownAdds(t *testing.T) {
+	res, err := OptimalCopies(context.Background(), baseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range res.Rows {
+		sum := row.AccessCost + row.StorageCost + row.ConsistencyCost
+		if diff := row.TotalCost - sum; diff > 1e-12 || diff < -1e-12 {
+			t.Errorf("m=%d: total %g ≠ components %g", row.M, row.TotalCost, sum)
+		}
+		want := 0.2 * 1.5 * float64(row.M-1)
+		if diff := row.ConsistencyCost - want; diff > 1e-12 || diff < -1e-12 {
+			t.Errorf("m=%d: consistency cost %g, want %g", row.M, row.ConsistencyCost, want)
+		}
+	}
+}
+
+func TestOptimalCopiesValidation(t *testing.T) {
+	tests := []struct {
+		name string
+		fn   func(Config) Config
+	}{
+		{"tiny ring", func(c Config) Config { c.LinkCosts = []float64{1, 1}; return c }},
+		{"bad update share", func(c Config) Config { c.UpdateShare = 1.5; return c }},
+		{"negative storage", func(c Config) Config { c.StoragePerCopy = -1; return c }},
+		{"negative propagation", func(c Config) Config { c.PropagationCost = -1; return c }},
+		{"negative max copies", func(c Config) Config { c.MaxCopies = -1; return c }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := OptimalCopies(context.Background(), tt.fn(baseConfig())); !errors.Is(err, ErrBadConfig) {
+				t.Errorf("error = %v, want ErrBadConfig", err)
+			}
+		})
+	}
+}

@@ -1,0 +1,327 @@
+package secondorder
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+
+	"filealloc/internal/core"
+	"filealloc/internal/costmodel"
+)
+
+func mustModel(t *testing.T, access []float64, mu []float64, lambda, k float64) *costmodel.SingleFile {
+	t.Helper()
+	m, err := costmodel.NewSingleFile(access, mu, lambda, k)
+	if err != nil {
+		t.Fatalf("NewSingleFile: %v", err)
+	}
+	return m
+}
+
+func TestPlanStepFeasibilityAndDirection(t *testing.T) {
+	x := []float64{0.4, 0.3, 0.3}
+	grad := []float64{-1, -2, -3}
+	hess := []float64{-2, -2, -2}
+	st, err := PlanStep(x, grad, hess, []int{0, 1, 2}, 0.5)
+	if err != nil {
+		t.Fatalf("PlanStep: %v", err)
+	}
+	var total float64
+	for _, d := range st.Delta {
+		total += d
+	}
+	if math.Abs(total) > 1e-12 {
+		t.Errorf("deltas sum to %g, want 0", total)
+	}
+	if st.Delta[0] <= 0 || st.Delta[2] >= 0 {
+		t.Errorf("direction wrong: %v", st.Delta)
+	}
+	// With uniform curvature the weighted average equals the plain
+	// average and the step reduces to the first-order step scaled by
+	// 1/|h|.
+	first, err := core.PlanStep(x, grad, []int{0, 1, 2}, 0.5/2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range st.Delta {
+		if math.Abs(st.Delta[i]-first.Delta[i]) > 1e-12 {
+			t.Errorf("uniform-curvature step differs from scaled first-order: %v vs %v", st.Delta, first.Delta)
+		}
+	}
+}
+
+func TestPlanStepValidation(t *testing.T) {
+	x := []float64{0.5, 0.5}
+	grad := []float64{-1, -2}
+	tests := []struct {
+		name string
+		hess []float64
+		want error
+	}{
+		{"positive curvature", []float64{1, -1}, ErrBadObjective},
+		{"zero curvature", []float64{0, -1}, ErrBadObjective},
+		{"length mismatch", []float64{-1}, core.ErrDimension},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := PlanStep(x, grad, tt.hess, []int{0, 1}, 1); !errors.Is(err, tt.want) {
+				t.Errorf("error = %v, want %v", err, tt.want)
+			}
+		})
+	}
+	if _, err := PlanStep(x, grad, []float64{-1, -1}, []int{0, 1}, 0); !errors.Is(err, core.ErrBadConfig) {
+		t.Error("zero alpha accepted")
+	}
+	if _, err := PlanStep(x, grad, []float64{-1, -1}, nil, 1); !errors.Is(err, core.ErrBadConfig) {
+		t.Error("empty group accepted")
+	}
+}
+
+func TestSecondOrderConvergesToSameOptimum(t *testing.T) {
+	m := mustModel(t, []float64{2, 1, 3, 2}, []float64{1.5}, 1, 1)
+	sol, err := m.SolveKKT(1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alloc, err := NewAllocator(m, WithEpsilon(1e-8))
+	if err != nil {
+		t.Fatalf("NewAllocator: %v", err)
+	}
+	res, err := alloc.Run(context.Background(), []float64{0.25, 0.25, 0.25, 0.25})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !res.Converged {
+		t.Fatalf("did not converge: %+v", res)
+	}
+	if math.Abs(-res.Utility-sol.Cost) > 1e-6*(1+sol.Cost) {
+		t.Errorf("cost %g vs KKT %g", -res.Utility, sol.Cost)
+	}
+}
+
+func TestSecondOrderScaleResilience(t *testing.T) {
+	// Section 8.2's claim: the second-derivative algorithm is "resilient
+	// to changes in the scale of the problem, such as would be caused by
+	// increasing the link costs". Scaling k and all C_i by 100 must not
+	// change the iteration count, whereas the first-order algorithm at a
+	// fixed α slows down or diverges.
+	base := mustModel(t, []float64{2, 1, 3, 2}, []float64{1.5}, 1, 1)
+	scaled := mustModel(t, []float64{200, 100, 300, 200}, []float64{1.5}, 1, 100)
+	start := []float64{0.7, 0.1, 0.1, 0.1}
+
+	run := func(m *costmodel.SingleFile, eps float64) core.Result {
+		alloc, err := NewAllocator(m, WithEpsilon(eps), WithMaxIterations(5000))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := alloc.Run(context.Background(), start)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	// ε must scale with the utility so termination tests the same
+	// relative accuracy.
+	resBase := run(base, 1e-6)
+	resScaled := run(scaled, 1e-4)
+	if !resBase.Converged || !resScaled.Converged {
+		t.Fatalf("convergence failed: base %+v scaled %+v", resBase.Reason, resScaled.Reason)
+	}
+	diff := resBase.Iterations - resScaled.Iterations
+	if diff < -2 || diff > 2 {
+		t.Errorf("iteration counts diverge under scaling: %d vs %d", resBase.Iterations, resScaled.Iterations)
+	}
+	for i := range resBase.X {
+		if math.Abs(resBase.X[i]-resScaled.X[i]) > 1e-3 {
+			t.Errorf("x[%d]: %g vs %g", i, resBase.X[i], resScaled.X[i])
+		}
+	}
+}
+
+func TestSecondOrderFasterThanFirstOrderOnIllConditioned(t *testing.T) {
+	// Heterogeneous service rates make the curvature wildly uneven; the
+	// Newton-like scaling should then need far fewer iterations than the
+	// first-order algorithm at its best fixed stepsize.
+	m := mustModel(t, []float64{1, 1, 1, 1}, []float64{2, 4, 8, 16}, 1, 1)
+	start := []float64{0.25, 0.25, 0.25, 0.25}
+
+	second, err := NewAllocator(m, WithEpsilon(1e-8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resSecond, err := second.Run(context.Background(), start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resSecond.Converged {
+		t.Fatalf("second order did not converge: %+v", resSecond)
+	}
+
+	bestFirst := math.MaxInt
+	for _, alpha := range []float64{0.05, 0.1, 0.2, 0.5, 1, 2} {
+		first, err := core.NewAllocator(m, core.WithAlpha(alpha), core.WithEpsilon(1e-8), core.WithMaxIterations(100000))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := first.Run(context.Background(), start)
+		if err != nil || !res.Converged {
+			continue
+		}
+		if res.Iterations < bestFirst {
+			bestFirst = res.Iterations
+		}
+	}
+	if bestFirst == math.MaxInt {
+		t.Fatal("first-order algorithm never converged")
+	}
+	if resSecond.Iterations > bestFirst {
+		t.Errorf("second order took %d iterations, first order best %d", resSecond.Iterations, bestFirst)
+	}
+}
+
+func TestSecondOrderStepsizeTolerance(t *testing.T) {
+	// Any α in (0, 2) must converge — the wide-window property. Compare
+	// against α = 1.9 in the first-order algorithm on the same problem,
+	// which diverges (its stability window is α < 2/s ≈ 1.3).
+	m := mustModel(t, []float64{2, 2, 2, 2}, []float64{1.5}, 1, 1)
+	start := []float64{0.8, 0.1, 0.1, 0}
+	for _, alpha := range []float64{0.2, 0.5, 1, 1.5, 1.9} {
+		alloc, err := NewAllocator(m, WithAlpha(alpha), WithEpsilon(1e-6), WithMaxIterations(100000))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := alloc.Run(context.Background(), start)
+		if err != nil {
+			t.Fatalf("alpha %g: %v", alpha, err)
+		}
+		if !res.Converged {
+			t.Errorf("alpha %g: %v after %d iterations", alpha, res.Reason, res.Iterations)
+		}
+	}
+}
+
+func TestSecondOrderBoundaryOptimum(t *testing.T) {
+	// One node too expensive to host anything: second-order must land on
+	// the same boundary optimum.
+	m := mustModel(t, []float64{0, 0, 100}, []float64{3}, 1, 1)
+	alloc, err := NewAllocator(m, WithEpsilon(1e-9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := alloc.Run(context.Background(), []float64{0.3, 0.3, 0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("did not converge: %+v", res)
+	}
+	if res.X[2] > 1e-9 {
+		t.Errorf("x[2] = %g, want 0", res.X[2])
+	}
+	if math.Abs(res.X[0]-0.5) > 1e-6 || math.Abs(res.X[1]-0.5) > 1e-6 {
+		t.Errorf("X = %v, want (0.5, 0.5, 0)", res.X)
+	}
+}
+
+func TestSecondOrderValidation(t *testing.T) {
+	m := mustModel(t, []float64{1, 2}, []float64{3}, 1, 1)
+	if _, err := NewAllocator(nil); !errors.Is(err, core.ErrBadConfig) {
+		t.Error("nil objective accepted")
+	}
+	if _, err := NewAllocator(&flatObjective{}); !errors.Is(err, ErrBadObjective) {
+		t.Error("curvature-free objective accepted")
+	}
+	if _, err := NewAllocator(m, WithAlpha(-1)); !errors.Is(err, core.ErrBadConfig) {
+		t.Error("negative alpha accepted")
+	}
+	alloc, err := NewAllocator(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := alloc.Run(context.Background(), []float64{0.5}); !errors.Is(err, core.ErrDimension) {
+		t.Error("short init accepted")
+	}
+	if _, err := alloc.Run(context.Background(), []float64{-0.5, 1.5}); !errors.Is(err, core.ErrInfeasible) {
+		t.Error("negative init accepted")
+	}
+}
+
+type flatObjective struct{}
+
+func (*flatObjective) Dim() int                             { return 2 }
+func (*flatObjective) Utility(x []float64) (float64, error) { return 0, nil }
+func (*flatObjective) Gradient(grad, x []float64) error     { return nil }
+
+func TestSecondOrderTraceAndMonotonicity(t *testing.T) {
+	m := mustModel(t, []float64{2, 1, 3, 2}, []float64{1.5}, 1, 1)
+	var utilities []float64
+	alloc, err := NewAllocator(m,
+		WithAlpha(1),
+		WithEpsilon(1e-8),
+		WithTrace(func(it core.Iteration) { utilities = append(utilities, it.Utility) }),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := alloc.Run(context.Background(), []float64{0.7, 0.1, 0.1, 0.1}); err != nil {
+		t.Fatal(err)
+	}
+	if len(utilities) < 2 {
+		t.Fatalf("trace too short: %d", len(utilities))
+	}
+	for i := 1; i < len(utilities); i++ {
+		if utilities[i] < utilities[i-1]-1e-12 {
+			t.Errorf("utility decreased at %d: %g -> %g", i, utilities[i-1], utilities[i])
+		}
+	}
+}
+
+func TestSecondOrderMaxIterations(t *testing.T) {
+	m := mustModel(t, []float64{2, 1, 3, 2}, []float64{1.5}, 1, 1)
+	alloc, err := NewAllocator(m, WithAlpha(0.001), WithEpsilon(1e-15), WithMaxIterations(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := alloc.Run(context.Background(), []float64{1, 0, 0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reason != core.StopMaxIterations || res.Iterations != 3 {
+		t.Errorf("got %v after %d iterations", res.Reason, res.Iterations)
+	}
+	var sum float64
+	for _, v := range res.X {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("feasibility lost: sum = %g", sum)
+	}
+}
+
+func TestSecondOrderContextCancel(t *testing.T) {
+	m := mustModel(t, []float64{2, 1, 3, 2}, []float64{1.5}, 1, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	alloc, err := NewAllocator(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := alloc.Run(ctx, []float64{1, 0, 0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reason != core.StopCanceled {
+		t.Errorf("reason = %v, want canceled", res.Reason)
+	}
+}
+
+func TestSecondOrderMoreValidation(t *testing.T) {
+	m := mustModel(t, []float64{1, 2}, []float64{3}, 1, 1)
+	if _, err := NewAllocator(m, WithEpsilon(-1)); !errors.Is(err, core.ErrBadConfig) {
+		t.Error("negative epsilon accepted")
+	}
+	if _, err := NewAllocator(m, WithMaxIterations(0)); !errors.Is(err, core.ErrBadConfig) {
+		t.Error("zero iterations accepted")
+	}
+}

@@ -1,0 +1,339 @@
+// Package sim is a discrete-event simulator for the access traffic of a
+// file allocation: every node generates accesses as a Poisson process, each
+// access is routed to a storing node (chosen by the allocation-derived
+// routing probabilities), pays its communication cost, and queues for FCFS
+// service there. It measures the realized mean delay and communication
+// cost, validating the closed-form M/M/1 and M/G/1 expressions the cost
+// models use (experiment E7).
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// ErrBadWorkload reports an invalid simulation setup.
+var ErrBadWorkload = errors.New("sim: invalid workload")
+
+// Sampler draws service times.
+type Sampler interface {
+	// Sample returns one service time using the provided random source.
+	Sample(rng *rand.Rand) float64
+}
+
+// ExpSampler draws exponential service times with the given rate, matching
+// the paper's M/M/1 servers.
+type ExpSampler struct {
+	// Rate is μ.
+	Rate float64
+}
+
+// Sample implements Sampler.
+func (s ExpSampler) Sample(rng *rand.Rand) float64 { return rng.ExpFloat64() / s.Rate }
+
+// DetSampler draws a constant service time (M/D/1).
+type DetSampler struct {
+	// D is the fixed service duration.
+	D float64
+}
+
+// Sample implements Sampler.
+func (s DetSampler) Sample(rng *rand.Rand) float64 { return s.D }
+
+// UniformSampler draws service times uniform on [A, B].
+type UniformSampler struct {
+	A, B float64
+}
+
+// Sample implements Sampler.
+func (s UniformSampler) Sample(rng *rand.Rand) float64 { return s.A + rng.Float64()*(s.B-s.A) }
+
+// HyperExpSampler draws two-phase hyperexponential service times: rate Mu1
+// with probability P, rate Mu2 otherwise.
+type HyperExpSampler struct {
+	P        float64
+	Mu1, Mu2 float64
+}
+
+// Sample implements Sampler.
+func (s HyperExpSampler) Sample(rng *rand.Rand) float64 {
+	if rng.Float64() < s.P {
+		return rng.ExpFloat64() / s.Mu1
+	}
+	return rng.ExpFloat64() / s.Mu2
+}
+
+// Workload specifies one simulation run.
+type Workload struct {
+	// Rates holds the Poisson access generation rate λ_j per source
+	// node.
+	Rates []float64
+	// Route[j][i] is the probability a source-j access is served by
+	// node i; each row must sum to 1. For the single-file model this is
+	// simply the allocation x (independent of j); for the virtual ring
+	// it is the demand matrix.
+	Route [][]float64
+	// Cost[j][i] is the communication cost charged to a source-j access
+	// served at node i (the c_ji of section 4).
+	Cost [][]float64
+	// Service holds one Sampler per serving node.
+	Service []Sampler
+	// K scales delay into cost units when reporting TotalCost.
+	K float64
+	// Accesses is the number of completed accesses to measure
+	// (default 100000).
+	Accesses int
+	// Warmup is the number of initial completions discarded
+	// (default Accesses/10).
+	Warmup int
+	// Seed makes the run reproducible.
+	Seed int64
+}
+
+// NodeStats aggregates per-node measurements.
+type NodeStats struct {
+	// Arrivals is the number of accesses served at the node (after
+	// warmup).
+	Arrivals int
+	// MeanSojourn is the average time an access spent queued + in
+	// service at this node.
+	MeanSojourn float64
+	// Utilization is the fraction of measured time the server was busy.
+	Utilization float64
+}
+
+// Result reports the measured performance of the allocation.
+type Result struct {
+	// MeanDelay is the average sojourn time over all measured accesses —
+	// the simulated counterpart of Σ T_i·x_i.
+	MeanDelay float64
+	// MeanCommCost is the average communication cost per access — the
+	// simulated counterpart of Σ C_i·x_i.
+	MeanCommCost float64
+	// TotalCost is MeanCommCost + K·MeanDelay, the simulated equation-1
+	// cost.
+	TotalCost float64
+	// Completed is the number of measured accesses.
+	Completed int
+	// PerNode holds per-node statistics.
+	PerNode []NodeStats
+}
+
+// event is a pending simulation event.
+type event struct {
+	at   float64
+	kind eventKind
+	node int // source for arrivals, server for departures
+}
+
+type eventKind int
+
+const (
+	evArrival eventKind = iota + 1
+	evDeparture
+)
+
+// eventHeap orders events by time.
+type eventHeap []event
+
+func (h eventHeap) Len() int            { return len(h) }
+func (h eventHeap) Less(i, j int) bool  { return h[i].at < h[j].at }
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// job is one access waiting at or being served by a node.
+type job struct {
+	enqueued float64
+	commCost float64
+}
+
+// Run executes the simulation.
+func Run(w Workload) (Result, error) {
+	n := len(w.Rates)
+	if n == 0 {
+		return Result{}, fmt.Errorf("%w: no sources", ErrBadWorkload)
+	}
+	if len(w.Route) != n || len(w.Cost) != n || len(w.Service) != n {
+		return Result{}, fmt.Errorf("%w: route/cost/service shape mismatch", ErrBadWorkload)
+	}
+	var totalRate float64
+	for j, r := range w.Rates {
+		if r < 0 || math.IsNaN(r) {
+			return Result{}, fmt.Errorf("%w: rate[%d] = %v", ErrBadWorkload, j, r)
+		}
+		totalRate += r
+		if len(w.Route[j]) != n || len(w.Cost[j]) != n {
+			return Result{}, fmt.Errorf("%w: row %d shape mismatch", ErrBadWorkload, j)
+		}
+		var rowSum float64
+		for i, p := range w.Route[j] {
+			if p < -1e-9 {
+				return Result{}, fmt.Errorf("%w: route[%d][%d] = %v", ErrBadWorkload, j, i, p)
+			}
+			rowSum += p
+		}
+		if r > 0 && math.Abs(rowSum-1) > 1e-6 {
+			return Result{}, fmt.Errorf("%w: route row %d sums to %v", ErrBadWorkload, j, rowSum)
+		}
+	}
+	if totalRate <= 0 {
+		return Result{}, fmt.Errorf("%w: total rate must be positive", ErrBadWorkload)
+	}
+	for i, s := range w.Service {
+		if s == nil {
+			return Result{}, fmt.Errorf("%w: nil service sampler at node %d", ErrBadWorkload, i)
+		}
+	}
+	if w.Accesses <= 0 {
+		w.Accesses = 100000
+	}
+	if w.Warmup <= 0 {
+		w.Warmup = w.Accesses / 10
+	}
+
+	rng := rand.New(rand.NewSource(w.Seed))
+	events := &eventHeap{}
+	// Seed one arrival per active source; each arrival schedules its
+	// successor, realizing independent Poisson processes.
+	for j, r := range w.Rates {
+		if r > 0 {
+			heap.Push(events, event{at: rng.ExpFloat64() / r, kind: evArrival, node: j})
+		}
+	}
+
+	queues := make([][]job, n)
+	busySince := make([]float64, n)
+	busyTotal := make([]float64, n)
+	inService := make([]bool, n)
+
+	var (
+		completedTotal int
+		measured       int
+		sumSojourn     float64
+		sumComm        float64
+		perNode        = make([]NodeStats, n)
+		perNodeSojourn = make([]float64, n)
+		measureStart   float64
+		now            float64
+	)
+
+	startService := func(i int) {
+		service := w.Service[i].Sample(rng)
+		inService[i] = true
+		busySince[i] = now
+		heap.Push(events, event{at: now + service, kind: evDeparture, node: i})
+	}
+
+	for measured < w.Accesses-w.Warmup {
+		if events.Len() == 0 {
+			return Result{}, fmt.Errorf("%w: event queue drained", ErrBadWorkload)
+		}
+		ev := heap.Pop(events).(event)
+		now = ev.at
+		switch ev.kind {
+		case evArrival:
+			src := ev.node
+			// Schedule the next arrival from this source.
+			heap.Push(events, event{at: now + rng.ExpFloat64()/w.Rates[src], kind: evArrival, node: src})
+			// Route the access.
+			dest := pick(rng, w.Route[src])
+			queues[dest] = append(queues[dest], job{
+				enqueued: now,
+				commCost: w.Cost[src][dest],
+			})
+			if !inService[dest] {
+				startService(dest)
+			}
+		case evDeparture:
+			i := ev.node
+			done := queues[i][0]
+			queues[i] = queues[i][1:]
+			busyTotal[i] += now - busySince[i]
+			inService[i] = false
+			completedTotal++
+			if completedTotal == w.Warmup {
+				measureStart = now
+				// Reset busy accounting at the measurement epoch.
+				for v := range busyTotal {
+					busyTotal[v] = 0
+				}
+			}
+			if completedTotal > w.Warmup {
+				measured++
+				sumSojourn += now - done.enqueued
+				sumComm += done.commCost
+				perNode[i].Arrivals++
+				perNodeSojourn[i] += now - done.enqueued
+			}
+			if len(queues[i]) > 0 {
+				startService(i)
+			}
+		}
+	}
+
+	horizon := now - measureStart
+	res := Result{
+		Completed: measured,
+		PerNode:   perNode,
+	}
+	if measured > 0 {
+		res.MeanDelay = sumSojourn / float64(measured)
+		res.MeanCommCost = sumComm / float64(measured)
+		res.TotalCost = res.MeanCommCost + w.K*res.MeanDelay
+	}
+	for i := range perNode {
+		if perNode[i].Arrivals > 0 {
+			res.PerNode[i].MeanSojourn = perNodeSojourn[i] / float64(perNode[i].Arrivals)
+		}
+		if horizon > 0 {
+			res.PerNode[i].Utilization = busyTotal[i] / horizon
+		}
+	}
+	return res, nil
+}
+
+// pick samples an index from a probability row.
+func pick(rng *rand.Rand, row []float64) int {
+	u := rng.Float64()
+	acc := 0.0
+	last := 0
+	for i, p := range row {
+		if p <= 0 {
+			continue
+		}
+		acc += p
+		last = i
+		if u < acc {
+			return i
+		}
+	}
+	return last // guard against rounding at the row's end
+}
+
+// SingleFileWorkload builds the Workload that exercises the equation-1
+// model: every source routes to node i with probability x_i and pays cost
+// c_ji; all nodes serve at the sampler's rate.
+func SingleFileWorkload(x []float64, rates []float64, cost [][]float64, service []Sampler, k float64) Workload {
+	n := len(rates)
+	route := make([][]float64, n)
+	for j := 0; j < n; j++ {
+		route[j] = append([]float64(nil), x...)
+	}
+	return Workload{
+		Rates:   rates,
+		Route:   route,
+		Cost:    cost,
+		Service: service,
+		K:       k,
+	}
+}

@@ -1,0 +1,321 @@
+package sim
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"filealloc/internal/costmodel"
+	"filealloc/internal/multicopy"
+	"filealloc/internal/topology"
+)
+
+func expServices(n int, mu float64) []Sampler {
+	s := make([]Sampler, n)
+	for i := range s {
+		s[i] = ExpSampler{Rate: mu}
+	}
+	return s
+}
+
+func TestSingleQueueMatchesMM1(t *testing.T) {
+	// One node, Poisson(0.75) arrivals, exp(1.5) service: M/M/1 sojourn
+	// time 1/(μ−λ) = 1/0.75.
+	w := Workload{
+		Rates:    []float64{0.75},
+		Route:    [][]float64{{1}},
+		Cost:     [][]float64{{0}},
+		Service:  expServices(1, 1.5),
+		K:        1,
+		Accesses: 400000,
+		Seed:     1,
+	}
+	res, err := Run(w)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	want := 1 / (1.5 - 0.75)
+	if math.Abs(res.MeanDelay-want) > 0.05*want {
+		t.Errorf("mean delay = %g, want ≈ %g", res.MeanDelay, want)
+	}
+	wantUtil := 0.75 / 1.5
+	if math.Abs(res.PerNode[0].Utilization-wantUtil) > 0.03 {
+		t.Errorf("utilization = %g, want ≈ %g", res.PerNode[0].Utilization, wantUtil)
+	}
+}
+
+func TestSimulationValidatesAnalyticSingleFileCost(t *testing.T) {
+	// The headline validation (experiment E7): for the figure-3 system
+	// at several allocations, the simulated equation-1 cost must match
+	// the closed form within a few percent.
+	ring, err := topology.Ring(4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rates := topology.UniformRates(4, 1)
+	access, err := topology.AccessCosts(ring, rates, topology.RoundTrip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pair, err := topology.PairCosts(ring, topology.RoundTrip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := costmodel.NewSingleFile(access, []float64{1.5}, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	allocations := [][]float64{
+		{0.25, 0.25, 0.25, 0.25},
+		{0.8, 0.1, 0.1, 0.0},
+		{0.5, 0.3, 0.1, 0.1},
+	}
+	for _, x := range allocations {
+		analytic, err := model.Cost(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w := SingleFileWorkload(x, rates, pair, expServices(4, 1.5), 1)
+		w.Accesses = 300000
+		w.Seed = 7
+		res, err := Run(w)
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		if math.Abs(res.TotalCost-analytic) > 0.04*analytic {
+			t.Errorf("x=%v: simulated cost %g vs analytic %g", x, res.TotalCost, analytic)
+		}
+	}
+}
+
+func TestSimulationValidatesMG1Deterministic(t *testing.T) {
+	// M/D/1: simulated delay must match the Pollaczek–Khinchine value,
+	// which is below the M/M/1 prediction.
+	model, err := costmodel.NewMG1SingleFile([]float64{0, 0},
+		[]costmodel.ServiceDist{costmodel.Deterministic(0.5)}, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := []float64{0.5, 0.5}
+	analytic, err := model.Cost(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zero := [][]float64{{0, 0}, {0, 0}}
+	w := SingleFileWorkload(x, []float64{0.5, 0.5}, zero,
+		[]Sampler{DetSampler{D: 0.5}, DetSampler{D: 0.5}}, 1)
+	w.Accesses = 300000
+	w.Seed = 3
+	res, err := Run(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.TotalCost-analytic) > 0.04*analytic {
+		t.Errorf("simulated M/D/1 cost %g vs analytic %g", res.TotalCost, analytic)
+	}
+}
+
+func TestSimulationValidatesMultiCopyRing(t *testing.T) {
+	// Route by the virtual ring's demand matrix and compare against the
+	// ring model's analytic cost.
+	r, err := multicopy.New(multicopy.Config{
+		LinkCosts:    []float64{1, 1, 1, 1},
+		Rates:        []float64{0.25, 0.25, 0.25, 0.25},
+		ServiceRates: []float64{1.5},
+		K:            1,
+		Copies:       2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := []float64{0.7, 0.3, 0.6, 0.4}
+	analytic, err := r.Cost(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	route, err := r.Demands(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist := topology.RingDistances([]float64{1, 1, 1, 1})
+	w := Workload{
+		Rates:    []float64{0.25, 0.25, 0.25, 0.25},
+		Route:    route,
+		Cost:     dist,
+		Service:  expServices(4, 1.5),
+		K:        1,
+		Accesses: 300000,
+		Seed:     11,
+	}
+	res, err := Run(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.TotalCost-analytic) > 0.05*analytic {
+		t.Errorf("simulated ring cost %g vs analytic %g", res.TotalCost, analytic)
+	}
+}
+
+func TestLittlesLawHolds(t *testing.T) {
+	// L = λ·W: the mean number in system (measured via utilization and
+	// queueing) must match arrival rate times mean sojourn. We check the
+	// single-queue version through utilization = λ·E[S], which is
+	// Little's law applied to the server alone — a structural invariant
+	// of any correct FCFS simulation, independent of the M/M/1 formula.
+	for _, load := range []float64{0.3, 0.6, 0.85} {
+		mu := 2.0
+		lambda := load * mu
+		w := Workload{
+			Rates:    []float64{lambda},
+			Route:    [][]float64{{1}},
+			Cost:     [][]float64{{0}},
+			Service:  expServices(1, mu),
+			K:        1,
+			Accesses: 200000,
+			Seed:     int64(100 * load),
+		}
+		res, err := Run(w)
+		if err != nil {
+			t.Fatalf("load %g: %v", load, err)
+		}
+		// Server-level Little's law: utilization = λ/μ.
+		if math.Abs(res.PerNode[0].Utilization-load) > 0.02 {
+			t.Errorf("load %g: utilization = %g", load, res.PerNode[0].Utilization)
+		}
+	}
+}
+
+func TestHighUtilizationDelayGrows(t *testing.T) {
+	// Sanity of the congestion curve: delay at ρ=0.9 must far exceed
+	// delay at ρ=0.3 (the effect that drives the whole FAP trade-off).
+	delay := func(rho float64) float64 {
+		w := Workload{
+			Rates:    []float64{rho * 2},
+			Route:    [][]float64{{1}},
+			Cost:     [][]float64{{0}},
+			Service:  expServices(1, 2),
+			K:        1,
+			Accesses: 150000,
+			Seed:     9,
+		}
+		res, err := Run(w)
+		if err != nil {
+			t.Fatalf("rho %g: %v", rho, err)
+		}
+		return res.MeanDelay
+	}
+	low, high := delay(0.3), delay(0.9)
+	if high < 4*low {
+		t.Errorf("delay at ρ=0.9 (%g) should dwarf ρ=0.3 (%g)", high, low)
+	}
+}
+
+func TestRunDeterministicForSeed(t *testing.T) {
+	w := Workload{
+		Rates:    []float64{0.5, 0.5},
+		Route:    [][]float64{{0.5, 0.5}, {0.5, 0.5}},
+		Cost:     [][]float64{{0, 1}, {1, 0}},
+		Service:  expServices(2, 2),
+		K:        1,
+		Accesses: 20000,
+		Seed:     42,
+	}
+	a, err := Run(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TotalCost != b.TotalCost || a.MeanDelay != b.MeanDelay {
+		t.Errorf("same seed produced different results: %+v vs %+v", a, b)
+	}
+	w.Seed = 43
+	c, err := Run(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.TotalCost == a.TotalCost {
+		t.Error("different seeds produced identical results (suspicious)")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	good := Workload{
+		Rates:   []float64{1},
+		Route:   [][]float64{{1}},
+		Cost:    [][]float64{{0}},
+		Service: expServices(1, 2),
+	}
+	tests := []struct {
+		name string
+		fn   func(Workload) Workload
+	}{
+		{"no sources", func(w Workload) Workload { w.Rates = nil; return w }},
+		{"shape mismatch", func(w Workload) Workload { w.Route = nil; return w }},
+		{"bad row sum", func(w Workload) Workload { w.Route = [][]float64{{0.5}}; return w }},
+		{"negative rate", func(w Workload) Workload { w.Rates = []float64{-1}; return w }},
+		{"zero total rate", func(w Workload) Workload { w.Rates = []float64{0}; return w }},
+		{"nil sampler", func(w Workload) Workload { w.Service = []Sampler{nil}; return w }},
+		{"negative route", func(w Workload) Workload { w.Route = [][]float64{{-0.5}}; return w }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := Run(tt.fn(good)); !errors.Is(err, ErrBadWorkload) {
+				t.Errorf("error = %v, want ErrBadWorkload", err)
+			}
+		})
+	}
+}
+
+func TestSamplersMatchTheirMoments(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	tests := []struct {
+		name     string
+		s        Sampler
+		wantMean float64
+	}{
+		{"exp", ExpSampler{Rate: 2}, 0.5},
+		{"det", DetSampler{D: 0.3}, 0.3},
+		{"uniform", UniformSampler{A: 0.2, B: 0.6}, 0.4},
+		{"hyperexp", HyperExpSampler{P: 0.3, Mu1: 1, Mu2: 5}, 0.3/1 + 0.7/5},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			var sum float64
+			const draws = 200000
+			for i := 0; i < draws; i++ {
+				v := tt.s.Sample(rng)
+				if v < 0 {
+					t.Fatalf("negative service time %g", v)
+				}
+				sum += v
+			}
+			got := sum / draws
+			if math.Abs(got-tt.wantMean) > 0.02*(tt.wantMean+0.01) {
+				t.Errorf("mean = %g, want ≈ %g", got, tt.wantMean)
+			}
+		})
+	}
+}
+
+func TestPickDistribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	row := []float64{0.2, 0, 0.5, 0.3}
+	counts := make([]int, 4)
+	const draws = 100000
+	for i := 0; i < draws; i++ {
+		counts[pick(rng, row)]++
+	}
+	if counts[1] != 0 {
+		t.Errorf("picked zero-probability index %d times", counts[1])
+	}
+	for i, p := range row {
+		got := float64(counts[i]) / draws
+		if math.Abs(got-p) > 0.01 {
+			t.Errorf("index %d frequency %g, want ≈ %g", i, got, p)
+		}
+	}
+}

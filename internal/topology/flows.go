@@ -1,0 +1,143 @@
+package topology
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ShortestPaths computes single-source shortest paths with parent
+// tracking: dist[i] is the cost from src to i and parent[i] the
+// predecessor of i on one cheapest path (-1 for src and unreachable
+// nodes). Ties resolve to the lower-numbered parent for determinism.
+func (g *Graph) ShortestPaths(src int) (dist []float64, parent []int, err error) {
+	if src < 0 || src >= g.n {
+		return nil, nil, fmt.Errorf("topology: source node %d outside graph of %d nodes", src, g.n)
+	}
+	dist = make([]float64, g.n)
+	parent = make([]int, g.n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+		parent[i] = -1
+	}
+	dist[src] = 0
+
+	h := &distHeap{items: []distItem{{node: src, dist: 0}}}
+	done := make([]bool, g.n)
+	for h.Len() > 0 {
+		it := h.pop()
+		if done[it.node] {
+			continue
+		}
+		done[it.node] = true
+		for _, e := range g.adj[it.node] {
+			nd := it.dist + e.cost
+			switch {
+			case nd < dist[e.to]:
+				dist[e.to] = nd
+				parent[e.to] = it.node
+				h.push(distItem{node: e.to, dist: nd})
+			case nd == dist[e.to] && parent[e.to] > it.node:
+				parent[e.to] = it.node
+			}
+		}
+	}
+	return dist, parent, nil
+}
+
+// Path returns the node sequence of one cheapest route from i to j
+// (inclusive of both endpoints).
+func (g *Graph) Path(i, j int) ([]int, error) {
+	_, parent, err := g.ShortestPaths(i)
+	if err != nil {
+		return nil, err
+	}
+	if i == j {
+		return []int{i}, nil
+	}
+	if parent[j] < 0 {
+		return nil, fmt.Errorf("%w: no path %d->%d", ErrDisconnected, i, j)
+	}
+	var rev []int
+	for at := j; at != -1; at = parent[at] {
+		rev = append(rev, at)
+		if at == i {
+			break
+		}
+	}
+	if rev[len(rev)-1] != i {
+		return nil, fmt.Errorf("%w: broken parent chain %d->%d", ErrDisconnected, i, j)
+	}
+	path := make([]int, len(rev))
+	for k := range rev {
+		path[k] = rev[len(rev)-1-k]
+	}
+	return path, nil
+}
+
+// LinkLoad identifies a directed physical link and the access traffic
+// crossing it.
+type LinkLoad struct {
+	From, To int
+	// Load is the traffic rate over the link (accesses per time unit).
+	Load float64
+}
+
+// LinkLoads computes the per-link traffic induced by an allocation under
+// shortest-path routing: node j sends accesses toward node i at rate
+// λ_j·x_i; each request crosses every link of the cheapest j→i route, and
+// under the RoundTrip convention the response crosses the cheapest i→j
+// route. Local accesses (i == j) cross nothing. The result is sorted by
+// (From, To).
+//
+// This is the capacity-planning companion of AccessCosts: summing
+// Load·linkCost over all links reproduces λ·Σ_i C_i·x_i exactly (verified
+// by tests), while the per-link breakdown exposes WHERE that budget is
+// spent — the hot links a deployment must provision.
+func LinkLoads(g *Graph, rates, x []float64, conv CostConvention) ([]LinkLoad, error) {
+	n := g.NumNodes()
+	if len(rates) != n || len(x) != n {
+		return nil, fmt.Errorf("%w: %d rates / %d fractions for %d nodes", ErrBadRates, len(rates), len(x), n)
+	}
+	loads := make(map[[2]int]float64)
+	addPath := func(from, to int, rate float64) error {
+		path, err := g.Path(from, to)
+		if err != nil {
+			return err
+		}
+		for k := 0; k+1 < len(path); k++ {
+			loads[[2]int{path[k], path[k+1]}] += rate
+		}
+		return nil
+	}
+	for j := 0; j < n; j++ {
+		if rates[j] <= 0 {
+			continue
+		}
+		for i := 0; i < n; i++ {
+			if i == j || x[i] <= 0 {
+				continue
+			}
+			rate := rates[j] * x[i]
+			if err := addPath(j, i, rate); err != nil {
+				return nil, err
+			}
+			if conv == RoundTrip {
+				if err := addPath(i, j, rate); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	out := make([]LinkLoad, 0, len(loads))
+	for key, load := range loads {
+		out = append(out, LinkLoad{From: key[0], To: key[1], Load: load})
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].From != out[b].From {
+			return out[a].From < out[b].From
+		}
+		return out[a].To < out[b].To
+	})
+	return out, nil
+}

@@ -1,0 +1,173 @@
+package topology
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestPathReconstruction(t *testing.T) {
+	g := New(4)
+	if err := g.AddBidirectional(0, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddBidirectional(1, 2, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddBidirectional(2, 3, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddBidirectional(0, 3, 10); err != nil {
+		t.Fatal(err)
+	}
+	path, err := g.Path(0, 3)
+	if err != nil {
+		t.Fatalf("Path: %v", err)
+	}
+	want := []int{0, 1, 2, 3}
+	if len(path) != len(want) {
+		t.Fatalf("path = %v, want %v", path, want)
+	}
+	for i := range want {
+		if path[i] != want[i] {
+			t.Fatalf("path = %v, want %v", path, want)
+		}
+	}
+	self, err := g.Path(2, 2)
+	if err != nil || len(self) != 1 || self[0] != 2 {
+		t.Errorf("self path = %v, %v", self, err)
+	}
+}
+
+func TestPathDisconnected(t *testing.T) {
+	g := New(3)
+	if err := g.AddBidirectional(0, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Path(0, 2); !errors.Is(err, ErrDisconnected) {
+		t.Errorf("error = %v, want ErrDisconnected", err)
+	}
+	if _, _, err := g.ShortestPaths(9); err == nil {
+		t.Error("bad source accepted")
+	}
+}
+
+func TestLinkLoadsLineTopology(t *testing.T) {
+	// Line 0-1-2, all accesses from node 0, file wholly at node 2:
+	// every access crosses both links (and back, round trip).
+	g, err := Line(3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loads, err := LinkLoads(g, []float64{1, 0, 0}, []float64{0, 0, 1}, RoundTrip)
+	if err != nil {
+		t.Fatalf("LinkLoads: %v", err)
+	}
+	byLink := map[[2]int]float64{}
+	for _, l := range loads {
+		byLink[[2]int{l.From, l.To}] = l.Load
+	}
+	for _, link := range [][2]int{{0, 1}, {1, 2}, {2, 1}, {1, 0}} {
+		if math.Abs(byLink[link]-1) > 1e-12 {
+			t.Errorf("link %v load = %g, want 1", link, byLink[link])
+		}
+	}
+	// One-way: only the forward direction carries traffic.
+	oneway, err := LinkLoads(g, []float64{1, 0, 0}, []float64{0, 0, 1}, OneWay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(oneway) != 2 {
+		t.Errorf("one-way loads = %v", oneway)
+	}
+}
+
+func TestLinkLoadsReproduceAccessCostBudget(t *testing.T) {
+	// Σ_links load·cost must equal λ·Σ_i C_i·x_i exactly: the link
+	// breakdown and the node-level communication budget are two views of
+	// the same traffic.
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 20; trial++ {
+		n := 4 + rng.Intn(6)
+		g, err := RandomConnected(n, n, 0.5, 3, int64(trial))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rates := make([]float64, n)
+		x := make([]float64, n)
+		var xs float64
+		for i := range rates {
+			rates[i] = rng.Float64()
+			x[i] = rng.Float64()
+			xs += x[i]
+		}
+		for i := range x {
+			x[i] /= xs
+		}
+		access, err := AccessCosts(g, rates, RoundTrip)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var lambda, budget float64
+		for _, r := range rates {
+			lambda += r
+		}
+		for i := range x {
+			budget += access[i] * x[i]
+		}
+		budget *= lambda
+
+		loads, err := LinkLoads(g, rates, x, RoundTrip)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Recover per-link costs from the shortest-path structure by
+		// querying single-hop distances.
+		var spent float64
+		sp, err := g.AllPairs()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, l := range loads {
+			// A physical link's cost equals the shortest path between
+			// its endpoints only when the link itself is a shortest
+			// path; Path() routes over cheapest links, so every loaded
+			// hop satisfies that.
+			spent += l.Load * sp[l.From][l.To]
+		}
+		if math.Abs(spent-budget) > 1e-6*(1+budget) {
+			t.Errorf("trial %d: link budget %g vs access-cost budget %g", trial, spent, budget)
+		}
+	}
+}
+
+func TestLinkLoadsFindHotLink(t *testing.T) {
+	// Star: everything flows through the hub; hub links dominate.
+	g, err := Star(5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loads, err := LinkLoads(g, UniformRates(5, 1), []float64{0, 0.25, 0.25, 0.25, 0.25}, RoundTrip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range loads {
+		if l.From != 0 && l.To != 0 {
+			t.Errorf("traffic on non-hub link %v", l)
+		}
+		if l.Load <= 0 {
+			t.Errorf("empty load entry %v", l)
+		}
+	}
+}
+
+func TestLinkLoadsValidation(t *testing.T) {
+	g, err := Ring(4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LinkLoads(g, []float64{1}, []float64{1, 0, 0, 0}, RoundTrip); !errors.Is(err, ErrBadRates) {
+		t.Errorf("short rates: error = %v", err)
+	}
+}

@@ -1,0 +1,199 @@
+// Package topology models the communication substrate of the distributed
+// system: a weighted directed graph of nodes, shortest-path routing between
+// them, and the traffic-weighted access costs C_i that feed the file
+// allocation cost model (Kurose & Simha, section 4).
+//
+// The paper assumes a logically fully connected network: every node can reach
+// every other node, possibly via store-and-forward over intermediate nodes.
+// Accordingly, the per-access communication cost c_ij between two nodes is
+// the cost of the cheapest route between them, computed here with Dijkstra's
+// algorithm over the physical link graph.
+package topology
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrDisconnected is returned when a pair of nodes has no connecting path,
+// violating the paper's logical-full-connectivity assumption.
+var ErrDisconnected = errors.New("topology: graph is not strongly connected")
+
+// ErrBadEdge is returned when an edge references a node outside the graph or
+// carries a negative cost.
+var ErrBadEdge = errors.New("topology: invalid edge")
+
+// Graph is a weighted directed graph over nodes 0..N-1. Links model
+// point-to-point communication channels; the weight of a link is the cost of
+// sending one file access (request or response) across it.
+//
+// The zero value is an empty graph; use New to create a graph with a fixed
+// node count.
+type Graph struct {
+	n   int
+	adj [][]edge // adjacency list per node
+}
+
+type edge struct {
+	to   int
+	cost float64
+}
+
+// New returns a graph with n nodes and no links.
+func New(n int) *Graph {
+	if n < 0 {
+		n = 0
+	}
+	return &Graph{n: n, adj: make([][]edge, n)}
+}
+
+// NumNodes returns the number of nodes in the graph.
+func (g *Graph) NumNodes() int { return g.n }
+
+// AddLink adds a directed link from node i to node j with the given cost.
+// Costs must be non-negative (they are communication costs, not arbitrary
+// weights), and both endpoints must exist.
+func (g *Graph) AddLink(i, j int, cost float64) error {
+	switch {
+	case i < 0 || i >= g.n || j < 0 || j >= g.n:
+		return fmt.Errorf("%w: link %d->%d outside graph of %d nodes", ErrBadEdge, i, j, g.n)
+	case cost < 0 || math.IsNaN(cost) || math.IsInf(cost, 0):
+		return fmt.Errorf("%w: link %d->%d has invalid cost %v", ErrBadEdge, i, j, cost)
+	}
+	g.adj[i] = append(g.adj[i], edge{to: j, cost: cost})
+	return nil
+}
+
+// AddBidirectional adds links in both directions with the same cost.
+func (g *Graph) AddBidirectional(i, j int, cost float64) error {
+	if err := g.AddLink(i, j, cost); err != nil {
+		return err
+	}
+	return g.AddLink(j, i, cost)
+}
+
+// Degree returns the out-degree of node i.
+func (g *Graph) Degree(i int) int {
+	if i < 0 || i >= g.n {
+		return 0
+	}
+	return len(g.adj[i])
+}
+
+// Neighbors returns the distinct nodes directly reachable from node i, in
+// insertion order.
+func (g *Graph) Neighbors(i int) []int {
+	if i < 0 || i >= g.n {
+		return nil
+	}
+	seen := make(map[int]bool, len(g.adj[i]))
+	out := make([]int, 0, len(g.adj[i]))
+	for _, e := range g.adj[i] {
+		if !seen[e.to] {
+			seen[e.to] = true
+			out = append(out, e.to)
+		}
+	}
+	return out
+}
+
+// ShortestFrom computes single-source shortest-path costs from node src to
+// every node using Dijkstra's algorithm. Unreachable nodes get +Inf.
+func (g *Graph) ShortestFrom(src int) ([]float64, error) {
+	if src < 0 || src >= g.n {
+		return nil, fmt.Errorf("topology: source node %d outside graph of %d nodes", src, g.n)
+	}
+	dist := make([]float64, g.n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	dist[src] = 0
+
+	h := &distHeap{items: []distItem{{node: src, dist: 0}}}
+	done := make([]bool, g.n)
+	for h.Len() > 0 {
+		it := h.pop()
+		if done[it.node] {
+			continue
+		}
+		done[it.node] = true
+		for _, e := range g.adj[it.node] {
+			if nd := it.dist + e.cost; nd < dist[e.to] {
+				dist[e.to] = nd
+				h.push(distItem{node: e.to, dist: nd})
+			}
+		}
+	}
+	return dist, nil
+}
+
+// AllPairs computes the all-pairs shortest path matrix sp[i][j] (cost of the
+// cheapest route from i to j). It returns ErrDisconnected if any pair is
+// unreachable.
+func (g *Graph) AllPairs() ([][]float64, error) {
+	sp := make([][]float64, g.n)
+	for i := 0; i < g.n; i++ {
+		row, err := g.ShortestFrom(i)
+		if err != nil {
+			return nil, err
+		}
+		for j, d := range row {
+			if math.IsInf(d, 1) {
+				return nil, fmt.Errorf("%w: no path %d->%d", ErrDisconnected, i, j)
+			}
+		}
+		sp[i] = row
+	}
+	return sp, nil
+}
+
+// distHeap is a minimal binary min-heap on (node, dist) pairs. A hand-rolled
+// heap avoids interface boxing on this hot path.
+type distHeap struct {
+	items []distItem
+}
+
+type distItem struct {
+	node int
+	dist float64
+}
+
+func (h *distHeap) Len() int { return len(h.items) }
+
+func (h *distHeap) push(it distItem) {
+	h.items = append(h.items, it)
+	i := len(h.items) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h.items[parent].dist <= h.items[i].dist {
+			break
+		}
+		h.items[parent], h.items[i] = h.items[i], h.items[parent]
+		i = parent
+	}
+}
+
+func (h *distHeap) pop() distItem {
+	top := h.items[0]
+	last := len(h.items) - 1
+	h.items[0] = h.items[last]
+	h.items = h.items[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < len(h.items) && h.items[l].dist < h.items[small].dist {
+			small = l
+		}
+		if r < len(h.items) && h.items[r].dist < h.items[small].dist {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		h.items[i], h.items[small] = h.items[small], h.items[i]
+		i = small
+	}
+	return top
+}

@@ -1,0 +1,202 @@
+// Package trace records and renders the iteration history of an
+// allocation run: the cost/utility per iteration, the allocation path, and
+// lightweight ASCII rendering used by the experiment binaries to reproduce
+// the paper's convergence-profile figures in a terminal.
+package trace
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"filealloc/internal/core"
+)
+
+// ErrEmpty is returned when rendering an empty trace.
+var ErrEmpty = errors.New("trace: empty")
+
+// Point is one recorded iteration.
+type Point struct {
+	// Iteration is the step index (0 = initial allocation).
+	Iteration int
+	// Cost is the expected access cost (−Utility).
+	Cost float64
+	// Spread is the marginal-utility spread over the active set.
+	Spread float64
+	// Alpha is the stepsize used.
+	Alpha float64
+	// X is a copy of the allocation.
+	X []float64
+}
+
+// Recorder accumulates iteration points; its Hook method plugs into
+// core.WithTrace. The zero value is ready to use.
+type Recorder struct {
+	points []Point
+	keepX  bool
+}
+
+// NewRecorder returns a Recorder; keepX controls whether allocation
+// vectors are copied (costly for large N).
+func NewRecorder(keepX bool) *Recorder {
+	return &Recorder{keepX: keepX}
+}
+
+// Hook records one iteration; pass it to core.WithTrace.
+func (r *Recorder) Hook(it core.Iteration) {
+	p := Point{
+		Iteration: it.Index,
+		Cost:      -it.Utility,
+		Spread:    it.Spread,
+		Alpha:     it.Alpha,
+	}
+	if r.keepX {
+		p.X = append([]float64(nil), it.X...)
+	}
+	r.points = append(r.points, p)
+}
+
+// Points returns the recorded history. The slice is owned by the Recorder;
+// callers must not mutate it.
+func (r *Recorder) Points() []Point { return r.points }
+
+// Len returns the number of recorded points.
+func (r *Recorder) Len() int { return len(r.points) }
+
+// Costs returns the cost series.
+func (r *Recorder) Costs() []float64 {
+	out := make([]float64, len(r.points))
+	for i, p := range r.points {
+		out[i] = p.Cost
+	}
+	return out
+}
+
+// WriteCSV emits "iteration,cost,spread,alpha[,x0,x1,...]" rows.
+func (r *Recorder) WriteCSV(w io.Writer) error {
+	if len(r.points) == 0 {
+		return ErrEmpty
+	}
+	header := "iteration,cost,spread,alpha"
+	if r.keepX && len(r.points[0].X) > 0 {
+		for i := range r.points[0].X {
+			header += fmt.Sprintf(",x%d", i)
+		}
+	}
+	if _, err := fmt.Fprintln(w, header); err != nil {
+		return fmt.Errorf("trace: writing CSV header: %w", err)
+	}
+	for _, p := range r.points {
+		row := fmt.Sprintf("%d,%g,%g,%g", p.Iteration, p.Cost, p.Spread, p.Alpha)
+		for _, x := range p.X {
+			row += fmt.Sprintf(",%g", x)
+		}
+		if _, err := fmt.Fprintln(w, row); err != nil {
+			return fmt.Errorf("trace: writing CSV row: %w", err)
+		}
+	}
+	return nil
+}
+
+// AsciiPlot renders series as a width×height ASCII line chart, one rune
+// per series. Series may have different lengths; the x-axis spans the
+// longest.
+func AsciiPlot(series [][]float64, labels []string, width, height int) (string, error) {
+	if len(series) == 0 {
+		return "", ErrEmpty
+	}
+	if width < 8 || height < 2 {
+		return "", fmt.Errorf("trace: plot area %dx%d too small", width, height)
+	}
+	marks := []rune("*o+x@#%&")
+	lo, hi := math.Inf(1), math.Inf(-1)
+	maxLen := 0
+	for _, s := range series {
+		if len(s) > maxLen {
+			maxLen = len(s)
+		}
+		for _, v := range s {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return "", fmt.Errorf("trace: non-finite value %v in series", v)
+			}
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+	}
+	if maxLen == 0 {
+		return "", ErrEmpty
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	grid := make([][]rune, height)
+	for r := range grid {
+		grid[r] = []rune(strings.Repeat(" ", width))
+	}
+	for si, s := range series {
+		mark := marks[si%len(marks)]
+		for i, v := range s {
+			col := 0
+			if maxLen > 1 {
+				col = i * (width - 1) / (maxLen - 1)
+			}
+			row := int(math.Round((hi - v) / (hi - lo) * float64(height-1)))
+			grid[row][col] = mark
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%10.4f ┤\n", hi)
+	for _, row := range grid {
+		fmt.Fprintf(&b, "%11s│%s\n", "", string(row))
+	}
+	fmt.Fprintf(&b, "%10.4f ┤%s\n", lo, strings.Repeat("─", width))
+	for si, label := range labels {
+		if si >= len(series) {
+			break
+		}
+		fmt.Fprintf(&b, "%11s%c = %s\n", "", marks[si%len(marks)], label)
+	}
+	return b.String(), nil
+}
+
+// Sparkline renders one series as a single line of block characters.
+func Sparkline(s []float64, width int) (string, error) {
+	if len(s) == 0 {
+		return "", ErrEmpty
+	}
+	if width < 1 {
+		return "", fmt.Errorf("trace: width %d too small", width)
+	}
+	blocks := []rune("▁▂▃▄▅▆▇█")
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range s {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return "", fmt.Errorf("trace: non-finite value %v in series", v)
+		}
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	out := make([]rune, 0, width)
+	for c := 0; c < width && c < len(s); c++ {
+		idx := c * (len(s) - 1) / max(1, width-1)
+		if width > len(s) {
+			idx = c
+		}
+		v := s[idx]
+		level := int((v - lo) / (hi - lo) * float64(len(blocks)-1))
+		out = append(out, blocks[level])
+	}
+	return string(out), nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

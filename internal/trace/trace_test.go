@@ -1,0 +1,128 @@
+package trace
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"filealloc/internal/core"
+)
+
+func TestRecorderHook(t *testing.T) {
+	r := NewRecorder(true)
+	r.Hook(core.Iteration{Index: 0, X: []float64{1, 0}, Utility: -4, Alpha: 0.3})
+	r.Hook(core.Iteration{Index: 1, X: []float64{0.6, 0.4}, Utility: -3, Spread: 0.5, Alpha: 0.3})
+	if r.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", r.Len())
+	}
+	pts := r.Points()
+	if pts[0].Cost != 4 || pts[1].Cost != 3 {
+		t.Errorf("costs = %v, %v, want 4, 3", pts[0].Cost, pts[1].Cost)
+	}
+	if pts[1].X[1] != 0.4 {
+		t.Errorf("X not recorded: %v", pts[1].X)
+	}
+	costs := r.Costs()
+	if len(costs) != 2 || costs[0] != 4 {
+		t.Errorf("Costs = %v", costs)
+	}
+}
+
+func TestRecorderCopiesX(t *testing.T) {
+	r := NewRecorder(true)
+	x := []float64{1, 0}
+	r.Hook(core.Iteration{Index: 0, X: x, Utility: -1})
+	x[0] = 99
+	if r.Points()[0].X[0] != 1 {
+		t.Error("recorder aliased the live allocation slice")
+	}
+}
+
+func TestRecorderWithoutX(t *testing.T) {
+	r := NewRecorder(false)
+	r.Hook(core.Iteration{Index: 0, X: []float64{1}, Utility: -1})
+	if r.Points()[0].X != nil {
+		t.Error("X kept despite keepX=false")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	r := NewRecorder(true)
+	r.Hook(core.Iteration{Index: 0, X: []float64{0.5, 0.5}, Utility: -2, Alpha: 0.1})
+	var b strings.Builder
+	if err := r.WriteCSV(&b); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	got := b.String()
+	if !strings.HasPrefix(got, "iteration,cost,spread,alpha,x0,x1\n") {
+		t.Errorf("header wrong: %q", got)
+	}
+	if !strings.Contains(got, "0,2,0,0.1,0.5,0.5") {
+		t.Errorf("row wrong: %q", got)
+	}
+	empty := NewRecorder(false)
+	if err := empty.WriteCSV(&b); !errors.Is(err, ErrEmpty) {
+		t.Errorf("empty CSV error = %v, want ErrEmpty", err)
+	}
+}
+
+func TestAsciiPlot(t *testing.T) {
+	series := [][]float64{
+		{4, 3, 2.9, 2.85, 2.8},
+		{4, 3.5, 3.1, 2.95, 2.9, 2.85, 2.82, 2.8},
+	}
+	out, err := AsciiPlot(series, []string{"alpha=0.67", "alpha=0.3"}, 40, 10)
+	if err != nil {
+		t.Fatalf("AsciiPlot: %v", err)
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Errorf("plot missing series marks:\n%s", out)
+	}
+	if !strings.Contains(out, "alpha=0.67") {
+		t.Errorf("plot missing legend:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) < 12 {
+		t.Errorf("plot has %d lines, want ≥ 12", len(lines))
+	}
+}
+
+func TestAsciiPlotErrors(t *testing.T) {
+	if _, err := AsciiPlot(nil, nil, 40, 10); !errors.Is(err, ErrEmpty) {
+		t.Errorf("empty: error = %v, want ErrEmpty", err)
+	}
+	if _, err := AsciiPlot([][]float64{{1}}, nil, 2, 1); err == nil {
+		t.Error("tiny plot area accepted")
+	}
+	if _, err := AsciiPlot([][]float64{{math.NaN()}}, nil, 40, 10); err == nil {
+		t.Error("NaN accepted")
+	}
+	// Flat series must not divide by zero.
+	if _, err := AsciiPlot([][]float64{{2, 2, 2}}, nil, 40, 10); err != nil {
+		t.Errorf("flat series: %v", err)
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	out, err := Sparkline([]float64{0, 1, 2, 3, 4, 5, 6, 7}, 8)
+	if err != nil {
+		t.Fatalf("Sparkline: %v", err)
+	}
+	if out != "▁▂▃▄▅▆▇█" {
+		t.Errorf("sparkline = %q", out)
+	}
+	if _, err := Sparkline(nil, 8); !errors.Is(err, ErrEmpty) {
+		t.Errorf("empty: error = %v, want ErrEmpty", err)
+	}
+	if _, err := Sparkline([]float64{1}, 0); err == nil {
+		t.Error("zero width accepted")
+	}
+	flat, err := Sparkline([]float64{5, 5, 5}, 3)
+	if err != nil {
+		t.Fatalf("flat: %v", err)
+	}
+	if len([]rune(flat)) != 3 {
+		t.Errorf("flat sparkline = %q", flat)
+	}
+}

@@ -1,0 +1,268 @@
+package transport
+
+import (
+	"bufio"
+	"context"
+	"encoding/base64"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// tcpInboxSize bounds the TCP endpoint's delivery queue; the reader
+// goroutines block (exerting TCP back-pressure) when it is full.
+const tcpInboxSize = 1024
+
+// wireFrame is one JSON line on a TCP connection.
+type wireFrame struct {
+	From    int    `json:"from"`
+	Payload string `json:"payload"` // base64
+}
+
+// TCPEndpoint connects one node of the allocation protocol to its peers
+// over TCP with JSON-line framing. Outgoing connections are dialed lazily
+// and cached; every accepted connection feeds a shared inbox.
+type TCPEndpoint struct {
+	id    int
+	addrs []string
+	ln    net.Listener
+
+	mu    sync.Mutex
+	conns map[int]net.Conn
+	wg    sync.WaitGroup
+
+	inbox chan Message
+
+	closeOnce sync.Once
+	done      chan struct{}
+}
+
+var _ Endpoint = (*TCPEndpoint)(nil)
+
+// ListenTCP starts node id's endpoint listening on addrs[id]. addrs maps
+// every node id to its listen address; a port of ":0" style is allowed, in
+// which case Addr reports the bound address (useful in tests; production
+// deployments list concrete addresses).
+func ListenTCP(id int, addrs []string) (*TCPEndpoint, error) {
+	if id < 0 || id >= len(addrs) {
+		return nil, fmt.Errorf("%w: node %d of %d", ErrUnknownPeer, id, len(addrs))
+	}
+	ln, err := net.Listen("tcp", addrs[id])
+	if err != nil {
+		return nil, fmt.Errorf("transport: listening on %q: %w", addrs[id], err)
+	}
+	ep := &TCPEndpoint{
+		id:    id,
+		addrs: append([]string(nil), addrs...),
+		ln:    ln,
+		conns: make(map[int]net.Conn),
+		inbox: make(chan Message, tcpInboxSize),
+		done:  make(chan struct{}),
+	}
+	ep.addrs[id] = ln.Addr().String()
+	ep.wg.Add(1)
+	go ep.acceptLoop()
+	return ep, nil
+}
+
+// Addr returns the endpoint's bound listen address.
+func (e *TCPEndpoint) Addr() string { return e.addrs[e.id] }
+
+// SetPeerAddr installs a peer's concrete address after construction. This
+// supports bootstrap flows where every node listens on an ephemeral port
+// first and the address book is assembled afterwards (tests, local
+// clusters). It must be called before the first Send to that peer.
+func (e *TCPEndpoint) SetPeerAddr(id int, addr string) error {
+	if id < 0 || id >= len(e.addrs) {
+		return fmt.Errorf("%w: node %d of %d", ErrUnknownPeer, id, len(e.addrs))
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.addrs[id] = addr
+	return nil
+}
+
+// ID implements Endpoint.
+func (e *TCPEndpoint) ID() int { return e.id }
+
+// Peers implements Endpoint.
+func (e *TCPEndpoint) Peers() int { return len(e.addrs) }
+
+func (e *TCPEndpoint) acceptLoop() {
+	defer e.wg.Done()
+	for {
+		conn, err := e.ln.Accept()
+		if err != nil {
+			// Listener closed (normal shutdown) or fatal error;
+			// either way the endpoint stops accepting.
+			return
+		}
+		e.wg.Add(1)
+		go e.readLoop(conn)
+	}
+}
+
+func (e *TCPEndpoint) readLoop(conn net.Conn) {
+	defer e.wg.Done()
+	defer conn.Close() //nolint:errcheck // best-effort close of a read-side socket
+	// Close the connection when the endpoint shuts down so the scanner
+	// unblocks.
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		select {
+		case <-e.done:
+			conn.Close() //nolint:errcheck // unblocks the scanner below
+		case <-stop:
+		}
+	}()
+
+	scanner := bufio.NewScanner(conn)
+	scanner.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	for scanner.Scan() {
+		var frame wireFrame
+		if err := json.Unmarshal(scanner.Bytes(), &frame); err != nil {
+			continue // skip malformed line; protocol layer re-requests nothing, rounds are idempotent per peer
+		}
+		payload, err := base64.StdEncoding.DecodeString(frame.Payload)
+		if err != nil {
+			continue
+		}
+		select {
+		case e.inbox <- Message{From: frame.From, Payload: payload}:
+		case <-e.done:
+			return
+		}
+	}
+}
+
+// Send implements Endpoint. The first send to a peer dials it; the
+// connection is cached for the endpoint's lifetime. A failed write tears
+// down the cached connection so the next attempt re-dials.
+func (e *TCPEndpoint) Send(ctx context.Context, to int, payload []byte) error {
+	if to < 0 || to >= len(e.addrs) {
+		return fmt.Errorf("%w: node %d of %d", ErrUnknownPeer, to, len(e.addrs))
+	}
+	select {
+	case <-e.done:
+		return ErrClosed
+	default:
+	}
+	conn, err := e.conn(ctx, to)
+	if err != nil {
+		return err
+	}
+	frame, err := json.Marshal(wireFrame{
+		From:    e.id,
+		Payload: base64.StdEncoding.EncodeToString(payload),
+	})
+	if err != nil {
+		return fmt.Errorf("transport: encoding frame: %w", err)
+	}
+	frame = append(frame, '\n')
+	if deadline, ok := ctx.Deadline(); ok {
+		if err := conn.SetWriteDeadline(deadline); err != nil {
+			return fmt.Errorf("transport: setting write deadline: %w", err)
+		}
+	}
+	if _, err := conn.Write(frame); err != nil {
+		e.dropConn(to, conn)
+		return fmt.Errorf("transport: writing to node %d: %w", to, err)
+	}
+	return nil
+}
+
+// dialRetryWindow bounds how long Send keeps retrying a refused dial.
+// Peers of a cluster start asynchronously, so the first sender routinely
+// beats the last listener; retrying briefly makes bootstrap order-free.
+const dialRetryWindow = 10 * time.Second
+
+func (e *TCPEndpoint) conn(ctx context.Context, to int) (net.Conn, error) {
+	e.mu.Lock()
+	if c, ok := e.conns[to]; ok {
+		e.mu.Unlock()
+		return c, nil
+	}
+	addr := e.addrs[to]
+	e.mu.Unlock()
+
+	var d net.Dialer
+	var c net.Conn
+	var err error
+	deadline := time.Now().Add(dialRetryWindow)
+	for attempt := 0; ; attempt++ {
+		c, err = d.DialContext(ctx, "tcp", addr)
+		if err == nil {
+			break
+		}
+		select {
+		case <-e.done:
+			return nil, ErrClosed
+		case <-ctx.Done():
+			return nil, fmt.Errorf("transport: dialing node %d at %q: %w", to, addr, ctx.Err())
+		default:
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("transport: dialing node %d at %q: %w", to, addr, err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if existing, ok := e.conns[to]; ok {
+		// Lost the race; keep the first connection.
+		c.Close() //nolint:errcheck // duplicate connection
+		return existing, nil
+	}
+	e.conns[to] = c
+	return c, nil
+}
+
+func (e *TCPEndpoint) dropConn(to int, conn net.Conn) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.conns[to] == conn {
+		delete(e.conns, to)
+	}
+	conn.Close() //nolint:errcheck // tearing down a failed connection
+}
+
+// Recv implements Endpoint.
+func (e *TCPEndpoint) Recv(ctx context.Context) (Message, error) {
+	select {
+	case msg := <-e.inbox:
+		return msg, nil
+	case <-e.done:
+		select {
+		case msg := <-e.inbox:
+			return msg, nil
+		default:
+			return Message{}, ErrClosed
+		}
+	case <-ctx.Done():
+		return Message{}, fmt.Errorf("transport: receiving at %d: %w", e.id, ctx.Err())
+	}
+}
+
+// Close implements Endpoint: it stops the listener, closes every
+// connection, and waits for the reader goroutines to exit.
+func (e *TCPEndpoint) Close() error {
+	var errOut error
+	e.closeOnce.Do(func() {
+		close(e.done)
+		if err := e.ln.Close(); err != nil && !errors.Is(err, net.ErrClosed) {
+			errOut = err
+		}
+		e.mu.Lock()
+		for to, c := range e.conns {
+			c.Close() //nolint:errcheck // shutdown path
+			delete(e.conns, to)
+		}
+		e.mu.Unlock()
+		e.wg.Wait()
+	})
+	return errOut
+}

@@ -1,0 +1,145 @@
+package filealloc
+
+import (
+	"context"
+	"fmt"
+
+	"filealloc/internal/core"
+	"filealloc/internal/costmodel"
+	"filealloc/internal/topology"
+)
+
+// FileSpec describes one file of a multi-file workload.
+type FileSpec struct {
+	// Name labels the file in results.
+	Name string
+	// AccessRates holds λ_i^f: each node's access rate to THIS file.
+	AccessRates []float64
+}
+
+// MultiWorkload describes several files sharing the nodes' queues
+// (section 5.4): each file is allocated independently (its fractions sum
+// to 1) but all files stored at a node contend for its single server.
+type MultiWorkload struct {
+	// Files lists the files.
+	Files []FileSpec
+	// ServiceRates holds μ_i (one element = homogeneous). Stability
+	// requires μ_i to exceed the total access rate a node can attract.
+	ServiceRates []float64
+	// DelayWeight is k.
+	DelayWeight float64
+}
+
+// FilePlacement is one file's slice of a multi-file plan.
+type FilePlacement struct {
+	// Name echoes the FileSpec.
+	Name string
+	// Fractions is the file's allocation over nodes.
+	Fractions []float64
+}
+
+// MultiResult is a computed multi-file plan.
+type MultiResult struct {
+	// Files holds one placement per file, in input order.
+	Files []FilePlacement
+	// Cost is the expected cost of one (randomly chosen) access.
+	Cost float64
+	// Iterations performed by the solver.
+	Iterations int
+	// Converged reports whether the ε-criterion fired.
+	Converged bool
+}
+
+// PlanFiles computes the joint allocation of several files over the
+// network, modelling the queue contention between files stored at the
+// same node. Options are shared with Plan (the dynamic stepsize option is
+// unavailable here because the multi-file utility has cross partials; a
+// fixed stepsize is used, configurable via WithStepsize).
+func PlanFiles(ctx context.Context, net Network, w MultiWorkload, opts ...PlanOption) (*MultiResult, error) {
+	if len(w.Files) == 0 {
+		return nil, fmt.Errorf("%w: no files", ErrBadSpec)
+	}
+	g, err := net.graph()
+	if err != nil {
+		return nil, err
+	}
+	conv := topology.RoundTrip
+	if net.OneWayCosts {
+		conv = topology.OneWay
+	}
+	access := make([][]float64, len(w.Files))
+	fileRates := make([]float64, len(w.Files))
+	for f, spec := range w.Files {
+		if len(spec.AccessRates) != net.Nodes {
+			return nil, fmt.Errorf("%w: file %q has %d access rates for %d nodes",
+				ErrBadSpec, spec.Name, len(spec.AccessRates), net.Nodes)
+		}
+		a, err := topology.AccessCosts(g, spec.AccessRates, conv)
+		if err != nil {
+			return nil, fmt.Errorf("%w: file %q: %v", ErrBadSpec, spec.Name, err)
+		}
+		access[f] = a
+		for _, r := range spec.AccessRates {
+			fileRates[f] += r
+		}
+	}
+	model, err := costmodel.NewMultiFile(access, w.ServiceRates, fileRates, w.DelayWeight, costmodel.ShareWeights)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadSpec, err)
+	}
+
+	cfg := planConfig{
+		alpha:   0.1,
+		epsilon: 1e-6,
+		maxIter: 100000,
+	}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	coreOpts := []core.Option{
+		core.WithAlpha(cfg.alpha),
+		core.WithEpsilon(cfg.epsilon),
+		core.WithMaxIterations(cfg.maxIter),
+		core.WithKKTCheck(),
+	}
+	if cfg.onRound != nil {
+		fn := cfg.onRound
+		coreOpts = append(coreOpts, core.WithTrace(func(it core.Iteration) {
+			fn(it.Index, -it.Utility, it.X)
+		}))
+	}
+	alloc, err := core.NewAllocator(model, coreOpts...)
+	if err != nil {
+		return nil, fmt.Errorf("filealloc: configuring multi-file solver: %w", err)
+	}
+	init := cfg.initial
+	if init == nil {
+		init = make([]float64, model.Dim())
+		for f := 0; f < model.Files(); f++ {
+			for i := 0; i < net.Nodes; i++ {
+				init[model.Index(f, i)] = 1 / float64(net.Nodes)
+			}
+		}
+	}
+	res, err := alloc.Run(ctx, init)
+	if err != nil {
+		return nil, fmt.Errorf("filealloc: solving multi-file plan: %w", err)
+	}
+	cost, err := model.Cost(res.X)
+	if err != nil {
+		return nil, fmt.Errorf("filealloc: evaluating multi-file plan: %w", err)
+	}
+	out := &MultiResult{
+		Cost:       cost,
+		Iterations: res.Iterations,
+		Converged:  res.Converged,
+	}
+	for f, spec := range w.Files {
+		fractions := make([]float64, net.Nodes)
+		for i := 0; i < net.Nodes; i++ {
+			fractions[i] = res.X[model.Index(f, i)]
+		}
+		out.Files = append(out.Files, FilePlacement{Name: spec.Name, Fractions: fractions})
+	}
+	return out, nil
+}

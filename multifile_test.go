@@ -1,0 +1,105 @@
+package filealloc
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+)
+
+func twoFileWorkload() MultiWorkload {
+	return MultiWorkload{
+		Files: []FileSpec{
+			{Name: "hot", AccessRates: []float64{0.3, 0.3, 0.3, 0.3}},
+			{Name: "cold", AccessRates: []float64{0.05, 0.05, 0.05, 0.05}},
+		},
+		ServiceRates: []float64{2.5},
+		DelayWeight:  1,
+	}
+}
+
+func TestPlanFilesConservesEachFile(t *testing.T) {
+	res, err := PlanFiles(context.Background(), Ring(4, 1), twoFileWorkload())
+	if err != nil {
+		t.Fatalf("PlanFiles: %v", err)
+	}
+	if !res.Converged {
+		t.Fatalf("did not converge after %d iterations", res.Iterations)
+	}
+	if len(res.Files) != 2 || res.Files[0].Name != "hot" || res.Files[1].Name != "cold" {
+		t.Fatalf("placements = %+v", res.Files)
+	}
+	for _, fp := range res.Files {
+		var sum float64
+		for i, v := range fp.Fractions {
+			if v < 0 {
+				t.Errorf("%s: fraction[%d] = %g negative", fp.Name, i, v)
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("%s: fractions sum to %g", fp.Name, sum)
+		}
+	}
+	if res.Cost <= 0 {
+		t.Errorf("cost = %g", res.Cost)
+	}
+}
+
+func TestPlanFilesSymmetricOptimum(t *testing.T) {
+	// Symmetric ring + symmetric rates: the optimum is a continuum of
+	// allocations with balanced per-node loads (cold fragments can trade
+	// places with hot ones), all at the cost of the fully uniform
+	// placement. From a skewed start the solver must land somewhere on
+	// that continuum.
+	w := twoFileWorkload()
+	res, err := PlanFiles(context.Background(), Ring(4, 1), w,
+		WithInitial([]float64{1, 0, 0, 0 /* hot */, 0, 0, 0, 1 /* cold */}),
+		WithStepsize(0.2),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uniform, err := PlanFiles(context.Background(), Ring(4, 1), w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Cost-uniform.Cost) > 1e-5 {
+		t.Errorf("skewed-start cost %g vs uniform optimum %g", res.Cost, uniform.Cost)
+	}
+	// Per-node loads balanced: L_i = Σ_f λ^f·x_i^f equal across nodes.
+	hotRate, coldRate := 1.2, 0.2
+	loads := make([]float64, 4)
+	for i := 0; i < 4; i++ {
+		loads[i] = hotRate*res.Files[0].Fractions[i] + coldRate*res.Files[1].Fractions[i]
+	}
+	for i := 1; i < 4; i++ {
+		if math.Abs(loads[i]-loads[0]) > 1e-3 {
+			t.Errorf("loads not balanced: %v", loads)
+			break
+		}
+	}
+}
+
+func TestPlanFilesValidation(t *testing.T) {
+	tests := []struct {
+		name string
+		net  Network
+		w    MultiWorkload
+	}{
+		{"no files", Ring(4, 1), MultiWorkload{ServiceRates: []float64{2}, DelayWeight: 1}},
+		{"rate count", Ring(4, 1), MultiWorkload{
+			Files:        []FileSpec{{Name: "f", AccessRates: []float64{1}}},
+			ServiceRates: []float64{2},
+			DelayWeight:  1,
+		}},
+		{"bad network", Network{Nodes: 1}, twoFileWorkload()},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := PlanFiles(context.Background(), tt.net, tt.w); !errors.Is(err, ErrBadSpec) {
+				t.Errorf("error = %v, want ErrBadSpec", err)
+			}
+		})
+	}
+}
