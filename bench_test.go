@@ -147,7 +147,7 @@ func BenchmarkAblationSecondOrder(b *testing.B) {
 func BenchmarkDecentralizedRuntime(b *testing.B) {
 	ctx := context.Background()
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.AblationDecentralized(ctx)
+		rows, err := experiments.AblationDecentralized(ctx, nil)
 		if err != nil {
 			b.Fatal(err)
 		}

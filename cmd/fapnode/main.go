@@ -65,6 +65,7 @@ func run(args []string, out io.Writer) error {
 	coordinator := fs.Int("coordinator", 0, "coordinator node id in coordinator mode")
 	timeout := fs.Duration("round-timeout", 30*time.Second, "per-round message wait")
 	maxRounds := fs.Int("max-rounds", 10000, "round budget")
+	verbose := fs.Bool("v", false, "log round events and transport errors to stderr")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -106,7 +107,17 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("unknown -mode %q", *mode)
 	}
 
-	ep, err := transport.ListenTCP(*id, addrs)
+	var obs agent.Observer = agent.NopObserver{}
+	if *verbose {
+		obs = agent.NewLogObserver(os.Stderr)
+	}
+	// Read-loop errors (oversized or garbled frames, resets mid-stream)
+	// happen outside any Send/Recv call; route them to the observer so
+	// they are never silently swallowed.
+	readErrs := transport.WithReadErrorHook(func(remote string, err error) {
+		obs.TransportError(*id, fmt.Sprintf("read from %s: %v", remote, err))
+	})
+	ep, err := transport.ListenTCP(*id, addrs, readErrs)
 	if err != nil {
 		return err
 	}
@@ -125,6 +136,7 @@ func run(args []string, out io.Writer) error {
 		Mode:          agentMode,
 		CoordinatorID: *coordinator,
 		RoundTimeout:  *timeout,
+		Observer:      obs,
 	})
 	if err != nil {
 		return err

@@ -4,10 +4,12 @@
 //
 // Usage:
 //
-//	fapsim [-csv] <experiment>
+//	fapsim [-csv] [-v] <experiment>
 //
 // where <experiment> is one of: fig3, fig4, fig5, fig6, fig8, fig9,
-// validate, second-order, decentralized, price-directed, all.
+// validate, second-order, decentralized, price-directed, chaos, all.
+// -v streams agent round events to stderr for the experiments that run
+// the decentralized runtime.
 package main
 
 import (
@@ -18,6 +20,7 @@ import (
 	"os"
 	"strings"
 
+	"filealloc/internal/agent"
 	"filealloc/internal/experiments"
 	"filealloc/internal/trace"
 )
@@ -34,8 +37,13 @@ func run(args []string, w io.Writer) error {
 	csv := fs.Bool("csv", false, "emit raw CSV instead of rendered tables/plots")
 	accesses := fs.Int("accesses", 200000, "simulated accesses for the validate experiment")
 	seed := fs.Int64("seed", 1, "simulation seed")
+	verbose := fs.Bool("v", false, "log agent round events to stderr (decentralized/chaos)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	var obs agent.Observer
+	if *verbose {
+		obs = agent.NewLogObserver(os.Stderr)
 	}
 	if fs.NArg() != 1 {
 		fs.Usage()
@@ -52,8 +60,9 @@ func run(args []string, w io.Writer) error {
 		"fig9":           func() error { return runFig9(ctx, w, *csv) },
 		"validate":       func() error { return runValidate(w, *accesses, *seed, *csv) },
 		"second-order":   func() error { return runSecondOrder(ctx, w, *csv) },
-		"decentralized":  func() error { return runDecentralized(ctx, w, *csv) },
+		"decentralized":  func() error { return runDecentralized(ctx, w, obs, *csv) },
 		"price-directed": func() error { return runPriceDirected(ctx, w, *csv) },
+		"chaos":          func() error { return runChaos(ctx, w, obs, *csv) },
 		"copies":         func() error { return runCopies(ctx, w, *csv) },
 		"neighbor":       func() error { return runNeighbor(ctx, w, *csv) },
 		"availability":   func() error { return runAvailability(w, *csv) },
@@ -64,7 +73,7 @@ func run(args []string, w io.Writer) error {
 	if name == "all" {
 		order := []string{"fig3", "fig4", "fig5", "fig6", "fig8", "fig9",
 			"validate", "second-order", "decentralized", "price-directed",
-			"copies", "neighbor", "availability", "adaptive", "quantize", "records"}
+			"chaos", "copies", "neighbor", "availability", "adaptive", "quantize", "records"}
 		for _, exp := range order {
 			fmt.Fprintf(w, "==== %s ====\n", exp)
 			if err := runners[exp](); err != nil {
@@ -76,7 +85,7 @@ func run(args []string, w io.Writer) error {
 	}
 	runner, ok := runners[name]
 	if !ok {
-		return fmt.Errorf("unknown experiment %q (want fig3|fig4|fig5|fig6|fig8|fig9|validate|second-order|decentralized|price-directed|copies|neighbor|availability|adaptive|quantize|records|all)", name)
+		return fmt.Errorf("unknown experiment %q (want fig3|fig4|fig5|fig6|fig8|fig9|validate|second-order|decentralized|price-directed|chaos|copies|neighbor|availability|adaptive|quantize|records|all)", name)
 	}
 	return runner()
 }
@@ -429,8 +438,8 @@ func runSecondOrder(ctx context.Context, w io.Writer, csv bool) error {
 	return nil
 }
 
-func runDecentralized(ctx context.Context, w io.Writer, csv bool) error {
-	rows, err := experiments.AblationDecentralized(ctx)
+func runDecentralized(ctx context.Context, w io.Writer, obs agent.Observer, csv bool) error {
+	rows, err := experiments.AblationDecentralized(ctx, obs)
 	if err != nil {
 		return err
 	}
@@ -447,6 +456,42 @@ func runDecentralized(ctx context.Context, w io.Writer, csv bool) error {
 		fmt.Fprintf(w, "  %-12s %-8d %-10d %-10d %g\n", r.Mode, r.Rounds, r.CentralIterations, r.Messages, r.MaxAllocationDiff)
 	}
 	return nil
+}
+
+func runChaos(ctx context.Context, w io.Writer, obs agent.Observer, csv bool) error {
+	rows, err := experiments.Chaos(ctx, obs)
+	if err != nil {
+		return err
+	}
+	if csv {
+		fmt.Fprintln(w, "scenario,mode,outcome,rounds,messages,faults_injected,send_retries,discarded,timeouts,max_allocation_diff")
+		for _, r := range rows {
+			fmt.Fprintf(w, "%s,%s,%s,%d,%d,%d,%d,%d,%d,%g\n",
+				r.Scenario, r.Mode, chaosOutcome(r), r.Rounds, r.Messages,
+				r.FaultsInjected, r.SendRetries, r.Discarded, r.Timeouts, r.MaxAllocationDiff)
+		}
+		return nil
+	}
+	fmt.Fprintln(w, "Chaos — decentralized runtime under injected transport faults (figure-3 system, α=0.3)")
+	fmt.Fprintln(w, "contract: converge bit-identical to the fault-free allocation, or time out loudly")
+	fmt.Fprintf(w, "  %-11s %-12s %-10s %-8s %-10s %-8s %-9s %-10s %-9s %s\n",
+		"scenario", "mode", "outcome", "rounds", "messages", "faults", "retries", "discarded", "timeouts", "max |Δx|")
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %-11s %-12s %-10s %-8d %-10d %-8d %-9d %-10d %-9d %g\n",
+			r.Scenario, r.Mode, chaosOutcome(r), r.Rounds, r.Messages,
+			r.FaultsInjected, r.SendRetries, r.Discarded, r.Timeouts, r.MaxAllocationDiff)
+	}
+	return nil
+}
+
+func chaosOutcome(r experiments.ChaosRow) string {
+	if r.TimedOut {
+		return "timeout"
+	}
+	if r.Converged {
+		return "converged"
+	}
+	return "failed"
 }
 
 func runPriceDirected(ctx context.Context, w io.Writer, csv bool) error {

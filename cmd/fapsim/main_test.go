@@ -55,6 +55,7 @@ func TestRunCSVOutputs(t *testing.T) {
 		{"second-order", []string{"-csv", "second-order"}, "scale,first_order_iterations,second_order_iterations"},
 		{"decentralized", []string{"-csv", "decentralized"}, "mode,rounds,central_iterations,messages,max_allocation_diff"},
 		{"price-directed", []string{"-csv", "price-directed"}, "mechanism,iterations,worst_infeasibility,cost,monotone"},
+		{"chaos", []string{"-csv", "chaos"}, "scenario,mode,outcome,rounds,messages,faults_injected,send_retries,discarded,timeouts,max_allocation_diff"},
 		{"copies", []string{"-csv", "copies"}, "m,access_cost,storage_cost,consistency_cost,total_cost"},
 		{"neighbor", []string{"-csv", "neighbor"}, "topology,full_iterations,full_messages,neighbor_iterations,neighbor_messages,cost_gap_pct"},
 		{"availability", []string{"-csv", "availability"}, "strategy,copies,expected_accessible,all_or_nothing"},
@@ -108,6 +109,7 @@ func TestRunRenderedOutputs(t *testing.T) {
 		{"second-order", []string{"second-order"}, "second-derivative algorithm"},
 		{"decentralized", []string{"decentralized"}, "decentralized runtime"},
 		{"price-directed", []string{"price-directed"}, "price-directed tâtonnement"},
+		{"chaos", []string{"chaos"}, "injected transport faults"},
 		{"copies", []string{"copies"}, "optimal number of copies"},
 		{"neighbor", []string{"neighbor"}, "neighbours-only communication"},
 		{"availability", []string{"availability"}, "graceful degradation"},

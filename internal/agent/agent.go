@@ -136,6 +136,9 @@ type Config struct {
 	// then defaults to 1, the Newton step. Broadcast mode only;
 	// mutually exclusive with DynamicAlphaSafety.
 	SecondOrder bool
+	// Observer receives round-level events (default: none). A shared
+	// Observer must be safe for concurrent use.
+	Observer Observer
 }
 
 func (c *Config) fill() error {
@@ -175,6 +178,9 @@ func (c *Config) fill() error {
 	}
 	if c.RoundTimeout == 0 {
 		c.RoundTimeout = 10 * time.Second
+	}
+	if c.Observer == nil {
+		c.Observer = NopObserver{}
 	}
 	if c.Init < 0 || math.IsNaN(c.Init) {
 		return fmt.Errorf("%w: initial fragment %v", ErrBadConfig, c.Init)
@@ -224,7 +230,7 @@ func dynamicAlpha(gs, hs []float64, safety float64) float64 {
 
 // sendReliably sends payload to one peer, retrying transient failures up
 // to cfg.SendRetries times.
-func sendReliably(ctx context.Context, cfg Config, to int, payload []byte) error {
+func sendReliably(ctx context.Context, cfg Config, round, to int, payload []byte) error {
 	var err error
 	for attempt := 0; attempt <= cfg.SendRetries; attempt++ {
 		if err = cfg.Endpoint.Send(ctx, to, payload); err == nil {
@@ -233,18 +239,21 @@ func sendReliably(ctx context.Context, cfg Config, to int, payload []byte) error
 		if ctx.Err() != nil {
 			break
 		}
+		if attempt < cfg.SendRetries {
+			cfg.Observer.SendRetried(cfg.Endpoint.ID(), round, to, attempt+1, err)
+		}
 	}
 	return err
 }
 
 // broadcastReliably sends payload to every peer with per-peer retries.
-func broadcastReliably(ctx context.Context, cfg Config, payload []byte) (sent int, err error) {
+func broadcastReliably(ctx context.Context, cfg Config, round int, payload []byte) (sent int, err error) {
 	ep := cfg.Endpoint
 	for to := 0; to < ep.Peers(); to++ {
 		if to == ep.ID() {
 			continue
 		}
-		if err := sendReliably(ctx, cfg, to, payload); err != nil {
+		if err := sendReliably(ctx, cfg, round, to, payload); err != nil {
 			return sent, err
 		}
 		sent++
@@ -295,15 +304,21 @@ func group01n(n int) []int {
 	return g
 }
 
-// collectReports receives until the buffer holds `want` reports for round.
+// collectReports receives until the buffer holds `want` reports for
+// round. Stale rebroadcasts and identical duplicates — normal fallout of
+// retries and faulty links — are discarded and counted, never fatal;
+// conflicting duplicates and impersonation remain protocol violations.
 func collectReports(ctx context.Context, cfg Config, buf *protocol.RoundBuffer, round, want int) error {
+	id := cfg.Endpoint.ID()
 	deadline, cancel := context.WithTimeout(ctx, cfg.RoundTimeout)
 	defer cancel()
 	for !buf.Complete(round, want) {
 		msg, err := cfg.Endpoint.Recv(deadline)
 		if err != nil {
-			if errors.Is(err, context.DeadlineExceeded) {
-				return fmt.Errorf("%w: waiting for round %d reports", ErrRoundTimeout, round)
+			if errors.Is(err, context.DeadlineExceeded) && ctx.Err() == nil {
+				cfg.Observer.TimeoutFired(id, round)
+				cfg.Observer.ReportsCollected(id, round, buf.Count(round), want)
+				return fmt.Errorf("%w: %d of %d reports for round %d", ErrRoundTimeout, buf.Count(round), want, round)
 			}
 			return fmt.Errorf("agent: receiving round %d: %w", round, err)
 		}
@@ -319,14 +334,20 @@ func collectReports(ctx context.Context, cfg Config, buf *protocol.RoundBuffer, 
 			return fmt.Errorf("%w: node %d sent a report claiming to be node %d", ErrProtocol, msg.From, rep.Node)
 		}
 		if rep.Round < round {
-			// Stale rebroadcast; the protocol sends one report per
-			// round, so this is a violation.
-			return fmt.Errorf("%w: stale report for round %d during round %d", ErrProtocol, rep.Round, round)
+			// Stale rebroadcast — the round it belongs to already
+			// completed, so the data is redundant by construction.
+			cfg.Observer.MessageDiscarded(id, round, "stale report")
+			continue
 		}
 		if err := buf.Add(*rep); err != nil {
+			if errors.Is(err, protocol.ErrDuplicateReport) {
+				cfg.Observer.MessageDiscarded(id, round, "duplicate report")
+				continue
+			}
 			return fmt.Errorf("agent: round %d: %w", round, err)
 		}
 	}
+	cfg.Observer.ReportsCollected(id, round, want, want)
 	return nil
 }
 
@@ -348,6 +369,7 @@ func runBroadcast(ctx context.Context, cfg Config) (Outcome, error) {
 		if err := ctx.Err(); err != nil {
 			return out, fmt.Errorf("agent: canceled at round %d: %w", round, err)
 		}
+		cfg.Observer.RoundStarted(id, round)
 		g, err := cfg.Model.Marginal(x)
 		if err != nil {
 			return out, fmt.Errorf("agent: round %d: %w", round, err)
@@ -364,7 +386,7 @@ func runBroadcast(ctx context.Context, cfg Config) (Outcome, error) {
 		if err != nil {
 			return out, err
 		}
-		sent, err := broadcastReliably(ctx, cfg, payload)
+		sent, err := broadcastReliably(ctx, cfg, round, payload)
 		out.MessagesSent += sent
 		if err != nil {
 			return out, fmt.Errorf("agent: broadcasting round %d: %w", round, err)
@@ -391,17 +413,21 @@ func runBroadcast(ctx context.Context, cfg Config) (Outcome, error) {
 		if err != nil {
 			return out, fmt.Errorf("agent: planning round %d: %w", round, err)
 		}
-		if step.Spread(gs, group) < cfg.Epsilon {
+		spread := step.Spread(gs, group)
+		cfg.Observer.StepPlanned(id, round, spread, step.Delta[id])
+		if spread < cfg.Epsilon {
 			out.X = x
 			out.FullX = append([]float64(nil), xs...)
 			out.Rounds = round
 			out.Converged = true
+			cfg.Observer.RunFinished(id, out.Rounds, out.Converged)
 			return out, nil
 		}
 		if step.IsNoOp() {
 			out.X = x
 			out.FullX = append([]float64(nil), xs...)
 			out.Rounds = round
+			cfg.Observer.RunFinished(id, out.Rounds, out.Converged)
 			return out, nil
 		}
 		x += step.Delta[id]
@@ -411,6 +437,7 @@ func runBroadcast(ctx context.Context, cfg Config) (Outcome, error) {
 	}
 	out.X = x
 	out.Rounds = cfg.MaxRounds
+	cfg.Observer.RunFinished(id, out.Rounds, out.Converged)
 	return out, nil
 }
 
@@ -432,6 +459,7 @@ func runCoordinator(ctx context.Context, cfg Config) (Outcome, error) {
 		if err := ctx.Err(); err != nil {
 			return out, fmt.Errorf("agent: canceled at round %d: %w", round, err)
 		}
+		cfg.Observer.RoundStarted(id, round)
 		g, err := cfg.Model.Marginal(x)
 		if err != nil {
 			return out, fmt.Errorf("agent: round %d: %w", round, err)
@@ -448,12 +476,14 @@ func runCoordinator(ctx context.Context, cfg Config) (Outcome, error) {
 		if err != nil {
 			return out, fmt.Errorf("agent: planning round %d: %w", round, err)
 		}
-		done := step.Spread(gs, group) < cfg.Epsilon || step.IsNoOp()
+		spread := step.Spread(gs, group)
+		cfg.Observer.StepPlanned(id, round, spread, step.Delta[id])
+		done := spread < cfg.Epsilon || step.IsNoOp()
 		payload, err := protocol.EncodeUpdate(protocol.Update{Round: round, Delta: step.Delta, Done: done})
 		if err != nil {
 			return out, err
 		}
-		sent, err := broadcastReliably(ctx, cfg, payload)
+		sent, err := broadcastReliably(ctx, cfg, round, payload)
 		out.MessagesSent += sent
 		if err != nil {
 			return out, fmt.Errorf("agent: distributing round %d: %w", round, err)
@@ -462,7 +492,8 @@ func runCoordinator(ctx context.Context, cfg Config) (Outcome, error) {
 			out.X = x
 			out.FullX = append([]float64(nil), xs...)
 			out.Rounds = round
-			out.Converged = step.Spread(gs, group) < cfg.Epsilon
+			out.Converged = spread < cfg.Epsilon
+			cfg.Observer.RunFinished(id, out.Rounds, out.Converged)
 			return out, nil
 		}
 		x += step.Delta[id]
@@ -472,6 +503,7 @@ func runCoordinator(ctx context.Context, cfg Config) (Outcome, error) {
 	}
 	out.X = x
 	out.Rounds = cfg.MaxRounds
+	cfg.Observer.RunFinished(id, out.Rounds, out.Converged)
 	return out, nil
 }
 
@@ -485,6 +517,7 @@ func runWorker(ctx context.Context, cfg Config) (Outcome, error) {
 		if err := ctx.Err(); err != nil {
 			return out, fmt.Errorf("agent: canceled at round %d: %w", round, err)
 		}
+		cfg.Observer.RoundStarted(id, round)
 		g, err := cfg.Model.Marginal(x)
 		if err != nil {
 			return out, fmt.Errorf("agent: round %d: %w", round, err)
@@ -493,7 +526,7 @@ func runWorker(ctx context.Context, cfg Config) (Outcome, error) {
 		if err != nil {
 			return out, err
 		}
-		if err := sendReliably(ctx, cfg, cfg.CoordinatorID, payload); err != nil {
+		if err := sendReliably(ctx, cfg, round, cfg.CoordinatorID, payload); err != nil {
 			return out, fmt.Errorf("agent: reporting round %d: %w", round, err)
 		}
 		out.MessagesSent++
@@ -506,6 +539,7 @@ func runWorker(ctx context.Context, cfg Config) (Outcome, error) {
 			out.X = x
 			out.Rounds = round
 			out.Converged = true
+			cfg.Observer.RunFinished(id, out.Rounds, out.Converged)
 			return out, nil
 		}
 		if id >= len(update.Delta) {
@@ -518,16 +552,23 @@ func runWorker(ctx context.Context, cfg Config) (Outcome, error) {
 	}
 	out.X = x
 	out.Rounds = cfg.MaxRounds
+	cfg.Observer.RunFinished(id, out.Rounds, out.Converged)
 	return out, nil
 }
 
+// awaitUpdate waits for the coordinator's round update. Updates for past
+// rounds (duplicated or re-delivered late) are discarded; an update for a
+// *future* round means this worker's report was skipped and lockstep is
+// broken — a protocol violation.
 func awaitUpdate(ctx context.Context, cfg Config, round int) (*protocol.Update, error) {
+	id := cfg.Endpoint.ID()
 	deadline, cancel := context.WithTimeout(ctx, cfg.RoundTimeout)
 	defer cancel()
 	for {
 		msg, err := cfg.Endpoint.Recv(deadline)
 		if err != nil {
-			if errors.Is(err, context.DeadlineExceeded) {
+			if errors.Is(err, context.DeadlineExceeded) && ctx.Err() == nil {
+				cfg.Observer.TimeoutFired(id, round)
 				return nil, fmt.Errorf("%w: waiting for round %d update", ErrRoundTimeout, round)
 			}
 			return nil, fmt.Errorf("agent: receiving round %d update: %w", round, err)
@@ -539,7 +580,11 @@ func awaitUpdate(ctx context.Context, cfg Config, round int) (*protocol.Update, 
 		if env.Kind != protocol.KindUpdate {
 			return nil, fmt.Errorf("%w: unexpected %q message while awaiting update", ErrProtocol, env.Kind)
 		}
-		if env.Update.Round != round {
+		if env.Update.Round < round {
+			cfg.Observer.MessageDiscarded(id, round, "stale update")
+			continue
+		}
+		if env.Update.Round > round {
 			return nil, fmt.Errorf("%w: update for round %d while in round %d", ErrProtocol, env.Update.Round, round)
 		}
 		return env.Update, nil

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"filealloc/internal/costmodel"
 	"filealloc/internal/transport"
@@ -22,6 +23,11 @@ type ClusterResult struct {
 	// Messages is the total number of protocol messages sent by all
 	// agents.
 	Messages int
+	// Faults aggregates the injected-fault counters across all
+	// endpoints when ClusterConfig.Faults is set. It is populated even
+	// when RunCluster returns an error, so chaos harnesses can account
+	// for the faults that caused a timeout.
+	Faults transport.FaultStats
 }
 
 // ClusterConfig describes an in-process cluster run over a memory network.
@@ -46,6 +52,14 @@ type ClusterConfig struct {
 	// network (failure testing); pair with SendRetries for recovery.
 	DropRate float64
 	DropSeed int64
+	// RoundTimeout mirrors Config (default 10s).
+	RoundTimeout time.Duration
+	// Observer is shared by every agent of the cluster (default: none).
+	Observer Observer
+	// Faults, when non-nil, wraps every endpoint in a FaultEndpoint with
+	// this configuration; per-endpoint stats are aggregated into
+	// ClusterResult.Faults.
+	Faults *transport.FaultConfig
 }
 
 // ModelsFromSingleFile derives the per-node local models from a SingleFile
@@ -86,11 +100,21 @@ func RunCluster(ctx context.Context, cfg ClusterConfig) (ClusterResult, error) {
 
 	outcomes := make([]Outcome, n)
 	errs := make([]error, n)
+	faultEps := make([]*transport.FaultEndpoint, n)
 	var wg sync.WaitGroup
 	for i := 0; i < n; i++ {
 		ep, err := net.Endpoint(i)
 		if err != nil {
 			return ClusterResult{}, err
+		}
+		var agentEp transport.Endpoint = ep
+		if cfg.Faults != nil {
+			fep, err := transport.NewFaultEndpoint(ep, *cfg.Faults)
+			if err != nil {
+				return ClusterResult{}, fmt.Errorf("agent: wrapping endpoint %d: %w", i, err)
+			}
+			faultEps[i] = fep
+			agentEp = fep
 		}
 		wg.Add(1)
 		go func(i int, ep transport.Endpoint) {
@@ -107,24 +131,31 @@ func RunCluster(ctx context.Context, cfg ClusterConfig) (ClusterResult, error) {
 				SendRetries:        cfg.SendRetries,
 				DynamicAlphaSafety: cfg.DynamicAlphaSafety,
 				SecondOrder:        cfg.SecondOrder,
+				RoundTimeout:       cfg.RoundTimeout,
+				Observer:           cfg.Observer,
 			})
-		}(i, ep)
+		}(i, agentEp)
 	}
 	wg.Wait()
+
+	var res ClusterResult
+	for _, fep := range faultEps {
+		if fep != nil {
+			res.Faults.Add(fep.Stats())
+		}
+	}
 	if err := errors.Join(errs...); err != nil {
-		return ClusterResult{}, fmt.Errorf("agent: cluster run failed: %w", err)
+		return res, fmt.Errorf("agent: cluster run failed: %w", err)
 	}
 
-	res := ClusterResult{
-		X:         make([]float64, n),
-		Rounds:    outcomes[0].Rounds,
-		Converged: outcomes[0].Converged,
-	}
+	res.X = make([]float64, n)
+	res.Rounds = outcomes[0].Rounds
+	res.Converged = outcomes[0].Converged
 	for i, out := range outcomes {
 		res.X[i] = out.X
 		res.Messages += out.MessagesSent
 		if out.Rounds != res.Rounds {
-			return ClusterResult{}, fmt.Errorf("%w: agents disagree on round count (%d vs %d)", ErrProtocol, out.Rounds, res.Rounds)
+			return res, fmt.Errorf("%w: agents disagree on round count (%d vs %d)", ErrProtocol, out.Rounds, res.Rounds)
 		}
 	}
 	return res, nil

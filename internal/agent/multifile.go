@@ -94,6 +94,8 @@ type MultiFileAgentConfig struct {
 	MaxRounds    int
 	RoundTimeout time.Duration
 	SendRetries  int
+	// Observer receives round-level events (default: none).
+	Observer Observer
 }
 
 // MultiFileOutcome is one agent's view of the finished protocol.
@@ -152,6 +154,9 @@ func RunMultiFile(ctx context.Context, cfg MultiFileAgentConfig) (MultiFileOutco
 	if cfg.SendRetries < 0 {
 		return MultiFileOutcome{}, fmt.Errorf("%w: send retries = %d", ErrBadConfig, cfg.SendRetries)
 	}
+	if cfg.Observer == nil {
+		cfg.Observer = NopObserver{}
+	}
 
 	ep := cfg.Endpoint
 	n := ep.Peers()
@@ -177,6 +182,7 @@ func RunMultiFile(ctx context.Context, cfg MultiFileAgentConfig) (MultiFileOutco
 		if err := ctx.Err(); err != nil {
 			return out, fmt.Errorf("agent: canceled at round %d: %w", round, err)
 		}
+		cfg.Observer.RoundStarted(id, round)
 		g, err := cfg.Model.Marginals(x)
 		if err != nil {
 			return out, fmt.Errorf("agent: round %d: %w", round, err)
@@ -192,7 +198,7 @@ func RunMultiFile(ctx context.Context, cfg MultiFileAgentConfig) (MultiFileOutco
 		if err != nil {
 			return out, fmt.Errorf("agent: broadcasting round %d: %w", round, err)
 		}
-		if err := collectVectorReports(ctx, ep, cfg.RoundTimeout, buf, round, n-1, files); err != nil {
+		if err := collectVectorReports(ctx, ep, cfg.RoundTimeout, cfg.Observer, buf, round, n-1, files); err != nil {
 			return out, err
 		}
 		reports := buf.Take(round)
@@ -238,14 +244,17 @@ func RunMultiFile(ctx context.Context, cfg MultiFileAgentConfig) (MultiFileOutco
 	return out, nil
 }
 
-// collectVectorReports mirrors collectReports for vector rounds.
-func collectVectorReports(ctx context.Context, ep transport.Endpoint, timeout time.Duration, buf *protocol.VectorRoundBuffer, round, want, files int) error {
+// collectVectorReports mirrors collectReports for vector rounds,
+// including its tolerance of stale rebroadcasts and identical duplicates.
+func collectVectorReports(ctx context.Context, ep transport.Endpoint, timeout time.Duration, obs Observer, buf *protocol.VectorRoundBuffer, round, want, files int) error {
+	id := ep.ID()
 	deadline, cancel := context.WithTimeout(ctx, timeout)
 	defer cancel()
 	for !buf.Complete(round, want) {
 		msg, err := ep.Recv(deadline)
 		if err != nil {
-			if errors.Is(err, context.DeadlineExceeded) {
+			if errors.Is(err, context.DeadlineExceeded) && ctx.Err() == nil {
+				obs.TimeoutFired(id, round)
 				return fmt.Errorf("%w: waiting for round %d vector reports", ErrRoundTimeout, round)
 			}
 			return fmt.Errorf("agent: receiving round %d: %w", round, err)
@@ -265,12 +274,18 @@ func collectVectorReports(ctx context.Context, ep transport.Endpoint, timeout ti
 			return fmt.Errorf("%w: node %d reported %d/%d entries for %d files", ErrProtocol, rep.Node, len(rep.Marginals), len(rep.Allocs), files)
 		}
 		if rep.Round < round {
-			return fmt.Errorf("%w: stale vector report for round %d during round %d", ErrProtocol, rep.Round, round)
+			obs.MessageDiscarded(id, round, "stale vector report")
+			continue
 		}
 		if err := buf.Add(*rep); err != nil {
+			if errors.Is(err, protocol.ErrDuplicateReport) {
+				obs.MessageDiscarded(id, round, "duplicate vector report")
+				continue
+			}
 			return fmt.Errorf("agent: round %d: %w", round, err)
 		}
 	}
+	obs.ReportsCollected(id, round, want, want)
 	return nil
 }
 

@@ -1,0 +1,257 @@
+package agent
+
+import (
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Observer receives round-level events from running agents. Every event
+// carries the emitting node's id, so a single thread-safe Observer can be
+// shared by a whole in-process cluster. Implementations must be safe for
+// concurrent use; hot-path callers do not wait for slow observers, so
+// implementations should return quickly.
+type Observer interface {
+	// RoundStarted fires when a node begins a protocol round.
+	RoundStarted(node, round int)
+	// ReportsCollected fires when a node finishes gathering a round's
+	// peer reports; got < want means the round timed out short.
+	ReportsCollected(node, round, got, want int)
+	// StepPlanned fires after the node plans a re-allocation, with the
+	// round's convergence spread (max−min marginal utility) and the
+	// node's own planned delta.
+	StepPlanned(node, round int, spread, delta float64)
+	// SendRetried fires when a send to peer `to` failed and is about to
+	// be retried.
+	SendRetried(node, round, to, attempt int, err error)
+	// TimeoutFired fires when a round wait exceeds RoundTimeout.
+	TimeoutFired(node, round int)
+	// MessageDiscarded fires when a node drops a benign out-of-protocol
+	// message (stale rebroadcast, identical duplicate) instead of
+	// aborting the round.
+	MessageDiscarded(node, round int, reason string)
+	// TransportError surfaces an asynchronous transport failure (for
+	// example a TCP read-loop error) that has no round context.
+	TransportError(node int, detail string)
+	// RunFinished fires when the agent's run ends without error.
+	RunFinished(node, rounds int, converged bool)
+}
+
+// NopObserver ignores every event; it is the default.
+type NopObserver struct{}
+
+var _ Observer = NopObserver{}
+
+func (NopObserver) RoundStarted(node, round int)                     {}
+func (NopObserver) ReportsCollected(node, round, got, want int)      {}
+func (NopObserver) StepPlanned(node, round int, spread, delta float64) {
+}
+func (NopObserver) SendRetried(node, round, to, attempt int, err error) {}
+func (NopObserver) TimeoutFired(node, round int)                        {}
+func (NopObserver) MessageDiscarded(node, round int, reason string)     {}
+func (NopObserver) TransportError(node int, detail string)              {}
+func (NopObserver) RunFinished(node, rounds int, converged bool)        {}
+
+// Counters is a snapshot of a CounterObserver's tallies.
+type Counters struct {
+	RoundsStarted   int64
+	ReportsMissing  int64 // ReportsCollected events with got < want
+	StepsPlanned    int64
+	SendRetries     int64
+	TimeoutsFired   int64
+	Discarded       int64 // total MessageDiscarded events
+	TransportErrors int64
+	RunsFinished    int64
+	RunsConverged   int64
+	// DiscardsByReason splits Discarded by the reason string.
+	DiscardsByReason map[string]int64
+	// MaxRound is the highest round any node started.
+	MaxRound int
+	// LastSpread is the convergence spread of the most recent planned
+	// step.
+	LastSpread float64
+}
+
+// CounterObserver tallies events for tests and summaries. The zero value
+// is ready to use and safe for concurrent use.
+type CounterObserver struct {
+	mu sync.Mutex
+	c  Counters
+}
+
+var _ Observer = (*CounterObserver)(nil)
+
+// Counters returns a snapshot of the tallies.
+func (o *CounterObserver) Counters() Counters {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	snap := o.c
+	snap.DiscardsByReason = make(map[string]int64, len(o.c.DiscardsByReason))
+	for k, v := range o.c.DiscardsByReason {
+		snap.DiscardsByReason[k] = v
+	}
+	return snap
+}
+
+func (o *CounterObserver) RoundStarted(node, round int) {
+	o.mu.Lock()
+	o.c.RoundsStarted++
+	if round > o.c.MaxRound {
+		o.c.MaxRound = round
+	}
+	o.mu.Unlock()
+}
+
+func (o *CounterObserver) ReportsCollected(node, round, got, want int) {
+	o.mu.Lock()
+	if got < want {
+		o.c.ReportsMissing++
+	}
+	o.mu.Unlock()
+}
+
+func (o *CounterObserver) StepPlanned(node, round int, spread, delta float64) {
+	o.mu.Lock()
+	o.c.StepsPlanned++
+	o.c.LastSpread = spread
+	o.mu.Unlock()
+}
+
+func (o *CounterObserver) SendRetried(node, round, to, attempt int, err error) {
+	o.mu.Lock()
+	o.c.SendRetries++
+	o.mu.Unlock()
+}
+
+func (o *CounterObserver) TimeoutFired(node, round int) {
+	o.mu.Lock()
+	o.c.TimeoutsFired++
+	o.mu.Unlock()
+}
+
+func (o *CounterObserver) MessageDiscarded(node, round int, reason string) {
+	o.mu.Lock()
+	o.c.Discarded++
+	if o.c.DiscardsByReason == nil {
+		o.c.DiscardsByReason = make(map[string]int64)
+	}
+	o.c.DiscardsByReason[reason]++
+	o.mu.Unlock()
+}
+
+func (o *CounterObserver) TransportError(node int, detail string) {
+	o.mu.Lock()
+	o.c.TransportErrors++
+	o.mu.Unlock()
+}
+
+func (o *CounterObserver) RunFinished(node, rounds int, converged bool) {
+	o.mu.Lock()
+	o.c.RunsFinished++
+	if converged {
+		o.c.RunsConverged++
+	}
+	o.mu.Unlock()
+}
+
+// LogObserver writes one plain-text line per event, for -v daemon output.
+type LogObserver struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+var _ Observer = (*LogObserver)(nil)
+
+// NewLogObserver logs events to w.
+func NewLogObserver(w io.Writer) *LogObserver { return &LogObserver{w: w} }
+
+func (o *LogObserver) line(format string, args ...any) {
+	o.mu.Lock()
+	fmt.Fprintf(o.w, "agent: "+format+"\n", args...)
+	o.mu.Unlock()
+}
+
+func (o *LogObserver) RoundStarted(node, round int) {
+	o.line("node %d round %d: started", node, round)
+}
+
+func (o *LogObserver) ReportsCollected(node, round, got, want int) {
+	o.line("node %d round %d: collected %d/%d reports", node, round, got, want)
+}
+
+func (o *LogObserver) StepPlanned(node, round int, spread, delta float64) {
+	o.line("node %d round %d: step planned, spread %.6g, own delta %+.6g", node, round, spread, delta)
+}
+
+func (o *LogObserver) SendRetried(node, round, to, attempt int, err error) {
+	o.line("node %d round %d: retrying send to %d (attempt %d): %v", node, round, to, attempt, err)
+}
+
+func (o *LogObserver) TimeoutFired(node, round int) {
+	o.line("node %d round %d: TIMEOUT waiting for peers", node, round)
+}
+
+func (o *LogObserver) MessageDiscarded(node, round int, reason string) {
+	o.line("node %d round %d: discarded message (%s)", node, round, reason)
+}
+
+func (o *LogObserver) TransportError(node int, detail string) {
+	o.line("node %d: transport error: %s", node, detail)
+}
+
+func (o *LogObserver) RunFinished(node, rounds int, converged bool) {
+	o.line("node %d: finished after %d rounds (converged=%t)", node, rounds, converged)
+}
+
+// MultiObserver fans events out to several observers.
+type MultiObserver []Observer
+
+var _ Observer = MultiObserver(nil)
+
+func (m MultiObserver) RoundStarted(node, round int) {
+	for _, o := range m {
+		o.RoundStarted(node, round)
+	}
+}
+
+func (m MultiObserver) ReportsCollected(node, round, got, want int) {
+	for _, o := range m {
+		o.ReportsCollected(node, round, got, want)
+	}
+}
+
+func (m MultiObserver) StepPlanned(node, round int, spread, delta float64) {
+	for _, o := range m {
+		o.StepPlanned(node, round, spread, delta)
+	}
+}
+
+func (m MultiObserver) SendRetried(node, round, to, attempt int, err error) {
+	for _, o := range m {
+		o.SendRetried(node, round, to, attempt, err)
+	}
+}
+
+func (m MultiObserver) TimeoutFired(node, round int) {
+	for _, o := range m {
+		o.TimeoutFired(node, round)
+	}
+}
+
+func (m MultiObserver) MessageDiscarded(node, round int, reason string) {
+	for _, o := range m {
+		o.MessageDiscarded(node, round, reason)
+	}
+}
+
+func (m MultiObserver) TransportError(node int, detail string) {
+	for _, o := range m {
+		o.TransportError(node, detail)
+	}
+}
+
+func (m MultiObserver) RunFinished(node, rounds int, converged bool) {
+	for _, o := range m {
+		o.RunFinished(node, rounds, converged)
+	}
+}

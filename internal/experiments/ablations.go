@@ -90,8 +90,8 @@ type DecentralizedRow struct {
 
 // AblationDecentralized runs the figure-3 system through the agent runtime
 // in both aggregation modes and reports trajectory equality and message
-// bills.
-func AblationDecentralized(ctx context.Context) ([]DecentralizedRow, error) {
+// bills. obs receives every agent event (may be nil).
+func AblationDecentralized(ctx context.Context, obs agent.Observer) ([]DecentralizedRow, error) {
 	m, err := RingSystem(4, 1)
 	if err != nil {
 		return nil, err
@@ -109,11 +109,12 @@ func AblationDecentralized(ctx context.Context) ([]DecentralizedRow, error) {
 	rows := make([]DecentralizedRow, 0, 2)
 	for _, mode := range []agent.Mode{agent.Broadcast, agent.Coordinator} {
 		res, err := agent.RunCluster(ctx, agent.ClusterConfig{
-			Models:  agent.ModelsFromSingleFile(m),
-			Init:    start,
-			Alpha:   0.3,
-			Epsilon: Epsilon,
-			Mode:    mode,
+			Models:   agent.ModelsFromSingleFile(m),
+			Init:     start,
+			Alpha:    0.3,
+			Epsilon:  Epsilon,
+			Mode:     mode,
+			Observer: obs,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("%w: %v cluster: %w", ErrExperiment, mode, err)

@@ -1,0 +1,36 @@
+package experiments
+
+import (
+	"context"
+	"testing"
+)
+
+func TestChaosContract(t *testing.T) {
+	rows, err := Chaos(context.Background(), nil)
+	if err != nil {
+		t.Fatalf("Chaos: %v", err)
+	}
+	if len(rows) != 12 { // 6 scenarios × 2 modes
+		t.Fatalf("got %d rows, want 12", len(rows))
+	}
+	for _, r := range rows {
+		if r.Scenario == "partition" {
+			if !r.TimedOut {
+				t.Errorf("%s/%s: partition did not time out", r.Scenario, r.Mode)
+			}
+			if r.Timeouts == 0 {
+				t.Errorf("%s/%s: no observer timeouts for a partition", r.Scenario, r.Mode)
+			}
+			continue
+		}
+		if !r.Converged {
+			t.Errorf("%s/%s: did not converge", r.Scenario, r.Mode)
+		}
+		if r.MaxAllocationDiff != 0 {
+			t.Errorf("%s/%s: diverged by %g from the central allocation", r.Scenario, r.Mode, r.MaxAllocationDiff)
+		}
+		if r.Scenario != "clean" && r.FaultsInjected == 0 {
+			t.Errorf("%s/%s: no faults injected", r.Scenario, r.Mode)
+		}
+	}
+}

@@ -97,7 +97,7 @@ func TestAblationSecondOrderScaleResilience(t *testing.T) {
 }
 
 func TestAblationDecentralizedMatchesCentral(t *testing.T) {
-	rows, err := AblationDecentralized(context.Background())
+	rows, err := AblationDecentralized(context.Background(), nil)
 	if err != nil {
 		t.Fatalf("AblationDecentralized: %v", err)
 	}

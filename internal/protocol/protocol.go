@@ -16,6 +16,15 @@ import (
 // ErrBadMessage reports an undecodable or out-of-protocol message.
 var ErrBadMessage = errors.New("protocol: bad message")
 
+// ErrDuplicateReport reports an identical re-delivery of an
+// already-buffered report. Under an at-least-once transport (retries,
+// duplicating links) this is benign — the round data is unchanged — so
+// callers should discard the message rather than abort the round. A
+// duplicate with *different* content is still ErrBadMessage: two
+// conflicting reports for one (round, node) indicate a faulty or
+// byzantine peer.
+var ErrDuplicateReport = errors.New("protocol: duplicate report")
+
 // Kind discriminates wire messages.
 type Kind string
 
@@ -132,6 +141,28 @@ func Decode(payload []byte) (Envelope, error) {
 	}
 }
 
+// RoundOf extracts the round number carried by an encoded protocol
+// message, whatever its kind. It reports false for payloads that do not
+// decode as protocol messages. Transport-level tooling (fault injection,
+// tracing) uses it to scope behavior to round windows without the
+// transport package importing the protocol.
+func RoundOf(payload []byte) (int, bool) {
+	env, err := Decode(payload)
+	if err != nil {
+		return 0, false
+	}
+	switch env.Kind {
+	case KindReport:
+		return env.Report.Round, true
+	case KindUpdate:
+		return env.Update.Round, true
+	case KindVectorReport:
+		return env.Vector.Round, true
+	default:
+		return 0, false
+	}
+}
+
 // RoundBuffer collects per-round reports, tolerating peers that run one
 // round ahead (a fast node may broadcast round r+1 before a slow peer has
 // read round r).
@@ -148,9 +179,11 @@ func NewRoundBuffer(peers int) *RoundBuffer {
 	}
 }
 
-// Add stores a report. Duplicate reports for the same (round, node) are
-// rejected — the protocol sends exactly one per peer per round, so a
-// duplicate indicates a faulty or byzantine peer.
+// Add stores a report. An identical re-delivery for the same
+// (round, node) returns ErrDuplicateReport (benign, discardable); a
+// conflicting duplicate is rejected as ErrBadMessage — the protocol sends
+// one report per peer per round, so two different ones indicate a faulty
+// or byzantine peer.
 func (b *RoundBuffer) Add(r Report) error {
 	if r.Node < 0 || r.Node >= b.peers {
 		return fmt.Errorf("%w: report from unknown node %d", ErrBadMessage, r.Node)
@@ -160,8 +193,11 @@ func (b *RoundBuffer) Add(r Report) error {
 		byNode = make(map[int]Report, b.peers)
 		b.pending[r.Round] = byNode
 	}
-	if _, dup := byNode[r.Node]; dup {
-		return fmt.Errorf("%w: duplicate report from node %d for round %d", ErrBadMessage, r.Node, r.Round)
+	if prev, dup := byNode[r.Node]; dup {
+		if prev == r {
+			return fmt.Errorf("%w: node %d round %d", ErrDuplicateReport, r.Node, r.Round)
+		}
+		return fmt.Errorf("%w: conflicting duplicate report from node %d for round %d", ErrBadMessage, r.Node, r.Round)
 	}
 	byNode[r.Node] = r
 	return nil
@@ -171,6 +207,11 @@ func (b *RoundBuffer) Add(r Report) error {
 // round.
 func (b *RoundBuffer) Complete(round, want int) bool {
 	return len(b.pending[round]) >= want
+}
+
+// Count returns the number of distinct reports buffered for the round.
+func (b *RoundBuffer) Count(round int) int {
+	return len(b.pending[round])
 }
 
 // Take removes and returns the round's reports keyed by node id.
@@ -194,7 +235,9 @@ func NewVectorRoundBuffer(peers int) *VectorRoundBuffer {
 	}
 }
 
-// Add stores a vector report, rejecting duplicates and unknown nodes.
+// Add stores a vector report. As with RoundBuffer.Add, an identical
+// re-delivery returns ErrDuplicateReport and a conflicting duplicate or
+// unknown node is ErrBadMessage.
 func (b *VectorRoundBuffer) Add(r VectorReport) error {
 	if r.Node < 0 || r.Node >= b.peers {
 		return fmt.Errorf("%w: vector report from unknown node %d", ErrBadMessage, r.Node)
@@ -204,11 +247,27 @@ func (b *VectorRoundBuffer) Add(r VectorReport) error {
 		byNode = make(map[int]VectorReport, b.peers)
 		b.pending[r.Round] = byNode
 	}
-	if _, dup := byNode[r.Node]; dup {
-		return fmt.Errorf("%w: duplicate vector report from node %d for round %d", ErrBadMessage, r.Node, r.Round)
+	if prev, dup := byNode[r.Node]; dup {
+		if prev.Round == r.Round && prev.Node == r.Node && eqFloats(prev.Marginals, r.Marginals) && eqFloats(prev.Allocs, r.Allocs) {
+			return fmt.Errorf("%w: node %d round %d", ErrDuplicateReport, r.Node, r.Round)
+		}
+		return fmt.Errorf("%w: conflicting duplicate vector report from node %d for round %d", ErrBadMessage, r.Node, r.Round)
 	}
 	byNode[r.Node] = r
 	return nil
+}
+
+// eqFloats compares two float slices element-wise (bit equality).
+func eqFloats(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // Complete reports whether `want` distinct reports arrived for the round.

@@ -101,7 +101,10 @@ func TestVectorRoundBuffer(t *testing.T) {
 		t.Fatal(err)
 	}
 	if err := buf.Add(VectorReport{Round: 0, Node: 1}); !errors.Is(err, ErrBadMessage) {
-		t.Errorf("duplicate: error = %v", err)
+		t.Errorf("conflicting duplicate: error = %v", err)
+	}
+	if err := buf.Add(VectorReport{Round: 0, Node: 1, Marginals: []float64{1}}); !errors.Is(err, ErrDuplicateReport) {
+		t.Errorf("identical duplicate: error = %v, want ErrDuplicateReport", err)
 	}
 	if err := buf.Add(VectorReport{Round: 0, Node: 9}); !errors.Is(err, ErrBadMessage) {
 		t.Errorf("stranger: error = %v", err)
@@ -180,10 +183,46 @@ func TestRoundBufferRejectsDuplicatesAndStrangers(t *testing.T) {
 	if err := buf.Add(Report{Round: 0, Node: 1}); err != nil {
 		t.Fatal(err)
 	}
-	if err := buf.Add(Report{Round: 0, Node: 1}); !errors.Is(err, ErrBadMessage) {
-		t.Errorf("duplicate: error = %v, want ErrBadMessage", err)
+	// Identical re-delivery is benign (at-least-once transports); the
+	// buffer flags it with the discardable sentinel.
+	if err := buf.Add(Report{Round: 0, Node: 1}); !errors.Is(err, ErrDuplicateReport) {
+		t.Errorf("identical duplicate: error = %v, want ErrDuplicateReport", err)
+	}
+	if got := buf.Count(0); got != 1 {
+		t.Errorf("Count after duplicate = %d, want 1", got)
+	}
+	// A conflicting duplicate is a protocol violation.
+	if err := buf.Add(Report{Round: 0, Node: 1, Marginal: -3}); !errors.Is(err, ErrBadMessage) {
+		t.Errorf("conflicting duplicate: error = %v, want ErrBadMessage", err)
 	}
 	if err := buf.Add(Report{Round: 0, Node: 5}); !errors.Is(err, ErrBadMessage) {
 		t.Errorf("stranger: error = %v, want ErrBadMessage", err)
+	}
+}
+
+func TestRoundOf(t *testing.T) {
+	rep, err := EncodeReport(Report{Round: 3, Node: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if round, ok := RoundOf(rep); !ok || round != 3 {
+		t.Errorf("report RoundOf = %d, %v", round, ok)
+	}
+	upd, err := EncodeUpdate(Update{Round: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if round, ok := RoundOf(upd); !ok || round != 9 {
+		t.Errorf("update RoundOf = %d, %v", round, ok)
+	}
+	vec, err := EncodeVectorReport(VectorReport{Round: 5, Node: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if round, ok := RoundOf(vec); !ok || round != 5 {
+		t.Errorf("vector RoundOf = %d, %v", round, ok)
+	}
+	if _, ok := RoundOf([]byte("not a protocol message")); ok {
+		t.Error("garbage payload reported a round")
 	}
 }

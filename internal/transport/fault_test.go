@@ -1,0 +1,343 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// faultPair wraps two memory-network endpoints with the same fault
+// config and returns them (node 0, node 1).
+func faultPair(t *testing.T, cfg FaultConfig) (*FaultEndpoint, *FaultEndpoint) {
+	t.Helper()
+	net, err := NewMemoryNetwork(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { net.Close() })
+	var out [2]*FaultEndpoint
+	for id := 0; id < 2; id++ {
+		inner, err := net.Endpoint(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[id], err = NewFaultEndpoint(inner, cfg)
+		if err != nil {
+			t.Fatalf("NewFaultEndpoint(%d): %v", id, err)
+		}
+	}
+	return out[0], out[1]
+}
+
+func TestFaultDropIsVisibleAndCounted(t *testing.T) {
+	a, _ := faultPair(t, FaultConfig{
+		Rules: []FaultRule{{Kind: FaultDrop, Direction: DirSend}},
+	})
+	err := a.Send(context.Background(), 1, []byte("x"))
+	if !errors.Is(err, ErrDropped) {
+		t.Fatalf("Send error = %v, want ErrDropped", err)
+	}
+	if got := a.Stats().SendDropped; got != 1 {
+		t.Errorf("SendDropped = %d, want 1", got)
+	}
+}
+
+func TestFaultPartitionSwallowsSilently(t *testing.T) {
+	a, b := faultPair(t, FaultConfig{
+		Rules: []FaultRule{{Kind: FaultPartition, Direction: DirSend, Peers: []int{1}}},
+	})
+	// The send reports success but nothing arrives.
+	if err := a.Send(context.Background(), 1, []byte("lost")); err != nil {
+		t.Fatalf("partitioned Send: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if _, err := b.Recv(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Recv = %v, want deadline exceeded (message black-holed)", err)
+	}
+	if got := a.Stats().SendPartitioned; got != 1 {
+		t.Errorf("SendPartitioned = %d, want 1", got)
+	}
+	// Peer 0 is not partitioned: the reverse direction still works.
+	if err := b.Send(context.Background(), 0, []byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel2()
+	if msg, err := a.Recv(ctx2); err != nil || string(msg.Payload) != "ok" {
+		t.Fatalf("reverse Recv = %v, %v", msg, err)
+	}
+}
+
+func TestFaultDuplicateDeliversExtraCopies(t *testing.T) {
+	a, b := faultPair(t, FaultConfig{
+		Rules: []FaultRule{{Kind: FaultDuplicate, Direction: DirSend, Copies: 2}},
+	})
+	if err := a.Send(context.Background(), 1, []byte("thrice")); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	for i := 0; i < 3; i++ {
+		msg, err := b.Recv(ctx)
+		if err != nil {
+			t.Fatalf("Recv %d: %v", i, err)
+		}
+		if string(msg.Payload) != "thrice" {
+			t.Errorf("Recv %d payload = %q", i, msg.Payload)
+		}
+	}
+	if got := a.Stats().SendDuplicated; got != 2 {
+		t.Errorf("SendDuplicated = %d, want 2", got)
+	}
+}
+
+func TestFaultRecvDuplicate(t *testing.T) {
+	a, b := faultPair(t, FaultConfig{
+		Rules: []FaultRule{{Kind: FaultDuplicate, Direction: DirRecv}},
+	})
+	if err := a.Send(context.Background(), 1, []byte("twice")); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	for i := 0; i < 2; i++ {
+		msg, err := b.Recv(ctx)
+		if err != nil || string(msg.Payload) != "twice" {
+			t.Fatalf("Recv %d = %v, %v", i, msg, err)
+		}
+	}
+	if got := b.Stats().RecvDuplicated; got != 1 {
+		t.Errorf("RecvDuplicated = %d, want 1", got)
+	}
+}
+
+func TestFaultDelayAddsLatency(t *testing.T) {
+	const lag = 60 * time.Millisecond
+	a, b := faultPair(t, FaultConfig{
+		Rules: []FaultRule{{Kind: FaultDelay, Direction: DirSend, Delay: lag}},
+	})
+	start := time.Now()
+	if err := a.Send(context.Background(), 1, []byte("late")); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if _, err := b.Recv(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < lag {
+		t.Errorf("message arrived after %v, want ≥ %v", elapsed, lag)
+	}
+	if got := a.Stats().SendDelayed; got != 1 {
+		t.Errorf("SendDelayed = %d, want 1", got)
+	}
+}
+
+func TestFaultReorderSwapsAdjacentArrivals(t *testing.T) {
+	a, b := faultPair(t, FaultConfig{
+		Rules: []FaultRule{{Kind: FaultReorder, Direction: DirRecv, Delay: time.Second}},
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := a.Send(ctx, 1, []byte("first")); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send(ctx, 1, []byte("second")); err != nil {
+		t.Fatal(err)
+	}
+	// Every arrival matches the reorder rule, so "first" is held and
+	// "second" overtakes it.
+	m1, err := b.Recv(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := b.Recv(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(m1.Payload) != "second" || string(m2.Payload) != "first" {
+		t.Errorf("order = %q, %q; want swapped", m1.Payload, m2.Payload)
+	}
+	if got := b.Stats().RecvReordered; got != 1 {
+		t.Errorf("RecvReordered = %d, want 1", got)
+	}
+}
+
+func TestFaultReorderReleasesHeldWithoutSuccessor(t *testing.T) {
+	a, b := faultPair(t, FaultConfig{
+		Rules: []FaultRule{{Kind: FaultReorder, Direction: DirRecv, Delay: 30 * time.Millisecond}},
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := a.Send(ctx, 1, []byte("lonely")); err != nil {
+		t.Fatal(err)
+	}
+	// No successor ever arrives: after the hold window the message must
+	// come out anyway — reordering never becomes loss.
+	msg, err := b.Recv(ctx)
+	if err != nil {
+		t.Fatalf("Recv: %v", err)
+	}
+	if string(msg.Payload) != "lonely" {
+		t.Errorf("payload = %q", msg.Payload)
+	}
+	if got := b.Stats().RecvReordered; got != 0 {
+		t.Errorf("RecvReordered = %d, want 0 (no swap happened)", got)
+	}
+}
+
+func TestFaultRoundWindowScopesRule(t *testing.T) {
+	// Payload convention for the test: round = first byte.
+	roundOf := func(p []byte) (int, bool) {
+		if len(p) == 0 {
+			return 0, false
+		}
+		return int(p[0]), true
+	}
+	a, b := faultPair(t, FaultConfig{
+		RoundOf: roundOf,
+		Rules: []FaultRule{{
+			Kind: FaultPartition, Direction: DirSend, FromRound: 2, ToRound: 3,
+		}},
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	for round := 1; round <= 4; round++ {
+		if err := a.Send(ctx, 1, []byte{byte(round)}); err != nil {
+			t.Fatalf("round %d Send: %v", round, err)
+		}
+	}
+	// Rounds 2 and 3 are black-holed; 1 and 4 arrive.
+	for _, want := range []byte{1, 4} {
+		msg, err := b.Recv(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if msg.Payload[0] != want {
+			t.Errorf("got round %d, want %d", msg.Payload[0], want)
+		}
+	}
+	if got := a.Stats().SendPartitioned; got != 2 {
+		t.Errorf("SendPartitioned = %d, want 2", got)
+	}
+}
+
+func TestFaultNodeSelectorScopesRule(t *testing.T) {
+	cfg := FaultConfig{
+		Rules: []FaultRule{{Kind: FaultDrop, Direction: DirSend, Nodes: []int{0}}},
+	}
+	a, b := faultPair(t, cfg)
+	if err := a.Send(context.Background(), 1, []byte("x")); !errors.Is(err, ErrDropped) {
+		t.Fatalf("node 0 Send = %v, want ErrDropped", err)
+	}
+	if err := b.Send(context.Background(), 0, []byte("y")); err != nil {
+		t.Fatalf("node 1 Send = %v, want success (rule scoped to node 0)", err)
+	}
+}
+
+func TestFaultProbabilisticRuleIsSeededDeterministic(t *testing.T) {
+	run := func() (dropped int64) {
+		net, err := NewMemoryNetwork(2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer net.Close()
+		inner, err := net.Endpoint(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ep, err := NewFaultEndpoint(inner, FaultConfig{
+			Seed:  42,
+			Rules: []FaultRule{{Kind: FaultDrop, Direction: DirSend, Probability: 0.5}},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 200; i++ {
+			_ = ep.Send(context.Background(), 1, []byte("x"))
+		}
+		return ep.Stats().SendDropped
+	}
+	first, second := run(), run()
+	if first != second {
+		t.Errorf("same seed gave %d then %d drops", first, second)
+	}
+	if first == 0 || first == 200 {
+		t.Errorf("p=0.5 dropped %d of 200 — rule not probabilistic", first)
+	}
+}
+
+func TestFaultFirstMatchWins(t *testing.T) {
+	// A deterministic drop listed before a partition: only the drop
+	// fires.
+	a, _ := faultPair(t, FaultConfig{
+		Rules: []FaultRule{
+			{Kind: FaultDrop, Direction: DirSend},
+			{Kind: FaultPartition, Direction: DirSend},
+		},
+	})
+	if err := a.Send(context.Background(), 1, []byte("x")); !errors.Is(err, ErrDropped) {
+		t.Fatal(err)
+	}
+	st := a.Stats()
+	if st.SendDropped != 1 || st.SendPartitioned != 0 {
+		t.Errorf("stats = %+v, want only the first rule applied", st)
+	}
+}
+
+func TestFaultConfigValidate(t *testing.T) {
+	bad := []FaultConfig{
+		{Rules: []FaultRule{{Kind: FaultKind(99)}}},
+		{Rules: []FaultRule{{Kind: FaultDrop, Probability: 1.5}}},
+		{Rules: []FaultRule{{Kind: FaultDrop, Probability: -0.1}}},
+		{Rules: []FaultRule{{Kind: FaultDelay, Delay: -time.Second}}},
+		{Rules: []FaultRule{{Kind: FaultDuplicate, Copies: -1}}},
+		{Rules: []FaultRule{{Kind: FaultReorder, Direction: DirSend}}},
+		{Rules: []FaultRule{{Kind: FaultDrop, FromRound: 3, ToRound: 1}}},
+		{Rules: []FaultRule{{Kind: FaultDrop, FromRound: 1}}}, // round window without RoundOf
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("config %d validated but should not have", i)
+		}
+	}
+	good := FaultConfig{
+		RoundOf: func([]byte) (int, bool) { return 0, true },
+		Rules: []FaultRule{
+			{Kind: FaultDrop, Probability: 0.3, FromRound: 1, ToRound: 5},
+			{Kind: FaultReorder, Direction: DirRecv},
+		},
+	}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+
+	net, err := NewMemoryNetwork(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer net.Close()
+	inner, err := net.Endpoint(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewFaultEndpoint(inner, bad[0]); err == nil {
+		t.Error("NewFaultEndpoint accepted an invalid config")
+	}
+	if _, err := NewFaultEndpoint(nil, FaultConfig{}); err == nil {
+		t.Error("NewFaultEndpoint accepted a nil inner endpoint")
+	}
+}
+
+func TestFaultStatsAddAndTotal(t *testing.T) {
+	a := FaultStats{SendDropped: 1, RecvReordered: 2}
+	a.Add(FaultStats{SendDropped: 3, RecvDuplicated: 4})
+	if a.SendDropped != 4 || a.RecvDuplicated != 4 || a.RecvReordered != 2 {
+		t.Errorf("Add = %+v", a)
+	}
+	if got := a.Total(); got != 10 {
+		t.Errorf("Total = %d, want 10", got)
+	}
+}

@@ -16,10 +16,40 @@ import (
 // goroutines block (exerting TCP back-pressure) when it is full.
 const tcpInboxSize = 1024
 
+// defaultMaxFrameBytes bounds a single JSON-line frame on the wire.
+const defaultMaxFrameBytes = 16 * 1024 * 1024
+
 // wireFrame is one JSON line on a TCP connection.
 type wireFrame struct {
 	From    int    `json:"from"`
 	Payload string `json:"payload"` // base64
+}
+
+// tcpConn pairs a cached outgoing connection with a write mutex so that
+// concurrent Sends to the same peer emit whole frames: net.Conn.Write is
+// goroutine-safe but gives no atomicity across calls, and an interleaved
+// JSON line corrupts the stream for every later message.
+type tcpConn struct {
+	mu sync.Mutex
+	c  net.Conn
+}
+
+// TCPOption configures a TCPEndpoint at construction.
+type TCPOption func(*TCPEndpoint)
+
+// WithReadErrorHook installs a callback invoked when an inbound
+// connection's read loop terminates with an error (for example a peer
+// frame exceeding the frame-size limit). Without it such connections are
+// dropped silently and the failure surfaces only as a later round
+// timeout. The hook may be called from multiple reader goroutines
+// concurrently; remote is the peer's network address.
+func WithReadErrorHook(fn func(remote string, err error)) TCPOption {
+	return func(e *TCPEndpoint) { e.readErrHook = fn }
+}
+
+// WithMaxFrameBytes overrides the per-frame size limit (default 16 MiB).
+func WithMaxFrameBytes(n int) TCPOption {
+	return func(e *TCPEndpoint) { e.maxFrameBytes = n }
 }
 
 // TCPEndpoint connects one node of the allocation protocol to its peers
@@ -30,8 +60,11 @@ type TCPEndpoint struct {
 	addrs []string
 	ln    net.Listener
 
+	maxFrameBytes int
+	readErrHook   func(remote string, err error)
+
 	mu    sync.Mutex
-	conns map[int]net.Conn
+	conns map[int]*tcpConn
 	wg    sync.WaitGroup
 
 	inbox chan Message
@@ -46,22 +79,26 @@ var _ Endpoint = (*TCPEndpoint)(nil)
 // every node id to its listen address; a port of ":0" style is allowed, in
 // which case Addr reports the bound address (useful in tests; production
 // deployments list concrete addresses).
-func ListenTCP(id int, addrs []string) (*TCPEndpoint, error) {
+func ListenTCP(id int, addrs []string, opts ...TCPOption) (*TCPEndpoint, error) {
 	if id < 0 || id >= len(addrs) {
 		return nil, fmt.Errorf("%w: node %d of %d", ErrUnknownPeer, id, len(addrs))
+	}
+	ep := &TCPEndpoint{
+		id:            id,
+		addrs:         append([]string(nil), addrs...),
+		maxFrameBytes: defaultMaxFrameBytes,
+		conns:         make(map[int]*tcpConn),
+		inbox:         make(chan Message, tcpInboxSize),
+		done:          make(chan struct{}),
+	}
+	for _, opt := range opts {
+		opt(ep)
 	}
 	ln, err := net.Listen("tcp", addrs[id])
 	if err != nil {
 		return nil, fmt.Errorf("transport: listening on %q: %w", addrs[id], err)
 	}
-	ep := &TCPEndpoint{
-		id:    id,
-		addrs: append([]string(nil), addrs...),
-		ln:    ln,
-		conns: make(map[int]net.Conn),
-		inbox: make(chan Message, tcpInboxSize),
-		done:  make(chan struct{}),
-	}
+	ep.ln = ln
 	ep.addrs[id] = ln.Addr().String()
 	ep.wg.Add(1)
 	go ep.acceptLoop()
@@ -121,7 +158,13 @@ func (e *TCPEndpoint) readLoop(conn net.Conn) {
 	}()
 
 	scanner := bufio.NewScanner(conn)
-	scanner.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	// The scanner's effective limit is max(limit, cap(buf)), so the
+	// initial buffer must not exceed a small configured frame limit.
+	initial := 64 * 1024
+	if initial > e.maxFrameBytes {
+		initial = e.maxFrameBytes
+	}
+	scanner.Buffer(make([]byte, 0, initial), e.maxFrameBytes)
 	for scanner.Scan() {
 		var frame wireFrame
 		if err := json.Unmarshal(scanner.Bytes(), &frame); err != nil {
@@ -135,6 +178,17 @@ func (e *TCPEndpoint) readLoop(conn net.Conn) {
 		case e.inbox <- Message{From: frame.From, Payload: payload}:
 		case <-e.done:
 			return
+		}
+	}
+	// A scanner error (oversized frame, mid-stream read failure) means
+	// this peer's messages silently stop arriving; surface it so the
+	// operator sees more than an eventual round timeout. Shutdown closes
+	// the connection deliberately — not an error worth reporting.
+	if err := scanner.Err(); err != nil && e.readErrHook != nil {
+		select {
+		case <-e.done:
+		default:
+			e.readErrHook(conn.RemoteAddr().String(), err)
 		}
 	}
 }
@@ -151,7 +205,7 @@ func (e *TCPEndpoint) Send(ctx context.Context, to int, payload []byte) error {
 		return ErrClosed
 	default:
 	}
-	conn, err := e.conn(ctx, to)
+	tc, err := e.conn(ctx, to)
 	if err != nil {
 		return err
 	}
@@ -163,13 +217,17 @@ func (e *TCPEndpoint) Send(ctx context.Context, to int, payload []byte) error {
 		return fmt.Errorf("transport: encoding frame: %w", err)
 	}
 	frame = append(frame, '\n')
-	if deadline, ok := ctx.Deadline(); ok {
-		if err := conn.SetWriteDeadline(deadline); err != nil {
-			return fmt.Errorf("transport: setting write deadline: %w", err)
-		}
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	// Always (re)set the write deadline: a context without one must clear
+	// any deadline a previous Send left on the connection, or this write
+	// fails spuriously once that stale instant passes.
+	deadline, _ := ctx.Deadline()
+	if err := tc.c.SetWriteDeadline(deadline); err != nil {
+		return fmt.Errorf("transport: setting write deadline: %w", err)
 	}
-	if _, err := conn.Write(frame); err != nil {
-		e.dropConn(to, conn)
+	if _, err := tc.c.Write(frame); err != nil {
+		e.dropConn(to, tc)
 		return fmt.Errorf("transport: writing to node %d: %w", to, err)
 	}
 	return nil
@@ -180,11 +238,15 @@ func (e *TCPEndpoint) Send(ctx context.Context, to int, payload []byte) error {
 // beats the last listener; retrying briefly makes bootstrap order-free.
 const dialRetryWindow = 10 * time.Second
 
-func (e *TCPEndpoint) conn(ctx context.Context, to int) (net.Conn, error) {
+// dialRetryInterval is the pause between dial attempts. A variable so
+// tests can shrink it.
+var dialRetryInterval = 50 * time.Millisecond
+
+func (e *TCPEndpoint) conn(ctx context.Context, to int) (*tcpConn, error) {
 	e.mu.Lock()
-	if c, ok := e.conns[to]; ok {
+	if tc, ok := e.conns[to]; ok {
 		e.mu.Unlock()
-		return c, nil
+		return tc, nil
 	}
 	addr := e.addrs[to]
 	e.mu.Unlock()
@@ -198,17 +260,22 @@ func (e *TCPEndpoint) conn(ctx context.Context, to int) (net.Conn, error) {
 		if err == nil {
 			break
 		}
-		select {
-		case <-e.done:
-			return nil, ErrClosed
-		case <-ctx.Done():
-			return nil, fmt.Errorf("transport: dialing node %d at %q: %w", to, addr, ctx.Err())
-		default:
-		}
 		if time.Now().After(deadline) {
 			return nil, fmt.Errorf("transport: dialing node %d at %q: %w", to, addr, err)
 		}
-		time.Sleep(50 * time.Millisecond)
+		// Pause before retrying, but wake immediately on context
+		// cancellation or endpoint shutdown — a flat sleep here would
+		// hold Close and cancelled callers hostage for the interval.
+		timer := time.NewTimer(dialRetryInterval)
+		select {
+		case <-e.done:
+			timer.Stop()
+			return nil, ErrClosed
+		case <-ctx.Done():
+			timer.Stop()
+			return nil, fmt.Errorf("transport: dialing node %d at %q: %w", to, addr, ctx.Err())
+		case <-timer.C:
+		}
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -217,17 +284,18 @@ func (e *TCPEndpoint) conn(ctx context.Context, to int) (net.Conn, error) {
 		c.Close() //nolint:errcheck // duplicate connection
 		return existing, nil
 	}
-	e.conns[to] = c
-	return c, nil
+	tc := &tcpConn{c: c}
+	e.conns[to] = tc
+	return tc, nil
 }
 
-func (e *TCPEndpoint) dropConn(to int, conn net.Conn) {
+func (e *TCPEndpoint) dropConn(to int, tc *tcpConn) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if e.conns[to] == conn {
+	if e.conns[to] == tc {
 		delete(e.conns, to)
 	}
-	conn.Close() //nolint:errcheck // tearing down a failed connection
+	tc.c.Close() //nolint:errcheck // tearing down a failed connection
 }
 
 // Recv implements Endpoint.
@@ -257,8 +325,8 @@ func (e *TCPEndpoint) Close() error {
 			errOut = err
 		}
 		e.mu.Lock()
-		for to, c := range e.conns {
-			c.Close() //nolint:errcheck // shutdown path
+		for to, tc := range e.conns {
+			tc.c.Close() //nolint:errcheck // shutdown path
 			delete(e.conns, to)
 		}
 		e.mu.Unlock()

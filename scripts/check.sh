@@ -1,0 +1,14 @@
+#!/usr/bin/env sh
+# Tier-2 gate: everything tier-1 checks (build + tests) plus static
+# analysis and the race detector. Run before sending a change.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go test -race ./..."
+go test -race ./...
+
+echo "ok"
