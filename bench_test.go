@@ -19,8 +19,21 @@ import (
 	"filealloc/internal/experiments"
 	"filealloc/internal/multicopy"
 	"filealloc/internal/sim"
+	"filealloc/internal/sweep"
 	"filealloc/internal/topology"
 )
+
+// benchWorkers gives each figure benchmark a serial and a parallel
+// variant: "serial" pins the sweep engine to one worker (the exact
+// sequential reference path), "parallel" lets it use every core. The
+// ratio of the two is the sweep engine's speedup on that figure.
+var benchWorkers = []struct {
+	name    string
+	workers int
+}{
+	{"serial", 1},
+	{"parallel", 0}, // 0 → GOMAXPROCS
+}
 
 // BenchmarkFig3ConvergenceProfiles regenerates figure 3: four convergence
 // profiles (α = 0.67, 0.3, 0.19, 0.08) on the 4-node ring.
@@ -53,33 +66,42 @@ func BenchmarkFig4Fragmentation(b *testing.B) {
 }
 
 // BenchmarkFig5AlphaSweep regenerates figure 5: iterations to convergence
-// over 70 stepsizes.
+// over 70 stepsizes, serially and with the parallel sweep engine.
 func BenchmarkFig5AlphaSweep(b *testing.B) {
-	ctx := context.Background()
-	for i := 0; i < b.N; i++ {
-		rows, err := experiments.Fig5(ctx, nil)
-		if err != nil {
-			b.Fatal(err)
-		}
-		if len(rows) != 70 {
-			b.Fatalf("got %d rows", len(rows))
-		}
+	for _, bw := range benchWorkers {
+		b.Run(bw.name, func(b *testing.B) {
+			ctx := sweep.WithWorkers(context.Background(), bw.workers)
+			for i := 0; i < b.N; i++ {
+				rows, err := experiments.Fig5(ctx, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(rows) != 70 {
+					b.Fatalf("got %d rows", len(rows))
+				}
+			}
+		})
 	}
 }
 
 // BenchmarkFig6Scaling regenerates figure 6: best-stepsize iteration
 // counts for fully connected networks of 4..20 nodes (grid search
-// included, as the paper's "best possible α" requires).
+// included, as the paper's "best possible α" requires), serially and
+// with the 510-cell (size × α) grid spread across every core.
 func BenchmarkFig6Scaling(b *testing.B) {
-	ctx := context.Background()
-	for i := 0; i < b.N; i++ {
-		rows, err := experiments.Fig6(ctx, nil)
-		if err != nil {
-			b.Fatal(err)
-		}
-		if len(rows) != 17 {
-			b.Fatalf("got %d rows", len(rows))
-		}
+	for _, bw := range benchWorkers {
+		b.Run(bw.name, func(b *testing.B) {
+			ctx := sweep.WithWorkers(context.Background(), bw.workers)
+			for i := 0; i < b.N; i++ {
+				rows, err := experiments.Fig6(ctx, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(rows) != 17 {
+					b.Fatalf("got %d rows", len(rows))
+				}
+			}
+		})
 	}
 }
 

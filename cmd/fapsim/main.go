@@ -4,12 +4,15 @@
 //
 // Usage:
 //
-//	fapsim [-csv] [-v] <experiment>
+//	fapsim [-csv] [-v] [-workers N] <experiment>
 //
 // where <experiment> is one of: fig3, fig4, fig5, fig6, fig8, fig9,
 // validate, second-order, decentralized, price-directed, chaos, all.
 // -v streams agent round events to stderr for the experiments that run
-// the decentralized runtime.
+// the decentralized runtime. -workers bounds the parameter-sweep
+// concurrency (default: GOMAXPROCS); -workers 1 reproduces the serial
+// path exactly — results are identical either way, only wall-clock
+// changes.
 package main
 
 import (
@@ -18,10 +21,12 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"strings"
 
 	"filealloc/internal/agent"
 	"filealloc/internal/experiments"
+	"filealloc/internal/sweep"
 	"filealloc/internal/trace"
 )
 
@@ -38,8 +43,13 @@ func run(args []string, w io.Writer) error {
 	accesses := fs.Int("accesses", 200000, "simulated accesses for the validate experiment")
 	seed := fs.Int64("seed", 1, "simulation seed")
 	verbose := fs.Bool("v", false, "log agent round events to stderr (decentralized/chaos)")
+	workers := fs.Int("workers", runtime.GOMAXPROCS(0),
+		"parameter-sweep concurrency; 1 runs every sweep serially (results are identical either way)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *workers < 1 {
+		return fmt.Errorf("-workers must be at least 1, got %d", *workers)
 	}
 	var obs agent.Observer
 	if *verbose {
@@ -49,7 +59,7 @@ func run(args []string, w io.Writer) error {
 		fs.Usage()
 		return fmt.Errorf("want exactly one experiment, got %d args (use 'all' to run everything)", fs.NArg())
 	}
-	ctx := context.Background()
+	ctx := sweep.WithWorkers(context.Background(), *workers)
 	name := fs.Arg(0)
 	runners := map[string]func() error{
 		"fig3":           func() error { return runFig3(ctx, w, *csv) },

@@ -133,6 +133,28 @@ func TestRunRenderedOutputs(t *testing.T) {
 	}
 }
 
+func TestRunWorkersFlag(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-workers", "0", "fig3"}, &b); err == nil {
+		t.Error("-workers 0 accepted")
+	}
+	if err := run([]string{"-workers", "-3", "fig3"}, &b); err == nil {
+		t.Error("negative -workers accepted")
+	}
+
+	// The flag changes wall-clock only, never output.
+	var serial, parallel strings.Builder
+	if err := run([]string{"-csv", "-workers", "1", "fig5"}, &serial); err != nil {
+		t.Fatalf("serial run: %v", err)
+	}
+	if err := run([]string{"-csv", "-workers", "8", "fig5"}, &parallel); err != nil {
+		t.Fatalf("parallel run: %v", err)
+	}
+	if serial.String() != parallel.String() {
+		t.Error("-workers 1 and -workers 8 emitted different fig5 CSV")
+	}
+}
+
 func TestRunFig6CSVValues(t *testing.T) {
 	var b strings.Builder
 	if err := run([]string{"-csv", "fig6"}, &b); err != nil {

@@ -286,6 +286,20 @@ func (a *Allocator) Run(ctx context.Context, init []float64) (Result, error) {
 	grad := make([]float64, len(x))
 	alpha := a.alpha
 
+	// All per-iteration scratch is allocated once here, so the inner loop
+	// below runs allocation-free (asserted by TestRunInnerLoopAllocFree):
+	// PlanStepInto reuses each group's Delta/Active buffers and
+	// dynamicAlpha reuses hess. Run stays reentrant — the scratch belongs
+	// to this call, not to the Allocator.
+	steps := make([]Step, len(a.groups))
+	for gi, g := range a.groups {
+		steps[gi] = Step{Delta: make([]float64, len(g)), Active: make([]bool, len(g))}
+	}
+	var hess []float64
+	if a.dynamicSafety > 0 {
+		hess = make([]float64, len(x))
+	}
+
 	u, err := a.obj.Utility(x)
 	if err != nil {
 		return Result{}, fmt.Errorf("core: evaluating initial utility: %w", err)
@@ -304,7 +318,7 @@ func (a *Allocator) Run(ctx context.Context, init []float64) (Result, error) {
 			return Result{}, fmt.Errorf("core: gradient at iteration %d: %w", iter, err)
 		}
 		if a.dynamicSafety > 0 {
-			dyn, err := a.dynamicAlpha(x, grad)
+			dyn, err := a.dynamicAlpha(x, grad, hess)
 			if err != nil {
 				return Result{}, fmt.Errorf("core: dynamic alpha at iteration %d: %w", iter, err)
 			}
@@ -313,16 +327,14 @@ func (a *Allocator) Run(ctx context.Context, init []float64) (Result, error) {
 			}
 		}
 
-		steps := make([]Step, len(a.groups))
 		converged := true
 		movable := false
 		spread := 0.0
 		for gi, g := range a.groups {
-			st, err := PlanStep(x, grad, g, alpha)
-			if err != nil {
+			if err := PlanStepInto(&steps[gi], x, grad, g, alpha); err != nil {
 				return Result{}, fmt.Errorf("core: planning iteration %d: %w", iter, err)
 			}
-			steps[gi] = st
+			st := steps[gi]
 			sp := st.Spread(grad, g)
 			if sp > spread {
 				spread = sp
@@ -399,11 +411,11 @@ func kktHolds(st Step, grad, x []float64, group []int, eps float64) bool {
 //
 //	α < 2·Σ g_i(g_i − ḡ) / |Σ h_i (g_i − ḡ)²|
 //
-// at the current point, scaled by the configured safety factor. It returns
-// 0 when the expression is degenerate (already converged or flat).
-func (a *Allocator) dynamicAlpha(x, grad []float64) (float64, error) {
+// at the current point, scaled by the configured safety factor. hess is
+// caller-owned scratch of len(x) entries. It returns 0 when the
+// expression is degenerate (already converged or flat).
+func (a *Allocator) dynamicAlpha(x, grad, hess []float64) (float64, error) {
 	curv := a.obj.(Curvature) // checked in NewAllocator
-	hess := make([]float64, len(x))
 	if err := curv.SecondDerivative(hess, x); err != nil {
 		return 0, err
 	}

@@ -58,30 +58,63 @@ type Step struct {
 // PlanStep is deterministic: the decentralized runtime relies on every node
 // planning byte-identical steps from identical round data.
 func PlanStep(x, grad []float64, group []int, alpha float64) (Step, error) {
+	var step Step
+	if err := PlanStepInto(&step, x, grad, group, alpha); err != nil {
+		return Step{}, err
+	}
+	return step, nil
+}
+
+// growFloats returns s resized to n entries, reusing its backing array
+// when capacity allows.
+func growFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+// growBools returns s resized to n entries, reusing its backing array
+// when capacity allows.
+func growBools(s []bool, n int) []bool {
+	if cap(s) < n {
+		return make([]bool, n)
+	}
+	return s[:n]
+}
+
+// PlanStepInto is PlanStep writing into a caller-owned Step: step.Delta
+// and step.Active are reused when their capacity suffices, so a solver
+// iterating over the same groups plans every step allocation-free after
+// the first. On error step's contents are unspecified. The planned result
+// is byte-identical to PlanStep's.
+func PlanStepInto(step *Step, x, grad []float64, group []int, alpha float64) error {
+	if step == nil {
+		return fmt.Errorf("%w: nil step", ErrBadConfig)
+	}
 	if len(x) != len(grad) {
-		return Step{}, fmt.Errorf("%w: len(x)=%d len(grad)=%d", ErrDimension, len(x), len(grad))
+		return fmt.Errorf("%w: len(x)=%d len(grad)=%d", ErrDimension, len(x), len(grad))
 	}
 	if alpha <= 0 || math.IsNaN(alpha) || math.IsInf(alpha, 0) {
-		return Step{}, fmt.Errorf("%w: alpha = %v", ErrBadConfig, alpha)
+		return fmt.Errorf("%w: alpha = %v", ErrBadConfig, alpha)
 	}
 	m := len(group)
 	if m == 0 {
-		return Step{}, fmt.Errorf("%w: empty constraint group", ErrBadConfig)
+		return fmt.Errorf("%w: empty constraint group", ErrBadConfig)
 	}
 	for _, gi := range group {
 		if gi < 0 || gi >= len(x) {
-			return Step{}, fmt.Errorf("%w: group index %d outside dimension %d", ErrDimension, gi, len(x))
+			return fmt.Errorf("%w: group index %d outside dimension %d", ErrDimension, gi, len(x))
 		}
 		if math.IsNaN(grad[gi]) || math.IsInf(grad[gi], 0) {
-			return Step{}, fmt.Errorf("%w: non-finite marginal utility at variable %d", ErrDiverged, gi)
+			return fmt.Errorf("%w: non-finite marginal utility at variable %d", ErrDiverged, gi)
 		}
 	}
 
-	step := Step{
-		Delta:      make([]float64, m),
-		Active:     make([]bool, m),
-		Truncation: 1,
-	}
+	step.Delta = growFloats(step.Delta, m)
+	step.Active = growBools(step.Active, m)
+	step.AvgMarginal = 0
+	step.Truncation = 1
 	for k := range step.Active {
 		step.Active[k] = true
 	}
@@ -94,7 +127,7 @@ func PlanStep(x, grad []float64, group []int, alpha float64) (Step, error) {
 	// logic error, not a hard problem instance.
 	for pass := 0; ; pass++ {
 		if pass > 4*m+4 {
-			return Step{}, fmt.Errorf("%w: active-set computation did not reach a fixed point", ErrDiverged)
+			return fmt.Errorf("%w: active-set computation did not reach a fixed point", ErrDiverged)
 		}
 		active := 0
 		avg := 0.0
@@ -111,7 +144,7 @@ func PlanStep(x, grad []float64, group []int, alpha float64) (Step, error) {
 				step.Delta[k] = 0
 			}
 			step.AvgMarginal = math.NaN()
-			return step, nil
+			return nil
 		}
 		avg /= float64(active)
 		step.AvgMarginal = avg
@@ -126,7 +159,7 @@ func PlanStep(x, grad []float64, group []int, alpha float64) (Step, error) {
 		if active == 1 {
 			// A singleton active set cannot move (its delta is zero
 			// by construction); the plan is a no-op.
-			return step, nil
+			return nil
 		}
 
 		// Paper step (i), boundary case: exclude variables at zero
@@ -173,7 +206,7 @@ func PlanStep(x, grad []float64, group []int, alpha float64) (Step, error) {
 			step.Delta[k] *= t
 		}
 	}
-	return step, nil
+	return nil
 }
 
 // Apply adds the planned deltas for group into x in place, clamping the

@@ -10,6 +10,7 @@ import (
 	"filealloc/internal/core"
 	"filealloc/internal/costmodel"
 	"filealloc/internal/secondorder"
+	"filealloc/internal/sweep"
 )
 
 // SecondOrderRow compares the first- and second-derivative algorithms at
@@ -33,13 +34,14 @@ func AblationSecondOrder(ctx context.Context, scales []float64) ([]SecondOrderRo
 		scales = []float64{1, 2, 5, 10, 100}
 	}
 	const alpha = 0.3 // tuned for scale 1 (figure 3's good choice)
-	start := []float64{0.7, 0.1, 0.1, 0.1}
-	rows := make([]SecondOrderRow, 0, len(scales))
-	for _, scale := range scales {
+	rows := make([]SecondOrderRow, len(scales))
+	err := sweep.Run(ctx, len(scales), sweep.WorkersFrom(ctx), func(ctx context.Context, i int) error {
+		scale := scales[i]
+		start := []float64{0.7, 0.1, 0.1, 0.1}
 		access := []float64{2 * scale, 1 * scale, 3 * scale, 2 * scale}
 		m, err := costmodel.NewSingleFile(access, []float64{Mu}, Lambda, K*scale)
 		if err != nil {
-			return nil, fmt.Errorf("%w: building scale-%v model: %w", ErrExperiment, scale, err)
+			return fmt.Errorf("%w: building scale-%v model: %w", ErrExperiment, scale, err)
 		}
 		row := SecondOrderRow{Scale: scale, FirstOrderIterations: -1}
 
@@ -47,7 +49,7 @@ func AblationSecondOrder(ctx context.Context, scales []float64) ([]SecondOrderRo
 		eps := Epsilon * scale
 		first, err := core.NewAllocator(m, core.WithAlpha(alpha), core.WithEpsilon(eps), core.WithMaxIterations(5000))
 		if err != nil {
-			return nil, fmt.Errorf("%w: first-order at scale %v: %w", ErrExperiment, scale, err)
+			return fmt.Errorf("%w: first-order at scale %v: %w", ErrExperiment, scale, err)
 		}
 		if res, err := first.Run(ctx, start); err == nil && res.Converged {
 			row.FirstOrderIterations = res.Iterations
@@ -55,17 +57,21 @@ func AblationSecondOrder(ctx context.Context, scales []float64) ([]SecondOrderRo
 
 		second, err := secondorder.NewAllocator(m, secondorder.WithEpsilon(eps), secondorder.WithMaxIterations(5000))
 		if err != nil {
-			return nil, fmt.Errorf("%w: second-order at scale %v: %w", ErrExperiment, scale, err)
+			return fmt.Errorf("%w: second-order at scale %v: %w", ErrExperiment, scale, err)
 		}
 		res, err := second.Run(ctx, start)
 		if err != nil {
-			return nil, fmt.Errorf("%w: second-order run at scale %v: %w", ErrExperiment, scale, err)
+			return fmt.Errorf("%w: second-order run at scale %v: %w", ErrExperiment, scale, err)
 		}
 		if !res.Converged {
-			return nil, fmt.Errorf("%w: second-order failed to converge at scale %v", ErrExperiment, scale)
+			return fmt.Errorf("%w: second-order failed to converge at scale %v", ErrExperiment, scale)
 		}
 		row.SecondOrderIterations = res.Iterations
-		rows = append(rows, row)
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -90,7 +96,9 @@ type DecentralizedRow struct {
 
 // AblationDecentralized runs the figure-3 system through the agent runtime
 // in both aggregation modes and reports trajectory equality and message
-// bills. obs receives every agent event (may be nil).
+// bills. obs receives every agent event (may be nil); the two modes run
+// concurrently (see WorkersFrom), so a non-nil obs must be safe for
+// concurrent use when parallelism is enabled.
 func AblationDecentralized(ctx context.Context, obs agent.Observer) ([]DecentralizedRow, error) {
 	m, err := RingSystem(4, 1)
 	if err != nil {
@@ -106,8 +114,10 @@ func AblationDecentralized(ctx context.Context, obs agent.Observer) ([]Decentral
 		return nil, fmt.Errorf("%w: central run: %w", ErrExperiment, err)
 	}
 
-	rows := make([]DecentralizedRow, 0, 2)
-	for _, mode := range []agent.Mode{agent.Broadcast, agent.Coordinator} {
+	modes := []agent.Mode{agent.Broadcast, agent.Coordinator}
+	rows := make([]DecentralizedRow, len(modes))
+	err = sweep.Run(ctx, len(modes), sweep.WorkersFrom(ctx), func(ctx context.Context, i int) error {
+		mode := modes[i]
 		res, err := agent.RunCluster(ctx, agent.ClusterConfig{
 			Models:   agent.ModelsFromSingleFile(m),
 			Init:     start,
@@ -117,22 +127,26 @@ func AblationDecentralized(ctx context.Context, obs agent.Observer) ([]Decentral
 			Observer: obs,
 		})
 		if err != nil {
-			return nil, fmt.Errorf("%w: %v cluster: %w", ErrExperiment, mode, err)
+			return fmt.Errorf("%w: %v cluster: %w", ErrExperiment, mode, err)
 		}
 		var maxDiff float64
-		for i := range res.X {
-			if d := math.Abs(res.X[i] - centralRes.X[i]); d > maxDiff {
+		for j := range res.X {
+			if d := math.Abs(res.X[j] - centralRes.X[j]); d > maxDiff {
 				maxDiff = d
 			}
 		}
-		rows = append(rows, DecentralizedRow{
+		rows[i] = DecentralizedRow{
 			Mode:              mode.String(),
 			Rounds:            res.Rounds,
 			CentralIterations: centralRes.Iterations,
 			Messages:          res.Messages,
 			MaxAllocationDiff: maxDiff,
 			Converged:         res.Converged,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

@@ -10,6 +10,7 @@ import (
 	"filealloc/internal/agent"
 	"filealloc/internal/core"
 	"filealloc/internal/protocol"
+	"filealloc/internal/sweep"
 	"filealloc/internal/transport"
 )
 
@@ -121,7 +122,9 @@ func chaosScenarios() []chaosScenario {
 // converges to the fault-free allocation (bit-identical — the faults never
 // alter data) or fails loudly with a round timeout. Any other outcome —
 // a hang, a silent divergence, an unexpected error — is reported as an
-// error. obs additionally receives every agent event (may be nil).
+// error. obs additionally receives every agent event (may be nil); because
+// the (mode, scenario) matrix runs concurrently (see WorkersFrom), obs
+// must be safe for concurrent use when parallelism is enabled.
 func Chaos(ctx context.Context, obs agent.Observer) ([]ChaosRow, error) {
 	m, err := RingSystem(4, 1)
 	if err != nil {
@@ -138,62 +141,70 @@ func Chaos(ctx context.Context, obs agent.Observer) ([]ChaosRow, error) {
 	}
 
 	scenarios := chaosScenarios()
-	rows := make([]ChaosRow, 0, 2*len(scenarios))
-	for _, mode := range []agent.Mode{agent.Broadcast, agent.Coordinator} {
-		for _, sc := range scenarios {
-			counters := &agent.CounterObserver{}
-			var shared agent.Observer = counters
-			if obs != nil {
-				shared = agent.MultiObserver{counters, obs}
-			}
-			res, err := agent.RunCluster(ctx, agent.ClusterConfig{
-				Models:        agent.ModelsFromSingleFile(m),
-				Init:          start,
-				Alpha:         0.3,
-				Epsilon:       Epsilon,
-				MaxRounds:     500,
-				Mode:          mode,
-				CoordinatorID: 0,
-				SendRetries:   sc.retries,
-				RoundTimeout:  sc.timeout,
-				Observer:      shared,
-				Faults:        sc.faults,
-			})
-			c := counters.Counters()
-			row := ChaosRow{
-				Scenario:       sc.name,
-				Mode:           mode.String(),
-				Rounds:         res.Rounds,
-				Messages:       res.Messages,
-				FaultsInjected: res.Faults.Total(),
-				SendRetries:    c.SendRetries,
-				Discarded:      c.Discarded,
-				Timeouts:       c.TimeoutsFired,
-			}
-			switch {
-			case sc.wantTimeout:
-				if !errors.Is(err, agent.ErrRoundTimeout) {
-					return nil, fmt.Errorf("%w: %s/%v: error = %v, want round timeout", ErrExperiment, sc.name, mode, err)
-				}
-				row.TimedOut = true
-			case err != nil:
-				return nil, fmt.Errorf("%w: %s/%v cluster: %w", ErrExperiment, sc.name, mode, err)
-			default:
-				if !res.Converged {
-					return nil, fmt.Errorf("%w: %s/%v did not converge", ErrExperiment, sc.name, mode)
-				}
-				row.Converged = true
-				for i := range res.X {
-					if d := math.Abs(res.X[i] - centralRes.X[i]); d > row.MaxAllocationDiff {
-						row.MaxAllocationDiff = d
-					}
-				}
-				if row.MaxAllocationDiff != 0 {
-					return nil, fmt.Errorf("%w: %s/%v silently diverged by %g", ErrExperiment, sc.name, mode, row.MaxAllocationDiff)
-				}
-			}
-			rows = append(rows, row)
+	modes := []agent.Mode{agent.Broadcast, agent.Coordinator}
+	// The (mode, scenario) matrix is flattened into one sweep; each cell
+	// owns its cluster, fault injector, and counter observer, and writes
+	// its row into the slot the serial double loop would have filled.
+	rows := make([]ChaosRow, len(modes)*len(scenarios))
+	err = sweep.Run(ctx, len(rows), sweep.WorkersFrom(ctx), func(ctx context.Context, idx int) error {
+		mode := modes[idx/len(scenarios)]
+		sc := scenarios[idx%len(scenarios)]
+		counters := &agent.CounterObserver{}
+		var shared agent.Observer = counters
+		if obs != nil {
+			shared = agent.MultiObserver{counters, obs}
 		}
+		res, err := agent.RunCluster(ctx, agent.ClusterConfig{
+			Models:        agent.ModelsFromSingleFile(m),
+			Init:          start,
+			Alpha:         0.3,
+			Epsilon:       Epsilon,
+			MaxRounds:     500,
+			Mode:          mode,
+			CoordinatorID: 0,
+			SendRetries:   sc.retries,
+			RoundTimeout:  sc.timeout,
+			Observer:      shared,
+			Faults:        sc.faults,
+		})
+		c := counters.Counters()
+		row := ChaosRow{
+			Scenario:       sc.name,
+			Mode:           mode.String(),
+			Rounds:         res.Rounds,
+			Messages:       res.Messages,
+			FaultsInjected: res.Faults.Total(),
+			SendRetries:    c.SendRetries,
+			Discarded:      c.Discarded,
+			Timeouts:       c.TimeoutsFired,
+		}
+		switch {
+		case sc.wantTimeout:
+			if !errors.Is(err, agent.ErrRoundTimeout) {
+				return fmt.Errorf("%w: %s/%v: error = %v, want round timeout", ErrExperiment, sc.name, mode, err)
+			}
+			row.TimedOut = true
+		case err != nil:
+			return fmt.Errorf("%w: %s/%v cluster: %w", ErrExperiment, sc.name, mode, err)
+		default:
+			if !res.Converged {
+				return fmt.Errorf("%w: %s/%v did not converge", ErrExperiment, sc.name, mode)
+			}
+			row.Converged = true
+			for i := range res.X {
+				if d := math.Abs(res.X[i] - centralRes.X[i]); d > row.MaxAllocationDiff {
+					row.MaxAllocationDiff = d
+				}
+			}
+			if row.MaxAllocationDiff != 0 {
+				return fmt.Errorf("%w: %s/%v silently diverged by %g", ErrExperiment, sc.name, mode, row.MaxAllocationDiff)
+			}
+		}
+		rows[idx] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

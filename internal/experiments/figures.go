@@ -7,6 +7,8 @@ import (
 
 	"filealloc/internal/baseline"
 	"filealloc/internal/core"
+	"filealloc/internal/costmodel"
+	"filealloc/internal/sweep"
 	"filealloc/internal/trace"
 )
 
@@ -38,14 +40,17 @@ func Fig3(ctx context.Context) ([]Profile, error) {
 }
 
 // ConvergenceProfiles runs the figure-3 system once per stepsize from the
-// given start.
+// given start. The stepsizes run concurrently (see WorkersFrom); each
+// item owns its allocator and trace recorder, and the profiles come back
+// in stepsize order regardless of parallelism.
 func ConvergenceProfiles(ctx context.Context, alphas []float64, start []float64) ([]Profile, error) {
 	m, err := RingSystem(len(start), 1)
 	if err != nil {
 		return nil, err
 	}
-	profiles := make([]Profile, 0, len(alphas))
-	for _, alpha := range alphas {
+	profiles := make([]Profile, len(alphas))
+	err = sweep.Run(ctx, len(alphas), sweep.WorkersFrom(ctx), func(ctx context.Context, i int) error {
+		alpha := alphas[i]
 		rec := trace.NewRecorder(false)
 		alloc, err := core.NewAllocator(m,
 			core.WithAlpha(alpha),
@@ -53,20 +58,24 @@ func ConvergenceProfiles(ctx context.Context, alphas []float64, start []float64)
 			core.WithTrace(rec.Hook),
 		)
 		if err != nil {
-			return nil, fmt.Errorf("%w: configuring α=%v: %w", ErrExperiment, alpha, err)
+			return fmt.Errorf("%w: configuring α=%v: %w", ErrExperiment, alpha, err)
 		}
 		res, err := alloc.Run(ctx, start)
 		if err != nil {
-			return nil, fmt.Errorf("%w: running α=%v: %w", ErrExperiment, alpha, err)
+			return fmt.Errorf("%w: running α=%v: %w", ErrExperiment, alpha, err)
 		}
-		profiles = append(profiles, Profile{
+		profiles[i] = Profile{
 			Label:      fmt.Sprintf("α=%.2f", alpha),
 			Alpha:      alpha,
 			Costs:      rec.Costs(),
 			Iterations: res.Iterations,
 			Converged:  res.Converged,
 			FinalX:     res.X,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return profiles, nil
 }
@@ -99,15 +108,16 @@ func Fig4(ctx context.Context, linkCosts []float64) ([]Fig4Row, error) {
 	if len(linkCosts) == 0 {
 		linkCosts = []float64{1, 1.4, 2, 3}
 	}
-	rows := make([]Fig4Row, 0, len(linkCosts))
-	for _, v := range linkCosts {
+	rows := make([]Fig4Row, len(linkCosts))
+	err := sweep.Run(ctx, len(linkCosts), sweep.WorkersFrom(ctx), func(ctx context.Context, i int) error {
+		v := linkCosts[i]
 		m, err := RingSystem(4, v)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		integral, err := baseline.BestIntegral(m)
 		if err != nil {
-			return nil, fmt.Errorf("%w: integral baseline at v=%v: %w", ErrExperiment, v, err)
+			return fmt.Errorf("%w: integral baseline at v=%v: %w", ErrExperiment, v, err)
 		}
 		rec := trace.NewRecorder(false)
 		alloc, err := core.NewAllocator(m,
@@ -116,7 +126,7 @@ func Fig4(ctx context.Context, linkCosts []float64) ([]Fig4Row, error) {
 			core.WithTrace(rec.Hook),
 		)
 		if err != nil {
-			return nil, fmt.Errorf("%w: configuring v=%v: %w", ErrExperiment, v, err)
+			return fmt.Errorf("%w: configuring v=%v: %w", ErrExperiment, v, err)
 		}
 		// The paper starts from (0, 0, 0, 1): the whole file at one
 		// node, which is integrally optimal by symmetry.
@@ -124,17 +134,21 @@ func Fig4(ctx context.Context, linkCosts []float64) ([]Fig4Row, error) {
 		start[3] = 1
 		res, err := alloc.Run(ctx, start)
 		if err != nil {
-			return nil, fmt.Errorf("%w: running v=%v: %w", ErrExperiment, v, err)
+			return fmt.Errorf("%w: running v=%v: %w", ErrExperiment, v, err)
 		}
 		frag := -res.Utility
-		rows = append(rows, Fig4Row{
+		rows[i] = Fig4Row{
 			LinkCost:       v,
 			IntegralCost:   integral.Cost,
 			FragmentedCost: frag,
 			ReductionPct:   100 * (integral.Cost - frag) / integral.Cost,
 			Profile:        rec.Costs(),
 			Iterations:     res.Iterations,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -163,21 +177,26 @@ func Fig5(ctx context.Context, alphas []float64) ([]Fig5Row, error) {
 		return nil, err
 	}
 	start := PaperStart(4)
-	rows := make([]Fig5Row, 0, len(alphas))
-	for _, alpha := range alphas {
+	rows := make([]Fig5Row, len(alphas))
+	err = sweep.Run(ctx, len(alphas), sweep.WorkersFrom(ctx), func(ctx context.Context, i int) error {
+		alpha := alphas[i]
 		alloc, err := core.NewAllocator(m,
 			core.WithAlpha(alpha),
 			core.WithEpsilon(Epsilon),
 			core.WithMaxIterations(2000),
 		)
 		if err != nil {
-			return nil, fmt.Errorf("%w: configuring α=%v: %w", ErrExperiment, alpha, err)
+			return fmt.Errorf("%w: configuring α=%v: %w", ErrExperiment, alpha, err)
 		}
 		res, err := alloc.Run(ctx, start)
 		if err != nil {
-			return nil, fmt.Errorf("%w: running α=%v: %w", ErrExperiment, alpha, err)
+			return fmt.Errorf("%w: running α=%v: %w", ErrExperiment, alpha, err)
 		}
-		rows = append(rows, Fig5Row{Alpha: alpha, Iterations: res.Iterations, Converged: res.Converged})
+		rows[i] = Fig5Row{Alpha: alpha, Iterations: res.Iterations, Converged: res.Converged}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -194,47 +213,90 @@ type Fig6Row struct {
 	FinalSpread float64
 }
 
+// Fig6AlphaGrid returns the figure-6 stepsize grid 0.05, 0.10, …, 1.50.
+// The grid is derived from an integer index (exact-division style, as
+// Fig5's default grid is) rather than by repeatedly adding 0.05: the
+// accumulated float error of `for a := 0.05; a <= 1.5; a += 0.05` can
+// land the final value just above 1.5 and silently drop the last grid
+// point.
+func Fig6AlphaGrid() []float64 {
+	grid := make([]float64, 30)
+	for i := range grid {
+		grid[i] = float64(i+1) / 20
+	}
+	return grid
+}
+
 // Fig6 reproduces figure 6: iterations to convergence (at the best α found
 // by grid search) for fully connected networks of N = 4..20 nodes, start
 // (0.8, 0.1, 0.1, 0, ..., 0). The paper's salient observation: the count
 // barely grows with N.
+//
+// The (size, α) grid — ~30 solves per network size — is flattened into
+// one sweep so every solve runs concurrently (see WorkersFrom); the
+// best-α reduction happens serially afterwards in grid order, so the
+// result is identical to the serial double loop.
 func Fig6(ctx context.Context, sizes []int) ([]Fig6Row, error) {
 	if len(sizes) == 0 {
 		for n := 4; n <= 20; n++ {
 			sizes = append(sizes, n)
 		}
 	}
-	rows := make([]Fig6Row, 0, len(sizes))
-	for _, n := range sizes {
+	alphas := Fig6AlphaGrid()
+
+	// The models are shared read-only by all of a size's grid points.
+	models := make([]*costmodel.SingleFile, len(sizes))
+	for si, n := range sizes {
 		m, err := MeshSystem(n)
 		if err != nil {
 			return nil, err
 		}
-		start := PaperStart(n)
+		models[si] = m
+	}
+
+	type cell struct {
+		iterations int
+		converged  bool
+		spread     float64
+	}
+	cells := make([]cell, len(sizes)*len(alphas))
+	err := sweep.Run(ctx, len(cells), sweep.WorkersFrom(ctx), func(ctx context.Context, i int) error {
+		si, ai := i/len(alphas), i%len(alphas)
+		n, a := sizes[si], alphas[ai]
+		alloc, err := core.NewAllocator(models[si],
+			core.WithAlpha(a),
+			core.WithEpsilon(Epsilon),
+			core.WithMaxIterations(2000),
+		)
+		if err != nil {
+			return fmt.Errorf("%w: configuring n=%d α=%v: %w", ErrExperiment, n, a, err)
+		}
+		res, err := alloc.Run(ctx, PaperStart(n))
+		if err != nil {
+			return fmt.Errorf("%w: running n=%d α=%v: %w", ErrExperiment, n, a, err)
+		}
+		var spread float64
+		for _, xi := range res.X {
+			if d := math.Abs(xi - 1/float64(n)); d > spread {
+				spread = d
+			}
+		}
+		cells[i] = cell{iterations: res.Iterations, converged: res.Converged, spread: spread}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	rows := make([]Fig6Row, 0, len(sizes))
+	for si, n := range sizes {
 		best := Fig6Row{N: n, Iterations: math.MaxInt}
-		for a := 0.05; a <= 1.5; a += 0.05 {
-			alloc, err := core.NewAllocator(m,
-				core.WithAlpha(a),
-				core.WithEpsilon(Epsilon),
-				core.WithMaxIterations(2000),
-			)
-			if err != nil {
-				return nil, fmt.Errorf("%w: configuring n=%d α=%v: %w", ErrExperiment, n, a, err)
-			}
-			res, err := alloc.Run(ctx, start)
-			if err != nil {
-				return nil, fmt.Errorf("%w: running n=%d α=%v: %w", ErrExperiment, n, a, err)
-			}
-			if res.Converged && res.Iterations < best.Iterations {
+		for ai, a := range alphas {
+			c := cells[si*len(alphas)+ai]
+			if c.converged && c.iterations < best.Iterations {
 				best.BestAlpha = a
-				best.Iterations = res.Iterations
-				var spread float64
-				for _, xi := range res.X {
-					if d := math.Abs(xi - 1/float64(n)); d > spread {
-						spread = d
-					}
-				}
-				best.FinalSpread = spread
+				best.Iterations = c.iterations
+				best.FinalSpread = c.spread
 			}
 		}
 		if best.Iterations == math.MaxInt {

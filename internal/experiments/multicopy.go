@@ -7,6 +7,7 @@ import (
 
 	"filealloc/internal/core"
 	"filealloc/internal/multicopy"
+	"filealloc/internal/sweep"
 )
 
 // multiCopyRing builds the section 7.3 evaluation ring: 4 nodes, m = 2
@@ -112,17 +113,24 @@ func Fig8(ctx context.Context) ([]MultiCopyProfile, error) {
 		{"links (4,1,1,1)", []float64{4, 1, 1, 1}},
 		{"links (1,1,1,1)", []float64{1, 1, 1, 1}},
 	}
-	profiles := make([]MultiCopyProfile, 0, len(configs))
-	for _, cfg := range configs {
+	// A Ring's scratch buffers are single-goroutine, so each item builds
+	// its own (see multicopy.Ring's concurrency contract).
+	profiles := make([]MultiCopyProfile, len(configs))
+	err := sweep.Run(ctx, len(configs), sweep.WorkersFrom(ctx), func(ctx context.Context, i int) error {
+		cfg := configs[i]
 		r, err := multiCopyRing(cfg.costs)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		p, err := runMultiCopy(ctx, r, 0.1, iterations, cfg.label)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		profiles = append(profiles, p)
+		profiles[i] = p
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return profiles, nil
 }
@@ -132,44 +140,51 @@ func Fig8(ctx context.Context) ([]MultiCopyProfile, error) {
 // plus the section 7.3 adaptive-decay run that actually terminates.
 func Fig9(ctx context.Context) ([]MultiCopyProfile, error) {
 	const iterations = 60
-	profiles := make([]MultiCopyProfile, 0, 3)
-	for _, alpha := range []float64{0.1, 0.05} {
+	fixedAlphas := []float64{0.1, 0.05}
+	// Three independent runs — two fixed stepsizes plus the adaptive-decay
+	// variant — swept concurrently, each with its own Ring.
+	profiles := make([]MultiCopyProfile, len(fixedAlphas)+1)
+	err := sweep.Run(ctx, len(profiles), sweep.WorkersFrom(ctx), func(ctx context.Context, i int) error {
 		r, err := multiCopyRing([]float64{4, 1, 1, 1})
 		if err != nil {
-			return nil, err
+			return err
 		}
-		p, err := runMultiCopy(ctx, r, alpha, iterations, fmt.Sprintf("α=%.2f fixed", alpha))
-		if err != nil {
-			return nil, err
+		if i < len(fixedAlphas) {
+			alpha := fixedAlphas[i]
+			p, err := runMultiCopy(ctx, r, alpha, iterations, fmt.Sprintf("α=%.2f fixed", alpha))
+			if err != nil {
+				return err
+			}
+			profiles[i] = p
+			return nil
 		}
-		profiles = append(profiles, p)
-	}
 
-	// The modified termination rule: decay α on oscillation, stop on
-	// small cost delta, return the best observed point.
-	r, err := multiCopyRing([]float64{4, 1, 1, 1})
+		// The modified termination rule: decay α on oscillation, stop on
+		// small cost delta, return the best observed point.
+		var costs []float64
+		res, err := r.Solve(ctx, multiCopyStart(), multicopy.SolveConfig{
+			Alpha:         0.1,
+			CostDelta:     1e-6,
+			MaxIterations: 2000,
+			OnIteration: func(it core.Iteration) {
+				costs = append(costs, -it.Utility)
+			},
+		})
+		if err != nil {
+			return fmt.Errorf("%w: adaptive solve: %w", ErrExperiment, err)
+		}
+		profiles[i] = MultiCopyProfile{
+			Label:       "α=0.10 adaptive decay",
+			Alpha:       0.1,
+			Costs:       costs,
+			BestCost:    res.Cost,
+			Oscillation: oscillation(costs),
+			Iterations:  res.Iterations,
+		}
+		return nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	var costs []float64
-	res, err := r.Solve(ctx, multiCopyStart(), multicopy.SolveConfig{
-		Alpha:         0.1,
-		CostDelta:     1e-6,
-		MaxIterations: 2000,
-		OnIteration: func(it core.Iteration) {
-			costs = append(costs, -it.Utility)
-		},
-	})
-	if err != nil {
-		return nil, fmt.Errorf("%w: adaptive solve: %w", ErrExperiment, err)
-	}
-	profiles = append(profiles, MultiCopyProfile{
-		Label:       "α=0.10 adaptive decay",
-		Alpha:       0.1,
-		Costs:       costs,
-		BestCost:    res.Cost,
-		Oscillation: oscillation(costs),
-		Iterations:  res.Iterations,
-	})
 	return profiles, nil
 }

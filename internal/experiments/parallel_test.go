@@ -1,0 +1,196 @@
+package experiments
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"filealloc/internal/sweep"
+)
+
+// assertDeepEqualRows fails the test unless the serial (workers = 1) and
+// parallel (workers = 8) results of one experiment are deeply equal —
+// same rows, same order, same values. This is the sweep engine's central
+// promise: parallelism is an implementation detail that must never leak
+// into results.
+func assertDeepEqualRows(t *testing.T, name string, serial, parallel any) {
+	t.Helper()
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Errorf("%s: workers=1 and workers=8 disagree:\n serial:   %+v\n parallel: %+v", name, serial, parallel)
+	}
+}
+
+// serialParallel returns a workers=1 and a workers=8 context.
+func serialParallel() (context.Context, context.Context) {
+	ctx := context.Background()
+	return sweep.WithWorkers(ctx, 1), sweep.WithWorkers(ctx, 8)
+}
+
+func TestFig3DeterministicAcrossWorkers(t *testing.T) {
+	s, p := serialParallel()
+	serial, err := Fig3(s)
+	if err != nil {
+		t.Fatalf("serial: %v", err)
+	}
+	parallel, err := Fig3(p)
+	if err != nil {
+		t.Fatalf("parallel: %v", err)
+	}
+	assertDeepEqualRows(t, "Fig3", serial, parallel)
+}
+
+func TestFig4DeterministicAcrossWorkers(t *testing.T) {
+	s, p := serialParallel()
+	serial, err := Fig4(s, nil)
+	if err != nil {
+		t.Fatalf("serial: %v", err)
+	}
+	parallel, err := Fig4(p, nil)
+	if err != nil {
+		t.Fatalf("parallel: %v", err)
+	}
+	assertDeepEqualRows(t, "Fig4", serial, parallel)
+}
+
+func TestFig5DeterministicAcrossWorkers(t *testing.T) {
+	s, p := serialParallel()
+	serial, err := Fig5(s, nil)
+	if err != nil {
+		t.Fatalf("serial: %v", err)
+	}
+	parallel, err := Fig5(p, nil)
+	if err != nil {
+		t.Fatalf("parallel: %v", err)
+	}
+	assertDeepEqualRows(t, "Fig5", serial, parallel)
+}
+
+func TestFig6DeterministicAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full grid search in -short mode")
+	}
+	s, p := serialParallel()
+	sizes := []int{4, 6, 8}
+	serial, err := Fig6(s, sizes)
+	if err != nil {
+		t.Fatalf("serial: %v", err)
+	}
+	parallel, err := Fig6(p, sizes)
+	if err != nil {
+		t.Fatalf("parallel: %v", err)
+	}
+	assertDeepEqualRows(t, "Fig6", serial, parallel)
+}
+
+// TestFig6AlphaGrid pins the stepsize grid against the float-accumulation
+// regression: adding 0.05 thirty times overshoots 1.5 by one ulp and used
+// to drop the last grid point.
+func TestFig6AlphaGrid(t *testing.T) {
+	grid := Fig6AlphaGrid()
+	if len(grid) != 30 {
+		t.Fatalf("grid has %d points, want 30", len(grid))
+	}
+	if grid[0] != 0.05 {
+		t.Errorf("grid[0] = %v, want 0.05", grid[0])
+	}
+	if grid[len(grid)-1] != 1.5 {
+		t.Errorf("grid[%d] = %v, want 1.5", len(grid)-1, grid[len(grid)-1])
+	}
+	for i := 1; i < len(grid); i++ {
+		if grid[i] <= grid[i-1] {
+			t.Errorf("grid not strictly increasing at %d: %v then %v", i, grid[i-1], grid[i])
+		}
+	}
+}
+
+func TestAblationSecondOrderDeterministicAcrossWorkers(t *testing.T) {
+	s, p := serialParallel()
+	scales := []float64{1, 2, 5}
+	serial, err := AblationSecondOrder(s, scales)
+	if err != nil {
+		t.Fatalf("serial: %v", err)
+	}
+	parallel, err := AblationSecondOrder(p, scales)
+	if err != nil {
+		t.Fatalf("parallel: %v", err)
+	}
+	assertDeepEqualRows(t, "AblationSecondOrder", serial, parallel)
+}
+
+func TestAblationDecentralizedDeterministicAcrossWorkers(t *testing.T) {
+	s, p := serialParallel()
+	serial, err := AblationDecentralized(s, nil)
+	if err != nil {
+		t.Fatalf("serial: %v", err)
+	}
+	parallel, err := AblationDecentralized(p, nil)
+	if err != nil {
+		t.Fatalf("parallel: %v", err)
+	}
+	assertDeepEqualRows(t, "AblationDecentralized", serial, parallel)
+}
+
+func TestFig8DeterministicAcrossWorkers(t *testing.T) {
+	s, p := serialParallel()
+	serial, err := Fig8(s)
+	if err != nil {
+		t.Fatalf("serial: %v", err)
+	}
+	parallel, err := Fig8(p)
+	if err != nil {
+		t.Fatalf("parallel: %v", err)
+	}
+	assertDeepEqualRows(t, "Fig8", serial, parallel)
+}
+
+func TestFig9DeterministicAcrossWorkers(t *testing.T) {
+	s, p := serialParallel()
+	serial, err := Fig9(s)
+	if err != nil {
+		t.Fatalf("serial: %v", err)
+	}
+	parallel, err := Fig9(p)
+	if err != nil {
+		t.Fatalf("parallel: %v", err)
+	}
+	assertDeepEqualRows(t, "Fig9", serial, parallel)
+}
+
+// TestChaosDeterministicAcrossWorkers covers the hardest case: the fault
+// scenarios run whole agent clusters with seeded fault injectors, and
+// every counter in every row — rounds, messages, retries, discards,
+// timeouts — must come out identical whether the (mode, scenario) matrix
+// runs serially or 8-wide. The injected faults are seeded per endpoint
+// over deterministic send sequences, so even the partition/timeout
+// scenario's bookkeeping is reproducible.
+//
+// The one exception is the reorder scenario's FaultsInjected: a held
+// message only counts as reordered if its successor arrives inside the
+// hold window, so that counter depends on wall-clock arrival spacing and
+// varies with machine load even between two serial runs. It is zeroed on
+// both sides before comparing; every other field of every row — including
+// the reorder rows' Rounds, Messages, and allocation — must match exactly.
+func TestChaosDeterministicAcrossWorkers(t *testing.T) {
+	s, p := serialParallel()
+	serial, err := Chaos(s, nil)
+	if err != nil {
+		t.Fatalf("serial: %v", err)
+	}
+	parallel, err := Chaos(p, nil)
+	if err != nil {
+		t.Fatalf("parallel: %v", err)
+	}
+	if len(serial) != len(parallel) {
+		t.Fatalf("row counts differ: %d serial, %d parallel", len(serial), len(parallel))
+	}
+	for i := range serial {
+		a, b := serial[i], parallel[i]
+		if a.Scenario == "reorder" {
+			a.FaultsInjected, b.FaultsInjected = 0, 0
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("row %d (%s/%s): workers=1 and workers=8 disagree:\n serial:   %+v\n parallel: %+v",
+				i, serial[i].Scenario, serial[i].Mode, serial[i], parallel[i])
+		}
+	}
+}

@@ -33,6 +33,12 @@ var (
 // Ring is the virtual-ring cost model. Node i forwards file accesses to
 // node (i+1) mod n over a link of cost linkCosts[i]; m copies of the file
 // circulate the ring end-to-end.
+//
+// Cost, Utility, and Gradient reuse internal scratch buffers so the
+// solver's inner loop runs allocation-free; consequently a single Ring
+// must not be evaluated from multiple goroutines at once. Concurrent
+// sweeps construct one Ring per worker item (they are cheap: O(n²) for
+// the distance table).
 type Ring struct {
 	linkCosts []float64
 	dist      [][]float64 // dist[j][i]: forward distance j -> i
@@ -41,6 +47,13 @@ type Ring struct {
 	lambda    float64     // Σ λ_j
 	k         float64
 	copies    float64 // m
+
+	// Evaluation scratch, sized at construction and reused by Cost and
+	// Gradient (see the concurrency note above).
+	scrDemands  [][]float64
+	scrArrivals []float64
+	scrPerNode  []float64 // delay (Cost) or marginal node cost (Gradient)
+	scrDiffs    []float64
 }
 
 var (
@@ -137,6 +150,13 @@ func New(cfg Config) (*Ring, error) {
 			r.dist[j][(j+step)%n] = acc
 		}
 	}
+	r.scrDemands = make([][]float64, n)
+	for j := range r.scrDemands {
+		r.scrDemands[j] = make([]float64, n)
+	}
+	r.scrArrivals = make([]float64, n)
+	r.scrPerNode = make([]float64, n)
+	r.scrDiffs = make([]float64, n)
 	return r, nil
 }
 
@@ -157,26 +177,42 @@ func (r *Ring) Lambda() float64 { return r.lambda }
 // in walk order.
 func (r *Ring) Demands(x []float64) ([][]float64, error) {
 	n := r.Dim()
-	if err := r.checkAllocation(x); err != nil {
+	a := make([][]float64, n)
+	for j := range a {
+		a[j] = make([]float64, n)
+	}
+	if err := r.demandsInto(a, x); err != nil {
 		return nil, err
 	}
-	a := make([][]float64, n)
+	return a, nil
+}
+
+// demandsInto fills the caller-owned demand matrix a (n rows of n
+// entries) with the Demands result.
+func (r *Ring) demandsInto(a [][]float64, x []float64) error {
+	n := r.Dim()
+	if err := r.checkAllocation(x); err != nil {
+		return err
+	}
 	for j := 0; j < n; j++ {
-		a[j] = make([]float64, n)
+		row := a[j]
+		for i := range row {
+			row[i] = 0
+		}
 		prev := 0.0
 		acc := 0.0
 		for t := 0; t < n; t++ {
 			i := (j + t) % n
 			acc += x[i]
 			cur := math.Min(1, acc)
-			a[j][i] = cur - prev
+			row[i] = cur - prev
 			prev = cur
 			if cur >= 1 {
 				break
 			}
 		}
 	}
-	return a, nil
+	return nil
 }
 
 func (r *Ring) checkAllocation(x []float64) error {
@@ -234,19 +270,23 @@ func (r *Ring) NodeCommCost(x []float64, i int) (float64, error) {
 //
 //	C(x) = (1/λ)·Σ_j λ_j·Σ_i a_{j,i}·(d(j→i) + k·T_i),   T_i = 1/(μ_i − Λ_i).
 func (r *Ring) Cost(x []float64) (float64, error) {
-	a, err := r.Demands(x)
-	if err != nil {
+	a := r.scrDemands
+	if err := r.demandsInto(a, x); err != nil {
 		return 0, err
 	}
 	n := r.Dim()
-	arrivals := make([]float64, n)
+	arrivals := r.scrArrivals
+	for i := range arrivals {
+		arrivals[i] = 0
+	}
 	for j := 0; j < n; j++ {
 		for i := 0; i < n; i++ {
 			arrivals[i] += r.rates[j] * a[j][i]
 		}
 	}
-	delay := make([]float64, n)
+	delay := r.scrPerNode
 	for i, lam := range arrivals {
+		delay[i] = 0
 		if lam == 0 {
 			continue
 		}
@@ -298,18 +338,21 @@ func (r *Ring) Gradient(grad, x []float64) error {
 	if len(grad) != n {
 		return fmt.Errorf("%w: gradient has %d entries for %d nodes", ErrBadParam, len(grad), n)
 	}
-	a, err := r.Demands(x)
-	if err != nil {
+	a := r.scrDemands
+	if err := r.demandsInto(a, x); err != nil {
 		return err
 	}
-	arrivals := make([]float64, n)
+	arrivals := r.scrArrivals
+	for i := range arrivals {
+		arrivals[i] = 0
+	}
 	for j := 0; j < n; j++ {
 		for i := 0; i < n; i++ {
 			arrivals[i] += r.rates[j] * a[j][i]
 		}
 	}
 	// margNode[i] = k·∂(Λ_i·T_i)/∂Λ_i = k·μ_i/(μ_i − Λ_i)².
-	margNode := make([]float64, n)
+	margNode := r.scrPerNode
 	for i, lam := range arrivals {
 		room := r.service[i] - lam
 		if room <= 0 {
@@ -321,7 +364,7 @@ func (r *Ring) Gradient(grad, x []float64) error {
 	for i := range grad {
 		grad[i] = 0
 	}
-	diffs := make([]float64, n)
+	diffs := r.scrDiffs
 	for j := 0; j < n; j++ {
 		if r.rates[j] == 0 {
 			continue

@@ -1,0 +1,99 @@
+package multicopy
+
+import (
+	"math"
+	"testing"
+)
+
+func benchRing(t *testing.T, n int) *Ring {
+	t.Helper()
+	costs := make([]float64, n)
+	for i := range costs {
+		costs[i] = 1 + float64(i%3)
+	}
+	r, err := New(Config{
+		LinkCosts:    costs,
+		Rates:        []float64{1},
+		ServiceRates: []float64{2},
+		K:            1,
+		Copies:       2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// TestRingEvalAllocFree pins the scratch-buffer contract: Cost, Utility,
+// and Gradient reuse the Ring's internal scratch and perform zero heap
+// allocations per evaluation.
+func TestRingEvalAllocFree(t *testing.T) {
+	r := benchRing(t, 16)
+	x := make([]float64, 16)
+	for i := range x {
+		x[i] = 2.0 / 16
+	}
+	grad := make([]float64, 16)
+	if allocs := testing.AllocsPerRun(100, func() {
+		if err := r.Gradient(grad, x); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs != 0 {
+		t.Errorf("Gradient allocated %.1f objects per call, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(100, func() {
+		if _, err := r.Cost(x); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs != 0 {
+		t.Errorf("Cost allocated %.1f objects per call, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(100, func() {
+		if _, err := r.Utility(x); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs != 0 {
+		t.Errorf("Utility allocated %.1f objects per call, want 0", allocs)
+	}
+}
+
+// TestRingScratchReuseMatchesFresh guards against stale-scratch bugs:
+// evaluating one Ring at a sequence of very different allocations must
+// give the same numbers as a fresh Ring at each point.
+func TestRingScratchReuseMatchesFresh(t *testing.T) {
+	const n = 8
+	points := [][]float64{
+		{2, 0, 0, 0, 0, 0, 0, 0},                         // everything at node 0: short demand walks
+		{0.25, 0.25, 0.25, 0.25, 0.25, 0.25, 0.25, 0.25}, // spread: full walks
+		{0, 1, 0, 0.5, 0, 0.5, 0, 0},                     // sparse mix
+		{0.125, 0.375, 0, 0.625, 0.125, 0.25, 0.5, 0},
+	}
+	reused := benchRing(t, n)
+	gotGrad := make([]float64, n)
+	wantGrad := make([]float64, n)
+	for pi, x := range points {
+		fresh := benchRing(t, n)
+		wantCost, err := fresh.Cost(x)
+		if err != nil {
+			t.Fatalf("point %d: fresh Cost: %v", pi, err)
+		}
+		gotCost, err := reused.Cost(x)
+		if err != nil {
+			t.Fatalf("point %d: reused Cost: %v", pi, err)
+		}
+		if gotCost != wantCost {
+			t.Errorf("point %d: reused Cost = %v, fresh = %v", pi, gotCost, wantCost)
+		}
+		if err := fresh.Gradient(wantGrad, x); err != nil {
+			t.Fatalf("point %d: fresh Gradient: %v", pi, err)
+		}
+		if err := reused.Gradient(gotGrad, x); err != nil {
+			t.Fatalf("point %d: reused Gradient: %v", pi, err)
+		}
+		for i := range gotGrad {
+			if gotGrad[i] != wantGrad[i] || math.IsNaN(gotGrad[i]) {
+				t.Errorf("point %d: reused grad[%d] = %v, fresh = %v", pi, i, gotGrad[i], wantGrad[i])
+			}
+		}
+	}
+}

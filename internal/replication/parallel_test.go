@@ -1,0 +1,27 @@
+package replication
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"filealloc/internal/sweep"
+)
+
+// TestOptimalCopiesDeterministicAcrossWorkers asserts the degree sweep is
+// byte-identical whether it runs serially or 8-wide: same rows, same
+// order, same Best index.
+func TestOptimalCopiesDeterministicAcrossWorkers(t *testing.T) {
+	ctx := context.Background()
+	serial, err := OptimalCopies(sweep.WithWorkers(ctx, 1), baseConfig())
+	if err != nil {
+		t.Fatalf("serial: %v", err)
+	}
+	parallel, err := OptimalCopies(sweep.WithWorkers(ctx, 8), baseConfig())
+	if err != nil {
+		t.Fatalf("parallel: %v", err)
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Errorf("workers=1 and workers=8 disagree:\n serial:   %+v\n parallel: %+v", serial, parallel)
+	}
+}

@@ -27,6 +27,7 @@ import (
 	"math"
 
 	"filealloc/internal/multicopy"
+	"filealloc/internal/sweep"
 )
 
 // ErrBadConfig reports invalid sweep parameters.
@@ -104,9 +105,12 @@ func OptimalCopies(ctx context.Context, cfg Config) (Result, error) {
 		return Result{}, fmt.Errorf("%w: max copies = %d", ErrBadConfig, maxCopies)
 	}
 
-	res := Result{Best: -1}
-	bestCost := math.Inf(1)
-	for m := 1; m <= maxCopies; m++ {
+	// Each degree's solve is independent — one Ring per item, since a
+	// Ring's scratch is single-goroutine — so the sweep runs concurrently
+	// and the Best reduction happens serially afterwards in m order.
+	rows := make([]Row, maxCopies)
+	err := sweep.Run(ctx, maxCopies, sweep.WorkersFrom(ctx), func(ctx context.Context, i int) error {
+		m := i + 1
 		ring, err := multicopy.New(multicopy.Config{
 			LinkCosts:    cfg.LinkCosts,
 			Rates:        cfg.Rates,
@@ -115,11 +119,11 @@ func OptimalCopies(ctx context.Context, cfg Config) (Result, error) {
 			Copies:       float64(m),
 		})
 		if err != nil {
-			return Result{}, fmt.Errorf("replication: building ring for m=%d: %w", m, err)
+			return fmt.Errorf("replication: building ring for m=%d: %w", m, err)
 		}
 		solved, err := ring.Solve(ctx, ring.SpreadEvenly(), cfg.Solve)
 		if err != nil {
-			return Result{}, fmt.Errorf("replication: solving m=%d: %w", m, err)
+			return fmt.Errorf("replication: solving m=%d: %w", m, err)
 		}
 		row := Row{
 			M:               m,
@@ -129,10 +133,18 @@ func OptimalCopies(ctx context.Context, cfg Config) (Result, error) {
 			X:               solved.X,
 		}
 		row.TotalCost = row.AccessCost + row.StorageCost + row.ConsistencyCost
-		res.Rows = append(res.Rows, row)
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	res := Result{Rows: rows, Best: -1}
+	bestCost := math.Inf(1)
+	for i, row := range rows {
 		if row.TotalCost < bestCost {
 			bestCost = row.TotalCost
-			res.Best = len(res.Rows) - 1
+			res.Best = i
 		}
 	}
 	return res, nil

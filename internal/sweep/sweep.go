@@ -1,0 +1,130 @@
+// Package sweep runs embarrassingly parallel experiment sweeps — the
+// paper's evaluation is dominated by them (figure 5 sweeps 70 stepsizes,
+// figure 6 grid-searches ~30 stepsizes per network size) — on a bounded
+// worker pool while keeping the results indistinguishable from a serial
+// loop.
+//
+// The contract mirrors `for i := 0; i < n; i++ { fn(ctx, i) }`:
+//
+//   - Order preservation is structural: fn receives its item index and
+//     writes into the caller's own slot, so result order never depends on
+//     scheduling. Each item must own its state (its own allocator, its own
+//     seeded RNG); items may share read-only inputs.
+//   - The first error wins: Run cancels the context passed to the
+//     remaining items and returns the error of the lowest-indexed item
+//     that failed. When a single item is at fault — the common case of a
+//     deterministic fn — that is exactly the error the serial loop would
+//     have surfaced.
+//   - workers == 1 executes the items in index order on the calling
+//     goroutine — byte-identical to the serial loop it replaces.
+//   - Run never returns before every started item has finished, so it
+//     leaks no goroutines even when canceled mid-sweep.
+package sweep
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Run executes fn(ctx, i) for every i in [0, n) on at most workers
+// concurrent goroutines and returns the lowest-index error among the
+// items that ran, if any. workers < 1 selects runtime.GOMAXPROCS(0). A
+// canceled ctx stops the sweep promptly; items not yet started are
+// skipped and ctx.Err() is returned unless a lower-indexed item already
+// failed with its own error.
+func Run(ctx context.Context, n, workers int, fn func(ctx context.Context, i int) error) error {
+	if n < 0 {
+		return fmt.Errorf("sweep: negative item count %d", n)
+	}
+	if fn == nil {
+		return fmt.Errorf("sweep: nil work function")
+	}
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if n == 0 {
+		return ctx.Err()
+	}
+	if workers == 1 {
+		// The serial reference path: identical to the loop it replaces.
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := fn(ctx, i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		next     atomic.Int64 // next item index to claim
+		mu       sync.Mutex
+		firstIdx = n // lowest item index that errored
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	fail := func(i int, err error) {
+		mu.Lock()
+		if i < firstIdx {
+			firstIdx, firstErr = i, err
+		}
+		mu.Unlock()
+		cancel()
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := cctx.Err(); err != nil {
+					return
+				}
+				if err := fn(cctx, i); err != nil {
+					fail(i, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+	// Items may have been skipped because the parent context died with
+	// no item erroring first; the serial loop would have reported that.
+	return ctx.Err()
+}
+
+// workersKey carries the sweep parallelism through a context.
+type workersKey struct{}
+
+// WithWorkers returns a context that tells WorkersFrom to use the given
+// parallelism for sweeps downstream. workers == 1 forces the serial
+// reference path; workers < 1 restores the default.
+func WithWorkers(ctx context.Context, workers int) context.Context {
+	return context.WithValue(ctx, workersKey{}, workers)
+}
+
+// WorkersFrom returns the sweep parallelism carried by ctx, or
+// runtime.GOMAXPROCS(0) when none was set.
+func WorkersFrom(ctx context.Context) int {
+	if w, ok := ctx.Value(workersKey{}).(int); ok && w >= 1 {
+		return w
+	}
+	return runtime.GOMAXPROCS(0)
+}

@@ -1,0 +1,245 @@
+package sweep
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestOrderPreserved runs a sweep whose items finish in scrambled wall-
+// clock order and checks the collected results match the serial loop
+// slot for slot.
+func TestOrderPreserved(t *testing.T) {
+	const n = 64
+	for _, workers := range []int{1, 2, 8, n} {
+		got := make([]int, n)
+		err := Run(context.Background(), n, workers, func(ctx context.Context, i int) error {
+			// Later items finish earlier; order must not care.
+			time.Sleep(time.Duration(n-i) * 10 * time.Microsecond)
+			got[i] = i * i
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: slot %d = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+// TestSerialEquivalence checks workers=1 visits every index in order on
+// the calling goroutine, exactly like the loop it replaces.
+func TestSerialEquivalence(t *testing.T) {
+	var order []int
+	caller := goroutineID(t)
+	err := Run(context.Background(), 10, 1, func(ctx context.Context, i int) error {
+		if id := goroutineID(t); id != caller {
+			return fmt.Errorf("item %d ran on goroutine %d, want caller %d", i, id, caller)
+		}
+		order = append(order, i)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("visit order %v not ascending", order)
+		}
+	}
+	if len(order) != 10 {
+		t.Fatalf("visited %d items, want 10", len(order))
+	}
+}
+
+// goroutineID identifies the current goroutine via a stack probe; good
+// enough for asserting "same goroutine" in tests.
+func goroutineID(t *testing.T) uint64 {
+	t.Helper()
+	buf := make([]byte, 64)
+	buf = buf[:runtime.Stack(buf, false)]
+	var id uint64
+	if _, err := fmt.Sscanf(string(buf), "goroutine %d ", &id); err != nil {
+		t.Fatalf("parsing goroutine id from %q: %v", buf, err)
+	}
+	return id
+}
+
+// TestFirstErrorWins: when exactly one item fails, every worker count
+// surfaces that item's error, as the serial loop would.
+func TestFirstErrorWins(t *testing.T) {
+	sentinel := errors.New("boom")
+	for _, workers := range []int{1, 2, 4, 16} {
+		for trial := 0; trial < 20; trial++ {
+			err := Run(context.Background(), 50, workers, func(ctx context.Context, i int) error {
+				if i == 17 {
+					return fmt.Errorf("item %d: %w", i, sentinel)
+				}
+				return nil
+			})
+			if !errors.Is(err, sentinel) {
+				t.Fatalf("workers=%d: err = %v, want %v", workers, err, sentinel)
+			}
+			if got := err.Error(); got != "item 17: boom" {
+				t.Fatalf("workers=%d: err = %q, want the lowest-index error", workers, got)
+			}
+		}
+	}
+}
+
+// TestLowestIndexErrorWins: when several running items fail, the lowest
+// index is reported.
+func TestLowestIndexErrorWins(t *testing.T) {
+	const n = 8
+	var release sync.WaitGroup
+	release.Add(n)
+	err := Run(context.Background(), n, n, func(ctx context.Context, i int) error {
+		// Rendezvous: every item is running before any errors, so all
+		// of them fail and the minimum index must win.
+		release.Done()
+		release.Wait()
+		return fmt.Errorf("item %d failed", i)
+	})
+	if err == nil || err.Error() != "item 0 failed" {
+		t.Fatalf("err = %v, want item 0 failed", err)
+	}
+}
+
+// TestErrorCancelsPool: an early error must cancel in-flight items via
+// their context and stop new items from starting.
+func TestErrorCancelsPool(t *testing.T) {
+	const (
+		n       = 1000
+		workers = 4
+	)
+	sentinel := errors.New("fail fast")
+	var started atomic.Int64
+	err := Run(context.Background(), n, workers, func(ctx context.Context, i int) error {
+		started.Add(1)
+		if i == 0 {
+			return sentinel
+		}
+		// Other in-flight items park until the pool cancels them.
+		select {
+		case <-ctx.Done():
+			return nil
+		case <-time.After(5 * time.Second):
+			return fmt.Errorf("item %d never saw cancellation", i)
+		}
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want %v", err, sentinel)
+	}
+	if s := started.Load(); s > workers {
+		t.Fatalf("%d items started after the error, want at most %d (the in-flight ones)", s, workers)
+	}
+}
+
+// TestContextCancellation: canceling the parent context stops the sweep
+// and reports ctx.Err().
+func TestContextCancellation(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		var started atomic.Int64
+		err := Run(ctx, 1000, workers, func(ctx context.Context, i int) error {
+			if started.Add(1) == 1 {
+				cancel()
+			}
+			return nil
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		if s := started.Load(); s > int64(workers) {
+			t.Fatalf("workers=%d: %d items ran after cancellation", workers, s)
+		}
+	}
+}
+
+// TestNoGoroutineLeak: Run must not leave worker goroutines behind, on
+// success, on error, and on cancellation.
+func TestNoGoroutineLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := Run(ctx, 100, 8, func(ctx context.Context, i int) error { return nil }); !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled sweep: %v", err)
+	}
+	if err := Run(context.Background(), 100, 8, func(ctx context.Context, i int) error {
+		if i%7 == 3 {
+			return errors.New("sporadic failure")
+		}
+		return nil
+	}); err == nil {
+		t.Fatal("erroring sweep returned nil")
+	}
+	if err := Run(context.Background(), 100, 8, func(ctx context.Context, i int) error { return nil }); err != nil {
+		t.Fatalf("clean sweep: %v", err)
+	}
+	// Give exited workers a moment to be reaped, then compare counts.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if after := runtime.NumGoroutine(); after <= before {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d before, %d after", before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestEdgeCases covers degenerate inputs.
+func TestEdgeCases(t *testing.T) {
+	if err := Run(context.Background(), 0, 4, func(ctx context.Context, i int) error { return nil }); err != nil {
+		t.Fatalf("n=0: %v", err)
+	}
+	if err := Run(context.Background(), -1, 4, func(ctx context.Context, i int) error { return nil }); err == nil {
+		t.Fatal("n=-1 accepted")
+	}
+	if err := Run(context.Background(), 4, 4, nil); err == nil {
+		t.Fatal("nil fn accepted")
+	}
+	// workers < 1 defaults to GOMAXPROCS and still completes every item.
+	var count atomic.Int64
+	if err := Run(context.Background(), 33, 0, func(ctx context.Context, i int) error {
+		count.Add(1)
+		return nil
+	}); err != nil {
+		t.Fatalf("workers=0: %v", err)
+	}
+	if count.Load() != 33 {
+		t.Fatalf("workers=0 ran %d items, want 33", count.Load())
+	}
+	// More workers than items must not panic or stall.
+	if err := Run(context.Background(), 2, 64, func(ctx context.Context, i int) error { return nil }); err != nil {
+		t.Fatalf("workers>n: %v", err)
+	}
+}
+
+// TestWorkersContext covers the context plumbing used by the experiment
+// harnesses and cmd/fapsim's -workers flag.
+func TestWorkersContext(t *testing.T) {
+	ctx := context.Background()
+	if got, want := WorkersFrom(ctx), runtime.GOMAXPROCS(0); got != want {
+		t.Fatalf("default workers = %d, want GOMAXPROCS %d", got, want)
+	}
+	if got := WorkersFrom(WithWorkers(ctx, 3)); got != 3 {
+		t.Fatalf("workers = %d, want 3", got)
+	}
+	if got := WorkersFrom(WithWorkers(ctx, 1)); got != 1 {
+		t.Fatalf("workers = %d, want 1", got)
+	}
+	// Non-positive restores the default.
+	if got, want := WorkersFrom(WithWorkers(ctx, 0)), runtime.GOMAXPROCS(0); got != want {
+		t.Fatalf("workers = %d, want default %d", got, want)
+	}
+}

@@ -11,4 +11,7 @@ go vet ./...
 echo "== go test -race ./..."
 go test -race ./...
 
+echo "== bench smoke (go test -bench . -benchtime 1x)"
+go test -bench . -benchtime 1x -run '^$' . > /dev/null
+
 echo "ok"
