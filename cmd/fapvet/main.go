@@ -1,0 +1,119 @@
+// Command fapvet runs the repository's domain-specific static analyzers
+// over Go packages and exits nonzero when any contract is violated. It is
+// the compile-time complement of the runtime determinism and zero-alloc
+// tests: `fapvet ./...` is wired into scripts/check.sh as a tier-2 gate.
+//
+// Usage:
+//
+//	fapvet [-C dir] [-only a,b] [-skip a,b] [packages]
+//
+// Packages default to ./... relative to the working directory (or -C dir). Diagnostics
+// print as "file:line: analyzer: message". Exit status is 0 when clean, 1
+// when diagnostics were reported, and 2 on usage or load errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"filealloc/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("fapvet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	only := fs.String("only", "", "comma-separated analyzers to run (default: all)")
+	skip := fs.String("skip", "", "comma-separated analyzers to disable")
+	chdir := fs.String("C", ".", "resolve package patterns relative to this directory")
+	list := fs.Bool("list", false, "print the available analyzers and exit")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: fapvet [-C dir] [-only a,b] [-skip a,b] [packages]\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, a := range lint.All() {
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	analyzers, err := selectAnalyzers(*only, *skip)
+	if err != nil {
+		fmt.Fprintf(stderr, "fapvet: %v\n", err)
+		return 2
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := lint.Load(*chdir, patterns...)
+	if err != nil {
+		fmt.Fprintf(stderr, "fapvet: %v\n", err)
+		return 2
+	}
+	diags := lint.Run(pkgs, analyzers)
+	for _, d := range diags {
+		fmt.Fprintln(stdout, d)
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// selectAnalyzers applies the -only and -skip selections to the full suite.
+func selectAnalyzers(only, skip string) ([]*lint.Analyzer, error) {
+	byName := make(map[string]*lint.Analyzer)
+	for _, a := range lint.All() {
+		byName[a.Name] = a
+	}
+	parse := func(csv string) (map[string]bool, error) {
+		set := make(map[string]bool)
+		if csv == "" {
+			return set, nil
+		}
+		for _, name := range strings.Split(csv, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			if byName[name] == nil {
+				return nil, fmt.Errorf("unknown analyzer %q (run fapvet -list)", name)
+			}
+			set[name] = true
+		}
+		return set, nil
+	}
+	onlySet, err := parse(only)
+	if err != nil {
+		return nil, err
+	}
+	skipSet, err := parse(skip)
+	if err != nil {
+		return nil, err
+	}
+	var selected []*lint.Analyzer
+	for _, a := range lint.All() {
+		if len(onlySet) > 0 && !onlySet[a.Name] {
+			continue
+		}
+		if skipSet[a.Name] {
+			continue
+		}
+		selected = append(selected, a)
+	}
+	if len(selected) == 0 {
+		return nil, fmt.Errorf("selection leaves no analyzers to run")
+	}
+	return selected, nil
+}

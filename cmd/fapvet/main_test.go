@@ -1,0 +1,121 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const fixtureDir = "../../internal/lint/testdata/src"
+
+// TestRunFindsFixtureViolations drives the real CLI entry point against the
+// seeded fixture module and requires the documented exit protocol: status 1
+// with one "file:line: analyzer: message" diagnostic per line.
+func TestRunFindsFixtureViolations(t *testing.T) {
+	var stdout, stderr strings.Builder
+	code := run([]string{"-C", fixtureDir, "./transport"}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1; stderr: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "lockguard:") || !strings.Contains(out, "errdrop:") {
+		t.Fatalf("expected lockguard and errdrop diagnostics, got:\n%s", out)
+	}
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if parts := strings.SplitN(line, ":", 3); len(parts) < 3 {
+			t.Errorf("diagnostic %q is not in file:line: analyzer: message form", line)
+		}
+	}
+}
+
+// TestRunCleanPackage requires exit 0 and no output for a fixture package
+// with no violations.
+func TestRunCleanPackage(t *testing.T) {
+	var stdout, stderr strings.Builder
+	code := run([]string{"-C", fixtureDir, "./clockutil"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0; stdout: %s stderr: %s", code, stdout.String(), stderr.String())
+	}
+	if stdout.String() != "" {
+		t.Fatalf("clean run should print nothing, got:\n%s", stdout.String())
+	}
+}
+
+// TestRunOnlyRestrictsAnalyzers checks that -only silences diagnostics from
+// the unselected analyzers.
+func TestRunOnlyRestrictsAnalyzers(t *testing.T) {
+	var stdout, stderr strings.Builder
+	code := run([]string{"-C", fixtureDir, "-only", "errdrop", "./transport"}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1; stderr: %s", code, stderr.String())
+	}
+	if strings.Contains(stdout.String(), "lockguard:") {
+		t.Fatalf("-only errdrop still reported lockguard diagnostics:\n%s", stdout.String())
+	}
+}
+
+// TestRunList prints every analyzer and exits 0 without loading packages.
+func TestRunList(t *testing.T) {
+	var stdout, stderr strings.Builder
+	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit code = %d, want 0", code)
+	}
+	for _, name := range []string{"determinism", "zeroalloc", "ctxfirst", "lockguard", "errdrop"} {
+		if !strings.Contains(stdout.String(), name) {
+			t.Errorf("-list output missing %q:\n%s", name, stdout.String())
+		}
+	}
+}
+
+// TestRunUsageErrors covers the exit-2 paths: unknown analyzer names, an
+// empty selection, and an unresolvable package pattern.
+func TestRunUsageErrors(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		args []string
+	}{
+		{"unknown analyzer", []string{"-only", "nosuch", "./..."}},
+		{"empty selection", []string{"-skip", "determinism,zeroalloc,ctxfirst,lockguard,errdrop", "./..."}},
+		{"bad pattern", []string{"-C", fixtureDir, "./does-not-exist"}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr strings.Builder
+			if code := run(tc.args, &stdout, &stderr); code != 2 {
+				t.Fatalf("exit code = %d, want 2; stdout: %s stderr: %s", code, stdout.String(), stderr.String())
+			}
+			if stderr.String() == "" {
+				t.Fatal("usage error should explain itself on stderr")
+			}
+		})
+	}
+}
+
+// TestSelectAnalyzers pins the -only/-skip composition rules.
+func TestSelectAnalyzers(t *testing.T) {
+	names := func(only, skip string) []string {
+		t.Helper()
+		as, err := selectAnalyzers(only, skip)
+		if err != nil {
+			t.Fatalf("selectAnalyzers(%q, %q): %v", only, skip, err)
+		}
+		var got []string
+		for _, a := range as {
+			got = append(got, a.Name)
+		}
+		return got
+	}
+	if got := names("", ""); len(got) != 5 {
+		t.Fatalf("default selection = %v, want all five analyzers", got)
+	}
+	if got := names("errdrop, lockguard", ""); len(got) != 2 {
+		t.Fatalf("-only selection = %v, want two analyzers", got)
+	}
+	if got := names("", "determinism"); len(got) != 4 {
+		t.Fatalf("-skip selection = %v, want four analyzers", got)
+	}
+}
+
+func TestSelectAnalyzersEmptyIsError(t *testing.T) {
+	if _, err := selectAnalyzers("errdrop", "errdrop"); err == nil {
+		t.Fatal("selecting then skipping the same analyzer should error, not run nothing")
+	}
+}

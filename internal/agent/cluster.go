@@ -96,7 +96,7 @@ func RunCluster(ctx context.Context, cfg ClusterConfig) (ClusterResult, error) {
 	if err != nil {
 		return ClusterResult{}, fmt.Errorf("agent: building memory network: %w", err)
 	}
-	defer net.Close() //nolint:errcheck // shutdown of an in-memory fixture
+	defer net.Close() //fap:ignore errdrop shutdown of an in-memory fixture
 
 	outcomes := make([]Outcome, n)
 	errs := make([]error, n)

@@ -42,8 +42,8 @@ type NopObserver struct{}
 
 var _ Observer = NopObserver{}
 
-func (NopObserver) RoundStarted(node, round int)                     {}
-func (NopObserver) ReportsCollected(node, round, got, want int)      {}
+func (NopObserver) RoundStarted(node, round int)                {}
+func (NopObserver) ReportsCollected(node, round, got, want int) {}
 func (NopObserver) StepPlanned(node, round int, spread, delta float64) {
 }
 func (NopObserver) SendRetried(node, round, to, attempt int, err error) {}

@@ -395,6 +395,8 @@ func (a *Allocator) Run(ctx context.Context, init []float64) (Result, error) {
 // kktHolds reports whether every variable excluded from the active set and
 // held at (numerically) zero satisfies the boundary optimality condition
 // ∂U/∂x_i ≤ q + ε.
+//
+//fap:zeroalloc
 func kktHolds(st Step, grad, x []float64, group []int, eps float64) bool {
 	for k, gi := range group {
 		if st.Active[k] {
@@ -414,6 +416,8 @@ func kktHolds(st Step, grad, x []float64, group []int, eps float64) bool {
 // at the current point, scaled by the configured safety factor. hess is
 // caller-owned scratch of len(x) entries. It returns 0 when the
 // expression is degenerate (already converged or flat).
+//
+//fap:zeroalloc
 func (a *Allocator) dynamicAlpha(x, grad, hess []float64) (float64, error) {
 	curv := a.obj.(Curvature) // checked in NewAllocator
 	if err := curv.SecondDerivative(hess, x); err != nil {

@@ -88,6 +88,8 @@ func growBools(s []bool, n int) []bool {
 // iterating over the same groups plans every step allocation-free after
 // the first. On error step's contents are unspecified. The planned result
 // is byte-identical to PlanStep's.
+//
+//fap:zeroalloc
 func PlanStepInto(step *Step, x, grad []float64, group []int, alpha float64) error {
 	if step == nil {
 		return fmt.Errorf("%w: nil step", ErrBadConfig)
@@ -212,6 +214,8 @@ func PlanStepInto(step *Step, x, grad []float64, group []int, alpha float64) err
 // Apply adds the planned deltas for group into x in place, clamping the
 // tiny negative residue float addition can leave on a variable planned to
 // land exactly on the boundary.
+//
+//fap:zeroalloc
 func (s Step) Apply(x []float64, group []int) error {
 	if len(s.Delta) != len(group) {
 		return fmt.Errorf("%w: step for %d variables applied to group of %d", ErrDimension, len(s.Delta), len(group))
@@ -241,6 +245,8 @@ func (s Step) IsNoOp() bool {
 // Spread returns the largest pairwise difference of marginal utilities over
 // the active set, the quantity compared against ε in the termination test
 // (section 5.2's UNTIL clause).
+//
+//fap:zeroalloc
 func (s Step) Spread(grad []float64, group []int) float64 {
 	lo, hi := math.Inf(1), math.Inf(-1)
 	for k, gi := range group {
@@ -263,6 +269,8 @@ func (s Step) Spread(grad []float64, group []int) float64 {
 
 // GradientSpread returns the largest pairwise difference of marginal
 // utilities over an entire group, ignoring active-set membership.
+//
+//fap:zeroalloc
 func GradientSpread(grad []float64, group []int) float64 {
 	lo, hi := math.Inf(1), math.Inf(-1)
 	for _, gi := range group {

@@ -104,6 +104,55 @@ func (m *SingleFile) SolveKKT(tol float64) (KKTSolution, error) {
 	return KKTSolution{X: x, Q: q, Cost: cost}, nil
 }
 
+// VerifyKKT checks that (x, q) satisfies the section-5.3 optimality
+// conditions of the single-file problem to within a relative tolerance:
+//
+//   - feasibility: x_i ≥ 0 and Σ_i x_i = 1
+//   - interior:    every node with x_i > 0 has marginal cost
+//     C_i + k·μ_i/(μ_i − λ·x_i)² equal to q
+//   - boundary:    every node with x_i = 0 has marginal cost ≥ q
+//
+// All comparisons use the scale tol·max(1, |q|), so a node priced exactly
+// at the support boundary (marginal at zero equal to q up to float
+// rounding) is not a false positive. The boundary condition is one-sided:
+// a zero node whose marginal exceeds q by any amount is optimal, while one
+// below q − tol·max(1, |q|) means mass should have been placed there and
+// the allocation is rejected.
+func (m *SingleFile) VerifyKKT(x []float64, q, tol float64) error {
+	if tol <= 0 {
+		return fmt.Errorf("%w: tolerance = %v", ErrBadParam, tol)
+	}
+	if len(x) != len(m.access) {
+		return fmt.Errorf("%w: allocation has %d entries for %d nodes", ErrBadParam, len(x), len(m.access))
+	}
+	scale := tol * math.Max(1, math.Abs(q))
+	var total float64
+	for i, xi := range x {
+		if xi < 0 {
+			return fmt.Errorf("%w: x_%d = %v is negative", ErrBadParam, i, xi)
+		}
+		total += xi
+	}
+	if math.Abs(total-1) > tol {
+		return fmt.Errorf("%w: allocation sums to %v, not 1", ErrBadParam, total)
+	}
+	for i, xi := range x {
+		room := m.service[i] - m.lambda*xi
+		if room <= 0 {
+			return fmt.Errorf("%w: node %d has μ=%v, λ·x=%v", ErrUnstable, i, m.service[i], m.lambda*xi)
+		}
+		marginal := m.access[i] + m.k*m.service[i]/(room*room)
+		if xi > 0 {
+			if math.Abs(marginal-q) > scale {
+				return fmt.Errorf("costmodel: node %d in support has marginal cost %v, want q = %v (Δ = %v)", i, marginal, q, marginal-q)
+			}
+		} else if marginal < q-scale {
+			return fmt.Errorf("costmodel: node %d at x = 0 has marginal cost %v below q = %v; the optimum stores mass there", i, marginal, q)
+		}
+	}
+	return nil
+}
+
 // solveLinear handles k = 0: cost is Σ C_i·x_i, minimized by the cheapest
 // node.
 func (m *SingleFile) solveLinear() (KKTSolution, error) {

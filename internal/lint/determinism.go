@@ -1,0 +1,131 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// numericSegments names the packages whose results must be bit-reproducible:
+// the solver core, the cost models, and every experiment driver that feeds a
+// figure. A package is "numeric" when any segment of its import path matches.
+var numericSegments = map[string]bool{
+	"core":        true,
+	"costmodel":   true,
+	"secondorder": true,
+	"sweep":       true,
+	"experiments": true,
+	"multicopy":   true,
+	"replication": true,
+}
+
+// randConstructors are the math/rand functions that build explicit seeded
+// sources rather than drawing from the process-wide one.
+var randConstructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true, // math/rand/v2
+	"NewChaCha8": true, // math/rand/v2
+}
+
+// Determinism forbids the three nondeterminism sources that have bitten
+// numeric reproductions of the paper: wall-clock reads, the global
+// math/rand source, and floating-point accumulation driven by map iteration
+// order (the exact bug class behind PR 2's Fig6 α-grid fix — float results
+// must not depend on traversal order).
+var Determinism = &Analyzer{
+	Name: "determinism",
+	Doc:  "forbid time.Now, global math/rand, and map-ordered float accumulation in numeric packages",
+	Run:  runDeterminism,
+}
+
+func runDeterminism(p *Pass) {
+	if !hasSegment(p.Path, numericSegments) {
+		return
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkDeterministicCall(p, n)
+			case *ast.RangeStmt:
+				if _, ok := p.Info.TypeOf(n.X).Underlying().(*types.Map); ok {
+					checkMapRangeAccum(p, n)
+				}
+			}
+			return true
+		})
+	}
+}
+
+func checkDeterministicCall(p *Pass, call *ast.CallExpr) {
+	fn := calleeFunc(p.Info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		if fn.Name() == "Now" {
+			p.Reportf(call.Pos(), "time.Now in a numeric package makes results run-dependent; take timestamps outside the numeric path")
+		}
+	case "math/rand", "math/rand/v2":
+		sig, ok := fn.Type().(*types.Signature)
+		if !ok || sig.Recv() != nil {
+			return // methods on an explicit *rand.Rand are fine
+		}
+		if randConstructors[fn.Name()] {
+			return
+		}
+		p.Reportf(call.Pos(), "%s.%s draws from the shared process-wide source; use an explicit seeded *rand.Rand", fn.Pkg().Name(), fn.Name())
+	}
+}
+
+// checkMapRangeAccum flags floating-point accumulations anywhere under a
+// range-over-map body: the iteration order varies run to run, and float
+// addition does not commute under reordering, so the accumulated value is
+// nondeterministic.
+func checkMapRangeAccum(p *Pass, rng *ast.RangeStmt) {
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		switch as.Tok {
+		case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+			if len(as.Lhs) == 1 && isFloat(p.Info.TypeOf(as.Lhs[0])) {
+				p.Reportf(as.Pos(), "floating-point accumulation inside range over a map depends on iteration order; iterate over sorted keys")
+			}
+		case token.ASSIGN:
+			if len(as.Lhs) != len(as.Rhs) {
+				return true
+			}
+			for i, lhs := range as.Lhs {
+				id, ok := ast.Unparen(lhs).(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := p.Info.Uses[id]
+				if obj == nil || !isFloat(obj.Type()) {
+					continue
+				}
+				if _, isBin := ast.Unparen(as.Rhs[i]).(*ast.BinaryExpr); isBin && exprUsesObject(p.Info, as.Rhs[i], obj) {
+					p.Reportf(as.Pos(), "floating-point accumulation inside range over a map depends on iteration order; iterate over sorted keys")
+				}
+			}
+		}
+		return true
+	})
+}
+
+// exprUsesObject reports whether obj is referenced anywhere in e.
+func exprUsesObject(info *types.Info, e ast.Expr, obj types.Object) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && info.Uses[id] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

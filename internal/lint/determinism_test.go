@@ -1,0 +1,20 @@
+package lint_test
+
+import (
+	"testing"
+
+	"filealloc/internal/lint"
+)
+
+// TestDeterminism proves the analyzer catches every seeded violation in the
+// numeric-named fixture and stays silent both on the fixture's clean
+// functions (seeded RNG, sorted-key accumulation, integer counting) and on
+// an entire non-numeric package using the same constructs.
+func TestDeterminism(t *testing.T) {
+	for _, tc := range []fixtureCase{
+		{pkg: "costmodel", analyzer: lint.Determinism, wants: 6},
+		{pkg: "clockutil", analyzer: lint.Determinism, wants: 0},
+	} {
+		t.Run(tc.pkg, func(t *testing.T) { checkFixture(t, tc) })
+	}
+}

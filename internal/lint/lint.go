@@ -1,0 +1,227 @@
+// Package lint implements fapvet, the repository's domain-specific static
+// analysis suite. Five analyzers enforce contracts the runtime tests can
+// only spot-check: determinism of the numeric packages, the //fap:zeroalloc
+// annotation on allocation-free hot paths, context plumbing conventions,
+// lock hygiene around the blocking transport calls, and non-discarded
+// transport errors. The suite is built on the standard library's go/ast,
+// go/parser, and go/types only; packages are loaded through the go
+// toolchain's export data (see Load), so it works offline like the rest of
+// the module.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding, printed as "file:line: analyzer: message".
+type Diagnostic struct {
+	// Pos locates the offending construct.
+	Pos token.Position
+	// Analyzer names the analyzer that produced the finding ("fapvet" for
+	// findings about malformed fapvet directives themselves).
+	Analyzer string
+	// Message describes the violation.
+	Message string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Analyzer, d.Message)
+}
+
+// Analyzer is one named check run over a type-checked package.
+type Analyzer struct {
+	// Name is the identifier used by -only/-skip and //fap:ignore.
+	Name string
+	// Doc is a one-line description.
+	Doc string
+	// Run inspects the package behind pass and reports findings through
+	// pass.Reportf.
+	Run func(pass *Pass)
+}
+
+// All returns the full analyzer suite in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{Determinism, ZeroAlloc, CtxFirst, LockGuard, ErrDrop}
+}
+
+// Pass carries one package through one analyzer.
+type Pass struct {
+	// Analyzer is the analyzer being run.
+	Analyzer *Analyzer
+	// Fset, Files, Pkg, and Info expose the loaded package.
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+	// Path is the package's import path.
+	Path string
+
+	ignores ignoreIndex
+	diags   *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos unless a valid //fap:ignore directive
+// for this analyzer covers the line.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if p.ignores.suppressed(p.Analyzer.Name, position) {
+		return
+	}
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      position,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Run applies the analyzers to every package and returns the combined
+// findings sorted by position. Malformed //fap:ignore directives (missing
+// analyzer name or justification, unknown analyzer) are reported under the
+// pseudo-analyzer "fapvet" and cannot themselves be suppressed.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range All() {
+		known[a.Name] = true
+	}
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		ignores, bad := buildIgnoreIndex(pkg, known)
+		diags = append(diags, bad...)
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				Path:     pkg.Path,
+				ignores:  ignores,
+				diags:    &diags,
+			}
+			a.Run(pass)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	return diags
+}
+
+// ignorePrefix introduces a suppression directive:
+//
+//	//fap:ignore <analyzer> <justification...>
+//
+// placed either at the end of the offending line or on its own line
+// immediately above. The justification is mandatory: a suppression without a
+// recorded reason is itself a diagnostic.
+const ignorePrefix = "//fap:ignore"
+
+type ignoreKey struct {
+	file string
+	line int
+}
+
+// ignoreIndex maps a directive's file and line to the analyzers it covers.
+type ignoreIndex map[ignoreKey]map[string]bool
+
+// suppressed reports whether a directive for analyzer covers a diagnostic
+// at pos: same line, or the line directly above.
+func (idx ignoreIndex) suppressed(analyzer string, pos token.Position) bool {
+	for _, line := range [2]int{pos.Line, pos.Line - 1} {
+		if set, ok := idx[ignoreKey{pos.Filename, line}]; ok && set[analyzer] {
+			return true
+		}
+	}
+	return false
+}
+
+// buildIgnoreIndex collects the package's //fap:ignore directives and
+// reports malformed ones.
+func buildIgnoreIndex(pkg *Package, known map[string]bool) (ignoreIndex, []Diagnostic) {
+	idx := make(ignoreIndex)
+	var bad []Diagnostic
+	report := func(pos token.Position, format string, args ...any) {
+		bad = append(bad, Diagnostic{Pos: pos, Analyzer: "fapvet", Message: fmt.Sprintf(format, args...)})
+	}
+	for _, f := range pkg.Files {
+		for _, group := range f.Comments {
+			for _, c := range group.List {
+				if !strings.HasPrefix(c.Text, ignorePrefix) {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				fields := strings.Fields(strings.TrimPrefix(c.Text, ignorePrefix))
+				if len(fields) == 0 {
+					report(pos, "fap:ignore needs an analyzer name and a justification")
+					continue
+				}
+				name := fields[0]
+				if !known[name] {
+					report(pos, "fap:ignore names unknown analyzer %q", name)
+					continue
+				}
+				if len(fields) < 2 {
+					report(pos, "fap:ignore %s needs a justification explaining why the diagnostic is safe to waive", name)
+					continue
+				}
+				key := ignoreKey{pos.Filename, pos.Line}
+				if idx[key] == nil {
+					idx[key] = make(map[string]bool)
+				}
+				idx[key][name] = true
+			}
+		}
+	}
+	return idx, bad
+}
+
+// hasSegment reports whether any "/"-separated segment of an import path is
+// in segs. Matching by segment rather than full path lets the analyzers
+// apply to both the real module packages (filealloc/internal/costmodel) and
+// the test fixtures (fix/costmodel).
+func hasSegment(path string, segs map[string]bool) bool {
+	for _, s := range strings.Split(path, "/") {
+		if segs[s] {
+			return true
+		}
+	}
+	return false
+}
+
+// calleeFunc resolves the function or method a call invokes, or nil for
+// calls through function values, type conversions, and builtins.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if f, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}
+
+// isFloat reports whether t is a floating-point or complex type, the types
+// whose accumulation is order-sensitive.
+func isFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&(types.IsFloat|types.IsComplex) != 0
+}

@@ -1,0 +1,169 @@
+package lint_test
+
+import (
+	"bufio"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"filealloc/internal/lint"
+)
+
+// fixtureCase is one table entry: run one analyzer over one fixture package
+// and compare its diagnostics against the fixture's `// want analyzer:
+// substring` comments. wants is the number of want comments the fixture is
+// expected to carry for this analyzer — a self-check that keeps a broken
+// expectation parser from passing vacuously.
+type fixtureCase struct {
+	pkg      string
+	analyzer *lint.Analyzer
+	wants    int
+}
+
+// runFixture loads one package of the fixture module under testdata/src and
+// runs the given analyzers over it.
+func runFixture(t *testing.T, pkg string, analyzers ...*lint.Analyzer) []lint.Diagnostic {
+	t.Helper()
+	pkgs, err := lint.Load(filepath.Join("testdata", "src"), "./"+pkg)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", pkg, err)
+	}
+	return lint.Run(pkgs, analyzers)
+}
+
+type want struct {
+	file     string
+	line     int
+	analyzer string
+	substr   string
+	matched  bool
+}
+
+var wantRe = regexp.MustCompile(`// want (\w+): (.+)$`)
+
+// parseWants scans a fixture directory for expectation comments mentioning
+// the given analyzer.
+func parseWants(t *testing.T, dir, analyzer string) []*want {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading fixture dir %s: %v", dir, err)
+	}
+	var wants []*want
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := os.Open(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatalf("opening fixture file: %v", err)
+		}
+		sc := bufio.NewScanner(f)
+		for line := 1; sc.Scan(); line++ {
+			m := wantRe.FindStringSubmatch(sc.Text())
+			if m == nil || m[1] != analyzer {
+				continue
+			}
+			wants = append(wants, &want{
+				file:     e.Name(),
+				line:     line,
+				analyzer: m[1],
+				substr:   strings.TrimSpace(m[2]),
+			})
+		}
+		if err := sc.Err(); err != nil {
+			t.Fatalf("scanning fixture file: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatalf("closing fixture file: %v", err)
+		}
+	}
+	return wants
+}
+
+// checkFixture runs one fixtureCase end to end.
+func checkFixture(t *testing.T, tc fixtureCase) {
+	t.Helper()
+	diags := runFixture(t, tc.pkg, tc.analyzer)
+	wants := parseWants(t, filepath.Join("testdata", "src", tc.pkg), tc.analyzer.Name)
+	if len(wants) != tc.wants {
+		t.Fatalf("fixture self-check: %s has %d want comments for %s, expected %d",
+			tc.pkg, len(wants), tc.analyzer.Name, tc.wants)
+	}
+	for _, d := range diags {
+		found := false
+		for _, w := range wants {
+			if w.matched || filepath.Base(d.Pos.Filename) != w.file || d.Pos.Line != w.line {
+				continue
+			}
+			if d.Analyzer != w.analyzer || !strings.Contains(d.Message, w.substr) {
+				continue
+			}
+			w.matched = true
+			found = true
+			break
+		}
+		if !found {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("missing diagnostic: %s:%d: %s: ...%s...", w.file, w.line, w.analyzer, w.substr)
+		}
+	}
+}
+
+func TestLoadRejectsUnknownPattern(t *testing.T) {
+	if _, err := lint.Load(filepath.Join("testdata", "src"), "./nonexistent"); err == nil {
+		t.Fatal("Load on a nonexistent package succeeded, want error")
+	}
+}
+
+// TestIgnoreDirectives pins the suppression contract: a valid directive
+// (same line or the line above) silences the diagnostic, a directive
+// without a justification or naming an unknown analyzer is itself reported
+// and suppresses nothing.
+func TestIgnoreDirectives(t *testing.T) {
+	diags := runFixture(t, "badignore", lint.CtxFirst)
+
+	count := map[string]int{}
+	for _, d := range diags {
+		count[d.Analyzer]++
+	}
+	if count["ctxfirst"] != 2 {
+		t.Errorf("got %d ctxfirst diagnostics, want 2 (holder and holder2 unsuppressed, holder3 suppressed):\n%s",
+			count["ctxfirst"], render(diags))
+	}
+	if count["fapvet"] != 2 {
+		t.Errorf("got %d fapvet directive diagnostics, want 2:\n%s", count["fapvet"], render(diags))
+	}
+	var sawJustification, sawUnknown bool
+	for _, d := range diags {
+		if d.Analyzer != "fapvet" {
+			continue
+		}
+		if strings.Contains(d.Message, "justification") {
+			sawJustification = true
+		}
+		if strings.Contains(d.Message, "unknown analyzer") {
+			sawUnknown = true
+		}
+	}
+	if !sawJustification {
+		t.Error("no diagnostic about a missing justification")
+	}
+	if !sawUnknown {
+		t.Error("no diagnostic about an unknown analyzer name")
+	}
+}
+
+func render(diags []lint.Diagnostic) string {
+	var b strings.Builder
+	for _, d := range diags {
+		b.WriteString("  " + d.String() + "\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,208 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// blockingSegments names the packages whose Send/Recv calls block on the
+// network: the transport layer and the agent runtime built on it.
+var blockingSegments = map[string]bool{"transport": true, "agent": true}
+
+// LockGuard enforces two lock-hygiene contracts. Everywhere: sync.Mutex,
+// sync.RWMutex, and sync.WaitGroup are never passed, returned, or copied by
+// value (a copied lock guards nothing). In the transport and agent
+// packages: no mutex is held across a blocking Send or Recv call — a peer
+// that never answers would turn the lock into a cluster-wide deadlock, the
+// failure mode PR 1's per-connection write mutex was introduced to avoid.
+//
+// The held-across check is a lexical simulation: Lock/Unlock calls and
+// Send/Recv calls are replayed in source order, with deferred unlocks
+// treated as releasing only at return. Branch-heavy locking (unlock on one
+// arm only) can evade it; keep lock scopes straight-line.
+var LockGuard = &Analyzer{
+	Name: "lockguard",
+	Doc:  "no sync primitives copied by value; no mutex held across blocking Send/Recv in transport/agent",
+	Run:  runLockGuard,
+}
+
+func runLockGuard(p *Pass) {
+	checkBlocking := hasSegment(p.Path, blockingSegments)
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncType:
+				checkLockSignature(p, n)
+			case *ast.CallExpr:
+				checkLockArgs(p, n)
+			case *ast.AssignStmt:
+				for _, rhs := range n.Rhs {
+					checkLockCopy(p, rhs)
+				}
+			case *ast.ValueSpec:
+				for _, v := range n.Values {
+					checkLockCopy(p, v)
+				}
+			case *ast.FuncDecl:
+				if checkBlocking && n.Body != nil {
+					checkHeldAcrossBlocking(p, n)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// lockTypeName returns "sync.Mutex", "sync.RWMutex", or "sync.WaitGroup"
+// when t is one of those types by value, and "" otherwise.
+func lockTypeName(t types.Type) string {
+	if t == nil {
+		return ""
+	}
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return ""
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return ""
+	}
+	switch obj.Name() {
+	case "Mutex", "RWMutex", "WaitGroup":
+		return "sync." + obj.Name()
+	}
+	return ""
+}
+
+func checkLockSignature(p *Pass, ft *ast.FuncType) {
+	for _, field := range fieldList(ft.Params) {
+		if name := lockTypeName(p.Info.TypeOf(field.Type)); name != "" {
+			p.Reportf(field.Pos(), "%s passed by value; a copied lock guards nothing — pass a pointer", name)
+		}
+	}
+	for _, field := range fieldList(ft.Results) {
+		if name := lockTypeName(p.Info.TypeOf(field.Type)); name != "" {
+			p.Reportf(field.Pos(), "%s returned by value; a copied lock guards nothing — return a pointer", name)
+		}
+	}
+}
+
+func fieldList(fl *ast.FieldList) []*ast.Field {
+	if fl == nil {
+		return nil
+	}
+	return fl.List
+}
+
+func checkLockArgs(p *Pass, call *ast.CallExpr) {
+	for _, arg := range call.Args {
+		if name := lockTypeName(p.Info.TypeOf(arg)); name != "" {
+			p.Reportf(arg.Pos(), "%s passed by value; a copied lock guards nothing — pass a pointer", name)
+		}
+	}
+}
+
+// checkLockCopy flags assignments whose right-hand side copies an existing
+// lock value. Composite literals are creation, not copying, so a zero-value
+// initialization stays legal.
+func checkLockCopy(p *Pass, rhs ast.Expr) {
+	if _, isLit := ast.Unparen(rhs).(*ast.CompositeLit); isLit {
+		return
+	}
+	if name := lockTypeName(p.Info.TypeOf(rhs)); name != "" {
+		p.Reportf(rhs.Pos(), "%s copied by value; a copied lock guards nothing — share a pointer", name)
+	}
+}
+
+// lockEvent is one replayed step of the held-across simulation.
+type lockEvent struct {
+	pos      int // file offset order via token.Pos
+	kind     int // 0 lock, 1 unlock, 2 blocking call
+	key      string
+	name     string
+	deferred bool
+}
+
+const (
+	evLock = iota
+	evUnlock
+	evBlocking
+)
+
+func checkHeldAcrossBlocking(p *Pass, fd *ast.FuncDecl) {
+	// Record the source ranges of defer statements: unlocks inside them
+	// release only at function return.
+	var deferRanges [][2]int
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if d, ok := n.(*ast.DeferStmt); ok {
+			deferRanges = append(deferRanges, [2]int{int(d.Pos()), int(d.End())})
+		}
+		return true
+	})
+	inDefer := func(pos int) bool {
+		for _, r := range deferRanges {
+			if pos >= r[0] && pos <= r[1] {
+				return true
+			}
+		}
+		return false
+	}
+
+	var events []lockEvent
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(p.Info, call)
+		if fn == nil {
+			return true
+		}
+		pos := int(call.Pos())
+		if fn.Pkg() != nil && fn.Pkg().Path() == "sync" {
+			switch fn.Name() {
+			case "Lock", "RLock":
+				events = append(events, lockEvent{pos, evLock, types.ExprString(sel.X), fn.Name(), inDefer(pos)})
+			case "Unlock", "RUnlock":
+				events = append(events, lockEvent{pos, evUnlock, types.ExprString(sel.X), fn.Name(), inDefer(pos)})
+			}
+			return true
+		}
+		switch fn.Name() {
+		case "Send", "Recv":
+			events = append(events, lockEvent{pos, evBlocking, types.ExprString(sel.X), fn.Name(), inDefer(pos)})
+		}
+		return true
+	})
+	sort.Slice(events, func(i, j int) bool { return events[i].pos < events[j].pos })
+
+	locked := make(map[string]bool)
+	for _, ev := range events {
+		switch ev.kind {
+		case evLock:
+			if !ev.deferred {
+				locked[ev.key] = true
+			}
+		case evUnlock:
+			if !ev.deferred {
+				delete(locked, ev.key)
+			}
+		case evBlocking:
+			if len(locked) == 0 {
+				continue
+			}
+			held := make([]string, 0, len(locked))
+			for k := range locked {
+				held = append(held, k)
+			}
+			sort.Strings(held)
+			p.Reportf(token.Pos(ev.pos), "%s.%s called while holding %s; a peer that never answers deadlocks the lock", ev.key, ev.name, held[0])
+		}
+	}
+}

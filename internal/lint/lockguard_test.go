@@ -1,0 +1,20 @@
+package lint_test
+
+import (
+	"testing"
+
+	"filealloc/internal/lint"
+)
+
+// TestLockGuard proves both halves of the analyzer on the transport
+// fixture: sync primitives passed or copied by value (with zero-value
+// initialization staying legal), and mutexes held across blocking
+// Send/Recv calls, including through a deferred unlock, with the
+// release-before-blocking pattern staying clean.
+func TestLockGuard(t *testing.T) {
+	for _, tc := range []fixtureCase{
+		{pkg: "transport", analyzer: lint.LockGuard, wants: 6},
+	} {
+		t.Run(tc.pkg, func(t *testing.T) { checkFixture(t, tc) })
+	}
+}

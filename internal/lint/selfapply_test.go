@@ -1,0 +1,25 @@
+package lint_test
+
+import (
+	"testing"
+
+	"filealloc/internal/lint"
+)
+
+// TestSelfApplication runs the full analyzer suite over the real module —
+// the same invocation scripts/check.sh gates on — and requires zero
+// diagnostics, so the gate cannot silently drift away from the tree: any
+// new violation (or a stale //fap:ignore justification) fails this test
+// before it fails CI.
+func TestSelfApplication(t *testing.T) {
+	pkgs, err := lint.Load("../..", "./...")
+	if err != nil {
+		t.Fatalf("loading the module: %v", err)
+	}
+	if len(pkgs) < 10 {
+		t.Fatalf("loaded only %d packages; the module pattern is not resolving", len(pkgs))
+	}
+	for _, d := range lint.Run(pkgs, lint.All()) {
+		t.Errorf("fapvet is not clean on the module: %s", d)
+	}
+}

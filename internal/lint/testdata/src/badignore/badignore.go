@@ -1,0 +1,33 @@
+// Package badignore holds malformed suppression directives. The
+// expectations are asserted directly in the tests (want comments cannot sit
+// on a directive line without becoming part of the directive text).
+package badignore
+
+import "context"
+
+// holder carries a directive with no justification: the directive is
+// rejected and the ctxfirst diagnostic still fires.
+type holder struct {
+	//fap:ignore ctxfirst
+	ctx context.Context
+}
+
+// holder2 carries a directive naming an unknown analyzer.
+type holder2 struct {
+	//fap:ignore nosuchanalyzer because reasons
+	ctx context.Context
+}
+
+// holder3 carries a valid suppression: no diagnostic fires for it.
+type holder3 struct {
+	ctx context.Context //fap:ignore ctxfirst fixture exercising a valid same-line suppression
+}
+
+// Ctx uses the stored contexts so the fixture compiles cleanly.
+func (h holder) Ctx() context.Context { return h.ctx }
+
+// Ctx2 likewise.
+func (h holder2) Ctx2() context.Context { return h.ctx }
+
+// Ctx3 likewise.
+func (h holder3) Ctx3() context.Context { return h.ctx }

@@ -1,0 +1,28 @@
+// Package clockutil is the determinism analyzer's clean case: it contains
+// the same constructs as the costmodel fixture, but its import path has no
+// numeric-package segment, so none of them are diagnostics here.
+package clockutil
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Stamp may read the wall clock outside the numeric packages.
+func Stamp() time.Time {
+	return time.Now()
+}
+
+// Jitter may use the global source outside the numeric packages.
+func Jitter() float64 {
+	return rand.Float64()
+}
+
+// SumMap may accumulate in map order outside the numeric packages.
+func SumMap(m map[string]float64) float64 {
+	var s float64
+	for _, v := range m {
+		s += v
+	}
+	return s
+}

@@ -1,0 +1,85 @@
+// Package costmodel is a determinism fixture: its import path ends in a
+// numeric-package segment, so the determinism analyzer applies to it.
+package costmodel
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Stamp reads the wall clock inside a numeric package.
+func Stamp() time.Time {
+	return time.Now() // want determinism: time.Now
+}
+
+// GlobalRand draws from the process-wide source.
+func GlobalRand() float64 {
+	return rand.Float64() // want determinism: shared process-wide source
+}
+
+// GlobalShuffle mutates through the process-wide source.
+func GlobalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want determinism: shared process-wide source
+}
+
+// SeededRand is the clean pattern: an explicit seeded source, whose
+// constructor and methods are both allowed.
+func SeededRand(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Float64()
+}
+
+// SumMap accumulates floats in map iteration order.
+func SumMap(m map[string]float64) float64 {
+	var s float64
+	for _, v := range m {
+		s += v // want determinism: iteration order
+	}
+	return s
+}
+
+// SumMapIndirect hides the accumulation behind a plain assignment.
+func SumMapIndirect(m map[string]float64) float64 {
+	s := 0.0
+	for k := range m {
+		s = s + m[k] // want determinism: iteration order
+	}
+	return s
+}
+
+// ScaleMapNested accumulates in a block nested under the map range.
+func ScaleMapNested(m map[int][]float64) float64 {
+	p := 1.0
+	for _, vs := range m {
+		for _, v := range vs {
+			p *= v // want determinism: iteration order
+		}
+	}
+	return p
+}
+
+// SumSorted is the clean pattern: collect keys, sort, then accumulate in a
+// deterministic order.
+func SumSorted(m map[string]float64) float64 {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var s float64
+	for _, k := range keys {
+		s += m[k]
+	}
+	return s
+}
+
+// CountMap is clean: integer accumulation commutes exactly, so iteration
+// order cannot change the result.
+func CountMap(m map[string]float64) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}

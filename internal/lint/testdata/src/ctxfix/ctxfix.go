@@ -1,0 +1,34 @@
+// Package ctxfix exercises the ctxfirst analyzer.
+package ctxfix
+
+import "context"
+
+// Good has the context first.
+func Good(ctx context.Context, n int) {}
+
+// BadSecond has the context after another parameter.
+func BadSecond(n int, ctx context.Context) {} // want ctxfirst: first parameter
+
+// holder stores a context in a struct outside internal/sweep.
+type holder struct {
+	ctx context.Context // want ctxfirst: stored in a struct
+	n   int
+}
+
+// Ctx uses the stored field so the fixture compiles without vet noise.
+func (h holder) Ctx() context.Context { return h.ctx }
+
+// N returns the other field.
+func (h holder) N() int { return h.n }
+
+// dialer checks interface method signatures.
+type dialer interface {
+	Dial(addr string, ctx context.Context) error // want ctxfirst: first parameter
+	Ping(ctx context.Context) error
+}
+
+// callback checks function-typed declarations.
+type callback func(n int, ctx context.Context) // want ctxfirst: first parameter
+
+// goodCallback is the clean function-typed case.
+type goodCallback func(ctx context.Context, n int)

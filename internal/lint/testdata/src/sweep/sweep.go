@@ -1,0 +1,23 @@
+// Package sweep is the ctxfirst analyzer's struct-storage exemption case:
+// a package whose import path has a "sweep" segment may carry a context in
+// worker state, mirroring internal/sweep's documented plumbing. Parameter
+// order is still enforced here.
+package sweep
+
+import "context"
+
+// workerState legally stores a context inside the sweep package.
+type workerState struct {
+	ctx context.Context
+	id  int
+}
+
+// Ctx uses the stored context.
+func (w workerState) Ctx() context.Context { return w.ctx }
+
+// ID returns the worker id.
+func (w workerState) ID() int { return w.id }
+
+// BadOrder is still a violation inside sweep: the exemption covers struct
+// storage only, not parameter order.
+func BadOrder(id int, ctx context.Context) {} // want ctxfirst: first parameter

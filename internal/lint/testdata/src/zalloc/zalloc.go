@@ -1,0 +1,87 @@
+// Package zalloc exercises the zeroalloc analyzer: functions annotated
+// //fap:zeroalloc may not contain allocation constructs; everything else
+// may allocate freely.
+package zalloc
+
+type point struct{ x, y int }
+
+// Sum is annotated and clean: it only writes through caller-owned buffers.
+//
+//fap:zeroalloc
+func Sum(dst, src []float64) {
+	for i := range src {
+		dst[i] += src[i]
+	}
+}
+
+// GoodAppend is annotated and clean: it appends into a caller-owned buffer.
+//
+//fap:zeroalloc
+func GoodAppend(buf []float64, v float64) []float64 {
+	return append(buf[:0], v)
+}
+
+// GoodStructValue is annotated and clean: a plain value composite literal
+// stays on the stack.
+//
+//fap:zeroalloc
+func GoodStructValue() point {
+	return point{1, 2}
+}
+
+// GoodClosure is annotated and clean: a closure capturing nothing is
+// statically allocated.
+//
+//fap:zeroalloc
+func GoodClosure() func() int {
+	return func() int { return 42 }
+}
+
+// BadMake allocates with make.
+//
+//fap:zeroalloc
+func BadMake(n int) []float64 {
+	return make([]float64, n) // want zeroalloc: make
+}
+
+// BadNew allocates with new.
+//
+//fap:zeroalloc
+func BadNew() *int {
+	return new(int) // want zeroalloc: new
+}
+
+// BadAppend grows a locally-declared slice.
+//
+//fap:zeroalloc
+func BadAppend(v float64) []float64 {
+	var buf []float64
+	buf = append(buf, v) // want zeroalloc: append
+	return buf
+}
+
+// BadSliceLit allocates a slice literal.
+//
+//fap:zeroalloc
+func BadSliceLit() []int {
+	return []int{1, 2, 3} // want zeroalloc: slice or map literal
+}
+
+// BadEscape takes the address of a composite literal.
+//
+//fap:zeroalloc
+func BadEscape() *point {
+	return &point{1, 2} // want zeroalloc: escapes to the heap
+}
+
+// BadClosure captures a local, forcing a heap-allocated closure.
+//
+//fap:zeroalloc
+func BadClosure(n int) func() int {
+	return func() int { return n } // want zeroalloc: closure captures
+}
+
+// Unannotated may allocate: the contract is opt-in per function.
+func Unannotated(n int) []float64 {
+	return make([]float64, n)
+}

@@ -1,0 +1,162 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// zeroAllocDirective marks a function whose body must stay free of
+// allocation constructs. The contract is per-function and source-level:
+// the annotated body itself may not contain make, new, append to a slice
+// the caller does not own, escaping composite literals, or capturing
+// closures. Callees are not checked transitively (a cold-path grow helper
+// may allocate); the AllocsPerRun tests remain the runtime ground truth for
+// the composed hot path — this analyzer keeps them honest at the source
+// level by catching new allocation sites the moment they are written.
+const zeroAllocDirective = "//fap:zeroalloc"
+
+// ZeroAlloc enforces the //fap:zeroalloc annotation contract.
+var ZeroAlloc = &Analyzer{
+	Name: "zeroalloc",
+	Doc:  "functions annotated //fap:zeroalloc must not contain allocation constructs",
+	Run:  runZeroAlloc,
+}
+
+func runZeroAlloc(p *Pass) {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !hasZeroAllocDirective(fd.Doc) {
+				continue
+			}
+			checkZeroAlloc(p, fd)
+		}
+	}
+}
+
+func hasZeroAllocDirective(doc *ast.CommentGroup) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if c.Text == zeroAllocDirective || strings.HasPrefix(c.Text, zeroAllocDirective+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+func checkZeroAlloc(p *Pass, fd *ast.FuncDecl) {
+	callerOwned := collectParams(p, fd)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			id, ok := ast.Unparen(n.Fun).(*ast.Ident)
+			if !ok {
+				return true
+			}
+			b, ok := p.Info.Uses[id].(*types.Builtin)
+			if !ok {
+				return true
+			}
+			switch b.Name() {
+			case "make":
+				p.Reportf(n.Pos(), "make in a //fap:zeroalloc function; hoist the buffer to the caller or a grow helper outside the hot path")
+			case "new":
+				p.Reportf(n.Pos(), "new in a //fap:zeroalloc function; hoist the value to the caller")
+			case "append":
+				if len(n.Args) > 0 && !rootedInParam(p, n.Args[0], callerOwned) {
+					p.Reportf(n.Pos(), "append to a slice the caller does not own may grow and allocate; append into a caller-owned buffer")
+				}
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+					p.Reportf(n.Pos(), "address of a composite literal escapes to the heap in a //fap:zeroalloc function")
+				}
+			}
+		case *ast.CompositeLit:
+			switch p.Info.TypeOf(n).Underlying().(type) {
+			case *types.Slice, *types.Map:
+				p.Reportf(n.Pos(), "slice or map literal allocates in a //fap:zeroalloc function")
+			}
+		case *ast.FuncLit:
+			if name := capturedLocal(p, fd, n); name != "" {
+				p.Reportf(n.Pos(), "closure captures %q and allocates in a //fap:zeroalloc function", name)
+			}
+		}
+		return true
+	})
+}
+
+// collectParams returns the objects of fd's receiver and parameters — the
+// values the caller owns, and therefore the only legitimate append targets
+// in a zero-alloc body.
+func collectParams(p *Pass, fd *ast.FuncDecl) map[types.Object]bool {
+	owned := make(map[types.Object]bool)
+	add := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			for _, name := range field.Names {
+				if obj := p.Info.Defs[name]; obj != nil {
+					owned[obj] = true
+				}
+			}
+		}
+	}
+	add(fd.Recv)
+	add(fd.Type.Params)
+	return owned
+}
+
+// rootedInParam reports whether e's leftmost base is a parameter or the
+// receiver (e.g. buf, step.Delta, r.scratch[i]).
+func rootedInParam(p *Pass, e ast.Expr, owned map[types.Object]bool) bool {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return owned[p.Info.Uses[x]]
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return false
+		}
+	}
+}
+
+// capturedLocal returns the name of a variable declared in the enclosing
+// function but referenced inside lit, which forces the closure (and the
+// variable) to be heap-allocated. It returns "" when lit captures nothing.
+func capturedLocal(p *Pass, outer *ast.FuncDecl, lit *ast.FuncLit) string {
+	captured := ""
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if captured != "" {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj, ok := p.Info.Uses[id].(*types.Var)
+		if !ok || obj.IsField() {
+			return true
+		}
+		pos := obj.Pos()
+		if pos >= outer.Pos() && pos <= outer.End() && (pos < lit.Pos() || pos > lit.End()) {
+			captured = id.Name
+			return false
+		}
+		return true
+	})
+	return captured
+}

@@ -1,0 +1,20 @@
+package lint_test
+
+import (
+	"testing"
+
+	"filealloc/internal/lint"
+)
+
+// TestZeroAlloc proves the annotation contract: every allocation construct
+// inside a //fap:zeroalloc function is flagged (make, new, unhoisted
+// append, slice literal, escaping composite literal, capturing closure),
+// while annotated-but-clean functions and unannotated allocating functions
+// pass.
+func TestZeroAlloc(t *testing.T) {
+	for _, tc := range []fixtureCase{
+		{pkg: "zalloc", analyzer: lint.ZeroAlloc, wants: 6},
+	} {
+		t.Run(tc.pkg, func(t *testing.T) { checkFixture(t, tc) })
+	}
+}

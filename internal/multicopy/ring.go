@@ -189,6 +189,8 @@ func (r *Ring) Demands(x []float64) ([][]float64, error) {
 
 // demandsInto fills the caller-owned demand matrix a (n rows of n
 // entries) with the Demands result.
+//
+//fap:zeroalloc
 func (r *Ring) demandsInto(a [][]float64, x []float64) error {
 	n := r.Dim()
 	if err := r.checkAllocation(x); err != nil {
@@ -215,6 +217,7 @@ func (r *Ring) demandsInto(a [][]float64, x []float64) error {
 	return nil
 }
 
+//fap:zeroalloc
 func (r *Ring) checkAllocation(x []float64) error {
 	n := r.Dim()
 	if len(x) != n {
@@ -269,6 +272,8 @@ func (r *Ring) NodeCommCost(x []float64, i int) (float64, error) {
 // Cost returns the expected cost of one access:
 //
 //	C(x) = (1/λ)·Σ_j λ_j·Σ_i a_{j,i}·(d(j→i) + k·T_i),   T_i = 1/(μ_i − Λ_i).
+//
+//fap:zeroalloc
 func (r *Ring) Cost(x []float64) (float64, error) {
 	a := r.scrDemands
 	if err := r.demandsInto(a, x); err != nil {
@@ -309,6 +314,8 @@ func (r *Ring) Cost(x []float64) (float64, error) {
 }
 
 // Utility returns −Cost(x).
+//
+//fap:zeroalloc
 func (r *Ring) Utility(x []float64) (float64, error) {
 	c, err := r.Cost(x)
 	if err != nil {
@@ -333,6 +340,8 @@ func (r *Ring) Utility(x []float64) (float64, error) {
 // (∂(Λ·T)/∂Λ = μ/(μ−Λ)² folds the reader's own delay and the congestion
 // externality into one term.) For each reader the prefix membership
 // telescopes into a suffix sum, evaluated below in O(n) per reader.
+//
+//fap:zeroalloc
 func (r *Ring) Gradient(grad, x []float64) error {
 	n := r.Dim()
 	if len(grad) != n {

@@ -144,7 +144,7 @@ func (e *TCPEndpoint) acceptLoop() {
 
 func (e *TCPEndpoint) readLoop(conn net.Conn) {
 	defer e.wg.Done()
-	defer conn.Close() //nolint:errcheck // best-effort close of a read-side socket
+	defer conn.Close() //fap:ignore errdrop best-effort close of a read-side socket
 	// Close the connection when the endpoint shuts down so the scanner
 	// unblocks.
 	stop := make(chan struct{})
@@ -152,7 +152,7 @@ func (e *TCPEndpoint) readLoop(conn net.Conn) {
 	go func() {
 		select {
 		case <-e.done:
-			conn.Close() //nolint:errcheck // unblocks the scanner below
+			conn.Close() //fap:ignore errdrop best-effort close that unblocks the scanner below
 		case <-stop:
 		}
 	}()
@@ -281,7 +281,7 @@ func (e *TCPEndpoint) conn(ctx context.Context, to int) (*tcpConn, error) {
 	defer e.mu.Unlock()
 	if existing, ok := e.conns[to]; ok {
 		// Lost the race; keep the first connection.
-		c.Close() //nolint:errcheck // duplicate connection
+		c.Close() //fap:ignore errdrop closing the duplicate connection that lost the dial race
 		return existing, nil
 	}
 	tc := &tcpConn{c: c}
@@ -295,7 +295,7 @@ func (e *TCPEndpoint) dropConn(to int, tc *tcpConn) {
 	if e.conns[to] == tc {
 		delete(e.conns, to)
 	}
-	tc.c.Close() //nolint:errcheck // tearing down a failed connection
+	tc.c.Close() //fap:ignore errdrop tearing down a connection that already failed
 }
 
 // Recv implements Endpoint.
@@ -326,7 +326,7 @@ func (e *TCPEndpoint) Close() error {
 		}
 		e.mu.Lock()
 		for to, tc := range e.conns {
-			tc.c.Close() //nolint:errcheck // shutdown path
+			tc.c.Close() //fap:ignore errdrop best-effort close on the shutdown path
 			delete(e.conns, to)
 		}
 		e.mu.Unlock()

@@ -21,7 +21,16 @@ RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 
 echo "== go test -bench $PATTERN -benchtime $BENCHTIME"
-go test -bench "$PATTERN" -benchtime "$BENCHTIME" -run '^$' . | tee "$RAW"
+# Capture first, pipe never: POSIX sh has no pipefail, so
+# `go test ... | tee` would swallow a failing benchmark run and the awk
+# stage below would happily emit a truncated $OUT. Fail loudly instead,
+# leaving any previous $OUT untouched.
+if ! go test -bench "$PATTERN" -benchtime "$BENCHTIME" -run '^$' . > "$RAW" 2>&1; then
+	cat "$RAW" >&2
+	echo "bench.sh: go test -bench failed; $OUT not written" >&2
+	exit 1
+fi
+cat "$RAW"
 
 CORES="$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)"
 awk -v cores="$CORES" '

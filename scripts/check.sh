@@ -1,17 +1,38 @@
 #!/usr/bin/env sh
-# Tier-2 gate: everything tier-1 checks (build + tests) plus static
-# analysis and the race detector. Run before sending a change.
+# Tier-2 gate: everything tier-1 checks (build + tests) plus formatting,
+# static analysis (go vet and the repo's own fapvet suite), the race
+# detector, and a bench-harness regression check. Run before sending a
+# change.
 set -eu
 
 cd "$(dirname "$0")/.."
 
+echo "== gofmt -l"
+UNFORMATTED="$(gofmt -l . 2>&1 | grep -v '^internal/lint/testdata/' || true)"
+if [ -n "$UNFORMATTED" ]; then
+	echo "gofmt: the following files need formatting:" >&2
+	echo "$UNFORMATTED" >&2
+	exit 1
+fi
+
 echo "== go vet ./..."
 go vet ./...
+
+echo "== fapvet ./..."
+go run ./cmd/fapvet ./...
 
 echo "== go test -race ./..."
 go test -race ./...
 
 echo "== bench smoke (go test -bench . -benchtime 1x)"
 go test -bench . -benchtime 1x -run '^$' . > /dev/null
+
+echo "== bench.sh failure propagation"
+# A malformed benchtime makes `go test -bench` fail; bench.sh must exit
+# nonzero instead of writing a truncated BENCH_figures.json.
+if scripts/bench.sh Fig not-a-benchtime > /dev/null 2>&1; then
+	echo "bench.sh swallowed a go test failure" >&2
+	exit 1
+fi
 
 echo "ok"
