@@ -6,14 +6,25 @@
 //
 //	fapctl -n 8 -topology mesh -alpha 0.5
 //	fapctl -tcp -mode coordinator
+//
+// The checkpoint subcommand inspects crash-recovery state written by
+// fapnode -checkpoint-dir: it loads a checkpoint file (or the newest valid
+// one in a directory), validates its checksum and shape, and prints it as
+// JSON — exiting non-zero when nothing valid is found.
+//
+//	fapctl checkpoint /var/lib/fapnode/ckpt-000000012.json
+//	fapctl checkpoint /var/lib/fapnode
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
+	"sort"
 	"sync"
 	"time"
 
@@ -21,6 +32,7 @@ import (
 	"filealloc/internal/baseline"
 	"filealloc/internal/core"
 	"filealloc/internal/costmodel"
+	"filealloc/internal/recovery"
 	"filealloc/internal/topology"
 	"filealloc/internal/transport"
 )
@@ -33,6 +45,9 @@ func main() {
 }
 
 func run(args []string, w io.Writer) error {
+	if len(args) > 0 && args[0] == "checkpoint" {
+		return runCheckpoint(args[1:], w)
+	}
 	fs := flag.NewFlagSet("fapctl", flag.ContinueOnError)
 	n := fs.Int("n", 4, "cluster size")
 	topo := fs.String("topology", "ring", "network topology: ring | mesh | star")
@@ -136,6 +151,109 @@ func run(args []string, w io.Writer) error {
 	}
 	fmt.Fprintf(w, "max |distributed − centralized| = %g\n", maxDiff)
 	return nil
+}
+
+// checkpointReport is the JSON the checkpoint subcommand prints for a
+// valid checkpoint.
+type checkpointReport struct {
+	File     string    `json:"file"`
+	Version  int       `json:"version"`
+	Node     int       `json:"node"`
+	Peers    int       `json:"peers"`
+	Round    int       `json:"round"`
+	X        float64   `json:"x"`
+	FullX    []float64 `json:"full_x"`
+	SumX     float64   `json:"sum_x"`
+	Support  []int     `json:"support"`
+	Alive    []bool    `json:"alive"`
+	Planned  string    `json:"planned"`
+	Checksum string    `json:"checksum"`
+	// SkippedInvalid counts newer files in the directory that failed
+	// validation and were passed over.
+	SkippedInvalid int `json:"skipped_invalid,omitempty"`
+}
+
+// runCheckpoint implements `fapctl checkpoint <file-or-dir>`: validate a
+// crash-recovery checkpoint and print it as JSON. For a directory it
+// reports the newest valid checkpoint (matching fapnode's resume choice);
+// any error — unreadable path, corrupt file, no valid checkpoint — exits
+// non-zero.
+func runCheckpoint(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("fapctl checkpoint", flag.ContinueOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: fapctl checkpoint <checkpoint-file-or-dir>")
+	}
+	path := fs.Arg(0)
+	info, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	var (
+		ck      recovery.Checkpoint
+		file    string
+		skipped int
+	)
+	if info.IsDir() {
+		entries, err := os.ReadDir(path)
+		if err != nil {
+			return err
+		}
+		var names []string
+		for _, e := range entries {
+			name := e.Name()
+			if e.IsDir() || len(name) < 5 || name[:5] != "ckpt-" || filepath.Ext(name) != ".json" {
+				continue
+			}
+			names = append(names, name)
+		}
+		if len(names) == 0 {
+			return fmt.Errorf("no checkpoint files in %s: %w", path, recovery.ErrNoCheckpoint)
+		}
+		// Fixed-width names: lexical descending = round descending.
+		sort.Sort(sort.Reverse(sort.StringSlice(names)))
+		var firstErr error
+		found := false
+		for _, name := range names {
+			c, err := recovery.ReadFile(filepath.Join(path, name))
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				skipped++
+				continue
+			}
+			ck, file, found = c, filepath.Join(path, name), true
+			break
+		}
+		if !found {
+			return fmt.Errorf("no valid checkpoint among %d files in %s (first error: %w)", len(names), path, firstErr)
+		}
+	} else {
+		file = path
+		if ck, err = recovery.ReadFile(path); err != nil {
+			return err
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(checkpointReport{
+		File:           file,
+		Version:        ck.Version,
+		Node:           ck.Node,
+		Peers:          ck.Peers,
+		Round:          ck.Round,
+		X:              ck.X,
+		FullX:          ck.FullX,
+		SumX:           ck.SumX(),
+		Support:        ck.Support(),
+		Alive:          ck.Alive,
+		Planned:        fmt.Sprintf("%#x", ck.Planned),
+		Checksum:       ck.Checksum,
+		SkippedInvalid: skipped,
+	})
 }
 
 func runTCP(model *costmodel.SingleFile, init []float64, alpha, epsilon float64, mode agent.Mode) (x []float64, rounds int, converged bool, messages int, err error) {

@@ -1,8 +1,13 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"filealloc/internal/recovery"
 )
 
 func TestRunMemoryBroadcast(t *testing.T) {
@@ -44,6 +49,106 @@ func TestRunMeshTopology(t *testing.T) {
 	}
 	if !strings.Contains(b.String(), "topology=mesh") {
 		t.Errorf("output wrong:\n%s", b.String())
+	}
+}
+
+// writeTestCheckpoints populates a store with two rounds and returns its
+// directory.
+func writeTestCheckpoints(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	store, err := recovery.NewStore(dir, 1, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs := []float64{0.4, 0.3, 0.3, 0}
+	alive := []bool{true, true, true, false}
+	for round := 3; round <= 4; round++ {
+		if err := store.SaveRound(round, xs[1], xs, alive, 0x7); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+func TestCheckpointSubcommandInspectsFileAndDir(t *testing.T) {
+	dir := writeTestCheckpoints(t)
+
+	var b strings.Builder
+	if err := run([]string{"checkpoint", dir}, &b); err != nil {
+		t.Fatalf("checkpoint dir: %v", err)
+	}
+	var rep checkpointReport
+	if err := json.Unmarshal([]byte(b.String()), &rep); err != nil {
+		t.Fatalf("bad JSON %q: %v", b.String(), err)
+	}
+	if rep.Round != 4 || rep.Node != 1 || rep.Peers != 4 || rep.X != 0.3 {
+		t.Errorf("report = %+v, want round 4 of node 1/4 with x=0.3", rep)
+	}
+	if rep.SumX != 1 || len(rep.Support) != 3 || rep.Planned != "0x7" {
+		t.Errorf("report = %+v, want Σx=1, 3-node support, planned 0x7", rep)
+	}
+
+	// A single file is inspected directly.
+	b.Reset()
+	if err := run([]string{"checkpoint", rep.File}, &b); err != nil {
+		t.Fatalf("checkpoint file: %v", err)
+	}
+	if !strings.Contains(b.String(), `"round": 4`) {
+		t.Errorf("file output wrong:\n%s", b.String())
+	}
+}
+
+func TestCheckpointSubcommandSkipsCorruptNewest(t *testing.T) {
+	dir := writeTestCheckpoints(t)
+	// Corrupt the newest file: the subcommand must fall back to round 3
+	// and report the skip.
+	newest := filepath.Join(dir, "ckpt-000000004.json")
+	if err := os.WriteFile(newest, []byte("{ torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := run([]string{"checkpoint", dir}, &b); err != nil {
+		t.Fatalf("checkpoint: %v", err)
+	}
+	var rep checkpointReport
+	if err := json.Unmarshal([]byte(b.String()), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Round != 3 || rep.SkippedInvalid != 1 {
+		t.Errorf("report = %+v, want round 3 with 1 skipped file", rep)
+	}
+}
+
+func TestCheckpointSubcommandFailsLoudly(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"checkpoint"}, &b); err == nil {
+		t.Error("missing path accepted")
+	}
+	if err := run([]string{"checkpoint", filepath.Join(t.TempDir(), "absent")}, &b); err == nil {
+		t.Error("nonexistent path accepted")
+	}
+	if err := run([]string{"checkpoint", t.TempDir()}, &b); err == nil {
+		t.Error("empty directory accepted")
+	}
+	// A directory whose every checkpoint is corrupt is an error, not a
+	// silent empty report.
+	dir := writeTestCheckpoints(t)
+	for _, name := range []string{"ckpt-000000003.json", "ckpt-000000004.json"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("{"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := run([]string{"checkpoint", dir}, &b); err == nil {
+		t.Error("all-corrupt directory accepted")
+	}
+	// A corrupt single file is an error too.
+	bad := filepath.Join(t.TempDir(), "ckpt-000000001.json")
+	if err := os.WriteFile(bad, []byte("nope"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"checkpoint", bad}, &b); err == nil {
+		t.Error("corrupt file accepted")
 	}
 }
 

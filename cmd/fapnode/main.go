@@ -29,6 +29,7 @@ import (
 
 	"filealloc/internal/agent"
 	"filealloc/internal/costmodel"
+	"filealloc/internal/recovery"
 	"filealloc/internal/topology"
 	"filealloc/internal/transport"
 )
@@ -46,6 +47,8 @@ type result struct {
 	Rounds    int     `json:"rounds"`
 	Converged bool    `json:"converged"`
 	Messages  int     `json:"messages"`
+	Restarts  int     `json:"restarts"`
+	Resumed   int     `json:"resumed_from_round,omitempty"`
 }
 
 func run(args []string, out io.Writer) error {
@@ -66,6 +69,10 @@ func run(args []string, out io.Writer) error {
 	timeout := fs.Duration("round-timeout", 30*time.Second, "per-round message wait")
 	maxRounds := fs.Int("max-rounds", 10000, "round budget")
 	verbose := fs.Bool("v", false, "log round events and transport errors to stderr")
+	ckptDir := fs.String("checkpoint-dir", "", "write per-round checkpoints here and resume from the latest valid one on start (broadcast mode)")
+	maxRestarts := fs.Int("max-restarts", 0, "supervised in-process restarts after a crash-class failure (0: run once)")
+	quorum := fs.Int("quorum", 0, "finish a round at its deadline once this many reports (incl. own) arrived; 0 requires full rounds (broadcast mode)")
+	departAfter := fs.Int("depart-after", 0, "declare a peer departed after this many consecutive missed quorum rounds (requires -quorum)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -106,6 +113,10 @@ func run(args []string, out io.Writer) error {
 	default:
 		return fmt.Errorf("unknown -mode %q", *mode)
 	}
+	recoverable := *ckptDir != "" || *maxRestarts != 0
+	if recoverable && agentMode != agent.Broadcast {
+		return fmt.Errorf("-checkpoint-dir and -max-restarts require -mode broadcast")
+	}
 
 	var obs agent.Observer = agent.NopObserver{}
 	if *verbose {
@@ -126,7 +137,7 @@ func run(args []string, out io.Writer) error {
 	fmt.Fprintf(os.Stderr, "fapnode %d: listening on %s, C_i=%.4f, waiting for peers...\n",
 		*id, ep.Addr(), model.AccessCost(*id))
 
-	outcome, err := agent.Run(context.Background(), agent.Config{
+	cfg := agent.Config{
 		Endpoint:      ep,
 		Model:         agent.ModelsFromSingleFile(model)[*id],
 		Init:          init[*id],
@@ -137,9 +148,57 @@ func run(args []string, out io.Writer) error {
 		CoordinatorID: *coordinator,
 		RoundTimeout:  *timeout,
 		Observer:      obs,
-	})
-	if err != nil {
-		return err
+		Quorum:        *quorum,
+		DepartAfter:   *departAfter,
+	}
+
+	resumedFrom := 0
+	var store recovery.Resumer = recovery.NewMemStore(*id, n)
+	if *ckptDir != "" {
+		s, err := recovery.NewStore(*ckptDir, *id, n, 0)
+		if err != nil {
+			return err
+		}
+		store = s
+		// A restarted process picks up where its predecessor died: the
+		// latest valid checkpoint becomes the starting round.
+		ck, ok, err := s.Latest()
+		if err != nil {
+			return err
+		}
+		if ok {
+			cfg.StartRound = ck.Round
+			cfg.Init = ck.X
+			cfg.InitFullX = ck.FullX
+			cfg.InitAlive = ck.Alive
+			cfg.InitPlanned = ck.Planned
+			resumedFrom = ck.Round
+			obs.RecoveryEvent(*id, ck.Round, "resume", "process start resuming from checkpoint")
+			fmt.Fprintf(os.Stderr, "fapnode %d: resuming from round-%d checkpoint in %s\n", *id, ck.Round, s.Dir())
+		}
+	}
+
+	var (
+		outcome  agent.Outcome
+		restarts int
+	)
+	if *maxRestarts != 0 {
+		sout, serr := recovery.RunSupervisedAgent(context.Background(), cfg, recovery.SupervisorConfig{
+			MaxRestarts: *maxRestarts,
+			Seed:        int64(*id) + 1,
+		}, store)
+		if serr != nil {
+			return serr
+		}
+		outcome, restarts = sout.Outcome, sout.Restarts
+	} else {
+		if recoverable {
+			cfg.Checkpoint = store
+		}
+		outcome, err = agent.Run(context.Background(), cfg)
+		if err != nil {
+			return err
+		}
 	}
 	enc := json.NewEncoder(out)
 	return enc.Encode(result{
@@ -148,6 +207,8 @@ func run(args []string, out io.Writer) error {
 		Rounds:    outcome.Rounds,
 		Converged: outcome.Converged,
 		Messages:  outcome.MessagesSent,
+		Restarts:  restarts,
+		Resumed:   resumedFrom,
 	})
 }
 

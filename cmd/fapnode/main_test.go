@@ -6,6 +6,8 @@ import (
 	"strings"
 	"sync"
 	"testing"
+
+	"filealloc/internal/recovery"
 )
 
 func TestParseVector(t *testing.T) {
@@ -84,6 +86,68 @@ func TestRunValidation(t *testing.T) {
 	}
 	if err := run([]string{"-addrs", "a,b", "-init", "1,2,3"}, &b); err == nil {
 		t.Error("mismatched -init accepted")
+	}
+}
+
+func TestRunRecoveryFlagValidation(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-addrs", "a,b", "-mode", "coordinator", "-checkpoint-dir", t.TempDir()}, &b); err == nil {
+		t.Error("-checkpoint-dir accepted in coordinator mode")
+	}
+	if err := run([]string{"-addrs", "a,b", "-mode", "coordinator", "-max-restarts", "2"}, &b); err == nil {
+		t.Error("-max-restarts accepted in coordinator mode")
+	}
+}
+
+// TestRunClusterWithCheckpoints drives a 3-node cluster with supervised
+// restart and on-disk checkpointing enabled: every node must converge,
+// leave a valid checkpoint history behind, and report its resume state.
+func TestRunClusterWithCheckpoints(t *testing.T) {
+	addrs := "127.0.0.1:17651,127.0.0.1:17652,127.0.0.1:17653"
+	dirs := make([]string, 3)
+	for i := range dirs {
+		dirs[i] = t.TempDir()
+	}
+	var wg sync.WaitGroup
+	outs := make([]strings.Builder, 3)
+	errs := make([]error, 3)
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = run([]string{
+				"-id", string(rune('0' + i)),
+				"-addrs", addrs,
+				"-init", "1,0,0",
+				"-round-timeout", "10s",
+				"-checkpoint-dir", dirs[i],
+				"-max-restarts", "2",
+			}, &outs[i])
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < 3; i++ {
+		if errs[i] != nil {
+			t.Fatalf("node %d: %v", i, errs[i])
+		}
+		var res result
+		if err := json.Unmarshal([]byte(outs[i].String()), &res); err != nil {
+			t.Fatalf("node %d output %q: %v", i, outs[i].String(), err)
+		}
+		if !res.Converged || res.Restarts != 0 || res.Resumed != 0 {
+			t.Errorf("node %d: converged=%t restarts=%d resumed=%d", i, res.Converged, res.Restarts, res.Resumed)
+		}
+		store, err := recovery.NewStore(dirs[i], i, 3, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ck, ok, err := store.Latest()
+		if err != nil || !ok {
+			t.Fatalf("node %d: no valid checkpoint left behind (ok=%t err=%v)", i, ok, err)
+		}
+		if ck.Round == 0 || math.Abs(ck.SumX()-1) > 1e-9 {
+			t.Errorf("node %d: latest checkpoint round=%d Σx=%v", i, ck.Round, ck.SumX())
+		}
 	}
 }
 

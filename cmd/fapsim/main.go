@@ -7,7 +7,8 @@
 //	fapsim [-csv] [-v] [-workers N] <experiment>
 //
 // where <experiment> is one of: fig3, fig4, fig5, fig6, fig8, fig9,
-// validate, second-order, decentralized, price-directed, chaos, all.
+// validate, second-order, decentralized, price-directed, chaos,
+// chaos-churn, all.
 // -v streams agent round events to stderr for the experiments that run
 // the decentralized runtime. -workers bounds the parameter-sweep
 // concurrency (default: GOMAXPROCS); -workers 1 reproduces the serial
@@ -73,6 +74,7 @@ func run(args []string, w io.Writer) error {
 		"decentralized":  func() error { return runDecentralized(ctx, w, obs, *csv) },
 		"price-directed": func() error { return runPriceDirected(ctx, w, *csv) },
 		"chaos":          func() error { return runChaos(ctx, w, obs, *csv) },
+		"chaos-churn":    func() error { return runChaosChurn(ctx, w, obs, *csv) },
 		"copies":         func() error { return runCopies(ctx, w, *csv) },
 		"neighbor":       func() error { return runNeighbor(ctx, w, *csv) },
 		"availability":   func() error { return runAvailability(w, *csv) },
@@ -83,7 +85,7 @@ func run(args []string, w io.Writer) error {
 	if name == "all" {
 		order := []string{"fig3", "fig4", "fig5", "fig6", "fig8", "fig9",
 			"validate", "second-order", "decentralized", "price-directed",
-			"chaos", "copies", "neighbor", "availability", "adaptive", "quantize", "records"}
+			"chaos", "chaos-churn", "copies", "neighbor", "availability", "adaptive", "quantize", "records"}
 		for _, exp := range order {
 			fmt.Fprintf(w, "==== %s ====\n", exp)
 			if err := runners[exp](); err != nil {
@@ -95,7 +97,7 @@ func run(args []string, w io.Writer) error {
 	}
 	runner, ok := runners[name]
 	if !ok {
-		return fmt.Errorf("unknown experiment %q (want fig3|fig4|fig5|fig6|fig8|fig9|validate|second-order|decentralized|price-directed|chaos|copies|neighbor|availability|adaptive|quantize|records|all)", name)
+		return fmt.Errorf("unknown experiment %q (want fig3|fig4|fig5|fig6|fig8|fig9|validate|second-order|decentralized|price-directed|chaos|chaos-churn|copies|neighbor|availability|adaptive|quantize|records|all)", name)
 	}
 	return runner()
 }
@@ -490,6 +492,36 @@ func runChaos(ctx context.Context, w io.Writer, obs agent.Observer, csv bool) er
 		fmt.Fprintf(w, "  %-11s %-12s %-10s %-8d %-10d %-8d %-9d %-10d %-9d %g\n",
 			r.Scenario, r.Mode, chaosOutcome(r), r.Rounds, r.Messages,
 			r.FaultsInjected, r.SendRetries, r.Discarded, r.Timeouts, r.MaxAllocationDiff)
+	}
+	return nil
+}
+
+func runChaosChurn(ctx context.Context, w io.Writer, obs agent.Observer, csv bool) error {
+	rows, err := experiments.ChaosChurn(ctx, obs)
+	if err != nil {
+		return err
+	}
+	if csv {
+		fmt.Fprintln(w, "scenario,converged,rounds,survivors,restarts,crashes,departs,rejoins,max_kkt_gap,sum_error")
+		for _, r := range rows {
+			fmt.Fprintf(w, "%s,%v,%d,%d,%d,%d,%d,%d,%g,%g\n",
+				r.Scenario, r.Converged, r.Rounds, r.Survivors, r.Restarts,
+				r.Crashes, r.Departs, r.Rejoins, r.MaxKKTGap, r.SumError)
+		}
+		return nil
+	}
+	fmt.Fprintln(w, "Chaos-churn — supervised crash recovery and membership churn (figure-3 system, α=0.3)")
+	fmt.Fprintln(w, "contract: converge to the KKT optimum of the surviving support, or fail with a typed error")
+	fmt.Fprintf(w, "  %-18s %-10s %-8s %-10s %-9s %-8s %-8s %-8s %-12s %s\n",
+		"scenario", "outcome", "rounds", "survivors", "restarts", "crashes", "departs", "rejoins", "max KKT gap", "|Σx−1|")
+	for _, r := range rows {
+		outcome := "failed"
+		if r.Converged {
+			outcome = "converged"
+		}
+		fmt.Fprintf(w, "  %-18s %-10s %-8d %-10d %-9d %-8d %-8d %-8d %-12.4g %g\n",
+			r.Scenario, outcome, r.Rounds, r.Survivors, r.Restarts,
+			r.Crashes, r.Departs, r.Rejoins, r.MaxKKTGap, r.SumError)
 	}
 	return nil
 }

@@ -34,7 +34,34 @@ var (
 	ErrRoundTimeout = errors.New("agent: round timed out")
 	// ErrProtocol reports a peer violating the protocol.
 	ErrProtocol = errors.New("agent: protocol violation")
+	// ErrLapped reports a resume that came back after the cluster had
+	// already quorum-completed rounds without this node: a peer's report
+	// arrived for a round more than one ahead of ours. Continuing would
+	// plan steps over a different group than the survivors and drift
+	// from Σx = 1, so the agent fails loudly; re-entry goes through the
+	// epoch rejoin path instead.
+	ErrLapped = errors.New("agent: resumed behind the cluster")
+	// ErrDesync reports that a peer planned the previous round's step
+	// over a different group than we did — the quorum-round fingerprints
+	// disagree. Both sides stop before the divergence can spread.
+	ErrDesync = errors.New("agent: round group desynchronized")
+	// ErrCheckpoint reports a failed checkpoint save; the agent stops
+	// rather than keep running without durable progress.
+	ErrCheckpoint = errors.New("agent: checkpoint save failed")
 )
+
+// CheckpointSink persists an agent's round state so a supervised restart
+// can resume the run bit-identically. SaveRound is called at the top of
+// every round, before any message of the round is sent; the recovery
+// package's Store is the durable implementation. A nil sink disables
+// checkpointing.
+type CheckpointSink interface {
+	// SaveRound records the state the round starts from: the node's own
+	// fragment x, its view xs of the full allocation, the live
+	// membership, and the bitmask fingerprint of the previous round's
+	// planning group.
+	SaveRound(round int, x float64, xs []float64, alive []bool, planned uint64) error
+}
 
 // LocalModel is the node-local knowledge needed to evaluate the marginal
 // utility of the equation-2 objective at the node's own fragment:
@@ -139,6 +166,40 @@ type Config struct {
 	// Observer receives round-level events (default: none). A shared
 	// Observer must be safe for concurrent use.
 	Observer Observer
+
+	// Quorum, when nonzero, lets a broadcast round complete short on its
+	// RoundTimeout deadline as long as at least Quorum nodes (including
+	// this one) reported; the round's step is then planned over the
+	// reporters only. Must be in [2, n]. Broadcast mode only, n ≤ 64
+	// (the Planned fingerprint is a 64-bit mask), and incompatible with
+	// DynamicAlphaSafety and SecondOrder, whose stepsize math assumes
+	// full rounds. Zero (the default) keeps the strict lockstep
+	// protocol: a short round is ErrRoundTimeout.
+	Quorum int
+	// DepartAfter, when nonzero, declares a peer departed after it
+	// missed that many consecutive quorum rounds; the survivors then
+	// redistribute its fraction (core.Renormalize) and continue on the
+	// reduced support. Requires Quorum — departure detection rides on
+	// rounds that complete without the silent peer.
+	DepartAfter int
+	// Checkpoint, when non-nil, persists the round state at the top of
+	// every round so a supervised restart can resume bit-identically.
+	// Broadcast mode only.
+	Checkpoint CheckpointSink
+	// StartRound resumes the protocol at a later round (from a
+	// checkpoint) instead of 0. The Init* fields below restore the rest
+	// of the checkpointed state. Broadcast mode only.
+	StartRound int
+	// InitFullX restores the node's view of the full allocation on
+	// resume; nil starts from zeros (round 0 fills it from reports).
+	InitFullX []float64
+	// InitAlive restores the live-membership view on resume; nil means
+	// all nodes alive. When set it must include this node.
+	InitAlive []bool
+	// InitPlanned restores the previous round's planning-group
+	// fingerprint on resume; zero means "no previous plan" and disables
+	// the desync check for the first resumed round.
+	InitPlanned uint64
 }
 
 func (c *Config) fill() error {
@@ -200,6 +261,47 @@ func (c *Config) fill() error {
 		}
 		if c.DynamicAlphaSafety > 0 {
 			return fmt.Errorf("%w: second-order step and dynamic alpha are mutually exclusive", ErrBadConfig)
+		}
+	}
+	n := c.Endpoint.Peers()
+	if c.Quorum != 0 {
+		if c.Mode != Broadcast {
+			return fmt.Errorf("%w: quorum rounds require broadcast mode", ErrBadConfig)
+		}
+		if c.Quorum < 2 || c.Quorum > n {
+			return fmt.Errorf("%w: quorum %d outside [2, %d]", ErrBadConfig, c.Quorum, n)
+		}
+		if n > 64 {
+			return fmt.Errorf("%w: quorum rounds need n ≤ 64 (planning-group fingerprint is a 64-bit mask), have %d", ErrBadConfig, n)
+		}
+		if c.DynamicAlphaSafety > 0 || c.SecondOrder {
+			return fmt.Errorf("%w: quorum rounds are incompatible with dynamic alpha and second-order steps", ErrBadConfig)
+		}
+	}
+	if c.DepartAfter < 0 {
+		return fmt.Errorf("%w: depart-after = %d", ErrBadConfig, c.DepartAfter)
+	}
+	if c.DepartAfter > 0 && c.Quorum == 0 {
+		return fmt.Errorf("%w: departure detection requires quorum rounds", ErrBadConfig)
+	}
+	if c.Checkpoint != nil && c.Mode != Broadcast {
+		return fmt.Errorf("%w: checkpointing requires broadcast mode", ErrBadConfig)
+	}
+	if c.StartRound < 0 || c.StartRound >= c.MaxRounds {
+		return fmt.Errorf("%w: start round %d outside [0, %d)", ErrBadConfig, c.StartRound, c.MaxRounds)
+	}
+	if c.StartRound > 0 && c.Mode != Broadcast {
+		return fmt.Errorf("%w: checkpoint resume requires broadcast mode", ErrBadConfig)
+	}
+	if c.InitFullX != nil && len(c.InitFullX) != n {
+		return fmt.Errorf("%w: initial full allocation has %d entries for cluster of %d", ErrBadConfig, len(c.InitFullX), n)
+	}
+	if c.InitAlive != nil {
+		if len(c.InitAlive) != n {
+			return fmt.Errorf("%w: initial alive set has %d entries for cluster of %d", ErrBadConfig, len(c.InitAlive), n)
+		}
+		if !c.InitAlive[c.Endpoint.ID()] {
+			return fmt.Errorf("%w: initial alive set excludes this node", ErrBadConfig)
 		}
 	}
 	return nil
@@ -275,6 +377,9 @@ type Outcome struct {
 	Converged bool
 	// MessagesSent counts protocol messages this agent sent.
 	MessagesSent int
+	// Alive is the node's final live-membership view (Broadcast mode);
+	// entries are false for peers declared departed during the run.
+	Alive []bool
 }
 
 // Run executes the agent until convergence, MaxRounds, or context
@@ -305,10 +410,16 @@ func group01n(n int) []int {
 }
 
 // collectReports receives until the buffer holds `want` reports for
-// round. Stale rebroadcasts and identical duplicates — normal fallout of
-// retries and faulty links — are discarded and counted, never fatal;
-// conflicting duplicates and impersonation remain protocol violations.
-func collectReports(ctx context.Context, cfg Config, buf *protocol.RoundBuffer, round, want int) error {
+// round, or — when cfg.Quorum is set — until the RoundTimeout deadline
+// fires with at least Quorum reporters (including this node); it then
+// reports full=false and the caller plans over the partial group. Stale
+// rebroadcasts, identical duplicates, and reports from departed nodes —
+// normal fallout of retries, faulty links, and churn — are discarded and
+// counted, never fatal; conflicting duplicates and impersonation remain
+// protocol violations. A report for a round more than one ahead of ours
+// is ErrLapped: the cluster quorum-completed rounds without us and our
+// state is stale.
+func collectReports(ctx context.Context, cfg Config, buf *protocol.RoundBuffer, round, want int, alive []bool) (full bool, err error) {
 	id := cfg.Endpoint.ID()
 	deadline, cancel := context.WithTimeout(ctx, cfg.RoundTimeout)
 	defer cancel()
@@ -316,22 +427,30 @@ func collectReports(ctx context.Context, cfg Config, buf *protocol.RoundBuffer, 
 		msg, err := cfg.Endpoint.Recv(deadline)
 		if err != nil {
 			if errors.Is(err, context.DeadlineExceeded) && ctx.Err() == nil {
+				got := buf.Count(round)
 				cfg.Observer.TimeoutFired(id, round)
-				cfg.Observer.ReportsCollected(id, round, buf.Count(round), want)
-				return fmt.Errorf("%w: %d of %d reports for round %d", ErrRoundTimeout, buf.Count(round), want, round)
+				cfg.Observer.ReportsCollected(id, round, got, want)
+				if cfg.Quorum > 0 && got+1 >= cfg.Quorum {
+					cfg.Observer.RecoveryEvent(id, round, "quorum", fmt.Sprintf("round completed short with %d of %d reports", got, want))
+					return false, nil
+				}
+				return false, fmt.Errorf("%w: %d of %d reports for round %d", ErrRoundTimeout, got, want, round)
 			}
-			return fmt.Errorf("agent: receiving round %d: %w", round, err)
+			return false, fmt.Errorf("agent: receiving round %d: %w", round, err)
 		}
 		env, err := protocol.Decode(msg.Payload)
 		if err != nil {
-			return fmt.Errorf("agent: round %d: %w", round, err)
+			return false, fmt.Errorf("agent: round %d: %w", round, err)
 		}
 		if env.Kind != protocol.KindReport {
-			return fmt.Errorf("%w: unexpected %q message during report collection", ErrProtocol, env.Kind)
+			return false, fmt.Errorf("%w: unexpected %q message during report collection", ErrProtocol, env.Kind)
 		}
 		rep := env.Report
 		if rep.Node != msg.From {
-			return fmt.Errorf("%w: node %d sent a report claiming to be node %d", ErrProtocol, msg.From, rep.Node)
+			return false, fmt.Errorf("%w: node %d sent a report claiming to be node %d", ErrProtocol, msg.From, rep.Node)
+		}
+		if rep.Round > round+1 {
+			return false, fmt.Errorf("%w: node %d is already at round %d while we are at round %d", ErrLapped, rep.Node, rep.Round, round)
 		}
 		if rep.Round < round {
 			// Stale rebroadcast — the round it belongs to already
@@ -339,35 +458,118 @@ func collectReports(ctx context.Context, cfg Config, buf *protocol.RoundBuffer, 
 			cfg.Observer.MessageDiscarded(id, round, "stale report")
 			continue
 		}
+		if alive != nil && rep.Node >= 0 && rep.Node < len(alive) && !alive[rep.Node] {
+			// A node we already declared departed (its fraction is
+			// redistributed). Its late report cannot rejoin this epoch.
+			cfg.Observer.MessageDiscarded(id, round, "report from departed node")
+			continue
+		}
 		if err := buf.Add(*rep); err != nil {
 			if errors.Is(err, protocol.ErrDuplicateReport) {
 				cfg.Observer.MessageDiscarded(id, round, "duplicate report")
 				continue
 			}
-			return fmt.Errorf("agent: round %d: %w", round, err)
+			return false, fmt.Errorf("agent: round %d: %w", round, err)
 		}
 	}
 	cfg.Observer.ReportsCollected(id, round, want, want)
-	return nil
+	return true, nil
+}
+
+// maskOf fingerprints a planning group as a bitmask (bit i = node i). It
+// returns 0 — "unchecked" — when any member falls outside the 64-bit
+// range; fill() guarantees n ≤ 64 whenever the fingerprint matters.
+func maskOf(group []int) uint64 {
+	var m uint64
+	for _, gi := range group {
+		if gi < 0 || gi >= 64 {
+			return 0
+		}
+		m |= 1 << uint(gi)
+	}
+	return m
+}
+
+// countTrue counts set entries of a boolean membership vector.
+func countTrue(bs []bool) int {
+	n := 0
+	for _, b := range bs {
+		if b {
+			n++
+		}
+	}
+	return n
+}
+
+// aliveGroup returns the ascending index set of live nodes.
+func aliveGroup(alive []bool) []int {
+	g := make([]int, 0, len(alive))
+	for i, a := range alive {
+		if a {
+			g = append(g, i)
+		}
+	}
+	return g
+}
+
+// deltaOf returns the step's delta for node id, or 0 if id is outside the
+// planning group.
+func deltaOf(step core.Step, group []int, id int) float64 {
+	for k, gi := range group {
+		if gi == id {
+			return step.Delta[k]
+		}
+	}
+	return 0
 }
 
 // runBroadcast is the fully decentralized mode: everyone talks to everyone.
+// With Quorum/DepartAfter set it also carries the churn protocol: rounds
+// may complete short on their deadline, silent peers are declared departed
+// after DepartAfter consecutive misses and their fraction redistributed
+// over the survivors, and every partial-round step is re-certified against
+// Theorem 2 (predicted ΔU ≥ 0) before being applied. Termination fires
+// only on full rounds, so the run either converges with every live peer in
+// agreement or fails with a typed error — it never exits on a partial view.
 func runBroadcast(ctx context.Context, cfg Config) (Outcome, error) {
 	ep := cfg.Endpoint
 	n := ep.Peers()
 	id := ep.ID()
-	group := group01n(n)
 	buf := protocol.NewRoundBuffer(n)
 
 	x := cfg.Init
 	out := Outcome{}
 	xs := make([]float64, n)
+	if cfg.InitFullX != nil {
+		copy(xs, cfg.InitFullX)
+		x = xs[id]
+	}
+	alive := make([]bool, n)
+	if cfg.InitAlive != nil {
+		copy(alive, cfg.InitAlive)
+	} else {
+		for i := range alive {
+			alive[i] = true
+		}
+	}
+	missing := make([]int, n)
+	planned := cfg.InitPlanned
+	churn := cfg.Quorum > 0
 	gs := make([]float64, n)
 	hs := make([]float64, n)
+	group := make([]int, 0, n)
 	alpha := cfg.Alpha
-	for round := 0; round < cfg.MaxRounds; round++ {
+	for round := cfg.StartRound; round < cfg.MaxRounds; round++ {
 		if err := ctx.Err(); err != nil {
 			return out, fmt.Errorf("agent: canceled at round %d: %w", round, err)
+		}
+		if cfg.Checkpoint != nil {
+			// Save before the round's first send: a crash anywhere in the
+			// round resumes here, and the re-broadcast of the identical
+			// report is discarded by peers as a benign duplicate.
+			if err := cfg.Checkpoint.SaveRound(round, x, xs, alive, planned); err != nil {
+				return out, fmt.Errorf("%w: round %d: %v", ErrCheckpoint, round, err)
+			}
 		}
 		cfg.Observer.RoundStarted(id, round)
 		g, err := cfg.Model.Marginal(x)
@@ -381,23 +583,63 @@ func runBroadcast(ctx context.Context, cfg Config) (Outcome, error) {
 			}
 		}
 		payload, err := protocol.EncodeReport(protocol.Report{
-			Round: round, Node: id, Marginal: g, Alloc: x, Curvature: h,
+			Round: round, Node: id, Marginal: g, Alloc: x, Curvature: h, Planned: planned,
 		})
 		if err != nil {
 			return out, err
 		}
-		sent, err := broadcastReliably(ctx, cfg, round, payload)
-		out.MessagesSent += sent
-		if err != nil {
-			return out, fmt.Errorf("agent: broadcasting round %d: %w", round, err)
+		for to := 0; to < n; to++ {
+			if to == id || !alive[to] {
+				continue
+			}
+			if err := sendReliably(ctx, cfg, round, to, payload); err != nil {
+				return out, fmt.Errorf("agent: broadcasting round %d: %w", round, err)
+			}
+			out.MessagesSent++
 		}
-		if err := collectReports(ctx, cfg, buf, round, n-1); err != nil {
+		want := countTrue(alive) - 1
+		full, err := collectReports(ctx, cfg, buf, round, want, alive)
+		if err != nil {
 			return out, err
 		}
 		reports := buf.Take(round)
+		// The planning group is this node plus the round's reporters, in
+		// ascending order — identical on every node that saw the same
+		// reports. Each report's fingerprint of the sender's previous
+		// planning group must match ours: a mismatch means an earlier
+		// round silently split the cluster into different quorum subsets.
+		group = group[:0]
 		xs[id], gs[id], hs[id] = x, g, h
-		for node, rep := range reports {
+		for node := 0; node < n; node++ {
+			if node == id {
+				group = append(group, node)
+				continue
+			}
+			rep, ok := reports[node]
+			if !ok {
+				continue
+			}
+			if churn && planned != 0 && rep.Planned != 0 && rep.Planned != planned {
+				return out, fmt.Errorf("%w: node %d planned round %d over group %#x, we planned over %#x", ErrDesync, node, round-1, rep.Planned, planned)
+			}
 			xs[node], gs[node], hs[node] = rep.Alloc, rep.Marginal, rep.Curvature
+			group = append(group, node)
+		}
+		var departed []int
+		if churn {
+			for node := 0; node < n; node++ {
+				if node == id || !alive[node] {
+					continue
+				}
+				if _, ok := reports[node]; ok {
+					missing[node] = 0
+					continue
+				}
+				missing[node]++
+				if cfg.DepartAfter > 0 && missing[node] >= cfg.DepartAfter {
+					departed = append(departed, node)
+				}
+			}
 		}
 		if cfg.DynamicAlphaSafety > 0 {
 			if dyn := dynamicAlpha(gs, hs, cfg.DynamicAlphaSafety); dyn > 0 {
@@ -413,30 +655,66 @@ func runBroadcast(ctx context.Context, cfg Config) (Outcome, error) {
 		if err != nil {
 			return out, fmt.Errorf("agent: planning round %d: %w", round, err)
 		}
+		// Theorem-2 guard: a step planned from a partial report set must
+		// still predict ΔU ≥ 0, or it is rejected (a no-op round) —
+		// identically on every node planning over the same group.
+		reject := false
+		if churn && !full {
+			du, err := core.Ascent(gs, group, step)
+			if err != nil {
+				return out, fmt.Errorf("agent: certifying round %d: %w", round, err)
+			}
+			if du < 0 {
+				reject = true
+				cfg.Observer.RecoveryEvent(id, round, "reject", fmt.Sprintf("partial-round step predicts ΔU = %g < 0", du))
+			}
+		}
 		spread := step.Spread(gs, group)
-		cfg.Observer.StepPlanned(id, round, spread, step.Delta[id])
-		if spread < cfg.Epsilon {
-			out.X = x
-			out.FullX = append([]float64(nil), xs...)
-			out.Rounds = round
-			out.Converged = true
-			cfg.Observer.RunFinished(id, out.Rounds, out.Converged)
-			return out, nil
+		cfg.Observer.StepPlanned(id, round, spread, deltaOf(step, group, id))
+		if full {
+			if spread < cfg.Epsilon {
+				out.X = x
+				out.FullX = append([]float64(nil), xs...)
+				out.Rounds = round
+				out.Converged = true
+				out.Alive = append([]bool(nil), alive...)
+				cfg.Observer.RunFinished(id, out.Rounds, out.Converged)
+				return out, nil
+			}
+			if step.IsNoOp() {
+				out.X = x
+				out.FullX = append([]float64(nil), xs...)
+				out.Rounds = round
+				out.Alive = append([]bool(nil), alive...)
+				cfg.Observer.RunFinished(id, out.Rounds, out.Converged)
+				return out, nil
+			}
 		}
-		if step.IsNoOp() {
-			out.X = x
-			out.FullX = append([]float64(nil), xs...)
-			out.Rounds = round
-			cfg.Observer.RunFinished(id, out.Rounds, out.Converged)
-			return out, nil
+		if !reject {
+			if err := step.Apply(xs, group); err != nil {
+				return out, fmt.Errorf("agent: applying round %d: %w", round, err)
+			}
+			x = xs[id]
 		}
-		x += step.Delta[id]
-		if x < 0 && x > -1e-9 {
-			x = 0
+		planned = maskOf(group)
+		if len(departed) > 0 {
+			for _, d := range departed {
+				alive[d] = false
+				cfg.Observer.RecoveryEvent(id, round, "depart", fmt.Sprintf("node %d missed %d consecutive rounds; redistributing its fraction", d, missing[d]))
+			}
+			// Feasibility-preserving redistribution (Theorem 1): the
+			// survivors rescale their own mutually-known fragments to sum
+			// to exactly 1, identically on every survivor.
+			if err := core.Renormalize(xs, aliveGroup(alive)); err != nil {
+				return out, fmt.Errorf("agent: redistributing after round %d: %w", round, err)
+			}
+			x = xs[id]
 		}
 	}
 	out.X = x
+	out.FullX = append([]float64(nil), xs...)
 	out.Rounds = cfg.MaxRounds
+	out.Alive = append([]bool(nil), alive...)
 	cfg.Observer.RunFinished(id, out.Rounds, out.Converged)
 	return out, nil
 }
@@ -464,7 +742,7 @@ func runCoordinator(ctx context.Context, cfg Config) (Outcome, error) {
 		if err != nil {
 			return out, fmt.Errorf("agent: round %d: %w", round, err)
 		}
-		if err := collectReports(ctx, cfg, buf, round, n-1); err != nil {
+		if _, err := collectReports(ctx, cfg, buf, round, n-1, nil); err != nil {
 			return out, err
 		}
 		reports := buf.Take(round)

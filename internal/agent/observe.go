@@ -33,6 +33,15 @@ type Observer interface {
 	// TransportError surfaces an asynchronous transport failure (for
 	// example a TCP read-loop error) that has no round context.
 	TransportError(node int, detail string)
+	// RecoveryEvent fires on a crash-recovery lifecycle transition. kind
+	// is one of "crash" (a run died on a crash fault), "restart" (the
+	// supervisor is about to re-run it), "resume" (a run continued from a
+	// checkpoint), "quorum" (a round completed short on its deadline),
+	// "depart" (a node was declared departed and its fraction
+	// redistributed), "reject" (a planned step failed the monotonicity
+	// guard and was skipped), or "rejoin" (a departed node re-entered
+	// with a zero fragment).
+	RecoveryEvent(node, round int, kind, detail string)
 	// RunFinished fires when the agent's run ends without error.
 	RunFinished(node, rounds int, converged bool)
 }
@@ -50,6 +59,7 @@ func (NopObserver) SendRetried(node, round, to, attempt int, err error) {}
 func (NopObserver) TimeoutFired(node, round int)                        {}
 func (NopObserver) MessageDiscarded(node, round int, reason string)     {}
 func (NopObserver) TransportError(node int, detail string)              {}
+func (NopObserver) RecoveryEvent(node, round int, kind, detail string)  {}
 func (NopObserver) RunFinished(node, rounds int, converged bool)        {}
 
 // Counters is a snapshot of a CounterObserver's tallies.
@@ -63,8 +73,11 @@ type Counters struct {
 	TransportErrors int64
 	RunsFinished    int64
 	RunsConverged   int64
+	RecoveryEvents  int64 // total RecoveryEvent notifications
 	// DiscardsByReason splits Discarded by the reason string.
 	DiscardsByReason map[string]int64
+	// RecoveryByKind splits RecoveryEvents by the kind string.
+	RecoveryByKind map[string]int64
 	// MaxRound is the highest round any node started.
 	MaxRound int
 	// LastSpread is the convergence spread of the most recent planned
@@ -89,6 +102,10 @@ func (o *CounterObserver) Counters() Counters {
 	snap.DiscardsByReason = make(map[string]int64, len(o.c.DiscardsByReason))
 	for k, v := range o.c.DiscardsByReason {
 		snap.DiscardsByReason[k] = v
+	}
+	snap.RecoveryByKind = make(map[string]int64, len(o.c.RecoveryByKind))
+	for k, v := range o.c.RecoveryByKind {
+		snap.RecoveryByKind[k] = v
 	}
 	return snap
 }
@@ -142,6 +159,16 @@ func (o *CounterObserver) MessageDiscarded(node, round int, reason string) {
 func (o *CounterObserver) TransportError(node int, detail string) {
 	o.mu.Lock()
 	o.c.TransportErrors++
+	o.mu.Unlock()
+}
+
+func (o *CounterObserver) RecoveryEvent(node, round int, kind, detail string) {
+	o.mu.Lock()
+	o.c.RecoveryEvents++
+	if o.c.RecoveryByKind == nil {
+		o.c.RecoveryByKind = make(map[string]int64)
+	}
+	o.c.RecoveryByKind[kind]++
 	o.mu.Unlock()
 }
 
@@ -199,6 +226,10 @@ func (o *LogObserver) TransportError(node int, detail string) {
 	o.line("node %d: transport error: %s", node, detail)
 }
 
+func (o *LogObserver) RecoveryEvent(node, round int, kind, detail string) {
+	o.line("node %d round %d: recovery %s: %s", node, round, kind, detail)
+}
+
 func (o *LogObserver) RunFinished(node, rounds int, converged bool) {
 	o.line("node %d: finished after %d rounds (converged=%t)", node, rounds, converged)
 }
@@ -247,6 +278,12 @@ func (m MultiObserver) MessageDiscarded(node, round int, reason string) {
 func (m MultiObserver) TransportError(node int, detail string) {
 	for _, o := range m {
 		o.TransportError(node, detail)
+	}
+}
+
+func (m MultiObserver) RecoveryEvent(node, round int, kind, detail string) {
+	for _, o := range m {
+		o.RecoveryEvent(node, round, kind, detail)
 	}
 }
 

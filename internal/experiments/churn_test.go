@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"context"
+	"testing"
+)
+
+// TestChaosChurnContract runs the full crash-recovery matrix and checks
+// each scenario's row against the failure pattern it injects. The heavy
+// per-scenario verification (typed dead-node errors, KKT certification on
+// the surviving support, Σx = 1) happens inside ChaosChurn itself — an
+// error return means the contract broke.
+func TestChaosChurnContract(t *testing.T) {
+	rows, err := ChaosChurn(context.Background(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]struct {
+		survivors int
+		restarts  bool // at least one supervised restart expected
+		departs   bool // departure events expected
+		rejoins   int64
+	}{
+		"crash-resume":     {survivors: 4, restarts: true},
+		"double-crash":     {survivors: 4, restarts: true},
+		"crash-depart":     {survivors: 3, departs: true},
+		"partition-depart": {survivors: 3, departs: true},
+		"depart-rejoin":    {survivors: 4, rejoins: 1},
+	}
+	if len(rows) != len(want) {
+		t.Fatalf("got %d rows, want %d", len(rows), len(want))
+	}
+	for _, r := range rows {
+		w, ok := want[r.Scenario]
+		if !ok {
+			t.Errorf("unexpected scenario %q", r.Scenario)
+			continue
+		}
+		if !r.Converged {
+			t.Errorf("%s: not converged", r.Scenario)
+		}
+		if r.Survivors != w.survivors {
+			t.Errorf("%s: survivors = %d, want %d", r.Scenario, r.Survivors, w.survivors)
+		}
+		if w.restarts && r.Restarts == 0 {
+			t.Errorf("%s: no supervised restarts recorded", r.Scenario)
+		}
+		if w.departs && r.Departs == 0 {
+			t.Errorf("%s: no departure events recorded", r.Scenario)
+		}
+		if r.Rejoins != w.rejoins {
+			t.Errorf("%s: rejoins = %d, want %d", r.Scenario, r.Rejoins, w.rejoins)
+		}
+		if r.MaxKKTGap > 0.02 {
+			t.Errorf("%s: KKT gap %v exceeds tolerance", r.Scenario, r.MaxKKTGap)
+		}
+		if r.SumError > 1e-12 {
+			t.Errorf("%s: Σx off by %v", r.Scenario, r.SumError)
+		}
+	}
+}

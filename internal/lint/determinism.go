@@ -17,6 +17,7 @@ var numericSegments = map[string]bool{
 	"experiments": true,
 	"multicopy":   true,
 	"replication": true,
+	"recovery":    true, // checkpoints must replay bit-identically
 }
 
 // randConstructors are the math/rand functions that build explicit seeded

@@ -14,6 +14,7 @@ func TestDeterminism(t *testing.T) {
 	for _, tc := range []fixtureCase{
 		{pkg: "costmodel", analyzer: lint.Determinism, wants: 6},
 		{pkg: "clockutil", analyzer: lint.Determinism, wants: 0},
+		{pkg: "recovery", analyzer: lint.Determinism, wants: 2},
 	} {
 		t.Run(tc.pkg, func(t *testing.T) { checkFixture(t, tc) })
 	}

@@ -5,25 +5,35 @@ import (
 	"go/types"
 )
 
-// dropNames are the transport-layer calls whose results must never be
-// discarded: Send/Recv/Close report delivery failures the protocol must
-// react to, and a Stats snapshot fetched and dropped is dead code hiding a
-// forgotten assertion.
+// dropNames are the transport- and recovery-layer calls whose results must
+// never be discarded: Send/Recv/Close report delivery failures the
+// protocol must react to, a Stats snapshot fetched and dropped is dead
+// code hiding a forgotten assertion, and a checkpoint save, load, seal, or
+// validation whose verdict vanishes silently turns crash recovery into a
+// corrupt-state replay.
 var dropNames = map[string]bool{
-	"Send":  true,
-	"Recv":  true,
-	"Close": true,
-	"Stats": true,
+	"Send":      true,
+	"Recv":      true,
+	"Close":     true,
+	"Stats":     true,
+	"SaveRound": true,
+	"Latest":    true,
+	"Seal":      true,
+	"Validate":  true,
+	"WriteFile": true,
+	"ReadFile":  true,
 }
 
 // ErrDrop forbids discarding the results of Send, Recv, Close, and Stats
-// calls in the transport and agent packages, whether by a bare expression
+// calls in the transport and agent packages — and of the checkpoint
+// persistence calls (SaveRound, Latest, Seal, Validate, WriteFile,
+// ReadFile) in the recovery package — whether by a bare expression
 // statement, a defer/go statement, or a blank assignment of the error
 // result. Dropped transport errors were the root cause of two of PR 1's
 // four TCP bugs; this keeps them from coming back.
 var ErrDrop = &Analyzer{
 	Name: "errdrop",
-	Doc:  "results of Send/Recv/Close/Stats in transport/agent code may not be discarded",
+	Doc:  "results of Send/Recv/Close/Stats and checkpoint Save/Load/Validate calls may not be discarded",
 	Run:  runErrDrop,
 }
 

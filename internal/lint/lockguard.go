@@ -9,7 +9,7 @@ import (
 
 // blockingSegments names the packages whose Send/Recv calls block on the
 // network: the transport layer and the agent runtime built on it.
-var blockingSegments = map[string]bool{"transport": true, "agent": true}
+var blockingSegments = map[string]bool{"transport": true, "agent": true, "recovery": true}
 
 // LockGuard enforces two lock-hygiene contracts. Everywhere: sync.Mutex,
 // sync.RWMutex, and sync.WaitGroup are never passed, returned, or copied by

@@ -1,0 +1,102 @@
+// Package recovery exercises the errdrop and determinism analyzers over
+// checkpoint-persistence code: its import path has a "recovery" segment, so
+// discarded SaveRound/Latest/Seal/Validate/WriteFile/ReadFile results and
+// nondeterministic clocks or global randomness are both flagged.
+package recovery
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Checkpoint is a stand-in for the real crash-recovery checkpoint.
+type Checkpoint struct{ Round int }
+
+// Validate pretends to verify checksum and shape.
+func (c *Checkpoint) Validate() error { return nil }
+
+// Seal pretends to stamp the checksum.
+func (c *Checkpoint) Seal() error { return nil }
+
+// Store is a stand-in for the on-disk checkpoint store.
+type Store struct{}
+
+// SaveRound pretends to persist one round atomically.
+func (s *Store) SaveRound(round int) error { return nil }
+
+// Latest pretends to load the newest valid checkpoint.
+func (s *Store) Latest() (Checkpoint, bool, error) { return Checkpoint{}, false, nil }
+
+// WriteFile pretends to write a checkpoint atomically.
+func WriteFile(path string, c Checkpoint) error { return nil }
+
+// ReadFile pretends to read and validate a checkpoint.
+func ReadFile(path string) (Checkpoint, error) { return Checkpoint{}, nil }
+
+// DropSave discards a SaveRound error: the node would keep running with no
+// durable state and resume from garbage after a crash.
+func DropSave(s *Store) {
+	s.SaveRound(7) // want errdrop: result of SaveRound discarded
+}
+
+// BlankLatest blanks the Latest error, conflating "no checkpoint" with
+// "corrupt checkpoint".
+func BlankLatest(s *Store) Checkpoint {
+	ck, ok, _ := s.Latest() // want errdrop: error result of Latest
+	_ = ok
+	return ck
+}
+
+// DeferValidate discards a Validate verdict through defer.
+func DeferValidate(c *Checkpoint) {
+	defer c.Validate() // want errdrop: deferred Validate
+}
+
+// SealGo discards a Seal error through a go statement.
+func SealGo(c *Checkpoint) {
+	go c.Seal() // want errdrop: go statement
+}
+
+// DropRead throws a loaded checkpoint and its error away.
+func DropRead(path string) {
+	_, _ = ReadFile(path) // want errdrop: all results of ReadFile
+}
+
+// Handled is the clean case: every persistence result is consumed.
+func Handled(s *Store, c *Checkpoint, path string) error {
+	if err := c.Seal(); err != nil {
+		return err
+	}
+	if err := WriteFile(path, *c); err != nil {
+		return err
+	}
+	if err := s.SaveRound(1); err != nil {
+		return err
+	}
+	ck, ok, err := s.Latest()
+	if err != nil || !ok {
+		return err
+	}
+	return ck.Validate()
+}
+
+// IgnoredBestEffort demonstrates a justified suppression.
+func IgnoredBestEffort(s *Store) {
+	s.SaveRound(0) //fap:ignore errdrop fixture demonstrating a justified best-effort save
+}
+
+// StampNow reads the wall clock, making checkpoint replay run-dependent.
+func StampNow() int64 {
+	return time.Now().UnixNano() // want determinism: time.Now
+}
+
+// GlobalJitter draws backoff jitter from the process-wide source.
+func GlobalJitter() int64 {
+	return rand.Int63n(100) // want determinism: process-wide source
+}
+
+// SeededJitter is clean: an explicit seeded source replays identically.
+func SeededJitter(seed int64) int64 {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Int63n(100)
+}

@@ -50,6 +50,14 @@ type Report struct {
 	Marginal  float64 `json:"marginal"`
 	Alloc     float64 `json:"alloc"`
 	Curvature float64 `json:"curvature,omitempty"`
+	// Planned is a bitmask fingerprint (bit i = node i) of the group the
+	// sender planned its previous round's step over. When quorum rounds
+	// are enabled, receivers compare it against their own previous group
+	// so two nodes that silently planned over different quorum subsets —
+	// the one way the lockstep protocol could drift from Σx = 1 — fail
+	// loudly instead. Zero means "no previous plan" (round 0, or a
+	// resume without history) and is never checked.
+	Planned uint64 `json:"planned,omitempty"`
 }
 
 // Update is the coordinator's reply in central-agent mode: the full delta

@@ -1,0 +1,159 @@
+package recovery
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"filealloc/internal/transport"
+)
+
+// fakeClock records requested sleeps without waiting.
+type fakeClock struct {
+	mu     sync.Mutex
+	sleeps []time.Duration
+}
+
+func (f *fakeClock) Sleep(ctx context.Context, d time.Duration) error {
+	f.mu.Lock()
+	f.sleeps = append(f.sleeps, d)
+	f.mu.Unlock()
+	return ctx.Err()
+}
+
+func crashErr(i int) error {
+	return fmt.Errorf("attempt %d: %w", i, transport.ErrCrashed)
+}
+
+func TestSuperviseRestartsUntilSuccess(t *testing.T) {
+	clock := &fakeClock{}
+	cfg := SupervisorConfig{MaxRestarts: 5, BackoffBase: 10 * time.Millisecond, BackoffCap: 40 * time.Millisecond, Seed: 7, Clock: clock}
+	attempts, err := Supervise(context.Background(), cfg, func(ctx context.Context, attempt int) error {
+		if attempt < 2 {
+			return crashErr(attempt)
+		}
+		return nil
+	})
+	if err != nil || attempts != 3 {
+		t.Fatalf("Supervise = %d attempts, %v; want 3, nil", attempts, err)
+	}
+	if len(clock.sleeps) != 2 {
+		t.Fatalf("slept %d times, want 2", len(clock.sleeps))
+	}
+	// Capped exponential with jitter in [d/2, d].
+	for i, d := range clock.sleeps {
+		base := 10 * time.Millisecond << uint(i)
+		if base > 40*time.Millisecond {
+			base = 40 * time.Millisecond
+		}
+		if d < base/2 || d > base {
+			t.Errorf("backoff %d = %v outside [%v, %v]", i, d, base/2, base)
+		}
+	}
+}
+
+func TestSuperviseBackoffDeterministicPerSeed(t *testing.T) {
+	run := func(seed int64) []time.Duration {
+		clock := &fakeClock{}
+		cfg := SupervisorConfig{MaxRestarts: 4, BackoffBase: 8 * time.Millisecond, BackoffCap: time.Second, Seed: seed, Clock: clock}
+		_, err := Supervise(context.Background(), cfg, func(ctx context.Context, attempt int) error {
+			return crashErr(attempt)
+		})
+		if !errors.Is(err, ErrRestartBudget) {
+			t.Fatalf("err = %v, want ErrRestartBudget", err)
+		}
+		return clock.sleeps
+	}
+	a, b := run(42), run(42)
+	if len(a) != len(b) {
+		t.Fatalf("replay lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("sleep %d differs across replays: %v vs %v", i, a[i], b[i])
+		}
+	}
+	c := run(43)
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical jitter streams")
+	}
+}
+
+func TestSuperviseBudgetExhaustedWrapsLastError(t *testing.T) {
+	clock := &fakeClock{}
+	cfg := SupervisorConfig{MaxRestarts: 2, Clock: clock, BackoffBase: time.Millisecond}
+	attempts, err := Supervise(context.Background(), cfg, func(ctx context.Context, attempt int) error {
+		return crashErr(attempt)
+	})
+	if attempts != 3 {
+		t.Errorf("attempts = %d, want 3 (initial + 2 restarts)", attempts)
+	}
+	if !errors.Is(err, ErrRestartBudget) || !errors.Is(err, transport.ErrCrashed) {
+		t.Errorf("err = %v, want both ErrRestartBudget and ErrCrashed", err)
+	}
+}
+
+func TestSuperviseNonRetryableReturnsImmediately(t *testing.T) {
+	boom := errors.New("logic bug")
+	clock := &fakeClock{}
+	attempts, err := Supervise(context.Background(), SupervisorConfig{Clock: clock}, func(ctx context.Context, attempt int) error {
+		return boom
+	})
+	if attempts != 1 || !errors.Is(err, boom) {
+		t.Errorf("Supervise = %d attempts, %v; want 1, the original error", attempts, err)
+	}
+	if len(clock.sleeps) != 0 {
+		t.Errorf("slept %d times on a non-retryable error", len(clock.sleeps))
+	}
+}
+
+func TestSuperviseNegativeBudgetForbidsRestart(t *testing.T) {
+	clock := &fakeClock{}
+	cfg := SupervisorConfig{MaxRestarts: -1, Clock: clock}
+	attempts, err := Supervise(context.Background(), cfg, func(ctx context.Context, attempt int) error {
+		return crashErr(attempt)
+	})
+	if attempts != 1 || !errors.Is(err, ErrRestartBudget) {
+		t.Errorf("Supervise = %d attempts, %v; want 1 attempt and ErrRestartBudget", attempts, err)
+	}
+}
+
+func TestSuperviseCanceledContextStopsBackoff(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := Supervise(ctx, SupervisorConfig{}, func(ctx context.Context, attempt int) error {
+		return crashErr(attempt)
+	})
+	if !errors.Is(err, transport.ErrCrashed) {
+		// A canceled context short-circuits before any restart; the run
+		// error itself is surfaced.
+		t.Errorf("err = %v, want the run's crash error", err)
+	}
+}
+
+func TestTimerClockHonorsContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := (TimerClock{}).Sleep(ctx, time.Hour); !errors.Is(err, context.Canceled) {
+		t.Errorf("Sleep under canceled ctx = %v, want context.Canceled", err)
+	}
+	start := time.Now()
+	if err := (TimerClock{}).Sleep(context.Background(), time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < time.Millisecond {
+		t.Errorf("Sleep returned after %v, want ≥ 1ms", elapsed)
+	}
+}

@@ -320,6 +320,36 @@ func pick(rng *rand.Rand, row []float64) int {
 	return last // guard against rounding at the row's end
 }
 
+// SurvivorWorkload builds the post-churn Workload: departed nodes neither
+// generate accesses (their rate is zeroed) nor serve any (the surviving
+// allocation must carry no mass on them), so every access routes among the
+// survivors only. x is the full-length allocation as reported after a
+// departure round — zero on departed nodes, summing to 1 over the
+// survivors.
+func SurvivorWorkload(x []float64, alive []bool, rates []float64, cost [][]float64, service []Sampler, k float64) (Workload, error) {
+	n := len(rates)
+	if len(x) != n || len(alive) != n {
+		return Workload{}, fmt.Errorf("%w: x/alive/rates shape mismatch", ErrBadWorkload)
+	}
+	liveRates := make([]float64, n)
+	anyAlive := false
+	for i := range alive {
+		if alive[i] {
+			anyAlive = true
+			liveRates[i] = rates[i]
+			continue
+		}
+		if x[i] != 0 {
+			return Workload{}, fmt.Errorf("%w: departed node %d holds allocation mass %v", ErrBadWorkload, i, x[i])
+		}
+	}
+	if !anyAlive {
+		return Workload{}, fmt.Errorf("%w: no surviving nodes", ErrBadWorkload)
+	}
+	w := SingleFileWorkload(x, liveRates, cost, service, k)
+	return w, nil
+}
+
 // SingleFileWorkload builds the Workload that exercises the equation-1
 // model: every source routes to node i with probability x_i and pays cost
 // c_ji; all nodes serve at the sampler's rate.

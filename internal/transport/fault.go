@@ -31,6 +31,19 @@ const (
 	// success (as with a black-holed TCP write buffered by the kernel)
 	// and the receiver sees nothing, so only a round timeout reveals it.
 	FaultPartition
+	// FaultCrash kills the endpoint: the first matching Send or Recv
+	// trips the crash, and every operation from that point on fails with
+	// ErrCrashed until Revive is called — the supervisor's model of a
+	// process dying mid-round. Messages already queued by the wrapped
+	// endpoint survive the crash (peers' sends were accepted by the
+	// network layer), so a revived endpoint resumes reading where the
+	// dead process would have, exactly like a restart reading a durable
+	// transport buffer. Each crash rule fires at most once per endpoint —
+	// a process dies once, and after Revive the endpoint models a fresh
+	// process the spent rule no longer applies to; install several rules
+	// to kill a node repeatedly. Nodes and FromRound/ToRound make the
+	// kill per-node, per-round triggerable.
+	FaultCrash
 )
 
 func (k FaultKind) String() string {
@@ -45,6 +58,8 @@ func (k FaultKind) String() string {
 		return "reorder"
 	case FaultPartition:
 		return "partition"
+	case FaultCrash:
+		return "crash"
 	default:
 		return fmt.Sprintf("FaultKind(%d)", int(k))
 	}
@@ -113,7 +128,7 @@ type FaultConfig struct {
 func (c FaultConfig) Validate() error {
 	for i, r := range c.Rules {
 		switch r.Kind {
-		case FaultDrop, FaultDelay, FaultDuplicate, FaultReorder, FaultPartition:
+		case FaultDrop, FaultDelay, FaultDuplicate, FaultReorder, FaultPartition, FaultCrash:
 		default:
 			return fmt.Errorf("transport: fault rule %d: unknown kind %d", i, int(r.Kind))
 		}
@@ -156,12 +171,15 @@ type FaultStats struct {
 	RecvDuplicated  int64 // extra copies delivered
 	RecvReordered   int64 // adjacent pairs swapped
 	RecvPartitioned int64 // receives swallowed by a partition rule
+	Crashes         int64 // crash transitions tripped by a FaultCrash rule
+	CrashRefused    int64 // Send/Recv calls refused while crashed
 }
 
 // Total sums every injected fault.
 func (s FaultStats) Total() int64 {
 	return s.SendDropped + s.SendDelayed + s.SendDuplicated + s.SendPartitioned +
-		s.RecvDropped + s.RecvDelayed + s.RecvDuplicated + s.RecvReordered + s.RecvPartitioned
+		s.RecvDropped + s.RecvDelayed + s.RecvDuplicated + s.RecvReordered + s.RecvPartitioned +
+		s.Crashes + s.CrashRefused
 }
 
 // Add accumulates another snapshot (aggregating a cluster's endpoints).
@@ -175,6 +193,8 @@ func (s *FaultStats) Add(o FaultStats) {
 	s.RecvDuplicated += o.RecvDuplicated
 	s.RecvReordered += o.RecvReordered
 	s.RecvPartitioned += o.RecvPartitioned
+	s.Crashes += o.Crashes
+	s.CrashRefused += o.CrashRefused
 }
 
 // FaultEndpoint composes over any Endpoint and injects the configured
@@ -196,6 +216,12 @@ type FaultEndpoint struct {
 	held         *Message
 	heldDeadline time.Time
 	ready        []Message
+
+	// crashMu guards the injected-crash flag and the per-rule
+	// spent markers (a crash rule fires at most once).
+	crashMu sync.Mutex
+	crashed bool
+	spent   []bool
 }
 
 var _ Endpoint = (*FaultEndpoint)(nil)
@@ -217,6 +243,7 @@ func NewFaultEndpoint(inner Endpoint, cfg FaultConfig) (*FaultEndpoint, error) {
 		inner: inner,
 		cfg:   cfg,
 		rng:   rand.New(rand.NewSource(seed)),
+		spent: make([]bool, len(cfg.Rules)),
 	}, nil
 }
 
@@ -236,6 +263,47 @@ func (e *FaultEndpoint) Stats() FaultStats {
 	return e.stats
 }
 
+// Crashed reports whether an injected crash has killed the endpoint.
+func (e *FaultEndpoint) Crashed() bool {
+	e.crashMu.Lock()
+	defer e.crashMu.Unlock()
+	return e.crashed
+}
+
+// Revive clears an injected crash so a supervised restart can reuse the
+// endpoint. Messages queued by the wrapped endpoint while crashed are
+// delivered on the next Recv. Reviving a live endpoint is a no-op.
+func (e *FaultEndpoint) Revive() {
+	e.crashMu.Lock()
+	e.crashed = false
+	e.crashMu.Unlock()
+}
+
+// crash trips the injected-crash state, marks the tripping rule spent,
+// and returns ErrCrashed annotated with the tripping operation.
+func (e *FaultEndpoint) crash(op string, ruleIdx int) error {
+	e.crashMu.Lock()
+	e.crashed = true
+	if ruleIdx >= 0 && ruleIdx < len(e.spent) {
+		e.spent[ruleIdx] = true
+	}
+	e.crashMu.Unlock()
+	e.count(func(s *FaultStats) { s.Crashes++ })
+	return fmt.Errorf("%w: injected crash during %s on node %d", ErrCrashed, op, e.inner.ID())
+}
+
+// refuseIfCrashed reports the crashed state as an operation failure.
+func (e *FaultEndpoint) refuseIfCrashed() error {
+	e.crashMu.Lock()
+	dead := e.crashed
+	e.crashMu.Unlock()
+	if !dead {
+		return nil
+	}
+	e.count(func(s *FaultStats) { s.CrashRefused++ })
+	return fmt.Errorf("%w: node %d is down", ErrCrashed, e.inner.ID())
+}
+
 func (e *FaultEndpoint) count(f func(*FaultStats)) {
 	e.statsMu.Lock()
 	f(&e.stats)
@@ -243,15 +311,25 @@ func (e *FaultEndpoint) count(f func(*FaultStats)) {
 }
 
 // match finds the first rule that applies to a message in the given
-// direction and passes its probability draw.
-func (e *FaultEndpoint) match(dir FaultDirection, peer int, payload []byte) (FaultRule, bool) {
+// direction and passes its probability draw. The returned index
+// identifies the rule within the config (crash rules are one-shot and
+// need their spent marker set when they fire).
+func (e *FaultEndpoint) match(dir FaultDirection, peer int, payload []byte) (FaultRule, int, bool) {
 	round, haveRound := -1, false
 	if e.cfg.RoundOf != nil {
 		round, haveRound = e.cfg.RoundOf(payload)
 	}
-	for _, r := range e.cfg.Rules {
+	for i, r := range e.cfg.Rules {
 		if r.direction()&dir == 0 {
 			continue
+		}
+		if r.Kind == FaultCrash {
+			e.crashMu.Lock()
+			used := e.spent[i]
+			e.crashMu.Unlock()
+			if used {
+				continue
+			}
 		}
 		if r.Kind == FaultReorder && dir == DirSend {
 			continue
@@ -278,9 +356,9 @@ func (e *FaultEndpoint) match(dir FaultDirection, peer int, payload []byte) (Fau
 				continue
 			}
 		}
-		return r, true
+		return r, i, true
 	}
-	return FaultRule{}, false
+	return FaultRule{}, -1, false
 }
 
 func containsInt(xs []int, x int) bool {
@@ -294,11 +372,16 @@ func containsInt(xs []int, x int) bool {
 
 // Send implements Endpoint, applying send-direction rules.
 func (e *FaultEndpoint) Send(ctx context.Context, to int, payload []byte) error {
-	rule, ok := e.match(DirSend, to, payload)
+	if err := e.refuseIfCrashed(); err != nil {
+		return err
+	}
+	rule, ruleIdx, ok := e.match(DirSend, to, payload)
 	if !ok {
 		return e.inner.Send(ctx, to, payload)
 	}
 	switch rule.Kind {
+	case FaultCrash:
+		return e.crash("send", ruleIdx)
 	case FaultDrop:
 		e.count(func(s *FaultStats) { s.SendDropped++ })
 		return fmt.Errorf("%w: injected drop to node %d", ErrDropped, to)
@@ -340,6 +423,9 @@ const reorderHold = 2 * time.Millisecond
 // successor arrives, so reordering never turns into loss or a hang.
 func (e *FaultEndpoint) Recv(ctx context.Context) (Message, error) {
 	for {
+		if err := e.refuseIfCrashed(); err != nil {
+			return Message{}, err
+		}
 		// Queued deliveries (duplicate copies, swapped messages) first.
 		e.recvMu.Lock()
 		if len(e.ready) > 0 {
@@ -376,11 +462,15 @@ func (e *FaultEndpoint) Recv(ctx context.Context) (Message, error) {
 			return Message{}, err
 		}
 
-		rule, ok := e.match(DirRecv, msg.From, msg.Payload)
+		rule, ruleIdx, ok := e.match(DirRecv, msg.From, msg.Payload)
 		if !ok {
 			return e.deliver(msg)
 		}
 		switch rule.Kind {
+		case FaultCrash:
+			// The message that tripped the crash dies with the
+			// process — it was read but never acted on.
+			return Message{}, e.crash("recv", ruleIdx)
 		case FaultDrop:
 			e.count(func(s *FaultStats) { s.RecvDropped++ })
 			continue

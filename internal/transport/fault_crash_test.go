@@ -1,0 +1,145 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// The crash fault's contract: the first matching operation kills the
+// endpoint, every operation while down fails with ErrCrashed, queued
+// inbound messages survive the crash, Revive restores service, and a
+// spent crash rule never fires again (a process dies once).
+
+func TestFaultCrashOnSendTripsAndRefuses(t *testing.T) {
+	a, b := faultPair(t, FaultConfig{
+		Rules: []FaultRule{{Kind: FaultCrash, Direction: DirSend, Nodes: []int{0}}},
+	})
+	ctx := context.Background()
+	if err := a.Send(ctx, 1, []byte("boom")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("first Send = %v, want ErrCrashed", err)
+	}
+	if !a.Crashed() {
+		t.Fatal("Crashed() = false after the crash tripped")
+	}
+	// Everything is refused while down — including receives.
+	if err := a.Send(ctx, 1, []byte("again")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("Send while down = %v, want ErrCrashed", err)
+	}
+	if _, err := a.Recv(ctx); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("Recv while down = %v, want ErrCrashed", err)
+	}
+	st := a.Stats()
+	if st.Crashes != 1 || st.CrashRefused != 2 {
+		t.Errorf("stats = %+v, want Crashes=1 CrashRefused=2", st)
+	}
+	// Revive restores service; the spent rule no longer matches.
+	a.Revive()
+	if a.Crashed() {
+		t.Fatal("Crashed() = true after Revive")
+	}
+	if err := a.Send(ctx, 1, []byte("back")); err != nil {
+		t.Fatalf("Send after Revive: %v", err)
+	}
+	rctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	defer cancel()
+	if msg, err := b.Recv(rctx); err != nil || string(msg.Payload) != "back" {
+		t.Fatalf("peer Recv after Revive = %q, %v", msg.Payload, err)
+	}
+	if got := a.Stats().Crashes; got != 1 {
+		t.Errorf("Crashes = %d after Revive, want 1 (rule is one-shot)", got)
+	}
+}
+
+func TestFaultCrashOnRecvConsumesTrippingMessage(t *testing.T) {
+	a, b := faultPair(t, FaultConfig{
+		Rules: []FaultRule{{Kind: FaultCrash, Direction: DirRecv, Nodes: []int{0}}},
+	})
+	ctx := context.Background()
+	if err := b.Send(ctx, 0, []byte("first")); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Send(ctx, 0, []byte("second")); err != nil {
+		t.Fatal(err)
+	}
+	rctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	defer cancel()
+	if _, err := a.Recv(rctx); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("Recv = %v, want ErrCrashed", err)
+	}
+	// The message that tripped the crash died with the process; the one
+	// still queued survives into the revived endpoint.
+	a.Revive()
+	msg, err := a.Recv(rctx)
+	if err != nil {
+		t.Fatalf("Recv after Revive: %v", err)
+	}
+	if string(msg.Payload) != "second" {
+		t.Errorf("revived Recv = %q, want %q (first consumed by the crash)", msg.Payload, "second")
+	}
+}
+
+func TestFaultCrashRoundScoped(t *testing.T) {
+	roundOf := func(p []byte) (int, bool) {
+		if len(p) == 0 {
+			return 0, false
+		}
+		return int(p[0]), true
+	}
+	a, b := faultPair(t, FaultConfig{
+		RoundOf: roundOf,
+		Rules: []FaultRule{{
+			Kind: FaultCrash, Direction: DirSend, Nodes: []int{0}, FromRound: 3, ToRound: 3,
+		}},
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	for round := 1; round <= 2; round++ {
+		if err := a.Send(ctx, 1, []byte{byte(round)}); err != nil {
+			t.Fatalf("round %d Send: %v", round, err)
+		}
+	}
+	if err := a.Send(ctx, 1, []byte{3}); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("round 3 Send = %v, want ErrCrashed", err)
+	}
+	// Pre-crash sends were accepted and remain deliverable.
+	for _, want := range []byte{1, 2} {
+		msg, err := b.Recv(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if msg.Payload[0] != want {
+			t.Errorf("got round %d, want %d", msg.Payload[0], want)
+		}
+	}
+	// After revival the spent rule is gone: the node can re-send round 3.
+	a.Revive()
+	if err := a.Send(ctx, 1, []byte{3}); err != nil {
+		t.Fatalf("round 3 re-send after Revive: %v", err)
+	}
+	if msg, err := b.Recv(ctx); err != nil || msg.Payload[0] != 3 {
+		t.Fatalf("round 3 delivery = %v, %v", msg, err)
+	}
+}
+
+func TestFaultCrashValidateAndString(t *testing.T) {
+	if got := FaultCrash.String(); got != "crash" {
+		t.Errorf("String() = %q, want crash", got)
+	}
+	cfg := FaultConfig{Rules: []FaultRule{{Kind: FaultCrash}}}
+	if err := cfg.Validate(); err != nil {
+		t.Errorf("Validate rejected a plain crash rule: %v", err)
+	}
+	var s FaultStats
+	s.Crashes = 2
+	s.CrashRefused = 3
+	if got := s.Total(); got != 5 {
+		t.Errorf("Total() = %d, want 5 (crash counters included)", got)
+	}
+	var sum FaultStats
+	sum.Add(s)
+	if sum.Crashes != 2 || sum.CrashRefused != 3 {
+		t.Errorf("Add() lost crash counters: %+v", sum)
+	}
+}

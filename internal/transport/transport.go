@@ -21,6 +21,12 @@ var (
 	// ErrDropped is returned by failure-injecting transports when a
 	// message was deliberately lost.
 	ErrDropped = errors.New("transport: message dropped")
+	// ErrCrashed is returned by every operation on an endpoint killed by
+	// an injected crash fault until it is revived. Supervisors classify
+	// it as a restartable failure (unlike protocol violations or
+	// timeouts, which indicate live-system problems a restart cannot
+	// fix).
+	ErrCrashed = errors.New("transport: endpoint crashed")
 )
 
 // Message is one delivered payload.

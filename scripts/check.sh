@@ -24,6 +24,14 @@ go run ./cmd/fapvet ./...
 echo "== go test -race ./..."
 go test -race ./...
 
+echo "== chaos-churn matrix under -race"
+# The crash-recovery and membership-churn scenarios are the tests most
+# sensitive to scheduling; run them explicitly under the race detector so
+# a cached ./... pass cannot mask them.
+go test -race -count 1 \
+	-run 'TestChaosChurnContract|TestChurn|TestCrash|TestDoubleCrash|TestPartitionDepart|TestDepartRejoin|TestSupervise|TestFaultCrash' \
+	./internal/experiments/ ./internal/recovery/ ./internal/transport/
+
 echo "== bench smoke (go test -bench . -benchtime 1x)"
 go test -bench . -benchtime 1x -run '^$' . > /dev/null
 
