@@ -14,6 +14,12 @@
 //
 //	fapctl checkpoint /var/lib/fapnode/ckpt-000000012.json
 //	fapctl checkpoint /var/lib/fapnode
+//
+// The metrics subcommand scrapes a fapnode observability endpoint
+// (started with -metrics-addr) and pretty-prints the Prometheus text
+// exposition grouped by metric family:
+//
+//	fapctl metrics http://127.0.0.1:9090/metrics
 package main
 
 import (
@@ -47,6 +53,9 @@ func main() {
 func run(args []string, w io.Writer) error {
 	if len(args) > 0 && args[0] == "checkpoint" {
 		return runCheckpoint(args[1:], w)
+	}
+	if len(args) > 0 && args[0] == "metrics" {
+		return runMetrics(args[1:], w)
 	}
 	fs := flag.NewFlagSet("fapctl", flag.ContinueOnError)
 	n := fs.Int("n", 4, "cluster size")

@@ -1,0 +1,145 @@
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+)
+
+// promFamily is one metric family reassembled from a Prometheus text
+// scrape: its TYPE/HELP header plus every sample line that belongs to it
+// (histogram families own their _bucket/_sum/_count series).
+type promFamily struct {
+	name    string
+	kind    string
+	help    string
+	samples []string
+}
+
+// runMetrics implements `fapctl metrics <url>`: scrape a fapnode's
+// /metrics endpoint (Prometheus text format) and pretty-print it grouped
+// by family, counters and gauges first, histograms last.
+func runMetrics(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("fapctl metrics", flag.ContinueOnError)
+	timeout := fs.Duration("timeout", 5*time.Second, "scrape timeout")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: fapctl metrics [-timeout d] <url> (e.g. http://127.0.0.1:9090/metrics)")
+	}
+	client := &http.Client{Timeout: *timeout}
+	resp, err := client.Get(fs.Arg(0))
+	if err != nil {
+		return fmt.Errorf("scraping %s: %w", fs.Arg(0), err)
+	}
+	defer resp.Body.Close() //nolint:errcheck // read-only response
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("scraping %s: status %s", fs.Arg(0), resp.Status)
+	}
+	fams, err := parsePromText(resp.Body)
+	if err != nil {
+		return err
+	}
+	return printFamilies(w, fams)
+}
+
+// parsePromText groups the sample lines of a Prometheus text exposition
+// under their families, in exposition order. Unknown lines are an error:
+// a scrape that does not parse should fail loudly, not print garbage.
+func parsePromText(r io.Reader) ([]*promFamily, error) {
+	var (
+		ordered []*promFamily
+		byName  = make(map[string]*promFamily)
+	)
+	family := func(name string) *promFamily {
+		if f, ok := byName[name]; ok {
+			return f
+		}
+		f := &promFamily{name: name}
+		byName[name] = f
+		ordered = append(ordered, f)
+		return f
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "":
+		case strings.HasPrefix(line, "# HELP "):
+			rest := strings.TrimPrefix(line, "# HELP ")
+			name, help, _ := strings.Cut(rest, " ")
+			family(name).help = help
+		case strings.HasPrefix(line, "# TYPE "):
+			rest := strings.TrimPrefix(line, "# TYPE ")
+			name, kind, _ := strings.Cut(rest, " ")
+			family(name).kind = kind
+		case strings.HasPrefix(line, "#"):
+		default:
+			name := line
+			if i := strings.IndexAny(line, "{ "); i >= 0 {
+				name = line[:i]
+			}
+			// Histogram series carry the family name plus a suffix.
+			base := name
+			for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+				if t := strings.TrimSuffix(name, suffix); t != name {
+					if _, ok := byName[t]; ok {
+						base = t
+						break
+					}
+				}
+			}
+			if _, ok := byName[base]; !ok {
+				return nil, fmt.Errorf("sample %q has no # TYPE header", line)
+			}
+			f := byName[base]
+			f.samples = append(f.samples, strings.TrimPrefix(line, base))
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("reading scrape: %w", err)
+	}
+	return ordered, nil
+}
+
+// printFamilies renders the scrape grouped by family with the samples
+// indented under a "name (kind) — help" header, families sorted by name
+// within each kind so repeated scrapes diff cleanly.
+func printFamilies(w io.Writer, fams []*promFamily) error {
+	sort.SliceStable(fams, func(i, j int) bool {
+		if fams[i].kind != fams[j].kind {
+			return kindRank(fams[i].kind) < kindRank(fams[j].kind)
+		}
+		return fams[i].name < fams[j].name
+	})
+	for _, f := range fams {
+		if _, err := fmt.Fprintf(w, "%s (%s) — %s\n", f.name, f.kind, f.help); err != nil {
+			return err
+		}
+		for _, s := range f.samples {
+			if _, err := fmt.Fprintf(w, "  %s\n", strings.TrimSpace(s)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func kindRank(kind string) int {
+	switch kind {
+	case "counter":
+		return 0
+	case "gauge":
+		return 1
+	case "histogram":
+		return 2
+	}
+	return 3
+}

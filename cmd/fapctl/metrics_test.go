@@ -1,0 +1,76 @@
+package main
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"filealloc/internal/metrics"
+)
+
+// scrapeRegistry builds a registry exercising all three metric kinds.
+func scrapeRegistry() *metrics.Registry {
+	reg := metrics.New()
+	reg.Counter("fap_agent_rounds_started_total", "rounds started", metrics.L("node", "0")).Add(12)
+	reg.Counter("fap_agent_rounds_started_total", "rounds started", metrics.L("node", "1")).Add(12)
+	reg.Gauge("fap_agent_spread", "max-min marginal utility spread", metrics.L("node", "0")).Set(0.125)
+	h := reg.Histogram("fap_transport_sent_bytes", "payload sizes", []int64{64, 256}, metrics.L("node", "0"))
+	h.Observe(100)
+	h.Observe(300)
+	return reg
+}
+
+// TestRunMetricsScrape drives `fapctl metrics` against a live endpoint
+// and checks the pretty-printed grouping: every family appears once with
+// its kind and help, counters before gauges before histograms, and the
+// histogram's bucket/sum/count series indented beneath it.
+func TestRunMetricsScrape(t *testing.T) {
+	srv := httptest.NewServer(metrics.Handler(scrapeRegistry()))
+	defer srv.Close()
+
+	var b strings.Builder
+	if err := run([]string{"metrics", srv.URL}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"fap_agent_rounds_started_total (counter) — rounds started",
+		`{node="0"} 12`,
+		`{node="1"} 12`,
+		"fap_agent_spread (gauge) — max-min marginal utility spread",
+		"fap_transport_sent_bytes (histogram) — payload sizes",
+		`_bucket{node="0",le="+Inf"} 2`,
+		"_count{node=\"0\"} 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if ci, hi := strings.Index(out, "(counter)"), strings.Index(out, "(histogram)"); ci > hi {
+		t.Errorf("counters should print before histograms:\n%s", out)
+	}
+}
+
+func TestRunMetricsErrors(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"metrics"}, &b); err == nil {
+		t.Error("missing URL accepted")
+	}
+	if err := run([]string{"metrics", "-timeout", "100ms", "http://127.0.0.1:1/metrics"}, &b); err == nil {
+		t.Error("unreachable endpoint accepted")
+	}
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		http.Error(w, "nope", http.StatusInternalServerError)
+	}))
+	defer srv.Close()
+	if err := run([]string{"metrics", srv.URL}, &b); err == nil {
+		t.Error("non-200 scrape accepted")
+	}
+}
+
+func TestParsePromTextRejectsHeaderless(t *testing.T) {
+	if _, err := parsePromText(strings.NewReader("orphan_metric 3\n")); err == nil {
+		t.Error("sample without # TYPE header accepted")
+	}
+}

@@ -22,6 +22,8 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
 	"strconv"
 	"strings"
@@ -29,6 +31,7 @@ import (
 
 	"filealloc/internal/agent"
 	"filealloc/internal/costmodel"
+	"filealloc/internal/metrics"
 	"filealloc/internal/recovery"
 	"filealloc/internal/topology"
 	"filealloc/internal/transport"
@@ -73,6 +76,7 @@ func run(args []string, out io.Writer) error {
 	maxRestarts := fs.Int("max-restarts", 0, "supervised in-process restarts after a crash-class failure (0: run once)")
 	quorum := fs.Int("quorum", 0, "finish a round at its deadline once this many reports (incl. own) arrived; 0 requires full rounds (broadcast mode)")
 	departAfter := fs.Int("depart-after", 0, "declare a peer departed after this many consecutive missed quorum rounds (requires -quorum)")
+	metricsAddr := fs.String("metrics-addr", "", "serve /metrics (Prometheus text), /healthz, and /debug/pprof on this address (empty: disabled)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -122,6 +126,11 @@ func run(args []string, out io.Writer) error {
 	if *verbose {
 		obs = agent.NewLogObserver(os.Stderr)
 	}
+	var reg *metrics.Registry
+	if *metricsAddr != "" {
+		reg = metrics.New()
+		obs = agent.MultiObserver{obs, agent.NewMetricsObserver(reg)}
+	}
 	// Read-loop errors (oversized or garbled frames, resets mid-stream)
 	// happen outside any Send/Recv call; route them to the observer so
 	// they are never silently swallowed.
@@ -137,8 +146,21 @@ func run(args []string, out io.Writer) error {
 	fmt.Fprintf(os.Stderr, "fapnode %d: listening on %s, C_i=%.4f, waiting for peers...\n",
 		*id, ep.Addr(), model.AccessCost(*id))
 
+	var agentEP transport.Endpoint = ep
+	if reg != nil {
+		agentEP = transport.NewMeteredEndpoint(ep, reg)
+		ln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			return fmt.Errorf("metrics listener: %w", err)
+		}
+		srv := &http.Server{Handler: metricsMux(reg, *id)}
+		go srv.Serve(ln)  //nolint:errcheck // reports ErrServerClosed on shutdown
+		defer srv.Close() //nolint:errcheck // process exit follows
+		fmt.Fprintf(os.Stderr, "fapnode %d: observability on http://%s (/metrics, /healthz, /debug/pprof)\n", *id, ln.Addr())
+	}
+
 	cfg := agent.Config{
-		Endpoint:      ep,
+		Endpoint:      agentEP,
 		Model:         agent.ModelsFromSingleFile(model)[*id],
 		Init:          init[*id],
 		Alpha:         *alpha,

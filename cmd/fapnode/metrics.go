@@ -1,0 +1,29 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/pprof"
+
+	"filealloc/internal/metrics"
+)
+
+// metricsMux builds the observability surface served on -metrics-addr:
+// the registry in Prometheus text format on /metrics, a liveness probe on
+// /healthz, and the net/http/pprof profiling handlers under /debug/pprof/.
+// The handlers are mounted on a private mux (not http.DefaultServeMux) so
+// nothing leaks onto the default mux of a process that embeds run().
+func metricsMux(reg *metrics.Registry, node int) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", metrics.Handler(reg))
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(map[string]any{"status": "ok", "node": node})
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

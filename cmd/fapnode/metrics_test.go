@@ -1,0 +1,137 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"filealloc/internal/metrics"
+)
+
+func getBody(t *testing.T, url string) (int, string, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close() //nolint:errcheck // test fixture
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("reading %s: %v", url, err)
+	}
+	return resp.StatusCode, resp.Header.Get("Content-Type"), string(b)
+}
+
+// TestMetricsMux serves the observability mux over httptest and checks
+// each mounted surface: Prometheus text on /metrics, the liveness JSON on
+// /healthz, and the pprof index and cmdline profiles.
+func TestMetricsMux(t *testing.T) {
+	reg := metrics.New()
+	reg.Counter("fap_test_total", "a test counter").Inc()
+	srv := httptest.NewServer(metricsMux(reg, 3))
+	defer srv.Close()
+
+	code, ctype, body := getBody(t, srv.URL+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status = %d", code)
+	}
+	if !strings.HasPrefix(ctype, "text/plain; version=0.0.4") {
+		t.Errorf("/metrics content-type = %q", ctype)
+	}
+	if !strings.Contains(body, "fap_test_total 1") {
+		t.Errorf("/metrics body missing counter:\n%s", body)
+	}
+
+	code, ctype, body = getBody(t, srv.URL+"/healthz")
+	if code != http.StatusOK {
+		t.Fatalf("/healthz status = %d", code)
+	}
+	if !strings.HasPrefix(ctype, "application/json") {
+		t.Errorf("/healthz content-type = %q", ctype)
+	}
+	var health struct {
+		Status string `json:"status"`
+		Node   int    `json:"node"`
+	}
+	if err := json.Unmarshal([]byte(body), &health); err != nil {
+		t.Fatalf("/healthz body %q: %v", body, err)
+	}
+	if health.Status != "ok" || health.Node != 3 {
+		t.Errorf("/healthz = %+v", health)
+	}
+
+	for _, path := range []string{"/debug/pprof/", "/debug/pprof/cmdline", "/debug/pprof/goroutine?debug=1"} {
+		code, _, _ := getBody(t, srv.URL+path)
+		if code != http.StatusOK {
+			t.Errorf("%s status = %d", path, code)
+		}
+	}
+}
+
+// TestRunClusterWithMetricsAddr drives a 3-node cluster with node 0
+// exporting metrics and scrapes the live server end to end. Node 0 is
+// started alone first: its agent blocks dialing the peers, which holds
+// the observability server open for a deterministic scrape window.
+func TestRunClusterWithMetricsAddr(t *testing.T) {
+	addrs := "127.0.0.1:17661,127.0.0.1:17662,127.0.0.1:17664"
+	metricsAddr := "127.0.0.1:17663"
+	var wg sync.WaitGroup
+	outs := make([]strings.Builder, 3)
+	errs := make([]error, 3)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		errs[0] = run([]string{
+			"-id", "0", "-addrs", addrs, "-init", "1,0,0",
+			"-round-timeout", "10s", "-metrics-addr", metricsAddr,
+		}, &outs[0])
+	}()
+
+	// Wait for the observability server to come up, then scrape it while
+	// node 0 is still waiting for its peer.
+	var live bool
+	for i := 0; i < 100 && !live; i++ {
+		if resp, err := http.Get("http://" + metricsAddr + "/healthz"); err == nil {
+			resp.Body.Close() //nolint:errcheck // test fixture
+			live = resp.StatusCode == http.StatusOK
+		} else {
+			time.Sleep(50 * time.Millisecond)
+		}
+	}
+	if !live {
+		t.Fatal("observability server never came up on " + metricsAddr)
+	}
+	code, ctype, _ := getBody(t, "http://"+metricsAddr+"/metrics")
+	if code != http.StatusOK || !strings.HasPrefix(ctype, "text/plain; version=0.0.4") {
+		t.Errorf("live /metrics scrape: status = %d, content-type = %q", code, ctype)
+	}
+
+	for i := 1; i < 3; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = run([]string{
+				"-id", string(rune('0' + i)), "-addrs", addrs, "-init", "1,0,0",
+				"-round-timeout", "10s",
+			}, &outs[i])
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("node %d: %v", i, err)
+		}
+	}
+	var res result
+	if err := json.Unmarshal([]byte(outs[0].String()), &res); err != nil {
+		t.Fatalf("node 0 output %q: %v", outs[0].String(), err)
+	}
+	if !res.Converged || res.Messages == 0 {
+		t.Errorf("node 0: converged=%t messages=%d", res.Converged, res.Messages)
+	}
+}

@@ -27,6 +27,7 @@ import (
 
 	"filealloc/internal/agent"
 	"filealloc/internal/experiments"
+	"filealloc/internal/metrics"
 	"filealloc/internal/sweep"
 	"filealloc/internal/trace"
 )
@@ -46,6 +47,8 @@ func run(args []string, w io.Writer) error {
 	verbose := fs.Bool("v", false, "log agent round events to stderr (decentralized/chaos)")
 	workers := fs.Int("workers", runtime.GOMAXPROCS(0),
 		"parameter-sweep concurrency; 1 runs every sweep serially (results are identical either way)")
+	metricsOut := fs.String("metrics-out", "",
+		"write the run's metrics-registry snapshot as JSON to this file ('-' for stdout)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -61,6 +64,14 @@ func run(args []string, w io.Writer) error {
 		return fmt.Errorf("want exactly one experiment, got %d args (use 'all' to run everything)", fs.NArg())
 	}
 	ctx := sweep.WithWorkers(context.Background(), *workers)
+	// A registry collects sweep metrics (via the context) for every
+	// experiment and the full agent/transport surface for chaos-churn,
+	// which threads it through the cluster runtime itself.
+	var reg *metrics.Registry
+	if *metricsOut != "" {
+		reg = metrics.New()
+		ctx = sweep.WithMetrics(ctx, reg)
+	}
 	name := fs.Arg(0)
 	runners := map[string]func() error{
 		"fig3":           func() error { return runFig3(ctx, w, *csv) },
@@ -74,7 +85,7 @@ func run(args []string, w io.Writer) error {
 		"decentralized":  func() error { return runDecentralized(ctx, w, obs, *csv) },
 		"price-directed": func() error { return runPriceDirected(ctx, w, *csv) },
 		"chaos":          func() error { return runChaos(ctx, w, obs, *csv) },
-		"chaos-churn":    func() error { return runChaosChurn(ctx, w, obs, *csv) },
+		"chaos-churn":    func() error { return runChaosChurn(ctx, w, obs, reg, *csv) },
 		"copies":         func() error { return runCopies(ctx, w, *csv) },
 		"neighbor":       func() error { return runNeighbor(ctx, w, *csv) },
 		"availability":   func() error { return runAvailability(w, *csv) },
@@ -93,13 +104,37 @@ func run(args []string, w io.Writer) error {
 			}
 			fmt.Fprintln(w)
 		}
-		return nil
+		return writeMetricsSnapshot(reg, *metricsOut, w)
 	}
 	runner, ok := runners[name]
 	if !ok {
 		return fmt.Errorf("unknown experiment %q (want fig3|fig4|fig5|fig6|fig8|fig9|validate|second-order|decentralized|price-directed|chaos|chaos-churn|copies|neighbor|availability|adaptive|quantize|records|all)", name)
 	}
-	return runner()
+	if err := runner(); err != nil {
+		return err
+	}
+	return writeMetricsSnapshot(reg, *metricsOut, w)
+}
+
+// writeMetricsSnapshot dumps the registry as indented snapshot JSON to
+// path ("-": the experiment's own output writer). A nil registry (no
+// -metrics-out flag) is a no-op.
+func writeMetricsSnapshot(reg *metrics.Registry, path string, w io.Writer) error {
+	if reg == nil {
+		return nil
+	}
+	b, err := metrics.EncodeJSON(reg.Snapshot())
+	if err != nil {
+		return fmt.Errorf("encoding metrics snapshot: %w", err)
+	}
+	if path == "-" {
+		_, err := w.Write(b)
+		return err
+	}
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		return fmt.Errorf("writing metrics snapshot: %w", err)
+	}
+	return nil
 }
 
 func runRecords(ctx context.Context, w io.Writer, csv bool) error {
@@ -496,8 +531,8 @@ func runChaos(ctx context.Context, w io.Writer, obs agent.Observer, csv bool) er
 	return nil
 }
 
-func runChaosChurn(ctx context.Context, w io.Writer, obs agent.Observer, csv bool) error {
-	rows, err := experiments.ChaosChurn(ctx, obs)
+func runChaosChurn(ctx context.Context, w io.Writer, obs agent.Observer, reg *metrics.Registry, csv bool) error {
+	rows, err := experiments.ChaosChurn(ctx, obs, reg)
 	if err != nil {
 		return err
 	}

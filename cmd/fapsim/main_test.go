@@ -1,8 +1,12 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"filealloc/internal/metrics"
 )
 
 func TestRunRequiresExperiment(t *testing.T) {
@@ -166,5 +170,45 @@ func TestRunFig6CSVValues(t *testing.T) {
 	}
 	if !strings.HasPrefix(lines[1], "4,") || !strings.HasPrefix(lines[17], "20,") {
 		t.Errorf("unexpected first/last rows: %q / %q", lines[1], lines[17])
+	}
+}
+
+// TestRunMetricsOut runs the chaos-churn experiment with -metrics-out and
+// validates the dumped snapshot: it decodes under the strict snapshot
+// decoder and carries the agent, transport, and fault families.
+func TestRunMetricsOut(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos-churn matrix is slow")
+	}
+	path := filepath.Join(t.TempDir(), "metrics.json")
+	var b strings.Builder
+	if err := run([]string{"-metrics-out", path, "chaos-churn"}, &b); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := metrics.DecodeSnapshot(raw)
+	if err != nil {
+		t.Fatalf("snapshot does not decode: %v", err)
+	}
+	names := map[string]bool{}
+	for _, c := range snap.Counters {
+		names[c.Name] = true
+	}
+	for _, h := range snap.Histograms {
+		names[h.Name] = true
+	}
+	for _, want := range []string{
+		"fap_agent_rounds_started_total",
+		"fap_agent_checkpoint_saves_total",
+		"fap_transport_sends_total",
+		"fap_transport_faults_total",
+		"fap_transport_sent_bytes",
+	} {
+		if !names[want] {
+			t.Errorf("snapshot missing family %q", want)
+		}
 	}
 }

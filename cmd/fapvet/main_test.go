@@ -59,7 +59,7 @@ func TestRunList(t *testing.T) {
 	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
 		t.Fatalf("exit code = %d, want 0", code)
 	}
-	for _, name := range []string{"determinism", "zeroalloc", "ctxfirst", "lockguard", "errdrop"} {
+	for _, name := range []string{"determinism", "zeroalloc", "ctxfirst", "lockguard", "errdrop", "walltime"} {
 		if !strings.Contains(stdout.String(), name) {
 			t.Errorf("-list output missing %q:\n%s", name, stdout.String())
 		}
@@ -74,7 +74,7 @@ func TestRunUsageErrors(t *testing.T) {
 		args []string
 	}{
 		{"unknown analyzer", []string{"-only", "nosuch", "./..."}},
-		{"empty selection", []string{"-skip", "determinism,zeroalloc,ctxfirst,lockguard,errdrop", "./..."}},
+		{"empty selection", []string{"-skip", "determinism,zeroalloc,ctxfirst,lockguard,errdrop,walltime", "./..."}},
 		{"bad pattern", []string{"-C", fixtureDir, "./does-not-exist"}},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
@@ -103,14 +103,14 @@ func TestSelectAnalyzers(t *testing.T) {
 		}
 		return got
 	}
-	if got := names("", ""); len(got) != 5 {
-		t.Fatalf("default selection = %v, want all five analyzers", got)
+	if got := names("", ""); len(got) != 6 {
+		t.Fatalf("default selection = %v, want all six analyzers", got)
 	}
 	if got := names("errdrop, lockguard", ""); len(got) != 2 {
 		t.Fatalf("-only selection = %v, want two analyzers", got)
 	}
-	if got := names("", "determinism"); len(got) != 4 {
-		t.Fatalf("-skip selection = %v, want four analyzers", got)
+	if got := names("", "determinism"); len(got) != 5 {
+		t.Fatalf("-skip selection = %v, want five analyzers", got)
 	}
 }
 

@@ -570,6 +570,7 @@ func runBroadcast(ctx context.Context, cfg Config) (Outcome, error) {
 			if err := cfg.Checkpoint.SaveRound(round, x, xs, alive, planned); err != nil {
 				return out, fmt.Errorf("%w: round %d: %v", ErrCheckpoint, round, err)
 			}
+			cfg.Observer.CheckpointSaved(id, round)
 		}
 		cfg.Observer.RoundStarted(id, round)
 		g, err := cfg.Model.Marginal(x)
@@ -659,15 +660,15 @@ func runBroadcast(ctx context.Context, cfg Config) (Outcome, error) {
 		// still predict ΔU ≥ 0, or it is rejected (a no-op round) —
 		// identically on every node planning over the same group.
 		reject := false
-		if churn && !full {
-			du, err := core.Ascent(gs, group, step)
-			if err != nil {
-				return out, fmt.Errorf("agent: certifying round %d: %w", round, err)
-			}
-			if du < 0 {
-				reject = true
-				cfg.Observer.RecoveryEvent(id, round, "reject", fmt.Sprintf("partial-round step predicts ΔU = %g < 0", du))
-			}
+		// ΔU is the Theorem-2 certificate for the planned step; it doubles
+		// as the per-round utility-gain metric reported via StepApplied.
+		du, err := core.Ascent(gs, group, step)
+		if err != nil {
+			return out, fmt.Errorf("agent: certifying round %d: %w", round, err)
+		}
+		if churn && !full && du < 0 {
+			reject = true
+			cfg.Observer.RecoveryEvent(id, round, "reject", fmt.Sprintf("partial-round step predicts ΔU = %g < 0", du))
 		}
 		spread := step.Spread(gs, group)
 		cfg.Observer.StepPlanned(id, round, spread, deltaOf(step, group, id))
@@ -695,6 +696,7 @@ func runBroadcast(ctx context.Context, cfg Config) (Outcome, error) {
 				return out, fmt.Errorf("agent: applying round %d: %w", round, err)
 			}
 			x = xs[id]
+			cfg.Observer.StepApplied(id, round, du, len(group))
 		}
 		planned = maskOf(group)
 		if len(departed) > 0 {
@@ -774,6 +776,11 @@ func runCoordinator(ctx context.Context, cfg Config) (Outcome, error) {
 			cfg.Observer.RunFinished(id, out.Rounds, out.Converged)
 			return out, nil
 		}
+		du, err := core.Ascent(gs, group, step)
+		if err != nil {
+			return out, fmt.Errorf("agent: certifying round %d: %w", round, err)
+		}
+		cfg.Observer.StepApplied(id, round, du, len(group))
 		x += step.Delta[id]
 		if x < 0 && x > -1e-9 {
 			x = 0

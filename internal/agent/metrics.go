@@ -1,0 +1,110 @@
+package agent
+
+import (
+	"strconv"
+	"strings"
+
+	"filealloc/internal/metrics"
+)
+
+// MetricsObserver publishes agent events into a metrics.Registry, labelled
+// by node. Everything it records is either an integer event count or a
+// value produced by the deterministic numeric core, and every gauge series
+// is written only from its own node's goroutine, so registry snapshots
+// from runs that process the same events are byte-identical regardless of
+// worker count — the contract pinned by the chaos-churn metrics test.
+type MetricsObserver struct {
+	reg *metrics.Registry
+}
+
+var _ Observer = (*MetricsObserver)(nil)
+
+// NewMetricsObserver records agent events into reg.
+func NewMetricsObserver(reg *metrics.Registry) *MetricsObserver {
+	return &MetricsObserver{reg: reg}
+}
+
+func nodeLabel(node int) metrics.Label {
+	return metrics.L("node", strconv.Itoa(node))
+}
+
+// metricReason maps free-text event reasons onto label-friendly tokens.
+func metricReason(reason string) string {
+	return strings.ReplaceAll(reason, " ", "_")
+}
+
+func (o *MetricsObserver) RoundStarted(node, round int) {
+	o.reg.Counter("fap_agent_rounds_started_total",
+		"protocol rounds begun", nodeLabel(node)).Inc()
+	o.reg.Gauge("fap_agent_round",
+		"most recent round index (round indices are the clock)", nodeLabel(node)).Set(float64(round))
+}
+
+func (o *MetricsObserver) ReportsCollected(node, round, got, want int) {
+	outcome := "full"
+	if got < want {
+		outcome = "short"
+	}
+	o.reg.Counter("fap_agent_report_rounds_total",
+		"report-collection rounds by outcome", nodeLabel(node), metrics.L("outcome", outcome)).Inc()
+}
+
+func (o *MetricsObserver) StepPlanned(node, round int, spread, delta float64) {
+	o.reg.Counter("fap_agent_steps_planned_total",
+		"re-allocation steps planned", nodeLabel(node)).Inc()
+	o.reg.Gauge("fap_agent_spread",
+		"marginal-utility spread of the last planned step", nodeLabel(node)).Set(spread)
+}
+
+func (o *MetricsObserver) SendRetried(node, round, to, attempt int, err error) {
+	o.reg.Counter("fap_agent_send_retries_total",
+		"send attempts retried after a transport failure", nodeLabel(node)).Inc()
+}
+
+func (o *MetricsObserver) TimeoutFired(node, round int) {
+	o.reg.Counter("fap_agent_timeouts_total",
+		"round waits that exceeded the round timeout", nodeLabel(node)).Inc()
+}
+
+func (o *MetricsObserver) MessageDiscarded(node, round int, reason string) {
+	o.reg.Counter("fap_agent_discards_total",
+		"benign out-of-protocol messages discarded",
+		nodeLabel(node), metrics.L("reason", metricReason(reason))).Inc()
+}
+
+func (o *MetricsObserver) TransportError(node int, detail string) {
+	o.reg.Counter("fap_agent_transport_errors_total",
+		"asynchronous transport failures surfaced to the agent", nodeLabel(node)).Inc()
+}
+
+func (o *MetricsObserver) RecoveryEvent(node, round int, kind, detail string) {
+	o.reg.Counter("fap_agent_recovery_events_total",
+		"crash-recovery lifecycle transitions",
+		nodeLabel(node), metrics.L("kind", kind)).Inc()
+}
+
+func (o *MetricsObserver) StepApplied(node, round int, deltaU float64, activeSet int) {
+	o.reg.Counter("fap_agent_steps_applied_total",
+		"planned steps that passed the monotonicity guard and were applied",
+		nodeLabel(node)).Inc()
+	o.reg.Gauge("fap_agent_delta_u",
+		"predicted utility gain of the last applied step (Theorem 2)", nodeLabel(node)).Set(deltaU)
+	o.reg.Gauge("fap_agent_active_set",
+		"planning-group size of the last applied step", nodeLabel(node)).Set(float64(activeSet))
+}
+
+func (o *MetricsObserver) CheckpointSaved(node, round int) {
+	o.reg.Counter("fap_agent_checkpoint_saves_total",
+		"round states durably checkpointed", nodeLabel(node)).Inc()
+}
+
+func (o *MetricsObserver) RunFinished(node, rounds int, converged bool) {
+	o.reg.Counter("fap_agent_runs_finished_total",
+		"agent runs that ended without error", nodeLabel(node)).Inc()
+	if converged {
+		o.reg.Counter("fap_agent_runs_converged_total",
+			"agent runs that terminated on the ε criterion", nodeLabel(node)).Inc()
+	}
+	o.reg.Gauge("fap_agent_final_rounds",
+		"rounds used by the last finished run", nodeLabel(node)).Set(float64(rounds))
+}

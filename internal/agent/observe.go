@@ -42,6 +42,14 @@ type Observer interface {
 	// guard and was skipped), or "rejoin" (a departed node re-entered
 	// with a zero fragment).
 	RecoveryEvent(node, round int, kind, detail string)
+	// StepApplied fires after a planned step passes the monotonicity guard
+	// and is applied, with the predicted per-round utility gain ΔU
+	// (Theorem 2 says it is non-negative under the α bound) and the size
+	// of the round's active set.
+	StepApplied(node, round int, deltaU float64, activeSet int)
+	// CheckpointSaved fires after a round's state has been durably
+	// checkpointed (before the round's broadcast begins).
+	CheckpointSaved(node, round int)
 	// RunFinished fires when the agent's run ends without error.
 	RunFinished(node, rounds int, converged bool)
 }
@@ -60,7 +68,10 @@ func (NopObserver) TimeoutFired(node, round int)                        {}
 func (NopObserver) MessageDiscarded(node, round int, reason string)     {}
 func (NopObserver) TransportError(node int, detail string)              {}
 func (NopObserver) RecoveryEvent(node, round int, kind, detail string)  {}
-func (NopObserver) RunFinished(node, rounds int, converged bool)        {}
+func (NopObserver) StepApplied(node, round int, deltaU float64, activeSet int) {
+}
+func (NopObserver) CheckpointSaved(node, round int)              {}
+func (NopObserver) RunFinished(node, rounds int, converged bool) {}
 
 // Counters is a snapshot of a CounterObserver's tallies.
 type Counters struct {
@@ -74,6 +85,8 @@ type Counters struct {
 	RunsFinished    int64
 	RunsConverged   int64
 	RecoveryEvents  int64 // total RecoveryEvent notifications
+	StepsApplied    int64
+	CheckpointSaves int64
 	// DiscardsByReason splits Discarded by the reason string.
 	DiscardsByReason map[string]int64
 	// RecoveryByKind splits RecoveryEvents by the kind string.
@@ -83,6 +96,9 @@ type Counters struct {
 	// LastSpread is the convergence spread of the most recent planned
 	// step.
 	LastSpread float64
+	// LastDeltaU is the predicted utility gain of the most recent applied
+	// step.
+	LastDeltaU float64
 }
 
 // CounterObserver tallies events for tests and summaries. The zero value
@@ -172,6 +188,19 @@ func (o *CounterObserver) RecoveryEvent(node, round int, kind, detail string) {
 	o.mu.Unlock()
 }
 
+func (o *CounterObserver) StepApplied(node, round int, deltaU float64, activeSet int) {
+	o.mu.Lock()
+	o.c.StepsApplied++
+	o.c.LastDeltaU = deltaU
+	o.mu.Unlock()
+}
+
+func (o *CounterObserver) CheckpointSaved(node, round int) {
+	o.mu.Lock()
+	o.c.CheckpointSaves++
+	o.mu.Unlock()
+}
+
 func (o *CounterObserver) RunFinished(node, rounds int, converged bool) {
 	o.mu.Lock()
 	o.c.RunsFinished++
@@ -230,6 +259,14 @@ func (o *LogObserver) RecoveryEvent(node, round int, kind, detail string) {
 	o.line("node %d round %d: recovery %s: %s", node, round, kind, detail)
 }
 
+func (o *LogObserver) StepApplied(node, round int, deltaU float64, activeSet int) {
+	o.line("node %d round %d: step applied, ΔU %+.6g, active set %d", node, round, deltaU, activeSet)
+}
+
+func (o *LogObserver) CheckpointSaved(node, round int) {
+	o.line("node %d round %d: checkpoint saved", node, round)
+}
+
 func (o *LogObserver) RunFinished(node, rounds int, converged bool) {
 	o.line("node %d: finished after %d rounds (converged=%t)", node, rounds, converged)
 }
@@ -284,6 +321,18 @@ func (m MultiObserver) TransportError(node int, detail string) {
 func (m MultiObserver) RecoveryEvent(node, round int, kind, detail string) {
 	for _, o := range m {
 		o.RecoveryEvent(node, round, kind, detail)
+	}
+}
+
+func (m MultiObserver) StepApplied(node, round int, deltaU float64, activeSet int) {
+	for _, o := range m {
+		o.StepApplied(node, round, deltaU, activeSet)
+	}
+}
+
+func (m MultiObserver) CheckpointSaved(node, round int) {
+	for _, o := range m {
+		o.CheckpointSaved(node, round)
 	}
 }
 

@@ -107,6 +107,13 @@ func WithTrace(fn func(Iteration)) Option {
 // dynamically calculate it at each iteration"). The objective must
 // implement Curvature. safety in (0,1] scales the bound; values near 1
 // step aggressively, small values conservatively.
+//
+// The bound is evaluated at the pre-step point, so a step large enough to
+// leave its validity region could still lower U. Run guards against this:
+// whenever a dynamically sized step decreases the utility it backtracks —
+// halving α and replanning from the same iterate — until the step is an
+// ascent again, making U non-decreasing at every iteration (the Theorem-2
+// contract, property-tested by TestTheoremInvariantsRandomized).
 func WithDynamicAlpha(safety float64) Option {
 	return func(a *Allocator) { a.dynamicSafety = safety }
 }
@@ -295,9 +302,10 @@ func (a *Allocator) Run(ctx context.Context, init []float64) (Result, error) {
 	for gi, g := range a.groups {
 		steps[gi] = Step{Delta: make([]float64, len(g)), Active: make([]bool, len(g))}
 	}
-	var hess []float64
+	var hess, xPrev []float64
 	if a.dynamicSafety > 0 {
 		hess = make([]float64, len(x))
+		xPrev = make([]float64, len(x))
 	}
 
 	u, err := a.obj.Utility(x)
@@ -356,6 +364,9 @@ func (a *Allocator) Run(ctx context.Context, init []float64) (Result, error) {
 		if !movable {
 			return Result{X: x, Utility: prevU, Iterations: iter - 1, Reason: StopStalled}, nil
 		}
+		if xPrev != nil {
+			copy(xPrev, x)
+		}
 		for gi, g := range a.groups {
 			if err := steps[gi].Apply(x, g); err != nil {
 				return Result{}, fmt.Errorf("core: applying iteration %d: %w", iter, err)
@@ -365,6 +376,35 @@ func (a *Allocator) Run(ctx context.Context, init []float64) (Result, error) {
 		u, err := a.obj.Utility(x)
 		if err != nil {
 			return Result{}, fmt.Errorf("core: utility at iteration %d: %w", iter, err)
+		}
+		// Theorem-2 backtracking guard, dynamic stepsize only: the bound is
+		// evaluated at the pre-step point, and M/M/1 curvature grows along
+		// the step, so a large move can overshoot the bound's validity region
+		// and lower U. Halving α — replanning and reapplying from the saved
+		// iterate — restores the monotone-ascent contract WithDynamicAlpha
+		// documents; trajectories that never overshoot are untouched.
+		if xPrev != nil && u < prevU {
+			for try := 0; try < 48 && u < prevU; try++ {
+				alpha /= 2
+				copy(x, xPrev)
+				for gi, g := range a.groups {
+					if err := PlanStepInto(&steps[gi], x, grad, g, alpha); err != nil {
+						return Result{}, fmt.Errorf("core: replanning iteration %d: %w", iter, err)
+					}
+					if err := steps[gi].Apply(x, g); err != nil {
+						return Result{}, fmt.Errorf("core: reapplying iteration %d: %w", iter, err)
+					}
+				}
+				if u, err = a.obj.Utility(x); err != nil {
+					return Result{}, fmt.Errorf("core: utility at iteration %d: %w", iter, err)
+				}
+			}
+			if u < prevU {
+				// No stepsize makes representable progress: hold the last
+				// good iterate rather than accept a descent.
+				copy(x, xPrev)
+				return Result{X: x, Utility: prevU, Iterations: iter - 1, Reason: StopStalled}, nil
+			}
 		}
 		if math.IsNaN(u) || math.IsInf(u, 0) {
 			return Result{}, fmt.Errorf("%w: utility %v at iteration %d", ErrDiverged, u, iter)

@@ -28,7 +28,6 @@ func Renormalize(x []float64, group []int) error {
 		return fmt.Errorf("%w: empty survivor group", ErrBadConfig)
 	}
 	seen := make(map[int]bool, len(group))
-	var sum float64
 	for _, gi := range group {
 		if gi < 0 || gi >= len(x) {
 			return fmt.Errorf("%w: group index %d outside dimension %d", ErrDimension, gi, len(x))
@@ -40,14 +39,20 @@ func Renormalize(x []float64, group []int) error {
 		if x[gi] < 0 || math.IsNaN(x[gi]) || math.IsInf(x[gi], 0) {
 			return fmt.Errorf("%w: x[%d] = %v", ErrInfeasible, gi, x[gi])
 		}
-		sum += x[gi]
 	}
-	// All arithmetic below iterates in ascending index order, whatever
-	// order the caller listed the group in: float summation rounds
-	// per-order, and the 1-ulp post-condition (and its identical outcome
-	// on every node) requires one canonical order.
+	// ALL arithmetic — including the pre-scale sum — iterates in ascending
+	// index order, whatever order the caller listed the group in: float
+	// summation rounds per-order, and the 1-ulp post-condition (and its
+	// identical outcome on every node) requires one canonical order.
+	// Summing in caller order would make the divisor, and so every rescaled
+	// value, differ by an ulp between nodes that list the same survivor set
+	// differently (caught by TestRenormalizeGroupOrderInvariant).
 	asc := append([]int(nil), group...)
 	sort.Ints(asc)
+	var sum float64
+	for _, gi := range asc {
+		sum += x[gi]
+	}
 	for i := range x {
 		if !seen[i] {
 			x[i] = 0

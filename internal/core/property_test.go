@@ -1,0 +1,173 @@
+package core_test
+
+// Property tests for the two theorems the whole mechanism rests on,
+// checked after EVERY iteration of 1000 seeded random systems rather than
+// only at convergence: Theorem 1 (the step construction conserves Σx = 1
+// and non-negativity, so every iterate is a feasible allocation) and
+// Theorem 2 (under the derived stepsize bound, evaluated dynamically each
+// iteration, the utility never decreases). The package is core_test
+// because the instances are real M/M/1 cost models from costmodel, which
+// itself imports core.
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"testing"
+
+	"filealloc/internal/core"
+	"filealloc/internal/costmodel"
+)
+
+// propertyInstance is one randomly drawn single-file system plus a
+// feasible starting allocation.
+type propertyInstance struct {
+	model *costmodel.SingleFile
+	x0    []float64
+}
+
+// randomInstance draws (N, λ, μ, C, x₀) with λ bounded away from the
+// slowest node's service rate, so every point of the simplex is a stable
+// M/M/1 configuration and the utility stays finite along any trajectory.
+func randomInstance(t *testing.T, r *rand.Rand) propertyInstance {
+	t.Helper()
+	n := 2 + r.Intn(7)
+	access := make([]float64, n)
+	service := make([]float64, n)
+	minMu := math.Inf(1)
+	for i := range access {
+		access[i] = 0.1 + 9.9*r.Float64()
+		service[i] = 1.2 + 3.8*r.Float64()
+		if service[i] < minMu {
+			minMu = service[i]
+		}
+	}
+	lambda := (0.1 + 0.7*r.Float64()) * minMu
+	k := 0.5 + 1.5*r.Float64()
+	m, err := costmodel.NewSingleFile(access, service, lambda, k)
+	if err != nil {
+		t.Fatalf("drawing instance: %v", err)
+	}
+	x0 := make([]float64, n)
+	group := make([]int, n)
+	for i := range x0 {
+		group[i] = i
+		x0[i] = 0.05 + r.Float64()
+		// Start some instances on the boundary: zero fragments exercise
+		// the active-set re-admission path of PlanStep.
+		if r.Float64() < 0.15 {
+			x0[i] = 0
+		}
+	}
+	if err := core.Renormalize(x0, group); err != nil {
+		t.Fatalf("normalizing start: %v", err)
+	}
+	return propertyInstance{model: m, x0: x0}
+}
+
+// TestTheoremInvariantsRandomized runs 1000 seeded random systems under
+// the dynamically computed Theorem-2 stepsize and asserts, after every
+// single iteration: Σx = 1 to within 1e-12 and x ≥ 0 (Theorem 1), and
+// U(x_t) ≥ U(x_{t-1}) up to 1-ulp-scale rounding (Theorem 2).
+func TestTheoremInvariantsRandomized(t *testing.T) {
+	r := rand.New(rand.NewSource(1986))
+	for trial := 0; trial < 1000; trial++ {
+		inst := randomInstance(t, r)
+		var (
+			prevU    float64
+			prevSet  bool
+			worstSum float64
+		)
+		alloc, err := core.NewAllocator(inst.model,
+			core.WithDynamicAlpha(0.5),
+			core.WithEpsilon(1e-4),
+			core.WithMaxIterations(300),
+			core.WithTrace(func(it core.Iteration) {
+				var sum float64
+				for i, v := range it.X {
+					if v < 0 || math.IsNaN(v) {
+						t.Fatalf("trial %d iter %d: x[%d] = %v violates Theorem 1 non-negativity", trial, it.Index, i, v)
+					}
+					sum += v
+				}
+				if d := math.Abs(sum - 1); d > worstSum {
+					worstSum = d
+				}
+				if prevSet {
+					tol := 1e-12 * math.Max(1, math.Abs(prevU))
+					if it.Utility < prevU-tol {
+						t.Fatalf("trial %d iter %d: utility fell %v -> %v under the Theorem-2 stepsize bound",
+							trial, it.Index, prevU, it.Utility)
+					}
+				}
+				prevU, prevSet = it.Utility, true
+			}))
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		res, err := alloc.Run(context.Background(), inst.x0)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if worstSum > 1e-12 {
+			t.Fatalf("trial %d: Σx drifted %g from 1 after %d iterations", trial, worstSum, res.Iterations)
+		}
+		if res.Reason == core.StopMaxIterations && res.Iterations == 0 {
+			t.Fatalf("trial %d: no iterations ran", trial)
+		}
+	}
+}
+
+// TestRenormalizeGroupOrderInvariant proves Renormalize is a function of
+// the group as a SET: 1000 seeded random allocations, each renormalized
+// under two different permutations of the same survivor group, must agree
+// bit for bit — the cross-node determinism membership churn depends on —
+// and pin the survivor sum to 1 within 1 ulp.
+func TestRenormalizeGroupOrderInvariant(t *testing.T) {
+	r := rand.New(rand.NewSource(424242))
+	for trial := 0; trial < 1000; trial++ {
+		n := 1 + r.Intn(10)
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = r.Float64() * math.Pow(10, float64(r.Intn(7)-3))
+			if r.Float64() < 0.2 {
+				x[i] = 0
+			}
+		}
+		group := r.Perm(n)[:1+r.Intn(n)]
+		shuffled := append([]int(nil), group...)
+		r.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+
+		a := append([]float64(nil), x...)
+		b := append([]float64(nil), x...)
+		if err := core.Renormalize(a, group); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if err := core.Renormalize(b, shuffled); err != nil {
+			t.Fatalf("trial %d (shuffled): %v", trial, err)
+		}
+		for i := range a {
+			if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+				t.Fatalf("trial %d: group order changed the result at x[%d]: %v vs %v (group %v vs %v)",
+					trial, i, a[i], b[i], group, shuffled)
+			}
+		}
+		var sum float64
+		for _, gi := range group {
+			sum += a[gi]
+		}
+		// Sum the canonical ascending order like Renormalize's own
+		// post-condition does; 1 ulp around 1 is 2^-52.
+		var ascSum float64
+		for i := 0; i < n; i++ {
+			for _, gi := range group {
+				if gi == i {
+					ascSum += a[gi]
+				}
+			}
+		}
+		if d := math.Abs(ascSum - 1); d > 0x1p-52 {
+			t.Fatalf("trial %d: survivor sum %v is %g off 1 (unordered sum %v)", trial, ascSum, d, sum)
+		}
+	}
+}

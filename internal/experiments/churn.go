@@ -9,6 +9,7 @@ import (
 
 	"filealloc/internal/agent"
 	"filealloc/internal/costmodel"
+	"filealloc/internal/metrics"
 	"filealloc/internal/recovery"
 	"filealloc/internal/transport"
 )
@@ -99,10 +100,13 @@ func churnScenarios() []churnScenario {
 
 // churnBase assembles the matrix's shared cluster configuration over the
 // figure-3 system.
-func churnBase(m *costmodel.SingleFile, counters *agent.CounterObserver, obs agent.Observer) recovery.ChurnClusterConfig {
+func churnBase(m *costmodel.SingleFile, counters *agent.CounterObserver, obs agent.Observer, reg *metrics.Registry) recovery.ChurnClusterConfig {
 	var shared agent.Observer = counters
 	if obs != nil {
 		shared = agent.MultiObserver{counters, obs}
+	}
+	if reg != nil {
+		shared = agent.MultiObserver{shared, agent.NewMetricsObserver(reg)}
 	}
 	return recovery.ChurnClusterConfig{
 		Models:      agent.ModelsFromSingleFile(m),
@@ -119,6 +123,7 @@ func churnBase(m *costmodel.SingleFile, counters *agent.CounterObserver, obs age
 			Seed:        1986,
 		},
 		Observer: shared,
+		Metrics:  reg,
 	}
 }
 
@@ -193,8 +198,12 @@ func churnRow(name string, m *costmodel.SingleFile, res recovery.ChurnResult, c 
 // epoch-2 rejoin. Every scenario must either converge to the KKT-certified
 // optimum of its surviving support or fail its dead node with the expected
 // typed error; anything else is reported as an error. obs additionally
-// receives every agent event (may be nil).
-func ChaosChurn(ctx context.Context, obs agent.Observer) ([]ChurnRow, error) {
+// receives every agent event (may be nil). reg, when non-nil, collects the
+// full metrics surface of the run — agent observer metrics, metered
+// transport counters and byte histograms, and published fault counters —
+// and because every numeric path is round-indexed rather than wall-clock
+// driven, the resulting snapshot is identical from run to run.
+func ChaosChurn(ctx context.Context, obs agent.Observer, reg *metrics.Registry) ([]ChurnRow, error) {
 	m, err := RingSystem(4, 1)
 	if err != nil {
 		return nil, err
@@ -202,7 +211,7 @@ func ChaosChurn(ctx context.Context, obs agent.Observer) ([]ChurnRow, error) {
 	var rows []ChurnRow
 	for _, sc := range churnScenarios() {
 		counters := &agent.CounterObserver{}
-		cfg := churnBase(m, counters, obs)
+		cfg := churnBase(m, counters, obs, reg)
 		cfg.Faults = sc.faults
 		if sc.maxRestarts != 0 {
 			cfg.Supervisor.MaxRestarts = sc.maxRestarts
@@ -234,7 +243,7 @@ func ChaosChurn(ctx context.Context, obs agent.Observer) ([]ChurnRow, error) {
 	// depart-rejoin: replay the crash-departure epoch, then re-admit the
 	// dead node with a zero fragment and let it climb back in.
 	counters := &agent.CounterObserver{}
-	cfg := churnBase(m, counters, obs)
+	cfg := churnBase(m, counters, obs, reg)
 	cfg.Supervisor.MaxRestarts = -1
 	cfg.RoundTimeout = 200 * time.Millisecond
 	cfg.Faults = transport.FaultConfig{Rules: []transport.FaultRule{{
@@ -252,7 +261,7 @@ func ChaosChurn(ctx context.Context, obs agent.Observer) ([]ChurnRow, error) {
 	if err != nil {
 		return nil, fmt.Errorf("%w: depart-rejoin: %w", ErrExperiment, err)
 	}
-	cfg2 := churnBase(m, counters, obs)
+	cfg2 := churnBase(m, counters, obs, reg)
 	cfg2.Init = init2
 	cfg2.InitAlive = alive2
 	epoch2, err := recovery.RunChurnCluster(ctx, cfg2)

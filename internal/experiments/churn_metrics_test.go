@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"reflect"
+	"testing"
+
+	"filealloc/internal/metrics"
+	"filealloc/internal/sweep"
+)
+
+// chaosChurnSnapshot runs the full chaos-churn matrix with a fresh
+// registry under the given sweep concurrency and returns the snapshot.
+func chaosChurnSnapshot(t *testing.T, workers int) metrics.Snapshot {
+	t.Helper()
+	reg := metrics.New()
+	ctx := sweep.WithWorkers(context.Background(), workers)
+	ctx = sweep.WithMetrics(ctx, reg)
+	if _, err := ChaosChurn(ctx, nil, reg); err != nil {
+		t.Fatalf("workers=%d: %v", workers, err)
+	}
+	return reg.Snapshot()
+}
+
+// TestChaosChurnMetricsDeterministic is the acceptance criterion for the
+// metrics layer's determinism contract: a chaos-churn run — four
+// concurrent supervised agents per scenario, crash faults, wall-clock
+// round timeouts — must produce a registry snapshot that is byte-identical
+// between workers=1 and workers=8 and across repeated runs. Counters
+// commute, histograms are integer-valued, gauges are round-ordered, and
+// recv-side fault counts are drained to delivery totals, so no
+// scheduling or timing artifact may leak into any value.
+func TestChaosChurnMetricsDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos-churn matrix is slow")
+	}
+	base := chaosChurnSnapshot(t, 1)
+	if len(base.Counters) == 0 || len(base.Histograms) == 0 {
+		t.Fatalf("snapshot is missing metric families: %d counters, %d histograms", len(base.Counters), len(base.Histograms))
+	}
+	for name, snap := range map[string]metrics.Snapshot{
+		"workers=8":       chaosChurnSnapshot(t, 8),
+		"workers=1 rerun": chaosChurnSnapshot(t, 1),
+	} {
+		if !reflect.DeepEqual(base, snap) {
+			t.Errorf("%s: snapshot differs from workers=1 baseline:\nbase: %+v\ngot:  %+v", name, base, snap)
+			continue
+		}
+		b1, err := metrics.EncodeJSON(base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b2, err := metrics.EncodeJSON(snap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(b1, b2) {
+			t.Errorf("%s: JSON encodings differ", name)
+		}
+		var t1, t2 bytes.Buffer
+		if err := metrics.EncodeText(&t1, base); err != nil {
+			t.Fatal(err)
+		}
+		if err := metrics.EncodeText(&t2, snap); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(t1.Bytes(), t2.Bytes()) {
+			t.Errorf("%s: Prometheus text encodings differ", name)
+		}
+	}
+}

@@ -11,7 +11,7 @@ import (
 // the surviving support, Σx = 1) happens inside ChaosChurn itself — an
 // error return means the contract broke.
 func TestChaosChurnContract(t *testing.T) {
-	rows, err := ChaosChurn(context.Background(), nil)
+	rows, err := ChaosChurn(context.Background(), nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,9 +1,10 @@
 // Package lint implements fapvet, the repository's domain-specific static
-// analysis suite. Five analyzers enforce contracts the runtime tests can
+// analysis suite. Six analyzers enforce contracts the runtime tests can
 // only spot-check: determinism of the numeric packages, the //fap:zeroalloc
 // annotation on allocation-free hot paths, context plumbing conventions,
-// lock hygiene around the blocking transport calls, and non-discarded
-// transport errors. The suite is built on the standard library's go/ast,
+// lock hygiene around the blocking transport calls, non-discarded
+// transport errors, and a wall-clock import ban in the metrics packages.
+// The suite is built on the standard library's go/ast,
 // go/parser, and go/types only; packages are loaded through the go
 // toolchain's export data (see Load), so it works offline like the rest of
 // the module.
@@ -46,7 +47,7 @@ type Analyzer struct {
 
 // All returns the full analyzer suite in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{Determinism, ZeroAlloc, CtxFirst, LockGuard, ErrDrop}
+	return []*Analyzer{Determinism, ZeroAlloc, CtxFirst, LockGuard, ErrDrop, WallTime}
 }
 
 // Pass carries one package through one analyzer.

@@ -1,0 +1,28 @@
+// Package metrics is the walltime analyzer's hot case: its import path
+// carries the metrics segment, so importing time is a diagnostic no
+// matter how the package uses it.
+package metrics
+
+import (
+	"sort"
+	"time" // want walltime: must not import "time"
+)
+
+// LastScrape smuggles a wall-clock reading into exported state — the
+// exact bug class the import ban exists to stop.
+var LastScrape time.Time
+
+// Touch records the scrape instant.
+func Touch() {
+	LastScrape = time.Now()
+}
+
+// Keys is fine: the ban is on time, not on the rest of the stdlib.
+func Keys(m map[string]int64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

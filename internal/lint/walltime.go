@@ -1,0 +1,37 @@
+package lint
+
+import "strconv"
+
+// walltimeSegments names the packages whose exported numbers must be pure
+// functions of protocol state: the metrics registry and anything that
+// feeds it. Round indices are the clock there — a snapshot that embeds a
+// wall-clock reading can never be byte-identical across runs.
+var walltimeSegments = map[string]bool{
+	"metrics": true,
+}
+
+// WallTime forbids importing the time package anywhere in a metrics
+// package. The determinism analyzer already bans time.Now in numeric
+// packages; metrics packages get the stricter import-level ban because
+// every value they hold is exported verbatim into snapshots, so even
+// durations or timers smuggle scheduling noise into the output.
+var WallTime = &Analyzer{
+	Name: "walltime",
+	Doc:  "forbid importing time in metrics packages; round indices are the clock",
+	Run:  runWallTime,
+}
+
+func runWallTime(p *Pass) {
+	if !hasSegment(p.Path, walltimeSegments) {
+		return
+	}
+	for _, f := range p.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil || path != "time" {
+				continue
+			}
+			p.Reportf(imp.Pos(), "metrics packages must not import %q: snapshots export every stored value, and wall-clock readings make them run-dependent", path)
+		}
+	}
+}

@@ -1,0 +1,19 @@
+package lint_test
+
+import (
+	"testing"
+
+	"filealloc/internal/lint"
+)
+
+// TestWallTime proves the analyzer flags a time import inside a
+// metrics-segment package and ignores the same import everywhere else
+// (clockutil imports time freely and must stay silent).
+func TestWallTime(t *testing.T) {
+	for _, tc := range []fixtureCase{
+		{pkg: "metrics", analyzer: lint.WallTime, wants: 1},
+		{pkg: "clockutil", analyzer: lint.WallTime, wants: 0},
+	} {
+		t.Run(tc.pkg, func(t *testing.T) { checkFixture(t, tc) })
+	}
+}

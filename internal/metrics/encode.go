@@ -1,0 +1,119 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// EncodeText renders a snapshot in the Prometheus text exposition format
+// (version 0.0.4): a # HELP and # TYPE header per family followed by its
+// series, with cumulative le buckets plus _sum and _count for histograms.
+// Output is deterministic: the snapshot is already sorted and floats use
+// the shortest round-trip representation.
+func EncodeText(w io.Writer, s Snapshot) error {
+	var prev string
+	for _, c := range s.Counters {
+		if err := header(w, &prev, c.Name, c.Help, "counter"); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s%s %d\n", c.Name, labelString(c.Labels, "", 0, false), c.Value); err != nil {
+			return err
+		}
+	}
+	prev = ""
+	for _, g := range s.Gauges {
+		if err := header(w, &prev, g.Name, g.Help, "gauge"); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s%s %s\n", g.Name, labelString(g.Labels, "", 0, false), formatFloat(g.Value)); err != nil {
+			return err
+		}
+	}
+	prev = ""
+	for _, h := range s.Histograms {
+		if err := header(w, &prev, h.Name, h.Help, "histogram"); err != nil {
+			return err
+		}
+		var cum int64
+		for i, b := range h.Bounds {
+			cum += h.Counts[i]
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", h.Name, labelString(h.Labels, "le", b, false), cum); err != nil {
+				return err
+			}
+		}
+		cum += h.Counts[len(h.Bounds)]
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", h.Name, labelString(h.Labels, "le", 0, true), cum); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum%s %d\n", h.Name, labelString(h.Labels, "", 0, false), h.Sum); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_count%s %d\n", h.Name, labelString(h.Labels, "", 0, false), cum); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// header writes the # HELP / # TYPE preamble once per family.
+func header(w io.Writer, prev *string, name, help, typ string) error {
+	if name == *prev {
+		return nil
+	}
+	*prev = name
+	if help != "" {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n", name, escapeHelp(help)); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "# TYPE %s %s\n", name, typ)
+	return err
+}
+
+// labelString renders {k="v",...}, optionally appending an le bucket
+// label ("+Inf" when inf is set). Empty label sets render as "".
+func labelString(labels []Label, leKey string, le int64, inf bool) string {
+	if len(labels) == 0 && leKey == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(l.Value))
+		b.WriteByte('"')
+	}
+	if leKey != "" {
+		if len(labels) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(leKey)
+		b.WriteString(`="`)
+		if inf {
+			b.WriteString("+Inf")
+		} else {
+			b.WriteString(strconv.FormatInt(le, 10))
+		}
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeHelp applies the help-text escaping rules (backslash and newline).
+func escapeHelp(help string) string {
+	help = strings.ReplaceAll(help, `\`, `\\`)
+	return strings.ReplaceAll(help, "\n", `\n`)
+}
+
+// formatFloat renders a float deterministically with the shortest
+// representation that round-trips.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,68 @@
+package metrics
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenRegistry builds one registry exercising every encoder feature:
+// multiple series per family, empty and escaped label values, negative
+// and fractional gauges, and histogram buckets including overflow.
+func goldenRegistry() *Registry {
+	r := New()
+	r.Counter("fap_sends_total", "messages sent", L("node", "0")).Add(12)
+	r.Counter("fap_sends_total", "messages sent", L("node", "1")).Add(9)
+	r.Counter("fap_discards_total", "reports discarded", L("node", "0"), L("reason", "stale_report")).Add(3)
+	r.Counter("fap_plain_total", "no labels").Add(1)
+	r.Gauge("fap_spread", "marginal-utility spread", L("node", "0")).Set(0.0078125)
+	r.Gauge("fap_delta_u", "per-round utility gain", L("node", "0")).Set(-2.5e-07)
+	r.Gauge("fap_escaped", "help with \\ backslash\nand newline", L("path", "a\"b\\c\nd")).Set(1)
+	h := r.Histogram("fap_bytes", "payload bytes", []int64{64, 256, 1024}, L("node", "0"))
+	for _, v := range []int64{10, 64, 65, 300, 5000} {
+		h.Observe(v)
+	}
+	return r
+}
+
+func TestEncodeTextGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := EncodeText(&buf, goldenRegistry().Snapshot()); err != nil {
+		t.Fatalf("EncodeText: %v", err)
+	}
+	checkGolden(t, filepath.Join("testdata", "prometheus.golden"), buf.Bytes())
+}
+
+func TestEncodeJSONGolden(t *testing.T) {
+	b, err := EncodeJSON(goldenRegistry().Snapshot())
+	if err != nil {
+		t.Fatalf("EncodeJSON: %v", err)
+	}
+	checkGolden(t, filepath.Join("testdata", "snapshot.golden.json"), b)
+}
+
+// checkGolden compares got against the golden file byte-for-byte,
+// rewriting the file under -update.
+func checkGolden(t *testing.T, path string, got []byte) {
+	t.Helper()
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatalf("creating golden dir: %v", err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatalf("writing golden file: %v", err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading golden file (run `go test -update` to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("output differs from %s (run `go test -update` after verifying):\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
+	}
+}

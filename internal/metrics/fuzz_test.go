@@ -1,0 +1,45 @@
+package metrics
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzSnapshotDecode proves that arbitrary bytes fed to DecodeSnapshot
+// always yield an error or a valid snapshot — never a panic — and that
+// anything accepted survives an encode/decode round trip unchanged.
+func FuzzSnapshotDecode(f *testing.F) {
+	r := New()
+	r.Counter("fap_sends_total", "messages sent", L("node", "0")).Add(12)
+	r.Gauge("fap_spread", "spread", L("node", "0")).Set(0.25)
+	r.Histogram("fap_bytes", "payload bytes", []int64{64, 256}, L("node", "0")).Observe(100)
+	valid, err := EncodeJSON(r.Snapshot())
+	if err != nil {
+		f.Fatalf("encoding seed snapshot: %v", err)
+	}
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"counters":[{"name":"a_total","value":-1}]}`))
+	f.Add([]byte(`{"histograms":[{"name":"h","bounds":[1],"counts":[0],"sum":0}]}`))
+	f.Add([]byte(`not json at all`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := DecodeSnapshot(data)
+		if err != nil {
+			return
+		}
+		// Accepted input must re-encode and re-decode to the same value.
+		b, err := EncodeJSON(s)
+		if err != nil {
+			t.Fatalf("accepted snapshot failed to encode: %v", err)
+		}
+		s2, err := DecodeSnapshot(b)
+		if err != nil {
+			t.Fatalf("re-encoded snapshot failed to decode: %v", err)
+		}
+		if !reflect.DeepEqual(s, s2) {
+			t.Fatalf("round trip changed snapshot:\nfirst:  %+v\nsecond: %+v", s, s2)
+		}
+	})
+}

@@ -1,0 +1,21 @@
+package metrics
+
+import (
+	"bytes"
+	"net/http"
+)
+
+// Handler serves the registry in Prometheus text format. Encoding happens
+// against a snapshot, so a scrape never blocks instrument writers for
+// longer than the copy.
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		var buf bytes.Buffer
+		if err := EncodeText(&buf, r.Snapshot()); err != nil {
+			http.Error(w, "encoding metrics: "+err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_, _ = w.Write(buf.Bytes())
+	})
+}

@@ -1,0 +1,320 @@
+// Package metrics implements a deterministic, dependency-free metrics
+// registry for the file-allocation stack: counters, gauges, and
+// fixed-bucket histograms with snapshot-on-read.
+//
+// The registry deliberately diverges from wall-clock-centric metrics
+// libraries. Nothing in this package reads the clock — round indices are
+// the clock — and a fapvet check (walltime) forbids the "time" import
+// here outright. Histograms observe int64 values into fixed int64 bucket
+// bounds and keep int64 sums, so observation order cannot change any
+// stored value: counters and histogram increments commute exactly, and
+// two runs that process the same events produce byte-identical snapshots
+// even when goroutine scheduling differs. That property is what lets the
+// chaos-churn suite pin workers=1 vs workers=8 registry snapshots with
+// deep equality.
+//
+// Gauges hold float64 values (spread, ΔU, and friends come out of the
+// numeric core as floats) and record the last value written. They stay
+// deterministic under the single-writer discipline used throughout the
+// repo: each gauge series is labelled by node and written only from that
+// node's agent goroutine, so "last write" is round-ordered, not
+// scheduling-ordered.
+//
+// Registration is idempotent: asking for the same name and label set
+// returns the existing instrument. Conflicting re-registration (same name,
+// different kind, help text, or bucket bounds) panics — those are
+// programmer errors on the same footing as a duplicate flag name.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Label is one key="value" pair attached to an instrument.
+type Label struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// L is shorthand for constructing a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+type kind int
+
+const (
+	kindCounter kind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k kind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	case kindHistogram:
+		return "histogram"
+	}
+	return "unknown"
+}
+
+// Registry holds a set of named instrument families. The zero value is not
+// usable; call New.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// family groups every label variant of one metric name. Kind, help, and
+// (for histograms) bucket bounds are fixed per name.
+type family struct {
+	name   string
+	help   string
+	kind   kind
+	bounds []int64
+	series map[string]*series
+}
+
+// series is one (name, labels) time series. A single mutex guards all three
+// value fields; instruments are thin typed views over it.
+type series struct {
+	labels    []Label // sorted by key
+	boundsRef []int64 // histogram only; aliases the family's immutable bounds
+
+	mu     sync.Mutex
+	intVal int64   // counter
+	fVal   float64 // gauge
+	counts []int64 // histogram: len(bounds)+1, last bucket is +Inf
+	sum    int64   // histogram
+}
+
+// New returns an empty registry.
+func New() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// Counter is a monotonically non-decreasing int64 event count.
+type Counter struct{ s *series }
+
+// Gauge records the last float64 value written. See the package comment
+// for the single-writer discipline that keeps gauges deterministic.
+type Gauge struct{ s *series }
+
+// Histogram accumulates int64 observations into fixed int64 buckets.
+type Histogram struct{ s *series }
+
+// Counter registers (or finds) a counter series.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	return &Counter{s: r.register(name, help, kindCounter, nil, labels)}
+}
+
+// Gauge registers (or finds) a gauge series.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	return &Gauge{s: r.register(name, help, kindGauge, nil, labels)}
+}
+
+// Histogram registers (or finds) a histogram series with the given strictly
+// ascending bucket upper bounds. An implicit +Inf bucket is always added.
+func (r *Registry) Histogram(name, help string, bounds []int64, labels ...Label) *Histogram {
+	if len(bounds) == 0 {
+		panic(fmt.Sprintf("metrics: histogram %q needs at least one bucket bound", name))
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("metrics: histogram %q bounds not strictly ascending: %v", name, bounds))
+		}
+	}
+	return &Histogram{s: r.register(name, help, kindHistogram, bounds, labels)}
+}
+
+// Inc adds one to the counter.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n to the counter; n must be non-negative.
+func (c *Counter) Add(n int64) {
+	if n < 0 {
+		panic(fmt.Sprintf("metrics: counter add of negative value %d", n))
+	}
+	c.s.mu.Lock()
+	c.s.intVal += n
+	c.s.mu.Unlock()
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	c.s.mu.Lock()
+	defer c.s.mu.Unlock()
+	return c.s.intVal
+}
+
+// Set records v as the gauge's current value. Non-finite values are
+// rejected: they would make the snapshot unencodable as JSON and are never
+// legitimate outputs of the numeric core.
+func (g *Gauge) Set(v float64) {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		panic(fmt.Sprintf("metrics: non-finite gauge value %v", v))
+	}
+	g.s.mu.Lock()
+	g.s.fVal = v
+	g.s.mu.Unlock()
+}
+
+// Value returns the gauge's current value.
+func (g *Gauge) Value() float64 {
+	g.s.mu.Lock()
+	defer g.s.mu.Unlock()
+	return g.s.fVal
+}
+
+// Observe records one int64 observation.
+func (h *Histogram) Observe(v int64) {
+	h.s.mu.Lock()
+	idx := len(h.s.counts) - 1 // +Inf overflow bucket
+	for i, b := range h.s.boundsRef {
+		if v <= b {
+			idx = i
+			break
+		}
+	}
+	h.s.counts[idx]++
+	h.s.sum += v
+	h.s.mu.Unlock()
+}
+
+// register implements the get-or-create path shared by all three kinds.
+func (r *Registry) register(name, help string, k kind, bounds []int64, labels []Label) *series {
+	if err := checkName(name); err != nil {
+		panic("metrics: " + err.Error())
+	}
+	canon, sorted, err := canonicalLabels(labels)
+	if err != nil {
+		panic(fmt.Sprintf("metrics: %s: %v", name, err))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	fam, ok := r.families[name]
+	if !ok {
+		fam = &family{
+			name:   name,
+			help:   help,
+			kind:   k,
+			bounds: append([]int64(nil), bounds...),
+			series: make(map[string]*series),
+		}
+		r.families[name] = fam
+	} else {
+		if fam.kind != k {
+			panic(fmt.Sprintf("metrics: %s re-registered as %s, previously %s", name, k, fam.kind))
+		}
+		if fam.help != help {
+			panic(fmt.Sprintf("metrics: %s re-registered with different help text", name))
+		}
+		if k == kindHistogram && !int64SlicesEqual(fam.bounds, bounds) {
+			panic(fmt.Sprintf("metrics: histogram %s re-registered with different bounds", name))
+		}
+	}
+	s, ok := fam.series[canon]
+	if !ok {
+		s = &series{labels: sorted}
+		if k == kindHistogram {
+			s.counts = make([]int64, len(fam.bounds)+1)
+			s.boundsRef = fam.bounds
+		}
+		fam.series[canon] = s
+	}
+	return s
+}
+
+// checkName enforces the Prometheus metric-name charset.
+func checkName(name string) error {
+	if name == "" {
+		return fmt.Errorf("empty metric name")
+	}
+	for i, c := range name {
+		if c == '_' || c == ':' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') {
+			continue
+		}
+		if i > 0 && c >= '0' && c <= '9' {
+			continue
+		}
+		return fmt.Errorf("invalid metric name %q", name)
+	}
+	return nil
+}
+
+// checkLabelKey enforces the Prometheus label-name charset.
+func checkLabelKey(key string) error {
+	if key == "" {
+		return fmt.Errorf("empty label key")
+	}
+	for i, c := range key {
+		if c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') {
+			continue
+		}
+		if i > 0 && c >= '0' && c <= '9' {
+			continue
+		}
+		return fmt.Errorf("invalid label key %q", key)
+	}
+	return nil
+}
+
+// canonicalLabels validates the label set, sorts it by key, and renders the
+// canonical series key used for lookup and for snapshot ordering.
+func canonicalLabels(labels []Label) (canon string, sorted []Label, err error) {
+	sorted = append([]Label(nil), labels...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Key < sorted[j].Key })
+	var b strings.Builder
+	for i, l := range sorted {
+		if err := checkLabelKey(l.Key); err != nil {
+			return "", nil, err
+		}
+		if i > 0 && sorted[i-1].Key == l.Key {
+			return "", nil, fmt.Errorf("duplicate label key %q", l.Key)
+		}
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteByte('=')
+		b.WriteString(escapeLabelValue(l.Value))
+	}
+	return b.String(), sorted, nil
+}
+
+// escapeLabelValue renders a label value with Prometheus text-format
+// escaping; it doubles as the canonical-key encoding so values containing
+// commas or equals signs cannot collide.
+func escapeLabelValue(v string) string {
+	var b strings.Builder
+	for _, c := range v {
+		switch c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(c)
+		}
+	}
+	return b.String()
+}
+
+func int64SlicesEqual(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

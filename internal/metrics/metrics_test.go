@@ -1,0 +1,192 @@
+package metrics
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+)
+
+func TestCounterAddAndValue(t *testing.T) {
+	r := New()
+	c := r.Counter("events_total", "events", L("node", "0"))
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter value = %d, want 5", got)
+	}
+	// Same name+labels returns the same series.
+	if got := r.Counter("events_total", "events", L("node", "0")).Value(); got != 5 {
+		t.Fatalf("re-registered counter value = %d, want 5", got)
+	}
+	// Different labels are a distinct series.
+	if got := r.Counter("events_total", "events", L("node", "1")).Value(); got != 0 {
+		t.Fatalf("fresh series value = %d, want 0", got)
+	}
+}
+
+func TestGaugeSet(t *testing.T) {
+	r := New()
+	g := r.Gauge("spread", "gradient spread")
+	g.Set(0.25)
+	if got := g.Value(); got != 0.25 {
+		t.Fatalf("gauge value = %v, want 0.25", got)
+	}
+	g.Set(-1.5)
+	if got := g.Value(); got != -1.5 {
+		t.Fatalf("gauge value = %v, want -1.5", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := New()
+	h := r.Histogram("bytes", "message bytes", []int64{10, 100})
+	for _, v := range []int64{3, 10, 11, 100, 101, 5000} {
+		h.Observe(v)
+	}
+	snap := r.Snapshot()
+	if len(snap.Histograms) != 1 {
+		t.Fatalf("got %d histogram points, want 1", len(snap.Histograms))
+	}
+	p := snap.Histograms[0]
+	wantCounts := []int64{2, 2, 2} // (-inf,10], (10,100], (100,+inf)
+	if !reflect.DeepEqual(p.Counts, wantCounts) {
+		t.Errorf("bucket counts = %v, want %v", p.Counts, wantCounts)
+	}
+	if p.Sum != 3+10+11+100+101+5000 {
+		t.Errorf("sum = %d, want %d", p.Sum, 3+10+11+100+101+5000)
+	}
+}
+
+func TestRegistrationPanics(t *testing.T) {
+	cases := []struct {
+		name string
+		fn   func(r *Registry)
+	}{
+		{"bad metric name", func(r *Registry) { r.Counter("1bad", "") }},
+		{"bad label key", func(r *Registry) { r.Counter("ok_total", "", L("0bad", "v")) }},
+		{"duplicate label key", func(r *Registry) { r.Counter("ok_total", "", L("a", "1"), L("a", "2")) }},
+		{"kind conflict", func(r *Registry) { r.Counter("m", "h"); r.Gauge("m", "h") }},
+		{"help conflict", func(r *Registry) { r.Counter("m", "h1"); r.Counter("m", "h2") }},
+		{"empty bounds", func(r *Registry) { r.Histogram("h", "", nil) }},
+		{"unsorted bounds", func(r *Registry) { r.Histogram("h", "", []int64{5, 5}) }},
+		{"bounds conflict", func(r *Registry) {
+			r.Histogram("h", "", []int64{1, 2})
+			r.Histogram("h", "", []int64{1, 3})
+		}},
+		{"negative counter add", func(r *Registry) { r.Counter("c_total", "").Add(-1) }},
+		{"non-finite gauge", func(r *Registry) { r.Gauge("g", "").Set(1.0 / zero()) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: no panic", tc.name)
+				}
+			}()
+			tc.fn(New())
+		})
+	}
+}
+
+// zero defeats constant folding so 1.0/zero() builds +Inf at run time
+// (the constant expression 1.0/0.0 would not compile).
+func zero() float64 { return 0 }
+
+// TestSnapshotDeterministicUnderConcurrency is the core registry contract:
+// the same multiset of events recorded under different interleavings must
+// snapshot to deeply equal values.
+func TestSnapshotDeterministicUnderConcurrency(t *testing.T) {
+	build := func(goroutines int) Snapshot {
+		r := New()
+		var wg sync.WaitGroup
+		for g := 0; g < goroutines; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				c := r.Counter("ops_total", "ops", L("kind", "send"))
+				h := r.Histogram("bytes", "payload bytes", []int64{64, 256, 1024})
+				for i := 0; i < 1000; i++ {
+					c.Inc()
+					h.Observe(int64(i % 1500))
+				}
+			}()
+		}
+		wg.Wait()
+		return r.Snapshot()
+	}
+	one := build(1)
+	// Scale the single-goroutine run to the same totals for comparison.
+	one.Counters[0].Value *= 8
+	one.Histograms[0].Sum *= 8
+	for i := range one.Histograms[0].Counts {
+		one.Histograms[0].Counts[i] *= 8
+	}
+	eight := build(8)
+	if !reflect.DeepEqual(one, eight) {
+		t.Fatalf("snapshots differ between 1 and 8 goroutines:\n1x8: %+v\n8:   %+v", one, eight)
+	}
+}
+
+func TestSnapshotIsDeepCopy(t *testing.T) {
+	r := New()
+	c := r.Counter("c_total", "")
+	h := r.Histogram("h", "", []int64{1})
+	c.Inc()
+	h.Observe(1)
+	snap := r.Snapshot()
+	c.Inc()
+	h.Observe(1)
+	if snap.Counters[0].Value != 1 {
+		t.Errorf("snapshot counter mutated: %d", snap.Counters[0].Value)
+	}
+	if snap.Histograms[0].Counts[0] != 1 {
+		t.Errorf("snapshot histogram mutated: %v", snap.Histograms[0].Counts)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	r := New()
+	r.Counter("sends_total", "sends", L("node", "3")).Add(7)
+	r.Gauge("spread", "gradient spread", L("node", "3")).Set(0.125)
+	r.Histogram("bytes", "payload bytes", []int64{64, 256}, L("node", "3")).Observe(100)
+	snap := r.Snapshot()
+	b, err := EncodeJSON(snap)
+	if err != nil {
+		t.Fatalf("EncodeJSON: %v", err)
+	}
+	got, err := DecodeSnapshot(b)
+	if err != nil {
+		t.Fatalf("DecodeSnapshot: %v", err)
+	}
+	if !reflect.DeepEqual(got, snap) {
+		t.Fatalf("round trip mismatch:\nin:  %+v\nout: %+v", snap, got)
+	}
+}
+
+func TestDecodeSnapshotRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		data string
+	}{
+		{"garbage", "not json"},
+		{"truncated", `{"counters":[{"name":"a_tot`},
+		{"unknown field", `{"bogus":1}`},
+		{"trailing data", `{} {}`},
+		{"bad name", `{"counters":[{"name":"1bad","value":1}]}`},
+		{"negative counter", `{"counters":[{"name":"a_total","value":-1}]}`},
+		{"unsorted labels", `{"counters":[{"name":"a_total","labels":[{"key":"b","value":""},{"key":"a","value":""}],"value":1}]}`},
+		{"duplicate series", `{"counters":[{"name":"a_total","value":1},{"name":"a_total","value":2}]}`},
+		{"name in two sections", `{"counters":[{"name":"a","value":1}],"gauges":[{"name":"a","value":1}]}`},
+		{"histogram no bounds", `{"histograms":[{"name":"h","bounds":[],"counts":[0],"sum":0}]}`},
+		{"histogram bad shape", `{"histograms":[{"name":"h","bounds":[1,2],"counts":[0,0],"sum":0}]}`},
+		{"histogram negative count", `{"histograms":[{"name":"h","bounds":[1],"counts":[0,-1],"sum":0}]}`},
+		{"histogram unsorted bounds", `{"histograms":[{"name":"h","bounds":[2,1],"counts":[0,0,0],"sum":0}]}`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := DecodeSnapshot([]byte(tc.data)); err == nil {
+				t.Fatalf("DecodeSnapshot(%q) succeeded, want error", tc.data)
+			}
+		})
+	}
+}

@@ -186,6 +186,13 @@ func ReadFile(path string) (Checkpoint, error) {
 	if err != nil {
 		return Checkpoint{}, fmt.Errorf("recovery: reading checkpoint: %w", err)
 	}
+	return Decode(b)
+}
+
+// Decode parses and validates checkpoint bytes (the WriteFile encoding).
+// Corrupt or truncated input yields ErrCorrupt, never a panic — the
+// contract FuzzCheckpointValidate hammers on.
+func Decode(b []byte) (Checkpoint, error) {
 	var c Checkpoint
 	if err := json.Unmarshal(b, &c); err != nil {
 		return Checkpoint{}, fmt.Errorf("%w: %v", ErrCorrupt, err)

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"filealloc/internal/agent"
+	"filealloc/internal/metrics"
 	"filealloc/internal/protocol"
 	"filealloc/internal/transport"
 )
@@ -41,6 +42,11 @@ type ChurnClusterConfig struct {
 	Supervisor SupervisorConfig
 	// Observer is shared by every agent (default: none).
 	Observer agent.Observer
+	// Metrics, when set, meters every endpoint (send/recv counters and
+	// payload-size histograms) and publishes the per-node fault counters
+	// after the run. Endpoints are wrapped once, outside the restart
+	// loop, so counts are cumulative across crash/revive cycles.
+	Metrics *metrics.Registry
 }
 
 // ChurnResult aggregates a churn run. Unlike agent.RunCluster, per-node
@@ -119,11 +125,15 @@ func RunChurnCluster(ctx context.Context, cfg ChurnClusterConfig) (ChurnResult, 
 			return ChurnResult{}, fmt.Errorf("recovery: wrapping endpoint %d: %w", i, err)
 		}
 		feps[i] = fep
+		var aep transport.Endpoint = fep
+		if cfg.Metrics != nil {
+			aep = transport.NewMeteredEndpoint(fep, cfg.Metrics)
+		}
 		res.Stores[i] = NewMemStore(i, n)
 		sup := cfg.Supervisor
 		sup.Seed = sup.Seed*31 + int64(i) + 1
 		acfg := agent.Config{
-			Endpoint:     fep,
+			Endpoint:     aep,
 			Model:        cfg.Models[i],
 			Init:         cfg.Init[i],
 			Alpha:        cfg.Alpha,
@@ -147,8 +157,31 @@ func RunChurnCluster(ctx context.Context, cfg ChurnClusterConfig) (ChurnResult, 
 	}
 	wg.Wait()
 
+	// Drain surviving inboxes before reading fault stats: recv-side rules
+	// (a partition swallowing reports, say) count at delivery, and a node
+	// that dies on a round timeout stops receiving at a wall-clock-
+	// dependent instant. Draining makes those counters a function of what
+	// the network delivered — deterministic — rather than of shutdown
+	// timing. Crashed endpoints refuse Recv and hold no countable state.
 	for _, fep := range feps {
-		res.Faults.Add(fep.Stats())
+		if fep.Crashed() {
+			continue
+		}
+		drainCtx, cancel := context.WithTimeout(ctx, 10*time.Millisecond)
+		for {
+			if _, err := fep.Recv(drainCtx); err != nil {
+				break
+			}
+		}
+		cancel()
+	}
+
+	for i, fep := range feps {
+		stats := fep.Stats()
+		res.Faults.Add(stats)
+		if cfg.Metrics != nil {
+			transport.PublishFaultStats(cfg.Metrics, i, stats)
+		}
 	}
 	for i := 0; i < n; i++ {
 		if res.Errs[i] == nil {

@@ -1,0 +1,98 @@
+package recovery
+
+import (
+	"encoding/json"
+	"errors"
+	"reflect"
+	"testing"
+)
+
+// fuzzSeedCheckpoint builds a small valid, sealed checkpoint.
+func fuzzSeedCheckpoint(tb testing.TB) Checkpoint {
+	tb.Helper()
+	c := Checkpoint{
+		Version: Version,
+		Node:    1,
+		Peers:   4,
+		Round:   7,
+		X:       0.25,
+		FullX:   []float64{0.25, 0.25, 0.25, 0.25},
+		Alive:   []bool{true, true, true, true},
+		Planned: 0xF,
+	}
+	if err := c.Seal(); err != nil {
+		tb.Fatalf("sealing seed checkpoint: %v", err)
+	}
+	return c
+}
+
+// FuzzCheckpointValidate proves that arbitrary bytes fed to Decode always
+// yield a checkpoint that passes validation or an ErrCorrupt-class error
+// — never a panic — and that accepted checkpoints survive a re-encode
+// round trip.
+func FuzzCheckpointValidate(f *testing.F) {
+	valid, err := json.Marshal(fuzzSeedCheckpoint(f))
+	if err != nil {
+		f.Fatalf("encoding seed checkpoint: %v", err)
+	}
+	f.Add(append(valid, '\n'))
+	f.Add(valid[:len(valid)/2])
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"version":1,"checksum":"deadbeef"}`))
+	f.Add([]byte(`not a checkpoint`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, err := Decode(data)
+		if err != nil {
+			return
+		}
+		if err := c.Validate(); err != nil {
+			t.Fatalf("Decode accepted a checkpoint that fails Validate: %v", err)
+		}
+		b, err := json.Marshal(c)
+		if err != nil {
+			t.Fatalf("accepted checkpoint failed to encode: %v", err)
+		}
+		c2, err := Decode(b)
+		if err != nil {
+			t.Fatalf("re-encoded checkpoint failed to decode: %v", err)
+		}
+		if !reflect.DeepEqual(c, c2) {
+			t.Fatalf("round trip changed checkpoint:\nfirst:  %+v\nsecond: %+v", c, c2)
+		}
+	})
+}
+
+// TestDecodeRejectsCorruption pins the non-fuzz corruption cases: the
+// decoder classifies every malformed input as ErrCorrupt (I/O errors
+// aside) rather than returning garbage state.
+func TestDecodeRejectsCorruption(t *testing.T) {
+	c := fuzzSeedCheckpoint(t)
+	valid, err := json.Marshal(c)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	if _, err := Decode(valid); err != nil {
+		t.Fatalf("Decode rejected a valid checkpoint: %v", err)
+	}
+	mutated := append([]byte(nil), valid...)
+	// Flip a digit inside the x field to break the checksum.
+	for i := range mutated {
+		if mutated[i] == '2' {
+			mutated[i] = '3'
+			break
+		}
+	}
+	cases := map[string][]byte{
+		"truncated":     valid[:len(valid)-2],
+		"flipped byte":  mutated,
+		"empty object":  []byte(`{}`),
+		"wrong version": []byte(`{"version":99}`),
+		"garbage":       []byte(`!!`),
+	}
+	for name, data := range cases {
+		if _, err := Decode(data); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("%s: Decode error = %v, want ErrCorrupt", name, err)
+		}
+	}
+}

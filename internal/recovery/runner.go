@@ -50,6 +50,10 @@ func RunSupervisedAgent(ctx context.Context, cfg agent.Config, sup SupervisorCon
 	id := cfg.Endpoint.ID()
 
 	var out agent.Outcome
+	// Messages sent by attempts that died mid-run must still count: the
+	// supervised outcome reports cumulative traffic across the whole
+	// crash/restart history, monotone like the metrics built on it.
+	var priorMessages int
 	attempts, err := Supervise(ctx, sup, func(ctx context.Context, attempt int) error {
 		run := cfg
 		if attempt > 0 {
@@ -74,9 +78,11 @@ func RunSupervisedAgent(ctx context.Context, cfg agent.Config, sup SupervisorCon
 		}
 		o, err := agent.Run(ctx, run)
 		if err != nil {
+			priorMessages += o.MessagesSent
 			obs.RecoveryEvent(id, o.Rounds, "crash", err.Error())
 			return err
 		}
+		o.MessagesSent += priorMessages
 		out = o
 		return nil
 	})

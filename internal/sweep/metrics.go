@@ -1,0 +1,87 @@
+package sweep
+
+import (
+	"context"
+
+	"filealloc/internal/metrics"
+)
+
+// metricsKey carries a metrics registry through a context, mirroring the
+// WithWorkers plumbing: experiment drivers opt in at the edge and every
+// sweep below them meters itself.
+type metricsKey struct{}
+
+// WithMetrics returns a context that makes downstream sweeps record into
+// reg. A nil registry disables metering.
+func WithMetrics(ctx context.Context, reg *metrics.Registry) context.Context {
+	return context.WithValue(ctx, metricsKey{}, reg)
+}
+
+// registryFrom extracts the registry installed by WithMetrics, if any.
+func registryFrom(ctx context.Context) *metrics.Registry {
+	reg, _ := ctx.Value(metricsKey{}).(*metrics.Registry)
+	return reg
+}
+
+// queueDepthBounds buckets the number of items still unclaimed at each
+// claim; the paper's sweeps run tens of items (Fig 5: 70 stepsizes).
+var queueDepthBounds = []int64{1, 2, 4, 8, 16, 32, 64, 128}
+
+// sweepMeter holds the per-run instruments. Everything recorded is an
+// integer derived from item indices, never from scheduling: items are
+// claimed in ascending index order, so item i always observes queue depth
+// n−i regardless of which worker claims it or when. Worker utilization is
+// therefore derivable (items/run ÷ workers bounds the per-worker share)
+// without storing a single wall-clock- or scheduling-dependent value —
+// those are forbidden in the registry by the determinism contract.
+type sweepMeter struct {
+	runs       *metrics.Counter
+	items      *metrics.Counter
+	errors     *metrics.Counter
+	queueDepth *metrics.Histogram
+}
+
+// meterFrom builds the instrument set for a run, or nil when the context
+// carries no registry.
+func meterFrom(ctx context.Context) *sweepMeter {
+	reg := registryFrom(ctx)
+	if reg == nil {
+		return nil
+	}
+	return &sweepMeter{
+		runs: reg.Counter("fap_sweep_runs_total",
+			"sweep invocations"),
+		items: reg.Counter("fap_sweep_items_total",
+			"sweep items completed"),
+		errors: reg.Counter("fap_sweep_item_errors_total",
+			"sweep items that returned an error"),
+		queueDepth: reg.Histogram("fap_sweep_queue_depth",
+			"items still unclaimed when each item was claimed", queueDepthBounds),
+	}
+}
+
+// claimed records one item claim; depth is the number of items not yet
+// claimed, including this one.
+func (m *sweepMeter) claimed(depth int64) {
+	if m == nil {
+		return
+	}
+	m.items.Inc()
+	m.queueDepth.Observe(depth)
+}
+
+// failed records one item error.
+func (m *sweepMeter) failed() {
+	if m == nil {
+		return
+	}
+	m.errors.Inc()
+}
+
+// started records one Run invocation.
+func (m *sweepMeter) started() {
+	if m == nil {
+		return
+	}
+	m.runs.Inc()
+}

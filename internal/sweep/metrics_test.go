@@ -1,0 +1,94 @@
+package sweep
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"filealloc/internal/metrics"
+)
+
+// TestSweepMetricsDeterministic runs the same sweep serially and with
+// eight workers and requires byte-identical registry snapshots — the
+// queue-depth observations must depend only on item indices.
+func TestSweepMetricsDeterministic(t *testing.T) {
+	runOnce := func(workers int) metrics.Snapshot {
+		reg := metrics.New()
+		ctx := WithMetrics(context.Background(), reg)
+		if err := Run(ctx, 40, workers, func(ctx context.Context, i int) error {
+			return nil
+		}); err != nil {
+			t.Fatalf("Run(workers=%d): %v", workers, err)
+		}
+		return reg.Snapshot()
+	}
+	one := runOnce(1)
+	eight := runOnce(8)
+	if !reflect.DeepEqual(one, eight) {
+		t.Fatalf("snapshots differ between workers=1 and workers=8:\n1: %+v\n8: %+v", one, eight)
+	}
+	b1, err := metrics.EncodeJSON(one)
+	if err != nil {
+		t.Fatalf("EncodeJSON: %v", err)
+	}
+	b8, err := metrics.EncodeJSON(eight)
+	if err != nil {
+		t.Fatalf("EncodeJSON: %v", err)
+	}
+	if string(b1) != string(b8) {
+		t.Fatalf("encoded snapshots differ:\n%s\nvs\n%s", b1, b8)
+	}
+	var items, runs int64
+	for _, c := range one.Counters {
+		switch c.Name {
+		case "fap_sweep_items_total":
+			items = c.Value
+		case "fap_sweep_runs_total":
+			runs = c.Value
+		}
+	}
+	if items != 40 || runs != 1 {
+		t.Errorf("items=%d runs=%d, want 40 and 1", items, runs)
+	}
+	if len(one.Histograms) != 1 || one.Histograms[0].Sum != 40*41/2 {
+		t.Errorf("queue depth histogram = %+v, want sum %d (Σ depths n..1)", one.Histograms, 40*41/2)
+	}
+}
+
+func TestSweepMetricsCountsErrors(t *testing.T) {
+	reg := metrics.New()
+	ctx := WithMetrics(context.Background(), reg)
+	boom := errors.New("boom")
+	err := Run(ctx, 5, 1, func(ctx context.Context, i int) error {
+		if i == 2 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("Run error = %v, want boom", err)
+	}
+	for _, c := range reg.Snapshot().Counters {
+		switch c.Name {
+		case "fap_sweep_item_errors_total":
+			if c.Value != 1 {
+				t.Errorf("item errors = %d, want 1", c.Value)
+			}
+		case "fap_sweep_items_total":
+			if c.Value != 3 { // items 0,1,2 claimed before the failure stopped the serial loop
+				t.Errorf("items = %d, want 3", c.Value)
+			}
+		}
+	}
+}
+
+// TestSweepWithoutRegistryIsUnmetered pins the opt-in contract: no
+// registry in the context means no metering and no panic.
+func TestSweepWithoutRegistryIsUnmetered(t *testing.T) {
+	if err := Run(context.Background(), 3, 2, func(ctx context.Context, i int) error {
+		return nil
+	}); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}

@@ -51,13 +51,23 @@ func Run(ctx context.Context, n, workers int, fn func(ctx context.Context, i int
 	if n == 0 {
 		return ctx.Err()
 	}
+	// Metering is deterministic for sweeps that complete: items are
+	// claimed in ascending index order in both paths, so item i records
+	// queue depth n−i exactly once however the workers are scheduled. A
+	// canceled or failing sweep stops claiming at a scheduling-dependent
+	// point, just as it stops computing; only completed sweeps fall under
+	// the snapshot byte-identity contract.
+	m := meterFrom(ctx)
+	m.started()
 	if workers == 1 {
 		// The serial reference path: identical to the loop it replaces.
 		for i := 0; i < n; i++ {
 			if err := ctx.Err(); err != nil {
 				return err
 			}
+			m.claimed(int64(n - i))
 			if err := fn(ctx, i); err != nil {
+				m.failed()
 				return err
 			}
 		}
@@ -94,7 +104,9 @@ func Run(ctx context.Context, n, workers int, fn func(ctx context.Context, i int
 				if err := cctx.Err(); err != nil {
 					return
 				}
+				m.claimed(int64(n - i))
 				if err := fn(cctx, i); err != nil {
+					m.failed()
 					fail(i, err)
 					return
 				}

@@ -1,0 +1,108 @@
+package trace_test
+
+// Golden-file tests pinning the ASCII renderings byte for byte. The series
+// come from a real allocator run on a fixed instance, so the goldens double
+// as a regression net over the whole render path: any drift in the solver
+// trajectory, the Recorder, or the plot geometry shows up as a golden diff.
+// Regenerate with `go test ./internal/trace -run Golden -update` after
+// verifying the new output by eye.
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"filealloc/internal/core"
+	"filealloc/internal/costmodel"
+	"filealloc/internal/trace"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenTrace runs the paper's kind of single-file instance to convergence
+// and returns the recorded history.
+func goldenTrace(t *testing.T) *trace.Recorder {
+	t.Helper()
+	m, err := costmodel.NewSingleFile(
+		[]float64{4, 2, 1, 0.5},
+		[]float64{5, 5, 5, 5},
+		2.0, 1.0,
+	)
+	if err != nil {
+		t.Fatalf("building model: %v", err)
+	}
+	rec := trace.NewRecorder(true)
+	alloc, err := core.NewAllocator(m,
+		core.WithAlpha(0.15),
+		core.WithEpsilon(1e-6),
+		core.WithMaxIterations(200),
+		core.WithTrace(rec.Hook),
+	)
+	if err != nil {
+		t.Fatalf("building allocator: %v", err)
+	}
+	if _, err := alloc.Run(context.Background(), []float64{0.25, 0.25, 0.25, 0.25}); err != nil {
+		t.Fatalf("running allocator: %v", err)
+	}
+	return rec
+}
+
+func TestAsciiPlotGolden(t *testing.T) {
+	rec := goldenTrace(t)
+	spreads := make([]float64, rec.Len())
+	for i, p := range rec.Points() {
+		spreads[i] = p.Spread
+	}
+	out, err := trace.AsciiPlot(
+		[][]float64{rec.Costs(), spreads},
+		[]string{"cost", "spread"},
+		64, 16,
+	)
+	if err != nil {
+		t.Fatalf("AsciiPlot: %v", err)
+	}
+	checkGolden(t, filepath.Join("testdata", "convergence.golden.txt"), []byte(out))
+}
+
+func TestSparklineGolden(t *testing.T) {
+	rec := goldenTrace(t)
+	out, err := trace.Sparkline(rec.Costs(), 48)
+	if err != nil {
+		t.Fatalf("Sparkline: %v", err)
+	}
+	checkGolden(t, filepath.Join("testdata", "sparkline.golden.txt"), []byte(out))
+}
+
+func TestWriteCSVGolden(t *testing.T) {
+	rec := goldenTrace(t)
+	var b bytes.Buffer
+	if err := rec.WriteCSV(&b); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	checkGolden(t, filepath.Join("testdata", "convergence.golden.csv"), b.Bytes())
+}
+
+// checkGolden compares got against the golden file byte-for-byte,
+// rewriting the file under -update.
+func checkGolden(t *testing.T, path string, got []byte) {
+	t.Helper()
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatalf("creating golden dir: %v", err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatalf("writing golden file: %v", err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading golden file (run `go test -update` to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("output differs from %s (run `go test -update` after verifying):\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
+	}
+}

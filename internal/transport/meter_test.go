@@ -1,0 +1,185 @@
+package transport
+
+import (
+	"context"
+	"testing"
+
+	"filealloc/internal/metrics"
+)
+
+// counterValue finds one counter series in a snapshot by name and node.
+func counterValue(t *testing.T, snap metrics.Snapshot, name, node string) int64 {
+	t.Helper()
+	for _, c := range snap.Counters {
+		if c.Name != name {
+			continue
+		}
+		for _, l := range c.Labels {
+			if l.Key == "node" && l.Value == node {
+				return c.Value
+			}
+		}
+	}
+	return 0
+}
+
+func TestMeteredEndpointCounts(t *testing.T) {
+	net, err := NewMemoryNetwork(2)
+	if err != nil {
+		t.Fatalf("NewMemoryNetwork: %v", err)
+	}
+	defer func() {
+		if err := net.Close(); err != nil {
+			t.Errorf("closing network: %v", err)
+		}
+	}()
+	reg := metrics.New()
+	raw0, err := net.Endpoint(0)
+	if err != nil {
+		t.Fatalf("endpoint 0: %v", err)
+	}
+	raw1, err := net.Endpoint(1)
+	if err != nil {
+		t.Fatalf("endpoint 1: %v", err)
+	}
+	ep0 := NewMeteredEndpoint(raw0, reg)
+	ep1 := NewMeteredEndpoint(raw1, reg)
+
+	ctx := context.Background()
+	payload := []byte("0123456789")
+	for i := 0; i < 3; i++ {
+		if err := ep0.Send(ctx, 1, payload); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		msg, err := ep1.Recv(ctx)
+		if err != nil {
+			t.Fatalf("recv %d: %v", i, err)
+		}
+		if len(msg.Payload) != len(payload) {
+			t.Fatalf("recv %d: payload %d bytes, want %d", i, len(msg.Payload), len(payload))
+		}
+	}
+	// An error send must hit the error counter, not the success one.
+	if err := ep0.Send(ctx, 99, payload); err == nil {
+		t.Fatal("send to unknown peer succeeded")
+	}
+
+	snap := reg.Snapshot()
+	if got := counterValue(t, snap, "fap_transport_sends_total", "0"); got != 3 {
+		t.Errorf("sends = %d, want 3", got)
+	}
+	if got := counterValue(t, snap, "fap_transport_send_errors_total", "0"); got != 1 {
+		t.Errorf("send errors = %d, want 1", got)
+	}
+	if got := counterValue(t, snap, "fap_transport_recvs_total", "1"); got != 3 {
+		t.Errorf("recvs = %d, want 3", got)
+	}
+	for _, h := range snap.Histograms {
+		node := ""
+		for _, l := range h.Labels {
+			if l.Key == "node" {
+				node = l.Value
+			}
+		}
+		switch {
+		case h.Name == "fap_transport_sent_bytes" && node == "0":
+			if h.Sum != 30 {
+				t.Errorf("sent bytes sum = %d, want 30", h.Sum)
+			}
+			if h.Counts[0] != 3 { // 10 bytes ≤ first bound (64)
+				t.Errorf("sent bytes bucket counts = %v, want first bucket 3", h.Counts)
+			}
+		case h.Name == "fap_transport_recv_bytes" && node == "1":
+			if h.Sum != 30 {
+				t.Errorf("recv bytes sum = %d, want 30", h.Sum)
+			}
+		}
+	}
+}
+
+// TestMeteredEndpointSurvivesRevive is the crash-recovery contract: the
+// metered wrapper forwards Revive to the fault endpoint underneath, and
+// counts recorded before the crash remain after it — cumulative metrics
+// are monotone across crash/revive cycles.
+func TestMeteredEndpointSurvivesRevive(t *testing.T) {
+	net, err := NewMemoryNetwork(2)
+	if err != nil {
+		t.Fatalf("NewMemoryNetwork: %v", err)
+	}
+	defer func() {
+		if err := net.Close(); err != nil {
+			t.Errorf("closing network: %v", err)
+		}
+	}()
+	raw0, err := net.Endpoint(0)
+	if err != nil {
+		t.Fatalf("endpoint 0: %v", err)
+	}
+	// The first payload byte doubles as the round index: the crash rule
+	// fires on the first round-2 send, exactly once.
+	fep, err := NewFaultEndpoint(raw0, FaultConfig{
+		Rules:   []FaultRule{{Kind: FaultCrash, Direction: DirSend, FromRound: 2}},
+		RoundOf: func(p []byte) (int, bool) { return int(p[0]), true },
+	})
+	if err != nil {
+		t.Fatalf("NewFaultEndpoint: %v", err)
+	}
+	reg := metrics.New()
+	ep := NewMeteredEndpoint(fep, reg)
+	ctx := context.Background()
+
+	if err := ep.Send(ctx, 1, []byte{1, 'a'}); err != nil {
+		t.Fatalf("send before crash: %v", err)
+	}
+	if err := ep.Send(ctx, 1, []byte{2, 'b'}); err == nil {
+		t.Fatal("crash-rule send succeeded")
+	}
+	if !fep.Crashed() {
+		t.Fatal("crash rule did not trip")
+	}
+	if err := ep.Send(ctx, 1, []byte{2, 'c'}); err == nil {
+		t.Fatal("send while crashed succeeded")
+	}
+	ep.Revive()
+	if fep.Crashed() {
+		t.Fatal("Revive through the meter did not revive the fault endpoint")
+	}
+	if err := ep.Send(ctx, 1, []byte{2, 'd'}); err != nil {
+		t.Fatalf("send after revive: %v", err)
+	}
+
+	snap := reg.Snapshot()
+	if got := counterValue(t, snap, "fap_transport_sends_total", "0"); got != 2 {
+		t.Errorf("sends across revive = %d, want 2 (pre-crash count lost?)", got)
+	}
+	if got := counterValue(t, snap, "fap_transport_send_errors_total", "0"); got != 2 {
+		t.Errorf("send errors = %d, want 2 (crash trip + refused)", got)
+	}
+}
+
+func TestPublishFaultStats(t *testing.T) {
+	reg := metrics.New()
+	PublishFaultStats(reg, 2, FaultStats{SendDropped: 4, Crashes: 1})
+	snap := reg.Snapshot()
+	var total int64
+	byKind := map[string]int64{}
+	for _, c := range snap.Counters {
+		if c.Name != "fap_transport_faults_total" {
+			t.Fatalf("unexpected counter %s", c.Name)
+		}
+		total += c.Value
+		for _, l := range c.Labels {
+			if l.Key == "kind" {
+				byKind[l.Value] = c.Value
+			}
+		}
+	}
+	if len(snap.Counters) != 11 {
+		t.Errorf("got %d fault-kind series, want 11 (zero kinds must still register)", len(snap.Counters))
+	}
+	if total != 5 || byKind["send_dropped"] != 4 || byKind["crashes"] != 1 {
+		t.Errorf("fault counters = %v (total %d), want send_dropped=4 crashes=1", byKind, total)
+	}
+}

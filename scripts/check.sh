@@ -32,6 +32,39 @@ go test -race -count 1 \
 	-run 'TestChaosChurnContract|TestChurn|TestCrash|TestDoubleCrash|TestPartitionDepart|TestDepartRejoin|TestSupervise|TestFaultCrash' \
 	./internal/experiments/ ./internal/recovery/ ./internal/transport/
 
+echo "== coverage floors (scripts/coverage.baseline)"
+# Statement coverage must not regress below the recorded per-package
+# floors. The floors carry slack, so a failure here means real test
+# coverage was lost, not noise.
+COVER="$(go test -cover ./...)" || { echo "$COVER" >&2; exit 1; }
+echo "$COVER" | awk -v base=scripts/coverage.baseline '
+BEGIN {
+	while ((getline line < base) > 0) {
+		if (line ~ /^#/ || line == "") continue
+		n = split(line, f, " "); if (n >= 2) floor[f[1]] = f[2] + 0
+	}
+	close(base)
+}
+/coverage:/ {
+	pkg = $2
+	pct = -1
+	for (i = 1; i <= NF; i++) if ($i == "coverage:") pct = $(i + 1) + 0
+	if (pkg in floor && pct >= 0) {
+		seen[pkg] = 1
+		if (pct < floor[pkg]) {
+			printf "coverage: %s at %.1f%% is below its %d%% floor\n", pkg, pct, floor[pkg]
+			bad = 1
+		}
+	}
+}
+END {
+	for (p in floor) if (!(p in seen)) {
+		printf "coverage: no result for %s -- stale baseline entry?\n", p
+		bad = 1
+	}
+	exit bad
+}'
+
 echo "== bench smoke (go test -bench . -benchtime 1x)"
 go test -bench . -benchtime 1x -run '^$' . > /dev/null
 
