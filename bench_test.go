@@ -12,6 +12,8 @@ package filealloc
 
 import (
 	"context"
+	"fmt"
+	"runtime"
 	"testing"
 
 	"filealloc/internal/core"
@@ -102,6 +104,40 @@ func BenchmarkFig6Scaling(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkFig6WorkerMatrix crosses GOMAXPROCS with the sweep worker
+// count on the figure-6 grid — the repo's largest sweep (510 cells) —
+// so a single run shows how much of the chunked engine's speedup
+// survives core starvation and worker oversubscription. Sub-benchmarks
+// are named procs_<P>/workers_<W>; P values beyond the machine's CPU
+// count are skipped rather than benchmarked as fiction.
+func BenchmarkFig6WorkerMatrix(b *testing.B) {
+	procsSet := []int{1, 2, 4, runtime.GOMAXPROCS(0)}
+	workerSet := []int{1, 4, 8}
+	seen := make(map[int]bool)
+	for _, procs := range procsSet {
+		if procs > runtime.NumCPU() || seen[procs] {
+			continue
+		}
+		seen[procs] = true
+		for _, workers := range workerSet {
+			b.Run(fmt.Sprintf("procs_%d/workers_%d", procs, workers), func(b *testing.B) {
+				prev := runtime.GOMAXPROCS(procs)
+				defer runtime.GOMAXPROCS(prev)
+				ctx := sweep.WithWorkers(context.Background(), workers)
+				for i := 0; i < b.N; i++ {
+					rows, err := experiments.Fig6(ctx, nil)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if len(rows) != 17 {
+						b.Fatalf("got %d rows", len(rows))
+					}
+				}
+			})
+		}
 	}
 }
 

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	fapsim [-csv] [-v] [-workers N] <experiment>
+//	fapsim [-csv] [-v] [-workers N] [-chunk N] <experiment>
 //
 // where <experiment> is one of: fig3, fig4, fig5, fig6, fig8, fig9,
 // validate, second-order, decentralized, price-directed, chaos,
@@ -13,7 +13,10 @@
 // the decentralized runtime. -workers bounds the parameter-sweep
 // concurrency (default: GOMAXPROCS); -workers 1 reproduces the serial
 // path exactly — results are identical either way, only wall-clock
-// changes.
+// changes. -chunk overrides the number of contiguous sweep items a
+// worker claims per scheduling step (default: automatic, ⌈n/(4·workers)⌉);
+// results are identical for every chunk size, so the flag exists for
+// performance experiments only.
 package main
 
 import (
@@ -47,6 +50,8 @@ func run(args []string, w io.Writer) error {
 	verbose := fs.Bool("v", false, "log agent round events to stderr (decentralized/chaos)")
 	workers := fs.Int("workers", runtime.GOMAXPROCS(0),
 		"parameter-sweep concurrency; 1 runs every sweep serially (results are identical either way)")
+	chunk := fs.Int("chunk", 0,
+		"sweep items claimed per scheduling step; 0 picks the size automatically (results are identical either way)")
 	metricsOut := fs.String("metrics-out", "",
 		"write the run's metrics-registry snapshot as JSON to this file ('-' for stdout)")
 	if err := fs.Parse(args); err != nil {
@@ -54,6 +59,9 @@ func run(args []string, w io.Writer) error {
 	}
 	if *workers < 1 {
 		return fmt.Errorf("-workers must be at least 1, got %d", *workers)
+	}
+	if *chunk < 0 {
+		return fmt.Errorf("-chunk must be non-negative, got %d", *chunk)
 	}
 	var obs agent.Observer
 	if *verbose {
@@ -64,6 +72,9 @@ func run(args []string, w io.Writer) error {
 		return fmt.Errorf("want exactly one experiment, got %d args (use 'all' to run everything)", fs.NArg())
 	}
 	ctx := sweep.WithWorkers(context.Background(), *workers)
+	if *chunk > 0 {
+		ctx = sweep.WithChunkSize(ctx, *chunk)
+	}
 	// A registry collects sweep metrics (via the context) for every
 	// experiment and the full agent/transport surface for chaos-churn,
 	// which threads it through the cluster runtime itself.

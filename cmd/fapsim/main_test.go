@@ -159,6 +159,30 @@ func TestRunWorkersFlag(t *testing.T) {
 	}
 }
 
+func TestRunChunkFlag(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-chunk", "-1", "fig3"}, &b); err == nil {
+		t.Error("negative -chunk accepted")
+	}
+
+	// Like -workers, -chunk changes scheduling only, never output: a
+	// degenerate 1-item chunk and one spanning the whole sweep must both
+	// match the automatic size.
+	var auto, tiny, huge strings.Builder
+	if err := run([]string{"-csv", "-workers", "4", "fig5"}, &auto); err != nil {
+		t.Fatalf("auto-chunk run: %v", err)
+	}
+	if err := run([]string{"-csv", "-workers", "4", "-chunk", "1", "fig5"}, &tiny); err != nil {
+		t.Fatalf("chunk-1 run: %v", err)
+	}
+	if err := run([]string{"-csv", "-workers", "4", "-chunk", "1000", "fig5"}, &huge); err != nil {
+		t.Fatalf("chunk-1000 run: %v", err)
+	}
+	if auto.String() != tiny.String() || auto.String() != huge.String() {
+		t.Error("-chunk changed fig5 CSV output")
+	}
+}
+
 func TestRunFig6CSVValues(t *testing.T) {
 	var b strings.Builder
 	if err := run([]string{"-csv", "fig6"}, &b); err != nil {

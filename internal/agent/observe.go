@@ -110,6 +110,15 @@ type CounterObserver struct {
 
 var _ Observer = (*CounterObserver)(nil)
 
+// Reset zeroes every tally so the observer can be reused for another
+// run — experiment sweeps hand one CounterObserver per worker and reset
+// it between cells instead of allocating a fresh one per cell.
+func (o *CounterObserver) Reset() {
+	o.mu.Lock()
+	o.c = Counters{}
+	o.mu.Unlock()
+}
+
 // Counters returns a snapshot of the tallies.
 func (o *CounterObserver) Counters() Counters {
 	o.mu.Lock()

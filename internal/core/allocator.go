@@ -271,14 +271,52 @@ func (a *Allocator) CheckFeasible(x []float64, totals []float64) error {
 	return nil
 }
 
+// Scratch holds every buffer a solve needs — the working allocation, the
+// gradient, per-group step planning buffers, and the dynamic-α Hessian —
+// so repeated solves reuse one set of allocations. The zero value is
+// ready to use; buffers grow on first use and are reused (or regrown)
+// by later runs of any dimension. A Scratch is single-goroutine: sweeps
+// build one per worker (sweep.RunWithScratch pairs naturally with
+// NewScratch).
+type Scratch struct {
+	x, grad, hess, xPrev, totals []float64
+	steps                        []Step
+}
+
+// NewScratch returns an empty Scratch. It exists so callers can pass the
+// constructor itself where a factory is expected (e.g.
+// sweep.RunWithScratch(ctx, n, workers, core.NewScratch, fn)).
+func NewScratch() *Scratch { return &Scratch{} }
+
 // Run iterates from the initial allocation init until convergence, stall,
 // cancellation, or the iteration budget. init is not modified. Totals are
 // inferred from init: each group conserves its initial sum, so init must
 // already be feasible for the intended problem (e.g. sum 1 for a single
 // file, m for m copies).
 func (a *Allocator) Run(ctx context.Context, init []float64) (Result, error) {
-	totals := make([]float64, len(a.groups))
+	// A fresh scratch per call keeps Run's historical contract: the
+	// returned Result.X is exclusively the caller's.
+	return a.RunWithScratch(ctx, init, &Scratch{})
+}
+
+// RunWithScratch is Run drawing every buffer from s, so a caller solving
+// many instances (a stepsize sweep, a grid search) allocates the solve
+// machinery once and reuses it: after the first call on a given problem
+// shape, subsequent calls allocate nothing (asserted by
+// TestRunWithScratchSteadyStateAllocFree). A nil s runs with a private
+// scratch, equivalent to Run.
+//
+// The returned Result.X aliases s and is overwritten by the next run
+// using the same scratch — copy it to retain it. Results are
+// byte-identical to Run's for the same inputs.
+func (a *Allocator) RunWithScratch(ctx context.Context, init []float64, s *Scratch) (Result, error) {
+	if s == nil {
+		s = &Scratch{}
+	}
+	totals := growFloats(s.totals, len(a.groups))
+	s.totals = totals
 	for gi, g := range a.groups {
+		totals[gi] = 0
 		for _, idx := range g {
 			if idx < len(init) {
 				totals[gi] += init[idx]
@@ -289,23 +327,41 @@ func (a *Allocator) Run(ctx context.Context, init []float64) (Result, error) {
 		return Result{}, err
 	}
 
-	x := append([]float64(nil), init...)
-	grad := make([]float64, len(x))
+	x := growFloats(s.x, len(init))
+	s.x = x
+	copy(x, init)
+	grad := growFloats(s.grad, len(x))
+	s.grad = grad
+	for i := range grad {
+		grad[i] = 0
+	}
 	alpha := a.alpha
 
-	// All per-iteration scratch is allocated once here, so the inner loop
-	// below runs allocation-free (asserted by TestRunInnerLoopAllocFree):
-	// PlanStepInto reuses each group's Delta/Active buffers and
-	// dynamicAlpha reuses hess. Run stays reentrant — the scratch belongs
-	// to this call, not to the Allocator.
-	steps := make([]Step, len(a.groups))
-	for gi, g := range a.groups {
-		steps[gi] = Step{Delta: make([]float64, len(g)), Active: make([]bool, len(g))}
+	// All per-iteration scratch comes from s, so the inner loop below
+	// runs allocation-free (asserted by TestRunInnerLoopAllocFree):
+	// PlanStepInto reuses each group's Delta/Active buffers — growing
+	// them in place when a larger group appears — and dynamicAlpha
+	// reuses hess. Run stays reentrant because each call owns its
+	// scratch; sharing one Scratch across concurrent runs is the
+	// caller's bug.
+	if cap(s.steps) < len(a.groups) {
+		steps := make([]Step, len(a.groups))
+		copy(steps, s.steps)
+		s.steps = steps
+	} else {
+		s.steps = s.steps[:len(a.groups)]
 	}
+	steps := s.steps
 	var hess, xPrev []float64
 	if a.dynamicSafety > 0 {
-		hess = make([]float64, len(x))
-		xPrev = make([]float64, len(x))
+		hess = growFloats(s.hess, len(x))
+		s.hess = hess
+		xPrev = growFloats(s.xPrev, len(x))
+		s.xPrev = xPrev
+		for i := range hess {
+			hess[i] = 0
+			xPrev[i] = 0
+		}
 	}
 
 	u, err := a.obj.Utility(x)

@@ -35,7 +35,7 @@ func AblationSecondOrder(ctx context.Context, scales []float64) ([]SecondOrderRo
 	}
 	const alpha = 0.3 // tuned for scale 1 (figure 3's good choice)
 	rows := make([]SecondOrderRow, len(scales))
-	err := sweep.Run(ctx, len(scales), sweep.WorkersFrom(ctx), func(ctx context.Context, i int) error {
+	err := sweep.RunWithScratch(ctx, len(scales), sweep.WorkersFrom(ctx), core.NewScratch, func(ctx context.Context, i int, scratch *core.Scratch) error {
 		scale := scales[i]
 		start := []float64{0.7, 0.1, 0.1, 0.1}
 		access := []float64{2 * scale, 1 * scale, 3 * scale, 2 * scale}
@@ -51,7 +51,7 @@ func AblationSecondOrder(ctx context.Context, scales []float64) ([]SecondOrderRo
 		if err != nil {
 			return fmt.Errorf("%w: first-order at scale %v: %w", ErrExperiment, scale, err)
 		}
-		if res, err := first.Run(ctx, start); err == nil && res.Converged {
+		if res, err := first.RunWithScratch(ctx, start, scratch); err == nil && res.Converged {
 			row.FirstOrderIterations = res.Iterations
 		}
 

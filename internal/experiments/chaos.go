@@ -143,66 +143,69 @@ func Chaos(ctx context.Context, obs agent.Observer) ([]ChaosRow, error) {
 	scenarios := chaosScenarios()
 	modes := []agent.Mode{agent.Broadcast, agent.Coordinator}
 	// The (mode, scenario) matrix is flattened into one sweep; each cell
-	// owns its cluster, fault injector, and counter observer, and writes
-	// its row into the slot the serial double loop would have filled.
+	// owns its cluster and fault injector and writes its row into the slot
+	// the serial double loop would have filled. The counter observer is
+	// per-worker scratch, reset between the cells a worker claims.
 	rows := make([]ChaosRow, len(modes)*len(scenarios))
-	err = sweep.Run(ctx, len(rows), sweep.WorkersFrom(ctx), func(ctx context.Context, idx int) error {
-		mode := modes[idx/len(scenarios)]
-		sc := scenarios[idx%len(scenarios)]
-		counters := &agent.CounterObserver{}
-		var shared agent.Observer = counters
-		if obs != nil {
-			shared = agent.MultiObserver{counters, obs}
-		}
-		res, err := agent.RunCluster(ctx, agent.ClusterConfig{
-			Models:        agent.ModelsFromSingleFile(m),
-			Init:          start,
-			Alpha:         0.3,
-			Epsilon:       Epsilon,
-			MaxRounds:     500,
-			Mode:          mode,
-			CoordinatorID: 0,
-			SendRetries:   sc.retries,
-			RoundTimeout:  sc.timeout,
-			Observer:      shared,
-			Faults:        sc.faults,
-		})
-		c := counters.Counters()
-		row := ChaosRow{
-			Scenario:       sc.name,
-			Mode:           mode.String(),
-			Rounds:         res.Rounds,
-			Messages:       res.Messages,
-			FaultsInjected: res.Faults.Total(),
-			SendRetries:    c.SendRetries,
-			Discarded:      c.Discarded,
-			Timeouts:       c.TimeoutsFired,
-		}
-		switch {
-		case sc.wantTimeout:
-			if !errors.Is(err, agent.ErrRoundTimeout) {
-				return fmt.Errorf("%w: %s/%v: error = %v, want round timeout", ErrExperiment, sc.name, mode, err)
+	err = sweep.RunWithScratch(ctx, len(rows), sweep.WorkersFrom(ctx),
+		func() *agent.CounterObserver { return &agent.CounterObserver{} },
+		func(ctx context.Context, idx int, counters *agent.CounterObserver) error {
+			mode := modes[idx/len(scenarios)]
+			sc := scenarios[idx%len(scenarios)]
+			counters.Reset()
+			var shared agent.Observer = counters
+			if obs != nil {
+				shared = agent.MultiObserver{counters, obs}
 			}
-			row.TimedOut = true
-		case err != nil:
-			return fmt.Errorf("%w: %s/%v cluster: %w", ErrExperiment, sc.name, mode, err)
-		default:
-			if !res.Converged {
-				return fmt.Errorf("%w: %s/%v did not converge", ErrExperiment, sc.name, mode)
+			res, err := agent.RunCluster(ctx, agent.ClusterConfig{
+				Models:        agent.ModelsFromSingleFile(m),
+				Init:          start,
+				Alpha:         0.3,
+				Epsilon:       Epsilon,
+				MaxRounds:     500,
+				Mode:          mode,
+				CoordinatorID: 0,
+				SendRetries:   sc.retries,
+				RoundTimeout:  sc.timeout,
+				Observer:      shared,
+				Faults:        sc.faults,
+			})
+			c := counters.Counters()
+			row := ChaosRow{
+				Scenario:       sc.name,
+				Mode:           mode.String(),
+				Rounds:         res.Rounds,
+				Messages:       res.Messages,
+				FaultsInjected: res.Faults.Total(),
+				SendRetries:    c.SendRetries,
+				Discarded:      c.Discarded,
+				Timeouts:       c.TimeoutsFired,
 			}
-			row.Converged = true
-			for i := range res.X {
-				if d := math.Abs(res.X[i] - centralRes.X[i]); d > row.MaxAllocationDiff {
-					row.MaxAllocationDiff = d
+			switch {
+			case sc.wantTimeout:
+				if !errors.Is(err, agent.ErrRoundTimeout) {
+					return fmt.Errorf("%w: %s/%v: error = %v, want round timeout", ErrExperiment, sc.name, mode, err)
+				}
+				row.TimedOut = true
+			case err != nil:
+				return fmt.Errorf("%w: %s/%v cluster: %w", ErrExperiment, sc.name, mode, err)
+			default:
+				if !res.Converged {
+					return fmt.Errorf("%w: %s/%v did not converge", ErrExperiment, sc.name, mode)
+				}
+				row.Converged = true
+				for i := range res.X {
+					if d := math.Abs(res.X[i] - centralRes.X[i]); d > row.MaxAllocationDiff {
+						row.MaxAllocationDiff = d
+					}
+				}
+				if row.MaxAllocationDiff != 0 {
+					return fmt.Errorf("%w: %s/%v silently diverged by %g", ErrExperiment, sc.name, mode, row.MaxAllocationDiff)
 				}
 			}
-			if row.MaxAllocationDiff != 0 {
-				return fmt.Errorf("%w: %s/%v silently diverged by %g", ErrExperiment, sc.name, mode, row.MaxAllocationDiff)
-			}
-		}
-		rows[idx] = row
-		return nil
-	})
+			rows[idx] = row
+			return nil
+		})
 	if err != nil {
 		return nil, err
 	}

@@ -11,14 +11,18 @@ import (
 )
 
 // chaosChurnSnapshot runs the full chaos-churn matrix with a fresh
-// registry under the given sweep concurrency and returns the snapshot.
-func chaosChurnSnapshot(t *testing.T, workers int) metrics.Snapshot {
+// registry under the given sweep concurrency and chunk size (0 =
+// automatic) and returns the snapshot.
+func chaosChurnSnapshot(t *testing.T, workers, chunk int) metrics.Snapshot {
 	t.Helper()
 	reg := metrics.New()
 	ctx := sweep.WithWorkers(context.Background(), workers)
 	ctx = sweep.WithMetrics(ctx, reg)
+	if chunk != 0 {
+		ctx = sweep.WithChunkSize(ctx, chunk)
+	}
 	if _, err := ChaosChurn(ctx, nil, reg); err != nil {
-		t.Fatalf("workers=%d: %v", workers, err)
+		t.Fatalf("workers=%d chunk=%d: %v", workers, chunk, err)
 	}
 	return reg.Snapshot()
 }
@@ -27,7 +31,9 @@ func chaosChurnSnapshot(t *testing.T, workers int) metrics.Snapshot {
 // metrics layer's determinism contract: a chaos-churn run — four
 // concurrent supervised agents per scenario, crash faults, wall-clock
 // round timeouts — must produce a registry snapshot that is byte-identical
-// between workers=1 and workers=8 and across repeated runs. Counters
+// between workers=1 and workers=8 and across repeated runs — and, since
+// the sweep engine claims chunks of contiguous indices, across chunk
+// sizes from the degenerate 1 to one spanning the whole matrix. Counters
 // commute, histograms are integer-valued, gauges are round-ordered, and
 // recv-side fault counts are drained to delivery totals, so no
 // scheduling or timing artifact may leak into any value.
@@ -35,13 +41,15 @@ func TestChaosChurnMetricsDeterministic(t *testing.T) {
 	if testing.Short() {
 		t.Skip("chaos-churn matrix is slow")
 	}
-	base := chaosChurnSnapshot(t, 1)
+	base := chaosChurnSnapshot(t, 1, 0)
 	if len(base.Counters) == 0 || len(base.Histograms) == 0 {
 		t.Fatalf("snapshot is missing metric families: %d counters, %d histograms", len(base.Counters), len(base.Histograms))
 	}
 	for name, snap := range map[string]metrics.Snapshot{
-		"workers=8":       chaosChurnSnapshot(t, 8),
-		"workers=1 rerun": chaosChurnSnapshot(t, 1),
+		"workers=8":            chaosChurnSnapshot(t, 8, 0),
+		"workers=8 chunk=1":    chaosChurnSnapshot(t, 8, 1),
+		"workers=8 chunk=4096": chaosChurnSnapshot(t, 8, 4096),
+		"workers=1 rerun":      chaosChurnSnapshot(t, 1, 0),
 	} {
 		if !reflect.DeepEqual(base, snap) {
 			t.Errorf("%s: snapshot differs from workers=1 baseline:\nbase: %+v\ngot:  %+v", name, base, snap)

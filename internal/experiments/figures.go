@@ -41,7 +41,8 @@ func Fig3(ctx context.Context) ([]Profile, error) {
 
 // ConvergenceProfiles runs the figure-3 system once per stepsize from the
 // given start. The stepsizes run concurrently (see WorkersFrom); each
-// item owns its allocator and trace recorder, and the profiles come back
+// item owns its allocator and trace recorder, each worker reuses one
+// solve scratch across the items it claims, and the profiles come back
 // in stepsize order regardless of parallelism.
 func ConvergenceProfiles(ctx context.Context, alphas []float64, start []float64) ([]Profile, error) {
 	m, err := RingSystem(len(start), 1)
@@ -49,7 +50,7 @@ func ConvergenceProfiles(ctx context.Context, alphas []float64, start []float64)
 		return nil, err
 	}
 	profiles := make([]Profile, len(alphas))
-	err = sweep.Run(ctx, len(alphas), sweep.WorkersFrom(ctx), func(ctx context.Context, i int) error {
+	err = sweep.RunWithScratch(ctx, len(alphas), sweep.WorkersFrom(ctx), core.NewScratch, func(ctx context.Context, i int, scratch *core.Scratch) error {
 		alpha := alphas[i]
 		rec := trace.NewRecorder(false)
 		alloc, err := core.NewAllocator(m,
@@ -60,7 +61,7 @@ func ConvergenceProfiles(ctx context.Context, alphas []float64, start []float64)
 		if err != nil {
 			return fmt.Errorf("%w: configuring α=%v: %w", ErrExperiment, alpha, err)
 		}
-		res, err := alloc.Run(ctx, start)
+		res, err := alloc.RunWithScratch(ctx, start, scratch)
 		if err != nil {
 			return fmt.Errorf("%w: running α=%v: %w", ErrExperiment, alpha, err)
 		}
@@ -70,7 +71,9 @@ func ConvergenceProfiles(ctx context.Context, alphas []float64, start []float64)
 			Costs:      rec.Costs(),
 			Iterations: res.Iterations,
 			Converged:  res.Converged,
-			FinalX:     res.X,
+			// res.X aliases the worker's scratch; the profile outlives
+			// the item, so copy.
+			FinalX: append([]float64(nil), res.X...),
 		}
 		return nil
 	})
@@ -109,7 +112,7 @@ func Fig4(ctx context.Context, linkCosts []float64) ([]Fig4Row, error) {
 		linkCosts = []float64{1, 1.4, 2, 3}
 	}
 	rows := make([]Fig4Row, len(linkCosts))
-	err := sweep.Run(ctx, len(linkCosts), sweep.WorkersFrom(ctx), func(ctx context.Context, i int) error {
+	err := sweep.RunWithScratch(ctx, len(linkCosts), sweep.WorkersFrom(ctx), core.NewScratch, func(ctx context.Context, i int, scratch *core.Scratch) error {
 		v := linkCosts[i]
 		m, err := RingSystem(4, v)
 		if err != nil {
@@ -132,7 +135,7 @@ func Fig4(ctx context.Context, linkCosts []float64) ([]Fig4Row, error) {
 		// node, which is integrally optimal by symmetry.
 		start := make([]float64, 4)
 		start[3] = 1
-		res, err := alloc.Run(ctx, start)
+		res, err := alloc.RunWithScratch(ctx, start, scratch)
 		if err != nil {
 			return fmt.Errorf("%w: running v=%v: %w", ErrExperiment, v, err)
 		}
@@ -178,7 +181,7 @@ func Fig5(ctx context.Context, alphas []float64) ([]Fig5Row, error) {
 	}
 	start := PaperStart(4)
 	rows := make([]Fig5Row, len(alphas))
-	err = sweep.Run(ctx, len(alphas), sweep.WorkersFrom(ctx), func(ctx context.Context, i int) error {
+	err = sweep.RunWithScratch(ctx, len(alphas), sweep.WorkersFrom(ctx), core.NewScratch, func(ctx context.Context, i int, scratch *core.Scratch) error {
 		alpha := alphas[i]
 		alloc, err := core.NewAllocator(m,
 			core.WithAlpha(alpha),
@@ -188,7 +191,7 @@ func Fig5(ctx context.Context, alphas []float64) ([]Fig5Row, error) {
 		if err != nil {
 			return fmt.Errorf("%w: configuring α=%v: %w", ErrExperiment, alpha, err)
 		}
-		res, err := alloc.Run(ctx, start)
+		res, err := alloc.RunWithScratch(ctx, start, scratch)
 		if err != nil {
 			return fmt.Errorf("%w: running α=%v: %w", ErrExperiment, alpha, err)
 		}
@@ -260,7 +263,7 @@ func Fig6(ctx context.Context, sizes []int) ([]Fig6Row, error) {
 		spread     float64
 	}
 	cells := make([]cell, len(sizes)*len(alphas))
-	err := sweep.Run(ctx, len(cells), sweep.WorkersFrom(ctx), func(ctx context.Context, i int) error {
+	err := sweep.RunWithScratch(ctx, len(cells), sweep.WorkersFrom(ctx), core.NewScratch, func(ctx context.Context, i int, scratch *core.Scratch) error {
 		si, ai := i/len(alphas), i%len(alphas)
 		n, a := sizes[si], alphas[ai]
 		alloc, err := core.NewAllocator(models[si],
@@ -271,7 +274,7 @@ func Fig6(ctx context.Context, sizes []int) ([]Fig6Row, error) {
 		if err != nil {
 			return fmt.Errorf("%w: configuring n=%d α=%v: %w", ErrExperiment, n, a, err)
 		}
-		res, err := alloc.Run(ctx, PaperStart(n))
+		res, err := alloc.RunWithScratch(ctx, PaperStart(n), scratch)
 		if err != nil {
 			return fmt.Errorf("%w: running n=%d α=%v: %w", ErrExperiment, n, a, err)
 		}

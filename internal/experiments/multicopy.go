@@ -67,8 +67,9 @@ func oscillation(costs []float64) float64 {
 }
 
 // runMultiCopy executes one profile with a fixed stepsize (no decay), the
-// raw behaviour figures 8 and 9 display.
-func runMultiCopy(ctx context.Context, r *multicopy.Ring, alpha float64, iterations int, label string) (MultiCopyProfile, error) {
+// raw behaviour figures 8 and 9 display. scratch may be nil; the sweeps
+// pass their worker's buffers through it.
+func runMultiCopy(ctx context.Context, r *multicopy.Ring, scratch *core.Scratch, alpha float64, iterations int, label string) (MultiCopyProfile, error) {
 	var costs []float64
 	best := math.Inf(1)
 	alloc, err := core.NewAllocator(r,
@@ -86,7 +87,7 @@ func runMultiCopy(ctx context.Context, r *multicopy.Ring, alpha float64, iterati
 	if err != nil {
 		return MultiCopyProfile{}, fmt.Errorf("%w: configuring %s: %w", ErrExperiment, label, err)
 	}
-	res, err := alloc.Run(ctx, multiCopyStart())
+	res, err := alloc.RunWithScratch(ctx, multiCopyStart(), scratch)
 	if err != nil {
 		return MultiCopyProfile{}, fmt.Errorf("%w: running %s: %w", ErrExperiment, label, err)
 	}
@@ -116,13 +117,13 @@ func Fig8(ctx context.Context) ([]MultiCopyProfile, error) {
 	// A Ring's scratch buffers are single-goroutine, so each item builds
 	// its own (see multicopy.Ring's concurrency contract).
 	profiles := make([]MultiCopyProfile, len(configs))
-	err := sweep.Run(ctx, len(configs), sweep.WorkersFrom(ctx), func(ctx context.Context, i int) error {
+	err := sweep.RunWithScratch(ctx, len(configs), sweep.WorkersFrom(ctx), core.NewScratch, func(ctx context.Context, i int, scratch *core.Scratch) error {
 		cfg := configs[i]
 		r, err := multiCopyRing(cfg.costs)
 		if err != nil {
 			return err
 		}
-		p, err := runMultiCopy(ctx, r, 0.1, iterations, cfg.label)
+		p, err := runMultiCopy(ctx, r, scratch, 0.1, iterations, cfg.label)
 		if err != nil {
 			return err
 		}
@@ -144,14 +145,14 @@ func Fig9(ctx context.Context) ([]MultiCopyProfile, error) {
 	// Three independent runs — two fixed stepsizes plus the adaptive-decay
 	// variant — swept concurrently, each with its own Ring.
 	profiles := make([]MultiCopyProfile, len(fixedAlphas)+1)
-	err := sweep.Run(ctx, len(profiles), sweep.WorkersFrom(ctx), func(ctx context.Context, i int) error {
+	err := sweep.RunWithScratch(ctx, len(profiles), sweep.WorkersFrom(ctx), core.NewScratch, func(ctx context.Context, i int, scratch *core.Scratch) error {
 		r, err := multiCopyRing([]float64{4, 1, 1, 1})
 		if err != nil {
 			return err
 		}
 		if i < len(fixedAlphas) {
 			alpha := fixedAlphas[i]
-			p, err := runMultiCopy(ctx, r, alpha, iterations, fmt.Sprintf("α=%.2f fixed", alpha))
+			p, err := runMultiCopy(ctx, r, scratch, alpha, iterations, fmt.Sprintf("α=%.2f fixed", alpha))
 			if err != nil {
 				return err
 			}
@@ -169,6 +170,7 @@ func Fig9(ctx context.Context) ([]MultiCopyProfile, error) {
 			OnIteration: func(it core.Iteration) {
 				costs = append(costs, -it.Utility)
 			},
+			Scratch: scratch,
 		})
 		if err != nil {
 			return fmt.Errorf("%w: adaptive solve: %w", ErrExperiment, err)

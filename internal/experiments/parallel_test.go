@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"context"
+	"fmt"
 	"reflect"
 	"testing"
 
@@ -80,6 +81,48 @@ func TestFig6DeterministicAcrossWorkers(t *testing.T) {
 		t.Fatalf("parallel: %v", err)
 	}
 	assertDeepEqualRows(t, "Fig6", serial, parallel)
+}
+
+// TestFig5DeterministicAcrossChunkSizes pins the chunked claiming at the
+// experiment level: a degenerate 1-item chunk (the pre-chunking
+// behavior) and a chunk spanning the whole 70-point grid must both
+// reproduce the serial rows exactly.
+func TestFig5DeterministicAcrossChunkSizes(t *testing.T) {
+	s, _ := serialParallel()
+	want, err := Fig5(s, nil)
+	if err != nil {
+		t.Fatalf("serial: %v", err)
+	}
+	for _, chunk := range []int{1, 7, 1000} {
+		ctx := sweep.WithChunkSize(sweep.WithWorkers(context.Background(), 8), chunk)
+		got, err := Fig5(ctx, nil)
+		if err != nil {
+			t.Fatalf("chunk=%d: %v", chunk, err)
+		}
+		assertDeepEqualRows(t, fmt.Sprintf("Fig5 chunk=%d", chunk), want, got)
+	}
+}
+
+// TestFig6DeterministicAcrossChunkSizes does the same over the flattened
+// (size, α) grid, where a chunk can straddle network sizes.
+func TestFig6DeterministicAcrossChunkSizes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("grid search in -short mode")
+	}
+	s, _ := serialParallel()
+	sizes := []int{4, 6, 8}
+	want, err := Fig6(s, sizes)
+	if err != nil {
+		t.Fatalf("serial: %v", err)
+	}
+	for _, chunk := range []int{1, 13, 10000} {
+		ctx := sweep.WithChunkSize(sweep.WithWorkers(context.Background(), 8), chunk)
+		got, err := Fig6(ctx, sizes)
+		if err != nil {
+			t.Fatalf("chunk=%d: %v", chunk, err)
+		}
+		assertDeepEqualRows(t, fmt.Sprintf("Fig6 chunk=%d", chunk), want, got)
+	}
 }
 
 // TestFig6AlphaGrid pins the stepsize grid against the float-accumulation

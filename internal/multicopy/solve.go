@@ -33,6 +33,11 @@ type SolveConfig struct {
 	MaxIterations int
 	// OnIteration, when set, observes every iteration.
 	OnIteration func(core.Iteration)
+	// Scratch, when non-nil, supplies the solver's working buffers so
+	// repeated solves (replication-degree sweeps, figure-9 grids) reuse
+	// one set of allocations. The result's X/FinalX are always private
+	// copies, so retaining them is safe regardless.
+	Scratch *core.Scratch
 }
 
 func (c *SolveConfig) fill() {
@@ -117,7 +122,7 @@ func solveObjective(ctx context.Context, obj core.Objective, init []float64, cfg
 	if err != nil {
 		return SolveResult{}, fmt.Errorf("multicopy: configuring solver: %w", err)
 	}
-	res, err := alloc.Run(ctx, init)
+	res, err := alloc.RunWithScratch(ctx, init, cfg.Scratch)
 	if err != nil {
 		return SolveResult{}, fmt.Errorf("multicopy: solving ring allocation: %w", err)
 	}

@@ -24,4 +24,16 @@ func TestOptimalCopiesDeterministicAcrossWorkers(t *testing.T) {
 	if !reflect.DeepEqual(serial, parallel) {
 		t.Errorf("workers=1 and workers=8 disagree:\n serial:   %+v\n parallel: %+v", serial, parallel)
 	}
+	// The per-worker solve scratch and the chunked claiming must be
+	// equally invisible: a 1-degree chunk and one spanning the whole
+	// sweep reproduce the serial result too.
+	for _, chunk := range []int{1, 100} {
+		chunked, err := OptimalCopies(sweep.WithChunkSize(sweep.WithWorkers(ctx, 8), chunk), baseConfig())
+		if err != nil {
+			t.Fatalf("chunk=%d: %v", chunk, err)
+		}
+		if !reflect.DeepEqual(serial, chunked) {
+			t.Errorf("chunk=%d disagrees with serial:\n serial:  %+v\n chunked: %+v", chunk, serial, chunked)
+		}
+	}
 }

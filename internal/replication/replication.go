@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"math"
 
+	"filealloc/internal/core"
 	"filealloc/internal/multicopy"
 	"filealloc/internal/sweep"
 )
@@ -107,9 +108,11 @@ func OptimalCopies(ctx context.Context, cfg Config) (Result, error) {
 
 	// Each degree's solve is independent — one Ring per item, since a
 	// Ring's scratch is single-goroutine — so the sweep runs concurrently
-	// and the Best reduction happens serially afterwards in m order.
+	// and the Best reduction happens serially afterwards in m order. The
+	// solver's working buffers are per-worker scratch shared across the
+	// degrees a worker claims.
 	rows := make([]Row, maxCopies)
-	err := sweep.Run(ctx, maxCopies, sweep.WorkersFrom(ctx), func(ctx context.Context, i int) error {
+	err := sweep.RunWithScratch(ctx, maxCopies, sweep.WorkersFrom(ctx), core.NewScratch, func(ctx context.Context, i int, scratch *core.Scratch) error {
 		m := i + 1
 		ring, err := multicopy.New(multicopy.Config{
 			LinkCosts:    cfg.LinkCosts,
@@ -121,7 +124,9 @@ func OptimalCopies(ctx context.Context, cfg Config) (Result, error) {
 		if err != nil {
 			return fmt.Errorf("replication: building ring for m=%d: %w", m, err)
 		}
-		solved, err := ring.Solve(ctx, ring.SpreadEvenly(), cfg.Solve)
+		sc := cfg.Solve
+		sc.Scratch = scratch
+		solved, err := ring.Solve(ctx, ring.SpreadEvenly(), sc)
 		if err != nil {
 			return fmt.Errorf("replication: solving m=%d: %w", m, err)
 		}

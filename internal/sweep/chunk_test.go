@@ -1,0 +1,235 @@
+package sweep
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"filealloc/internal/metrics"
+)
+
+// TestChunkSizeContext covers the WithChunkSize plumbing, including the
+// normalization of non-positive sizes and nested overrides.
+func TestChunkSizeContext(t *testing.T) {
+	ctx := context.Background()
+	if got := ChunkSizeFrom(ctx); got != 0 {
+		t.Fatalf("default chunk size = %d, want 0 (automatic)", got)
+	}
+	if got := ChunkSizeFrom(WithChunkSize(ctx, 7)); got != 7 {
+		t.Fatalf("chunk size = %d, want 7", got)
+	}
+	// Non-positive restores the automatic choice, shadowing outer sizes.
+	for _, size := range []int{0, -3} {
+		if got := ChunkSizeFrom(WithChunkSize(WithChunkSize(ctx, 7), size)); got != 0 {
+			t.Fatalf("WithChunkSize(%d) over 7: chunk size = %d, want 0 (automatic)", size, got)
+		}
+	}
+	if got := ChunkSizeFrom(WithChunkSize(WithChunkSize(ctx, 0), 5)); got != 5 {
+		t.Fatalf("nested positive override: chunk size = %d, want 5", got)
+	}
+}
+
+// TestWorkersNormalizedAtStore pins the WithWorkers contract the docs
+// promise: every workers < 1 is stored as the same canonical default
+// marker, so 0, negative, and nested overrides all read back as the
+// GOMAXPROCS default.
+func TestWorkersNormalizedAtStore(t *testing.T) {
+	ctx := context.Background()
+	def := runtime.GOMAXPROCS(0)
+	for _, workers := range []int{0, -1, -100} {
+		if got := WorkersFrom(WithWorkers(ctx, workers)); got != def {
+			t.Errorf("WithWorkers(%d): workers = %d, want default %d", workers, got, def)
+		}
+		// The raw value must not be observable: the stored marker is 0.
+		if v, ok := WithWorkers(ctx, workers).Value(workersKey{}).(int); !ok || v != 0 {
+			t.Errorf("WithWorkers(%d) stored %v, want canonical 0", workers, v)
+		}
+		// A non-positive inner override shadows an outer positive one.
+		if got := WorkersFrom(WithWorkers(WithWorkers(ctx, 3), workers)); got != def {
+			t.Errorf("WithWorkers(%d) over 3: workers = %d, want default %d", workers, got, def)
+		}
+	}
+	if got := WorkersFrom(WithWorkers(WithWorkers(ctx, 0), 5)); got != 5 {
+		t.Errorf("nested positive override: workers = %d, want 5", got)
+	}
+}
+
+// TestDefaultChunkSize pins the automatic stride: ⌈n/(4·workers)⌉, at
+// least 1.
+func TestDefaultChunkSize(t *testing.T) {
+	cases := []struct{ n, workers, want int }{
+		{1, 1, 1},
+		{3, 8, 1},
+		{70, 8, 3},   // figure 5's grid
+		{510, 8, 16}, // figure 6's grid
+		{100, 1, 25},
+		{4096, 16, 64},
+	}
+	for _, tc := range cases {
+		if got := defaultChunkSize(tc.n, tc.workers); got != tc.want {
+			t.Errorf("defaultChunkSize(%d, %d) = %d, want %d", tc.n, tc.workers, got, tc.want)
+		}
+	}
+}
+
+// TestChunkedCompleteness runs sweeps across chunk-size edge cases —
+// automatic, 1 (item-at-a-time, the pre-chunking behavior), exactly n,
+// and far beyond n — and checks every item ran exactly once and wrote
+// its own slot.
+func TestChunkedCompleteness(t *testing.T) {
+	const n = 97 // prime: never divides evenly into chunks
+	for _, chunk := range []int{0, 1, 2, 7, n, 10 * n} {
+		for _, workers := range []int{2, 3, 8, n} {
+			ctx := WithChunkSize(context.Background(), chunk)
+			got := make([]int32, n)
+			err := Run(ctx, n, workers, func(ctx context.Context, i int) error {
+				atomic.AddInt32(&got[i], 1)
+				return nil
+			})
+			if err != nil {
+				t.Fatalf("chunk=%d workers=%d: %v", chunk, workers, err)
+			}
+			for i, v := range got {
+				if v != 1 {
+					t.Fatalf("chunk=%d workers=%d: item %d ran %d times, want 1", chunk, workers, i, v)
+				}
+			}
+		}
+	}
+}
+
+// TestChunkedFirstErrorWins: the lowest-index error wins under every
+// chunk size, exactly as the serial loop would report it.
+func TestChunkedFirstErrorWins(t *testing.T) {
+	sentinel := errors.New("boom")
+	for _, chunk := range []int{1, 4, 50, 1000} {
+		ctx := WithChunkSize(context.Background(), chunk)
+		for trial := 0; trial < 10; trial++ {
+			err := Run(ctx, 50, 4, func(ctx context.Context, i int) error {
+				if i == 17 {
+					return fmt.Errorf("item %d: %w", i, sentinel)
+				}
+				return nil
+			})
+			if !errors.Is(err, sentinel) {
+				t.Fatalf("chunk=%d: err = %v, want %v", chunk, err, sentinel)
+			}
+			if got := err.Error(); got != "item 17: boom" {
+				t.Fatalf("chunk=%d: err = %q, want the lowest-index error", chunk, got)
+			}
+		}
+	}
+}
+
+// TestScratchPerWorker pins the scratch lifecycle: one scratch per
+// worker that claims work, never more than workers total, every item
+// served by some worker's scratch, and exactly one scratch on the serial
+// path.
+func TestScratchPerWorker(t *testing.T) {
+	const n = 64
+	for _, workers := range []int{1, 3, 8} {
+		var created atomic.Int64
+		var mu sync.Mutex
+		seen := make(map[*int]int) // scratch identity → items served
+		err := RunWithScratch(context.Background(), n, workers,
+			func() *int {
+				created.Add(1)
+				return new(int)
+			},
+			func(ctx context.Context, i int, scratch *int) error {
+				*scratch++ // scratch is worker-private: no lock needed for it
+				mu.Lock()
+				seen[scratch]++
+				mu.Unlock()
+				return nil
+			})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if c := created.Load(); c < 1 || c > int64(workers) {
+			t.Errorf("workers=%d: %d scratches created, want between 1 and %d", workers, c, workers)
+		}
+		if workers == 1 && created.Load() != 1 {
+			t.Errorf("serial path created %d scratches, want exactly 1", created.Load())
+		}
+		total := 0
+		for scratch, items := range seen {
+			if *scratch != items {
+				t.Errorf("workers=%d: scratch served %d items but accumulated %d", workers, items, *scratch)
+			}
+			total += items
+		}
+		if total != n {
+			t.Errorf("workers=%d: %d items served, want %d", workers, total, n)
+		}
+	}
+}
+
+// TestScratchNotCreatedForIdleWorkers: with a chunk spanning the whole
+// sweep, only the worker that claims it builds a scratch.
+func TestScratchNotCreatedForIdleWorkers(t *testing.T) {
+	var created atomic.Int64
+	ctx := WithChunkSize(context.Background(), 1000)
+	err := RunWithScratch(ctx, 40, 8,
+		func() struct{} { created.Add(1); return struct{}{} },
+		func(ctx context.Context, i int, _ struct{}) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := created.Load(); c != 1 {
+		t.Errorf("%d scratches created for a single-chunk sweep, want 1", c)
+	}
+}
+
+// TestRunWithScratchValidation covers the degenerate inputs RunWithScratch
+// must reject or no-op, mirroring Run's contract.
+func TestRunWithScratchValidation(t *testing.T) {
+	noop := func(ctx context.Context, i int, _ struct{}) error { return nil }
+	mk := func() struct{} { return struct{}{} }
+	if err := RunWithScratch(context.Background(), -1, 4, mk, noop); err == nil {
+		t.Error("n=-1 accepted")
+	}
+	if err := RunWithScratch[struct{}](context.Background(), 4, 4, mk, nil); err == nil {
+		t.Error("nil fn accepted")
+	}
+	if err := RunWithScratch(context.Background(), 4, 4, nil, noop); err == nil {
+		t.Error("nil scratch constructor accepted")
+	}
+	if err := RunWithScratch(context.Background(), 0, 4, mk, noop); err != nil {
+		t.Errorf("n=0: %v", err)
+	}
+}
+
+// TestSweepMetricsChunkInvariant requires byte-identical registry
+// snapshots across worker counts and chunk sizes: the queue-depth
+// multiset depends only on n.
+func TestSweepMetricsChunkInvariant(t *testing.T) {
+	runOnce := func(workers, chunk int) metrics.Snapshot {
+		reg := metrics.New()
+		ctx := WithMetrics(context.Background(), reg)
+		if chunk != 0 {
+			ctx = WithChunkSize(ctx, chunk)
+		}
+		if err := Run(ctx, 40, workers, func(ctx context.Context, i int) error {
+			return nil
+		}); err != nil {
+			t.Fatalf("Run(workers=%d, chunk=%d): %v", workers, chunk, err)
+		}
+		return reg.Snapshot()
+	}
+	want := runOnce(1, 0)
+	for _, workers := range []int{2, 8} {
+		for _, chunk := range []int{0, 1, 3, 40, 100} {
+			got := runOnce(workers, chunk)
+			if !reflect.DeepEqual(want, got) {
+				t.Errorf("snapshot for workers=%d chunk=%d differs from serial:\nserial: %+v\ngot:    %+v",
+					workers, chunk, want, got)
+			}
+		}
+	}
+}

@@ -28,12 +28,18 @@ func registryFrom(ctx context.Context) *metrics.Registry {
 var queueDepthBounds = []int64{1, 2, 4, 8, 16, 32, 64, 128}
 
 // sweepMeter holds the per-run instruments. Everything recorded is an
-// integer derived from item indices, never from scheduling: items are
-// claimed in ascending index order, so item i always observes queue depth
-// n−i regardless of which worker claims it or when. Worker utilization is
-// therefore derivable (items/run ÷ workers bounds the per-worker share)
-// without storing a single wall-clock- or scheduling-dependent value —
-// those are forbidden in the registry by the determinism contract.
+// integer derived from item indices, never from scheduling. Claiming is
+// chunked — a worker grabs a run of contiguous indices per atomic op and
+// executes them in ascending order — but the queue-depth observation is
+// still made per item from its index: item i observes depth n−i exactly
+// once, whichever worker's chunk it landed in and whatever the chunk
+// size. The multiset of observations is therefore fixed by n alone, and
+// counters/histograms aggregate order-insensitively, so completed sweeps
+// snapshot byte-identically across worker counts and chunk sizes. Worker
+// utilization is derivable (items/run ÷ workers bounds the per-worker
+// share) without storing a single wall-clock- or scheduling-dependent
+// value — those are forbidden in the registry by the determinism
+// contract.
 type sweepMeter struct {
 	runs       *metrics.Counter
 	items      *metrics.Counter

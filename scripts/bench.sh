@@ -8,15 +8,18 @@
 #
 #	scripts/bench.sh [bench-regex] [benchtime]
 #
-# defaults: 'Fig' (every figure benchmark) and 5x. The JSON is built with
-# awk from `go test -bench` output — no extra tooling required.
+# defaults: 'Fig' (every figure benchmark) and 5x. BENCH_OUT overrides
+# the output path (check.sh's floor gate writes to a temp file so the
+# committed trajectory is untouched). The JSON is built by
+# scripts/bench_json.awk from `go test -bench` output — no extra tooling
+# required; the awk stage itself is pinned by a fixture diff in check.sh.
 set -eu
 
 cd "$(dirname "$0")/.."
 
 PATTERN="${1:-Fig}"
 BENCHTIME="${2:-5x}"
-OUT="BENCH_figures.json"
+OUT="${BENCH_OUT:-BENCH_figures.json}"
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 
@@ -33,51 +36,6 @@ fi
 cat "$RAW"
 
 CORES="$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)"
-awk -v cores="$CORES" '
-BEGIN { n = 0 }
-/^cpu:/ { sub(/^cpu: */, ""); cpu = $0 }
-/^goos:/ { goos = $2 }
-/^goarch:/ { goarch = $2 }
-/^Benchmark/ && NF >= 4 && $3 == "ns/op" || (/^Benchmark/ && $4 == "ns/op") {
-	name = $1
-	sub(/-[0-9]+$/, "", name)   # strip the -GOMAXPROCS suffix
-	iters[n] = $2
-	nsop[n] = $3
-	names[n] = name
-	n++
-}
-END {
-	printf "{\n"
-	printf "  \"schema\": \"filealloc-bench/1\",\n"
-	printf "  \"goos\": \"%s\",\n", goos
-	printf "  \"goarch\": \"%s\",\n", goarch
-	printf "  \"cpu\": \"%s\",\n", cpu
-	printf "  \"gomaxprocs\": %s,\n", cores
-	printf "  \"benchmarks\": [\n"
-	for (i = 0; i < n; i++) {
-		printf "    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s}%s\n", \
-			names[i], iters[i], nsop[i], (i < n-1 ? "," : "")
-	}
-	printf "  ],\n"
-	printf "  \"speedups\": [\n"
-	first = 1
-	for (i = 0; i < n; i++) {
-		if (names[i] !~ /\/serial$/) continue
-		base = names[i]
-		sub(/\/serial$/, "", base)
-		for (j = 0; j < n; j++) {
-			if (names[j] == base "/parallel" && nsop[j] + 0 > 0) {
-				if (!first) printf ",\n"
-				first = 0
-				printf "    {\"figure\": \"%s\", \"serial_ns\": %s, \"parallel_ns\": %s, \"speedup\": %.3f}", \
-					base, nsop[i], nsop[j], nsop[i] / nsop[j]
-			}
-		}
-	}
-	if (!first) printf "\n"
-	printf "  ]\n"
-	printf "}\n"
-}
-' "$RAW" > "$OUT"
+awk -v cores="$CORES" -f scripts/bench_json.awk "$RAW" > "$OUT"
 
 echo "== wrote $OUT"

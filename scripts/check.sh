@@ -65,6 +65,19 @@ END {
 	exit bad
 }'
 
+echo "== bench_json.awk fixture"
+# The JSON emitter is plain awk; pin it against a recorded go-test
+# transcript (including malformed lines and a cpu string with quotes and
+# a backslash) so a matcher or escaping regression shows up as a diff,
+# not as invalid JSON in CI artifacts.
+AWK_OUT="$(mktemp)"
+trap 'rm -f "$AWK_OUT"' EXIT
+awk -v cores=8 -f scripts/bench_json.awk scripts/testdata/bench_raw.txt > "$AWK_OUT"
+if ! diff -u scripts/testdata/bench_golden.json "$AWK_OUT"; then
+	echo "bench_json.awk output diverged from scripts/testdata/bench_golden.json" >&2
+	exit 1
+fi
+
 echo "== bench smoke (go test -bench . -benchtime 1x)"
 go test -bench . -benchtime 1x -run '^$' . > /dev/null
 
@@ -74,6 +87,61 @@ echo "== bench.sh failure propagation"
 if scripts/bench.sh Fig not-a-benchtime > /dev/null 2>&1; then
 	echo "bench.sh swallowed a go test failure" >&2
 	exit 1
+fi
+
+echo "== BENCH_figures.json trajectory"
+# The perf trajectory is committed; it must exist and must cover every
+# figure benchmark currently in bench_test.go, so adding a benchmark
+# without re-running scripts/bench.sh fails here instead of silently
+# shipping a stale record.
+if [ ! -f BENCH_figures.json ]; then
+	echo "BENCH_figures.json is missing; run scripts/bench.sh and commit the result" >&2
+	exit 1
+fi
+STALE=0
+for bench in $(go test -list '^BenchmarkFig' . | grep '^Benchmark'); do
+	if ! grep -q "\"name\": \"$bench" BENCH_figures.json; then
+		echo "BENCH_figures.json has no entry for $bench -- stale; re-run scripts/bench.sh" >&2
+		STALE=1
+	fi
+done
+[ "$STALE" -eq 0 ] || exit 1
+
+echo "== sweep speedup floor (Fig5 >= 1.5x, Fig6 >= 1.0x)"
+# Fresh measurement, not the committed file: the chunked sweep engine
+# must actually pay on this machine. On fewer than 4 cores the parallel
+# variant degenerates to (nearly) the serial path and the ratio is pure
+# noise, so the gate only runs where parallelism can show up.
+CORES="$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)"
+if [ "$CORES" -lt 4 ]; then
+	echo "   skipped: $CORES core(s) < 4, speedup would be noise"
+else
+	FLOOR_OUT="$(mktemp)"
+	trap 'rm -f "$AWK_OUT" "$FLOOR_OUT"' EXIT
+	BENCH_OUT="$FLOOR_OUT" scripts/bench.sh 'Fig5AlphaSweep|Fig6Scaling' 5x > /dev/null
+	awk '
+	/"figure":/ {
+		fig = $0; sub(/.*"figure": "/, "", fig); sub(/".*/, "", fig)
+		sp = $0; sub(/.*"speedup": /, "", sp); sub(/[^0-9.].*/, "", sp)
+		floor = 0
+		if (fig == "BenchmarkFig5AlphaSweep") floor = 1.5
+		if (fig == "BenchmarkFig6Scaling") floor = 1.0
+		if (floor == 0) next
+		seen[fig] = 1
+		if (sp + 0 < floor) {
+			printf "speedup: %s at %.3fx is below its %.1fx floor\n", fig, sp, floor
+			bad = 1
+		} else {
+			printf "speedup: %s %.3fx (floor %.1fx)\n", fig, sp, floor
+		}
+	}
+	END {
+		if (!("BenchmarkFig5AlphaSweep" in seen) || !("BenchmarkFig6Scaling" in seen)) {
+			print "speedup: bench output is missing a gated figure"
+			bad = 1
+		}
+		exit bad
+	}' "$FLOOR_OUT"
 fi
 
 echo "ok"
