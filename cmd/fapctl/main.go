@@ -20,6 +20,14 @@
 // exposition grouped by metric family:
 //
 //	fapctl metrics http://127.0.0.1:9090/metrics
+//
+// The placements subcommand queries a solved-catalog snapshot written by
+// fapsim -snapshot-out: with no object ids it summarises the snapshot;
+// with ids it prints each object's placement (node, share, demand share),
+// largest share first.
+//
+//	fapctl placements catalog.json
+//	fapctl placements catalog.json 0 17 4095
 package main
 
 import (
@@ -31,11 +39,13 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
 	"filealloc/internal/agent"
 	"filealloc/internal/baseline"
+	"filealloc/internal/catalog"
 	"filealloc/internal/core"
 	"filealloc/internal/costmodel"
 	"filealloc/internal/recovery"
@@ -56,6 +66,9 @@ func run(args []string, w io.Writer) error {
 	}
 	if len(args) > 0 && args[0] == "metrics" {
 		return runMetrics(args[1:], w)
+	}
+	if len(args) > 0 && args[0] == "placements" {
+		return runPlacements(args[1:], w)
 	}
 	fs := flag.NewFlagSet("fapctl", flag.ContinueOnError)
 	n := fs.Int("n", 4, "cluster size")
@@ -263,6 +276,63 @@ func runCheckpoint(args []string, w io.Writer) error {
 		Checksum:       ck.Checksum,
 		SkippedInvalid: skipped,
 	})
+}
+
+// runPlacements implements `fapctl placements <snapshot.json> [id...]`:
+// query a solved-catalog snapshot written by fapsim -snapshot-out. With
+// no ids it prints a one-line summary; with ids it prints each object's
+// non-zero placements, largest share first.
+func runPlacements(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("fapctl placements", flag.ContinueOnError)
+	asJSON := fs.Bool("json", false, "emit placements as JSON instead of a table")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() < 1 {
+		return fmt.Errorf("usage: fapctl placements [-json] <snapshot.json> [objectID...]")
+	}
+	raw, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	snap, err := catalog.DecodeSnapshot(raw)
+	if err != nil {
+		return err
+	}
+	if fs.NArg() == 1 {
+		fmt.Fprintf(w, "%s: %d objects × %d nodes in %d shards, epoch %d (skew %g, λ %g)\n",
+			fs.Arg(0), snap.Objects, snap.Nodes, snap.Shards, snap.Epoch, snap.Skew, snap.Lambda)
+		return nil
+	}
+	type objectPlacements struct {
+		Object     int                 `json:"object"`
+		Placements []catalog.Placement `json:"placements"`
+	}
+	var report []objectPlacements
+	for _, arg := range fs.Args()[1:] {
+		id, err := strconv.Atoi(arg)
+		if err != nil {
+			return fmt.Errorf("object id %q is not an integer", arg)
+		}
+		ps, err := snap.Placements(id)
+		if err != nil {
+			return err
+		}
+		report = append(report, objectPlacements{Object: id, Placements: ps})
+	}
+	if *asJSON {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(report)
+	}
+	for _, op := range report {
+		fmt.Fprintf(w, "object %d:\n", op.Object)
+		fmt.Fprintf(w, "  %-6s %-10s %s\n", "node", "share", "demand")
+		for _, p := range op.Placements {
+			fmt.Fprintf(w, "  %-6d %-10.6f %.6f\n", p.Node, p.Share, p.Demand)
+		}
+	}
+	return nil
 }
 
 func runTCP(model *costmodel.SingleFile, init []float64, alpha, epsilon float64, mode agent.Mode) (x []float64, rounds int, converged bool, messages int, err error) {

@@ -1,12 +1,15 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
 
+	"filealloc/internal/catalog"
 	"filealloc/internal/recovery"
 )
 
@@ -162,5 +165,97 @@ func TestRunValidation(t *testing.T) {
 	}
 	if err := run([]string{"-n", "1"}, &b); err == nil {
 		t.Error("single-node cluster accepted")
+	}
+}
+
+// writeTestSnapshot cold-solves a small catalog and writes its snapshot,
+// returning the file path and the snapshot for cross-checking.
+func writeTestSnapshot(t *testing.T) (string, catalog.Snapshot) {
+	t.Helper()
+	cat, err := catalog.New(catalog.Config{Objects: 24, Nodes: 5, ShardSize: 8, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cat.SolveCold(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	snap := cat.Snapshot()
+	raw, err := snap.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "catalog.json")
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path, snap
+}
+
+func TestPlacementsSubcommandSummaryAndQuery(t *testing.T) {
+	path, snap := writeTestSnapshot(t)
+
+	// Bare snapshot: one-line summary.
+	var b strings.Builder
+	if err := run([]string{"placements", path}, &b); err != nil {
+		t.Fatalf("placements summary: %v", err)
+	}
+	if !strings.Contains(b.String(), "24 objects × 5 nodes") {
+		t.Errorf("summary wrong:\n%s", b.String())
+	}
+
+	// Object query: a table sorted largest share first.
+	b.Reset()
+	if err := run([]string{"placements", path, "0", "17"}, &b); err != nil {
+		t.Fatalf("placements query: %v", err)
+	}
+	out := b.String()
+	for _, want := range []string{"object 0:", "object 17:", "node", "share", "demand"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("query output missing %q:\n%s", want, out)
+		}
+	}
+
+	// JSON query round-trips and matches the library answer.
+	b.Reset()
+	if err := run([]string{"placements", "-json", path, "3"}, &b); err != nil {
+		t.Fatalf("placements -json: %v", err)
+	}
+	var rep []struct {
+		Object     int                 `json:"object"`
+		Placements []catalog.Placement `json:"placements"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &rep); err != nil {
+		t.Fatalf("bad JSON %q: %v", b.String(), err)
+	}
+	want, err := snap.Placements(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep) != 1 || rep[0].Object != 3 || !reflect.DeepEqual(rep[0].Placements, want) {
+		t.Errorf("JSON report = %+v, want object 3 with %+v", rep, want)
+	}
+}
+
+func TestPlacementsSubcommandFailsLoudly(t *testing.T) {
+	path, _ := writeTestSnapshot(t)
+	var b strings.Builder
+	if err := run([]string{"placements"}, &b); err == nil {
+		t.Error("missing snapshot path accepted")
+	}
+	if err := run([]string{"placements", filepath.Join(t.TempDir(), "absent.json")}, &b); err == nil {
+		t.Error("nonexistent snapshot accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"schema":"nope"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"placements", bad}, &b); err == nil {
+		t.Error("wrong-schema snapshot accepted")
+	}
+	if err := run([]string{"placements", path, "seven"}, &b); err == nil {
+		t.Error("non-integer object id accepted")
+	}
+	if err := run([]string{"placements", path, "24"}, &b); err == nil {
+		t.Error("out-of-range object id accepted")
 	}
 }

@@ -8,7 +8,7 @@
 //
 // where <experiment> is one of: fig3, fig4, fig5, fig6, fig8, fig9,
 // validate, second-order, decentralized, price-directed, chaos,
-// chaos-churn, all.
+// chaos-churn, catalog, all.
 // -v streams agent round events to stderr for the experiments that run
 // the decentralized runtime. -workers bounds the parameter-sweep
 // concurrency (default: GOMAXPROCS); -workers 1 reproduces the serial
@@ -27,6 +27,7 @@ import (
 	"os"
 	"runtime"
 	"strings"
+	"time"
 
 	"filealloc/internal/agent"
 	"filealloc/internal/experiments"
@@ -54,6 +55,11 @@ func run(args []string, w io.Writer) error {
 		"sweep items claimed per scheduling step; 0 picks the size automatically (results are identical either way)")
 	metricsOut := fs.String("metrics-out", "",
 		"write the run's metrics-registry snapshot as JSON to this file ('-' for stdout)")
+	objects := fs.Int("objects", 4096, "catalog size for the catalog experiment")
+	epochs := fs.Int("epochs", 3, "drift/re-solve epochs for the catalog experiment")
+	drift := fs.Float64("drift", 0.1, "per-epoch fraction of catalog objects whose demand is re-drawn")
+	snapshotOut := fs.String("snapshot-out", "",
+		"write the solved catalog snapshot as JSON to this file (catalog experiment; query it with 'fapctl placements')")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -103,11 +109,14 @@ func run(args []string, w io.Writer) error {
 		"adaptive":       func() error { return runAdaptive(ctx, w, *seed, *csv) },
 		"quantize":       func() error { return runQuantize(w, *csv) },
 		"records":        func() error { return runRecords(ctx, w, *csv) },
+		"catalog": func() error {
+			return runCatalog(ctx, w, *objects, *epochs, *drift, *seed, *snapshotOut, reg, *csv)
+		},
 	}
 	if name == "all" {
 		order := []string{"fig3", "fig4", "fig5", "fig6", "fig8", "fig9",
 			"validate", "second-order", "decentralized", "price-directed",
-			"chaos", "chaos-churn", "copies", "neighbor", "availability", "adaptive", "quantize", "records"}
+			"chaos", "chaos-churn", "copies", "neighbor", "availability", "adaptive", "quantize", "records", "catalog"}
 		for _, exp := range order {
 			fmt.Fprintf(w, "==== %s ====\n", exp)
 			if err := runners[exp](); err != nil {
@@ -119,7 +128,7 @@ func run(args []string, w io.Writer) error {
 	}
 	runner, ok := runners[name]
 	if !ok {
-		return fmt.Errorf("unknown experiment %q (want fig3|fig4|fig5|fig6|fig8|fig9|validate|second-order|decentralized|price-directed|chaos|chaos-churn|copies|neighbor|availability|adaptive|quantize|records|all)", name)
+		return fmt.Errorf("unknown experiment %q (want fig3|fig4|fig5|fig6|fig8|fig9|validate|second-order|decentralized|price-directed|chaos|chaos-churn|copies|neighbor|availability|adaptive|quantize|records|catalog|all)", name)
 	}
 	if err := runner(); err != nil {
 		return err
@@ -570,6 +579,72 @@ func runChaosChurn(ctx context.Context, w io.Writer, obs agent.Observer, reg *me
 			r.Crashes, r.Departs, r.Rejoins, r.MaxKKTGap, r.SumError)
 	}
 	return nil
+}
+
+func runCatalog(ctx context.Context, w io.Writer, objects, epochs int, drift float64, seed int64, snapshotOut string, reg *metrics.Registry, csv bool) error {
+	if seed < 0 {
+		return fmt.Errorf("-seed must be non-negative for the catalog experiment, got %d", seed)
+	}
+	rows, cat, err := experiments.Catalog(ctx, experiments.CatalogConfig{
+		Objects:       objects,
+		Epochs:        epochs,
+		DriftFraction: drift,
+		Seed:          uint64(seed),
+	}, reg, func() int64 { return time.Now().UnixNano() })
+	if err != nil {
+		return err
+	}
+	perSec := func(r experiments.CatalogRow) float64 {
+		if r.ElapsedNS <= 0 {
+			return 0
+		}
+		return float64(r.Objects) / (float64(r.ElapsedNS) * 1e-9)
+	}
+	if csv {
+		fmt.Fprintln(w, "phase,objects,drift_applied,drifted,skipped,warm,fallback,cold,steps,elapsed_ns,objects_per_sec")
+		for _, r := range rows {
+			fmt.Fprintf(w, "%s,%d,%d,%d,%d,%d,%d,%d,%d,%d,%g\n",
+				r.Phase, r.Objects, r.DriftApplied, r.Drifted, r.Skipped,
+				r.Warm, r.Fallback, r.Cold, r.Steps, r.ElapsedNS, perSec(r))
+		}
+	} else {
+		fmt.Fprintf(w, "Catalog — sharded batch solves with warm-start re-solves (%d objects, drift %g/epoch)\n",
+			objects, drift)
+		fmt.Fprintln(w, "warm passes skip un-drifted objects and re-solve the rest incrementally (KKT-certified)")
+		fmt.Fprintf(w, "  %-10s %-8s %-8s %-9s %-7s %-9s %-7s %-9s %s\n",
+			"phase", "drifted", "skipped", "warm", "fb", "cold", "steps", "ms", "objects/sec")
+		for _, r := range rows {
+			fmt.Fprintf(w, "  %-10s %-8d %-8d %-9d %-7d %-9d %-7d %-9.1f %.0f\n",
+				r.Phase, r.Drifted, r.Skipped, r.Warm, r.Fallback, r.Cold,
+				r.Steps, float64(r.ElapsedNS)/1e6, perSec(r))
+		}
+		if coldNS, warmNS := rows[0].ElapsedNS, maxElapsed(rows[1:]); coldNS > 0 && warmNS > 0 {
+			fmt.Fprintf(w, "  warm vs cold throughput: %.1fx (slowest warm epoch)\n",
+				float64(coldNS)/float64(warmNS))
+		}
+	}
+	if snapshotOut != "" {
+		b, err := cat.Snapshot().Encode()
+		if err != nil {
+			return fmt.Errorf("encoding catalog snapshot: %w", err)
+		}
+		if err := os.WriteFile(snapshotOut, b, 0o644); err != nil {
+			return fmt.Errorf("writing catalog snapshot: %w", err)
+		}
+	}
+	return nil
+}
+
+// maxElapsed returns the largest per-row elapsed time, 0 when rows is
+// empty or untimed.
+func maxElapsed(rows []experiments.CatalogRow) int64 {
+	var max int64
+	for _, r := range rows {
+		if r.ElapsedNS > max {
+			max = r.ElapsedNS
+		}
+	}
+	return max
 }
 
 func chaosOutcome(r experiments.ChaosRow) string {

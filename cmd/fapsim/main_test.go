@@ -6,6 +6,7 @@ import (
 	"strings"
 	"testing"
 
+	"filealloc/internal/catalog"
 	"filealloc/internal/metrics"
 )
 
@@ -66,6 +67,7 @@ func TestRunCSVOutputs(t *testing.T) {
 		{"adaptive", []string{"-csv", "adaptive"}, "half_life,steady_gap_pct,post_drift_gap_pct,recovered_gap_pct"},
 		{"quantize", []string{"-csv", "quantize"}, "records,max_deviation,cost_penalty_pct"},
 		{"records", []string{"-csv", "records"}, "skew,hot_node_records,hot_node_share,share_error,cost_penalty_pct"},
+		{"catalog", []string{"-csv", "-objects", "64", "-epochs", "2", "catalog"}, "phase,objects,drift_applied,drifted,skipped,warm,fallback,cold,steps,elapsed_ns,objects_per_sec"},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
@@ -120,6 +122,7 @@ func TestRunRenderedOutputs(t *testing.T) {
 		{"adaptive", []string{"adaptive"}, "estimation-driven adaptation"},
 		{"quantize", []string{"quantize"}, "record boundaries"},
 		{"records", []string{"records"}, "non-uniform record popularity"},
+		{"catalog", []string{"-objects", "64", "-epochs", "2", "catalog"}, "sharded batch solves with warm-start re-solves"},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
@@ -194,6 +197,73 @@ func TestRunFig6CSVValues(t *testing.T) {
 	}
 	if !strings.HasPrefix(lines[1], "4,") || !strings.HasPrefix(lines[17], "20,") {
 		t.Errorf("unexpected first/last rows: %q / %q", lines[1], lines[17])
+	}
+}
+
+// TestRunCatalogSnapshotOut runs the catalog experiment with -snapshot-out
+// and validates the dumped file: it decodes under the strict snapshot
+// decoder and answers placement queries for every object.
+func TestRunCatalogSnapshotOut(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "catalog.json")
+	var b strings.Builder
+	if err := run([]string{"-objects", "48", "-epochs", "1", "-snapshot-out", path, "catalog"}, &b); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := catalog.DecodeSnapshot(raw)
+	if err != nil {
+		t.Fatalf("snapshot does not decode: %v", err)
+	}
+	if snap.Objects != 48 || snap.Epoch != 1 {
+		t.Errorf("snapshot = %d objects at epoch %d, want 48 at 1", snap.Objects, snap.Epoch)
+	}
+	for id := 0; id < snap.Objects; id++ {
+		ps, err := snap.Placements(id)
+		if err != nil {
+			t.Fatalf("Placements(%d): %v", id, err)
+		}
+		if len(ps) == 0 {
+			t.Errorf("object %d has no placements", id)
+		}
+	}
+}
+
+// TestRunCatalogMetricsOut pins the catalog runner's registry plumbing:
+// -metrics-out must carry the catalog counter families, not just the
+// sweep's.
+func TestRunCatalogMetricsOut(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "metrics.json")
+	var b strings.Builder
+	if err := run([]string{"-objects", "64", "-epochs", "1", "-metrics-out", path, "catalog"}, &b); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := metrics.DecodeSnapshot(raw)
+	if err != nil {
+		t.Fatalf("snapshot does not decode: %v", err)
+	}
+	names := map[string]bool{}
+	for _, c := range snap.Counters {
+		names[c.Name] = true
+	}
+	for _, h := range snap.Histograms {
+		names[h.Name] = true
+	}
+	for _, want := range []string{
+		"fap_catalog_solves_total",
+		"fap_catalog_objects_skipped_total",
+		"fap_catalog_epochs_total",
+		"fap_catalog_resolve_iterations",
+	} {
+		if !names[want] {
+			t.Errorf("snapshot missing family %q", want)
+		}
 	}
 }
 

@@ -1,0 +1,103 @@
+package catalog
+
+import (
+	"context"
+	"errors"
+	"math"
+	"reflect"
+	"testing"
+)
+
+func solvedSnapshot(t *testing.T) Snapshot {
+	t.Helper()
+	c, err := New(Config{Objects: 12, Nodes: 5, ShardSize: 4, Seed: 9})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if _, err := c.SolveCold(context.Background()); err != nil {
+		t.Fatalf("SolveCold: %v", err)
+	}
+	return c.Snapshot()
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	snap := solvedSnapshot(t)
+	if snap.Schema != SnapshotSchema || snap.Objects != 12 || snap.Nodes != 5 || snap.Shards != 3 {
+		t.Fatalf("snapshot header = %+v", snap)
+	}
+	data, err := snap.Encode()
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	back, err := DecodeSnapshot(data)
+	if err != nil {
+		t.Fatalf("DecodeSnapshot: %v", err)
+	}
+	if !reflect.DeepEqual(snap, back) {
+		t.Errorf("snapshot did not round-trip")
+	}
+}
+
+func TestDecodeSnapshotRejectsInvalid(t *testing.T) {
+	snap := solvedSnapshot(t)
+	if _, err := DecodeSnapshot([]byte("{not json")); err == nil {
+		t.Errorf("decoded malformed JSON")
+	}
+	wrongSchema := snap
+	wrongSchema.Schema = "filealloc-catalog/999"
+	data, _ := wrongSchema.Encode()
+	if _, err := DecodeSnapshot(data); !errors.Is(err, ErrCatalog) {
+		t.Errorf("wrong schema: err = %v, want ErrCatalog", err)
+	}
+	truncated := snap
+	truncated.X = snap.X[:len(snap.X)-1]
+	data, _ = truncated.Encode()
+	if _, err := DecodeSnapshot(data); !errors.Is(err, ErrCatalog) {
+		t.Errorf("truncated rows: err = %v, want ErrCatalog", err)
+	}
+	empty := snap
+	empty.Objects = 0
+	data, _ = empty.Encode()
+	if _, err := DecodeSnapshot(data); !errors.Is(err, ErrCatalog) {
+		t.Errorf("zero objects: err = %v, want ErrCatalog", err)
+	}
+}
+
+func TestSnapshotPlacements(t *testing.T) {
+	snap := solvedSnapshot(t)
+	for id := 0; id < snap.Objects; id++ {
+		places, err := snap.Placements(id)
+		if err != nil {
+			t.Fatalf("Placements(%d): %v", id, err)
+		}
+		if len(places) == 0 {
+			t.Fatalf("object %d has no placements", id)
+		}
+		total := 0.0
+		for i, p := range places {
+			if p.Share <= 0 {
+				t.Errorf("object %d: zero-share placement %+v listed", id, p)
+			}
+			if i > 0 && places[i-1].Share < p.Share {
+				t.Errorf("object %d: placements not sorted by share: %v before %v",
+					id, places[i-1].Share, p.Share)
+			}
+			if p.Node < 0 || p.Node >= snap.Nodes {
+				t.Errorf("object %d: placement on node %d of %d", id, p.Node, snap.Nodes)
+			}
+			if p.Demand != snap.Demand[id*snap.Nodes+p.Node] {
+				t.Errorf("object %d node %d: demand %v, want %v",
+					id, p.Node, p.Demand, snap.Demand[id*snap.Nodes+p.Node])
+			}
+			total += p.Share
+		}
+		if math.Abs(total-1) > 1e-9 {
+			t.Errorf("object %d: placement shares sum to %v", id, total)
+		}
+	}
+	for _, bad := range []int{-1, snap.Objects} {
+		if _, err := snap.Placements(bad); !errors.Is(err, ErrCatalog) {
+			t.Errorf("Placements(%d): err = %v, want ErrCatalog", bad, err)
+		}
+	}
+}

@@ -1,0 +1,243 @@
+package core
+
+import (
+	"context"
+	"fmt"
+)
+
+// Solver is the shared entry point for whole solves: cold solves
+// (Allocator.RunWithScratch), warm-start incremental re-solves
+// (WarmSolver), and any future strategy plug into batch machinery — a
+// catalog sweep, a grid search — through this one signature. init is the
+// starting allocation (its group sums define the conserved totals) and s
+// supplies every buffer, so steady-state calls allocate nothing. The
+// returned Result.X aliases s and is overwritten by the next solve using
+// the same scratch.
+type Solver interface {
+	Solve(ctx context.Context, init []float64, s *Scratch) (Result, error)
+}
+
+// Solve implements Solver by running a full cold solve; it is
+// RunWithScratch under the interface's name.
+func (a *Allocator) Solve(ctx context.Context, init []float64, s *Scratch) (Result, error) {
+	return a.RunWithScratch(ctx, init, s)
+}
+
+var (
+	_ Solver = (*Allocator)(nil)
+	_ Solver = (*WarmSolver)(nil)
+)
+
+// WarmConfig tunes a WarmSolver.
+type WarmConfig struct {
+	// MaxSteps is the incremental-step budget before the solver falls
+	// back to a full cold solve (default 16). A warm start near the old
+	// optimum normally converges in a handful of steps; exhausting the
+	// budget means the problem moved too far for incremental repair.
+	MaxSteps int
+	// Certify, when non-nil, is consulted once the internal criterion
+	// (marginal-utility spread below ε plus the boundary KKT check)
+	// holds: it receives the candidate allocation and the common
+	// marginal *cost* level q implied by the final planned step, and a
+	// non-nil error vetoes the early exit, sending the solve to the
+	// cold fallback. Wiring costmodel.VerifyKKT here makes every warm
+	// exit carry an independent optimality certificate. The hook is
+	// only invoked for single-group problems; grouped objectives skip
+	// certification (q is per-group there).
+	Certify func(x []float64, q float64) error
+}
+
+// WarmSolver re-solves a problem whose parameters drifted slightly, seeded
+// from the previous allocation: instead of iterating from a cold start it
+// takes a few gradient re-allocation steps (the same PlanStepInto the cold
+// path uses, at the Allocator's α — dynamic if configured) and exits as
+// soon as the convergence criterion and the optional certificate hold.
+// If the budget runs out — the drift was too large for incremental repair
+// — it falls back to a full cold solve continued from the current iterate,
+// so the result is always a converged allocation when the underlying
+// Allocator converges.
+//
+// A WarmSolver is stateless between calls and safe for concurrent use as
+// long as each call gets its own Scratch (the same contract as
+// RunWithScratch).
+type WarmSolver struct {
+	cold     *Allocator
+	maxSteps int
+	certify  func(x []float64, q float64) error
+}
+
+// NewWarmSolver wraps an Allocator with the warm-start strategy.
+func NewWarmSolver(cold *Allocator, cfg WarmConfig) (*WarmSolver, error) {
+	if cold == nil {
+		return nil, fmt.Errorf("%w: nil cold allocator", ErrBadConfig)
+	}
+	if cfg.MaxSteps == 0 {
+		cfg.MaxSteps = 16
+	}
+	if cfg.MaxSteps < 1 {
+		return nil, fmt.Errorf("%w: warm step budget = %d", ErrBadConfig, cfg.MaxSteps)
+	}
+	return &WarmSolver{cold: cold, maxSteps: cfg.MaxSteps, certify: cfg.Certify}, nil
+}
+
+// Solve implements Solver.
+func (w *WarmSolver) Solve(ctx context.Context, init []float64, s *Scratch) (Result, error) {
+	res, _, err := w.SolveWarm(ctx, init, s)
+	return res, err
+}
+
+// SolveWarm is Solve additionally reporting whether the incremental
+// budget was exhausted and the full cold fallback ran (callers batching
+// many objects count warm hits vs. fallbacks from it).
+func (w *WarmSolver) SolveWarm(ctx context.Context, init []float64, s *Scratch) (Result, bool, error) {
+	a := w.cold
+	if s == nil {
+		s = &Scratch{}
+	}
+	totals := growFloats(s.totals, len(a.groups))
+	s.totals = totals
+	for gi, g := range a.groups {
+		totals[gi] = 0
+		for _, idx := range g {
+			if idx < len(init) {
+				totals[gi] += init[idx]
+			}
+		}
+	}
+	if err := a.CheckFeasible(init, totals); err != nil {
+		return Result{}, false, err
+	}
+	x := growFloats(s.x, len(init))
+	s.x = x
+	copy(x, init)
+	grad := growFloats(s.grad, len(x))
+	s.grad = grad
+	if cap(s.steps) < len(a.groups) {
+		steps := make([]Step, len(a.groups))
+		copy(steps, s.steps)
+		s.steps = steps
+	} else {
+		s.steps = s.steps[:len(a.groups)]
+	}
+	if a.dynamicSafety > 0 {
+		s.hess = growFloats(s.hess, len(x))
+		s.xPrev = growFloats(s.xPrev, len(x))
+	}
+
+	u, err := a.obj.Utility(x)
+	if err != nil {
+		return Result{}, false, fmt.Errorf("core: warm utility: %w", err)
+	}
+	for k := 0; k < w.maxSteps; k++ {
+		if err := ctx.Err(); err != nil {
+			return Result{X: x, Utility: u, Iterations: k, Reason: StopCanceled}, false, nil
+		}
+		next, converged, stalled, err := w.incrementalStep(s, u)
+		if err != nil {
+			return Result{}, false, fmt.Errorf("core: warm step %d: %w", k+1, err)
+		}
+		u = next
+		if stalled {
+			break // no stepsize makes progress here: escalate
+		}
+		if !converged {
+			continue
+		}
+		if w.certify != nil && len(a.groups) == 1 {
+			// AvgMarginal is the active set's mean marginal utility;
+			// the section-5.3 price is the marginal cost, its negation.
+			if err := w.certify(x, -s.steps[0].AvgMarginal); err != nil {
+				break // uncertified: escalate to the cold fallback
+			}
+		}
+		return Result{X: x, Utility: u, Iterations: k, Reason: StopConverged, Converged: true}, false, nil
+	}
+	// The drift outran the incremental budget (or the certificate was
+	// vetoed): continue as a full cold solve from the current iterate.
+	// x aliases s.x, which RunWithScratch re-adopts in place.
+	res, err := a.RunWithScratch(ctx, x, s)
+	return res, true, err
+}
+
+// incrementalStep performs one warm re-allocation step over s: gradient,
+// per-group step planning at the Allocator's (possibly dynamic) stepsize,
+// and the convergence test — spread below ε and the boundary KKT
+// condition on every group. When the test fails the planned step is
+// applied; when it holds, x is left untouched and the step records each
+// group's active-set average marginal for certification. prevU is the
+// utility of the current iterate; the returned utility describes the
+// (possibly stepped) iterate.
+//
+// Like the cold loop, a dynamically sized step that lowers the utility
+// backtracks — halving α, replanning from the saved iterate — until it
+// is an ascent again; stalled reports that no representable stepsize
+// made progress, in which case x holds the last good iterate.
+//
+//fap:zeroalloc
+func (w *WarmSolver) incrementalStep(s *Scratch, prevU float64) (u float64, converged, stalled bool, err error) {
+	a := w.cold
+	x, grad := s.x, s.grad
+	if err := a.obj.Gradient(grad, x); err != nil {
+		return prevU, false, false, err
+	}
+	alpha := a.alpha
+	if a.dynamicSafety > 0 {
+		dyn, err := a.dynamicAlpha(x, grad, s.hess)
+		if err != nil {
+			return prevU, false, false, err
+		}
+		if dyn > 0 {
+			alpha = dyn
+		}
+	}
+	converged = true
+	for gi, g := range a.groups {
+		if err := PlanStepInto(&s.steps[gi], x, grad, g, alpha); err != nil {
+			return prevU, false, false, err
+		}
+		if s.steps[gi].Spread(grad, g) >= a.epsilon {
+			converged = false
+		} else if !kktHolds(s.steps[gi], grad, x, g, a.epsilon) {
+			converged = false
+		}
+	}
+	if converged {
+		return prevU, true, false, nil
+	}
+	if a.dynamicSafety > 0 {
+		copy(s.xPrev, x)
+	}
+	for gi, g := range a.groups {
+		if err := s.steps[gi].Apply(x, g); err != nil {
+			return prevU, false, false, err
+		}
+	}
+	if u, err = a.obj.Utility(x); err != nil {
+		return prevU, false, false, err
+	}
+	if a.dynamicSafety > 0 && u < prevU {
+		// Theorem-2 backtracking guard, mirroring the cold loop: the
+		// dynamic bound is evaluated at the pre-step point, so a large
+		// move can overshoot its validity region and lower U.
+		for try := 0; try < 48 && u < prevU; try++ {
+			alpha /= 2
+			copy(x, s.xPrev)
+			for gi, g := range a.groups {
+				if err := PlanStepInto(&s.steps[gi], x, grad, g, alpha); err != nil {
+					return prevU, false, false, err
+				}
+				if err := s.steps[gi].Apply(x, g); err != nil {
+					return prevU, false, false, err
+				}
+			}
+			if u, err = a.obj.Utility(x); err != nil {
+				return prevU, false, false, err
+			}
+		}
+		if u < prevU {
+			copy(x, s.xPrev)
+			return prevU, false, true, nil
+		}
+	}
+	return u, false, false, nil
+}

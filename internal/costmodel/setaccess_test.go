@@ -1,0 +1,65 @@
+package costmodel
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+// TestSetAccessCosts pins the in-place update: the model evaluates as if
+// rebuilt with the new costs, rejects invalid input without modifying
+// state, and performs no allocations.
+func TestSetAccessCosts(t *testing.T) {
+	m, err := NewSingleFile([]float64{1, 2, 3}, []float64{1.5}, 1, 1)
+	if err != nil {
+		t.Fatalf("NewSingleFile: %v", err)
+	}
+	next := []float64{3, 1, 2}
+	if err := m.SetAccessCosts(next); err != nil {
+		t.Fatalf("SetAccessCosts: %v", err)
+	}
+	rebuilt, err := NewSingleFile(next, []float64{1.5}, 1, 1)
+	if err != nil {
+		t.Fatalf("NewSingleFile: %v", err)
+	}
+	x := []float64{0.5, 0.3, 0.2}
+	got, err := m.Cost(x)
+	if err != nil {
+		t.Fatalf("Cost: %v", err)
+	}
+	want, err := rebuilt.Cost(x)
+	if err != nil {
+		t.Fatalf("Cost: %v", err)
+	}
+	if got != want {
+		t.Errorf("updated model cost %v, rebuilt model cost %v", got, want)
+	}
+	// The update copies; mutating the caller's slice must not leak in.
+	next[0] = 100
+	if m.AccessCost(0) != 3 {
+		t.Errorf("SetAccessCosts aliased the caller's slice")
+	}
+
+	for _, bad := range [][]float64{
+		{1, 2},
+		{1, 2, 3, 4},
+		{1, -2, 3},
+		{1, math.NaN(), 3},
+		{1, math.Inf(1), 3},
+	} {
+		if err := m.SetAccessCosts(bad); !errors.Is(err, ErrBadParam) {
+			t.Errorf("SetAccessCosts(%v): err = %v, want ErrBadParam", bad, err)
+		}
+	}
+	if m.AccessCost(1) != 1 {
+		t.Errorf("rejected update modified the model: C_1 = %v", m.AccessCost(1))
+	}
+
+	if allocs := testing.AllocsPerRun(100, func() {
+		if err := m.SetAccessCosts(next); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs != 0 {
+		t.Errorf("SetAccessCosts allocated %.1f objects per call, want 0", allocs)
+	}
+}

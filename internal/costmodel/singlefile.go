@@ -96,6 +96,24 @@ func NewSingleFile(accessCosts, serviceRates []float64, lambda, k float64) (*Sin
 	}, nil
 }
 
+// SetAccessCosts replaces the per-node access costs C_i in place, with
+// the same validation as NewSingleFile. It exists for catalog-style
+// demand drift: when an object's demand vector moves, only its
+// traffic-weighted access costs change, so a re-solve can update the
+// existing model allocation-free instead of rebuilding it.
+func (m *SingleFile) SetAccessCosts(accessCosts []float64) error {
+	if len(accessCosts) != len(m.access) {
+		return fmt.Errorf("%w: %d access costs for %d nodes", ErrBadParam, len(accessCosts), len(m.access))
+	}
+	for i, c := range accessCosts {
+		if c < 0 || math.IsNaN(c) || math.IsInf(c, 0) {
+			return fmt.Errorf("%w: access cost C_%d = %v", ErrBadParam, i, c)
+		}
+	}
+	copy(m.access, accessCosts)
+	return nil
+}
+
 // Dim returns the number of nodes.
 func (m *SingleFile) Dim() int { return len(m.access) }
 

@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"filealloc/internal/metrics"
+	"filealloc/internal/sweep"
+)
+
+func TestCatalogExperimentShape(t *testing.T) {
+	cfg := CatalogConfig{Objects: 64, Nodes: 4, Epochs: 2, DriftFraction: 0.25, Seed: 5}
+	rows, cat, err := Catalog(context.Background(), cfg, nil, nil)
+	if err != nil {
+		t.Fatalf("Catalog: %v", err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows, want cold + 2 epochs", len(rows))
+	}
+	if rows[0].Phase != "cold" || rows[0].Cold != 64 || rows[0].Steps == 0 {
+		t.Errorf("cold row = %+v", rows[0])
+	}
+	if rows[0].ElapsedNS != 0 {
+		t.Errorf("nil clock produced elapsed %d ns", rows[0].ElapsedNS)
+	}
+	for i, r := range rows[1:] {
+		if r.Phase != fmt.Sprintf("epoch-%d", i+1) {
+			t.Errorf("row %d phase = %q", i+1, r.Phase)
+		}
+		if r.Drifted+r.Skipped != 64 {
+			t.Errorf("%s: drifted %d + skipped %d ≠ 64", r.Phase, r.Drifted, r.Skipped)
+		}
+		if r.Warm+r.Fallback != r.Drifted {
+			t.Errorf("%s: warm %d + fallback %d ≠ drifted %d", r.Phase, r.Warm, r.Fallback, r.Drifted)
+		}
+	}
+	if cat == nil || cat.Epoch() != 2 {
+		t.Errorf("returned catalog epoch = %v, want 2", cat.Epoch())
+	}
+
+	if _, _, err := Catalog(context.Background(), CatalogConfig{Epochs: -1}, nil, nil); !errors.Is(err, ErrExperiment) {
+		t.Errorf("negative epochs: err = %v, want ErrExperiment", err)
+	}
+}
+
+// TestCatalogExperimentDeterminism pins the end-to-end experiment —
+// rows, catalog snapshot, and metrics — across worker counts and chunk
+// sizes, the same contract the underlying package tests shard by shard.
+func TestCatalogExperimentDeterminism(t *testing.T) {
+	type outcome struct {
+		rows    []CatalogRow
+		snap    []byte
+		metrics []byte
+	}
+	scenario := func(workers, chunk int) outcome {
+		cfg := CatalogConfig{Objects: 512, Nodes: 5, Epochs: 2, DriftFraction: 0.2, Seed: 13}
+		reg := metrics.New()
+		ctx := sweep.WithWorkers(context.Background(), workers)
+		if chunk > 0 {
+			ctx = sweep.WithChunkSize(ctx, chunk)
+		}
+		ctx = sweep.WithMetrics(ctx, reg)
+		rows, cat, err := Catalog(ctx, cfg, reg, nil)
+		if err != nil {
+			t.Fatalf("Catalog(workers=%d, chunk=%d): %v", workers, chunk, err)
+		}
+		snap, err := cat.Snapshot().Encode()
+		if err != nil {
+			t.Fatalf("Snapshot.Encode: %v", err)
+		}
+		msnap, err := metrics.EncodeJSON(reg.Snapshot())
+		if err != nil {
+			t.Fatalf("metrics.EncodeJSON: %v", err)
+		}
+		return outcome{rows: rows, snap: snap, metrics: msnap}
+	}
+
+	ref := scenario(1, 0)
+	for _, workers := range []int{1, 8} {
+		for _, chunk := range []int{0, 1} {
+			if workers == 1 && chunk == 0 {
+				continue
+			}
+			got := scenario(workers, chunk)
+			name := fmt.Sprintf("workers=%d/chunk=%d", workers, chunk)
+			if !reflect.DeepEqual(ref.rows, got.rows) {
+				t.Errorf("%s: rows differ from serial reference", name)
+			}
+			if !bytes.Equal(ref.snap, got.snap) {
+				t.Errorf("%s: catalog snapshot differs from serial reference", name)
+			}
+			if !bytes.Equal(ref.metrics, got.metrics) {
+				t.Errorf("%s: metrics snapshot differs from serial reference", name)
+			}
+		}
+	}
+}

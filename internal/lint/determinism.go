@@ -18,6 +18,7 @@ var numericSegments = map[string]bool{
 	"multicopy":   true,
 	"replication": true,
 	"recovery":    true, // checkpoints must replay bit-identically
+	"catalog":     true, // solved catalogs must be byte-identical across worker counts
 }
 
 // randConstructors are the math/rand functions that build explicit seeded

@@ -32,6 +32,14 @@ go test -race -count 1 \
 	-run 'TestChaosChurnContract|TestChurn|TestCrash|TestDoubleCrash|TestPartitionDepart|TestDepartRejoin|TestSupervise|TestFaultCrash' \
 	./internal/experiments/ ./internal/recovery/ ./internal/transport/
 
+echo "== catalog determinism under -race"
+# The catalog batch-solves shards across sweep workers; its byte-identical
+# determinism pin is exactly the kind of contract a data race would break
+# silently, so run it explicitly under the race detector too.
+go test -race -count 1 \
+	-run 'TestCatalogDeterminism|TestCatalogExperimentDeterminism|TestCatalogLifecycle' \
+	./internal/catalog/ ./internal/experiments/
+
 echo "== coverage floors (scripts/coverage.baseline)"
 # Statement coverage must not regress below the recorded per-package
 # floors. The floors carry slack, so a failure here means real test
@@ -99,7 +107,7 @@ if [ ! -f BENCH_figures.json ]; then
 	exit 1
 fi
 STALE=0
-for bench in $(go test -list '^BenchmarkFig' . | grep '^Benchmark'); do
+for bench in $(go test -list '^Benchmark(Fig|Catalog)' . | grep '^Benchmark'); do
 	if ! grep -q "\"name\": \"$bench" BENCH_figures.json; then
 		echo "BENCH_figures.json has no entry for $bench -- stale; re-run scripts/bench.sh" >&2
 		STALE=1
@@ -142,6 +150,41 @@ else
 		}
 		exit bad
 	}' "$FLOOR_OUT"
+fi
+
+echo "== catalog warm-over-cold floor (>= 3x objects/sec)"
+# Fresh measurement again: warm-start re-solves must beat cold fills by at
+# least 3x on the 100k-object catalog with 10% drift, or the incremental
+# path has regressed into re-solving everything. ns/op per pass at a fixed
+# object count makes the ns ratio the throughput ratio. On a starved box
+# the sweep engine can't spread the shards and the contrast is noise, so
+# like the sweep floor this gate needs 4 cores.
+if [ "$CORES" -lt 4 ]; then
+	echo "   skipped: $CORES core(s) < 4, contrast would be noise"
+else
+	WARM_OUT="$(mktemp)"
+	trap 'rm -f "$AWK_OUT" "$FLOOR_OUT" "$WARM_OUT"' EXIT
+	BENCH_OUT="$WARM_OUT" scripts/bench.sh 'Catalog(Cold|Warm)' 1x > /dev/null
+	awk '
+	/"name": "BenchmarkCatalog(Cold|Warm)"/ {
+		name = $0; sub(/.*"name": "/, "", name); sub(/".*/, "", name)
+		ns = $0; sub(/.*"ns_per_op": /, "", ns); sub(/[^0-9.eE+-].*/, "", ns)
+		nsop[name] = ns + 0
+	}
+	END {
+		cold = nsop["BenchmarkCatalogCold"]
+		warm = nsop["BenchmarkCatalogWarm"]
+		if (cold <= 0 || warm <= 0) {
+			print "catalog floor: bench output is missing a catalog benchmark"
+			exit 1
+		}
+		ratio = cold / warm
+		if (ratio < 3) {
+			printf "catalog floor: warm at %.3fx cold throughput is below the 3x floor\n", ratio
+			exit 1
+		}
+		printf "catalog floor: warm %.3fx cold throughput (floor 3x)\n", ratio
+	}' "$WARM_OUT"
 fi
 
 echo "ok"
