@@ -5,14 +5,21 @@
 //
 // Usage:
 //
-//	fapvet [-C dir] [-only a,b] [-skip a,b] [packages]
+//	fapvet [-C dir] [-only a,b] [-skip a,b] [-json] [-graph] [-unused-ignores] [packages]
 //
-// Packages default to ./... relative to the working directory (or -C dir). Diagnostics
-// print as "file:line: analyzer: message". Exit status is 0 when clean, 1
+// Packages default to ./... relative to the working directory (or -C dir).
+// Diagnostics print as "file:line: analyzer: message", or as a sorted JSON
+// array with -json (an empty run prints "[]", so the output always
+// parses). -graph dumps the resolved whole-module call graph the
+// interprocedural analyzers share and exits without running them.
+// -unused-ignores additionally reports stale //fap:ignore directives; it
+// requires the full suite (no -only/-skip), since a directive for a
+// skipped analyzer cannot be proven stale. Exit status is 0 when clean, 1
 // when diagnostics were reported, and 2 on usage or load errors.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -33,8 +40,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	skip := fs.String("skip", "", "comma-separated analyzers to disable")
 	chdir := fs.String("C", ".", "resolve package patterns relative to this directory")
 	list := fs.Bool("list", false, "print the available analyzers and exit")
+	jsonOut := fs.Bool("json", false, "print diagnostics as a JSON array instead of text")
+	graph := fs.Bool("graph", false, "dump the resolved call graph instead of running analyzers")
+	unusedIgnores := fs.Bool("unused-ignores", false, "also report //fap:ignore directives that suppress nothing (full suite only)")
 	fs.Usage = func() {
-		fmt.Fprintf(stderr, "usage: fapvet [-C dir] [-only a,b] [-skip a,b] [packages]\n")
+		fmt.Fprintf(stderr, "usage: fapvet [-C dir] [-only a,b] [-skip a,b] [-json] [-graph] [-unused-ignores] [packages]\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -45,6 +55,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
 		}
 		return 0
+	}
+	if *unusedIgnores && (*only != "" || *skip != "") {
+		fmt.Fprintf(stderr, "fapvet: -unused-ignores needs the full suite; a directive for a skipped analyzer cannot be proven stale\n")
+		return 2
 	}
 
 	analyzers, err := selectAnalyzers(*only, *skip)
@@ -61,14 +75,47 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "fapvet: %v\n", err)
 		return 2
 	}
-	diags := lint.Run(pkgs, analyzers)
-	for _, d := range diags {
-		fmt.Fprintln(stdout, d)
+	if *graph {
+		fmt.Fprint(stdout, lint.DumpGraph(lint.BuildGraph(pkgs)))
+		return 0
+	}
+	diags := lint.RunWithOptions(pkgs, analyzers, lint.Options{ReportUnusedIgnores: *unusedIgnores})
+	if *jsonOut {
+		if err := writeJSON(stdout, diags); err != nil {
+			fmt.Fprintf(stderr, "fapvet: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(stdout, d)
+		}
 	}
 	if len(diags) > 0 {
 		return 1
 	}
 	return 0
+}
+
+// jsonDiagnostic is the machine-readable diagnostic shape: the same four
+// fields the text form prints, stable across releases.
+type jsonDiagnostic struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// writeJSON prints diags as an indented JSON array. The diagnostics arrive
+// sorted by (file, line, analyzer, message) from lint.Run, so the bytes
+// are identical across reruns and load orders; an empty run prints "[]".
+func writeJSON(w io.Writer, diags []lint.Diagnostic) error {
+	out := make([]jsonDiagnostic, 0, len(diags))
+	for _, d := range diags {
+		out = append(out, jsonDiagnostic{File: d.Pos.Filename, Line: d.Pos.Line, Analyzer: d.Analyzer, Message: d.Message})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
 }
 
 // selectAnalyzers applies the -only and -skip selections to the full suite.

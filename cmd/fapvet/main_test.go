@@ -1,6 +1,8 @@
 package main
 
 import (
+	"encoding/json"
+	"sort"
 	"strings"
 	"testing"
 )
@@ -59,7 +61,7 @@ func TestRunList(t *testing.T) {
 	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
 		t.Fatalf("exit code = %d, want 0", code)
 	}
-	for _, name := range []string{"determinism", "zeroalloc", "ctxfirst", "lockguard", "errdrop", "walltime"} {
+	for _, name := range []string{"determinism", "zeroalloc", "ctxfirst", "lockguard", "errdrop", "walltime", "goleak", "lockorder"} {
 		if !strings.Contains(stdout.String(), name) {
 			t.Errorf("-list output missing %q:\n%s", name, stdout.String())
 		}
@@ -74,8 +76,10 @@ func TestRunUsageErrors(t *testing.T) {
 		args []string
 	}{
 		{"unknown analyzer", []string{"-only", "nosuch", "./..."}},
-		{"empty selection", []string{"-skip", "determinism,zeroalloc,ctxfirst,lockguard,errdrop,walltime", "./..."}},
+		{"empty selection", []string{"-skip", "determinism,zeroalloc,ctxfirst,lockguard,errdrop,walltime,goleak,lockorder", "./..."}},
 		{"bad pattern", []string{"-C", fixtureDir, "./does-not-exist"}},
+		{"unused-ignores with only", []string{"-unused-ignores", "-only", "errdrop", "-C", fixtureDir, "./clockutil"}},
+		{"unused-ignores with skip", []string{"-unused-ignores", "-skip", "errdrop", "-C", fixtureDir, "./clockutil"}},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			var stdout, stderr strings.Builder
@@ -103,19 +107,144 @@ func TestSelectAnalyzers(t *testing.T) {
 		}
 		return got
 	}
-	if got := names("", ""); len(got) != 6 {
-		t.Fatalf("default selection = %v, want all six analyzers", got)
+	if got := names("", ""); len(got) != 8 {
+		t.Fatalf("default selection = %v, want all eight analyzers", got)
 	}
 	if got := names("errdrop, lockguard", ""); len(got) != 2 {
 		t.Fatalf("-only selection = %v, want two analyzers", got)
 	}
-	if got := names("", "determinism"); len(got) != 5 {
-		t.Fatalf("-skip selection = %v, want five analyzers", got)
+	if got := names("", "determinism"); len(got) != 7 {
+		t.Fatalf("-skip selection = %v, want seven analyzers", got)
 	}
 }
 
 func TestSelectAnalyzersEmptyIsError(t *testing.T) {
 	if _, err := selectAnalyzers("errdrop", "errdrop"); err == nil {
 		t.Fatal("selecting then skipping the same analyzer should error, not run nothing")
+	}
+}
+
+// TestRunJSON pins the machine-readable output: a run with findings emits
+// a JSON array of {file, line, analyzer, message} objects sorted the same
+// way as the text form, and a clean run emits exactly "[]" so the report
+// always parses.
+func TestRunJSON(t *testing.T) {
+	var stdout, stderr strings.Builder
+	code := run([]string{"-C", fixtureDir, "-json", "./transport"}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1; stderr: %s", code, stderr.String())
+	}
+	var diags []struct {
+		File     string `json:"file"`
+		Line     int    `json:"line"`
+		Analyzer string `json:"analyzer"`
+		Message  string `json:"message"`
+	}
+	if err := json.Unmarshal([]byte(stdout.String()), &diags); err != nil {
+		t.Fatalf("-json output does not parse: %v\n%s", err, stdout.String())
+	}
+	if len(diags) == 0 {
+		t.Fatal("-json reported no diagnostics for the seeded transport fixture")
+	}
+	for i, d := range diags {
+		if d.File == "" || d.Line <= 0 || d.Analyzer == "" || d.Message == "" {
+			t.Errorf("diagnostic %d has empty fields: %+v", i, d)
+		}
+	}
+	sorted := sort.SliceIsSorted(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	if !sorted {
+		t.Errorf("-json diagnostics are not sorted by (file, line, analyzer):\n%s", stdout.String())
+	}
+
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-C", fixtureDir, "-json", "./clockutil"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("clean -json run exit = %d, want 0; stderr: %s", code, stderr.String())
+	}
+	if strings.TrimSpace(stdout.String()) != "[]" {
+		t.Fatalf("clean -json run printed %q, want []", stdout.String())
+	}
+}
+
+// TestRunOutputByteStable is the ordering golden test: the same packages
+// given in different pattern orders must produce byte-identical text and
+// JSON output, in text and JSON form alike — diagnostics are sorted by
+// (file, line, analyzer, message) across packages, not emitted in load
+// order.
+func TestRunOutputByteStable(t *testing.T) {
+	for _, mode := range []struct {
+		name string
+		args []string
+	}{
+		{"text", nil},
+		{"json", []string{"-json"}},
+	} {
+		t.Run(mode.name, func(t *testing.T) {
+			order1 := append(append([]string{"-C", fixtureDir}, mode.args...), "./transport", "./recovery", "./costmodel")
+			order2 := append(append([]string{"-C", fixtureDir}, mode.args...), "./costmodel", "./recovery", "./transport")
+			var out1, out2, stderr strings.Builder
+			code1 := run(order1, &out1, &stderr)
+			code2 := run(order2, &out2, &stderr)
+			if code1 != 1 || code2 != 1 {
+				t.Fatalf("exit codes = %d, %d, want 1; stderr: %s", code1, code2, stderr.String())
+			}
+			if out1.String() != out2.String() {
+				t.Fatalf("output depends on pattern order:\n--- order1\n%s\n--- order2\n%s", out1.String(), out2.String())
+			}
+			if rerun := func() string {
+				var b strings.Builder
+				run(order1, &b, &stderr)
+				return b.String()
+			}(); rerun != out1.String() {
+				t.Fatalf("output differs across identical reruns:\n--- first\n%s\n--- rerun\n%s", out1.String(), rerun)
+			}
+		})
+	}
+}
+
+// TestRunGraphDump checks the -graph debug flag: it prints the resolved
+// call graph instead of diagnostics and exits 0 even on packages full of
+// seeded violations.
+func TestRunGraphDump(t *testing.T) {
+	var stdout, stderr strings.Builder
+	if code := run([]string{"-C", fixtureDir, "-graph", "./graph"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit code = %d, want 0; stderr: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{"fix/graph.CallsHelper", "-> fix/graph.Helper (module)", "[opaque calls: 1]"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("-graph dump missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestRunUnusedIgnores drives the audit end to end: the staleignore
+// fixture's used directive stays silent, its stale directive is reported
+// and flips the exit code, and without the flag the same package is clean.
+func TestRunUnusedIgnores(t *testing.T) {
+	var stdout, stderr strings.Builder
+	if code := run([]string{"-C", fixtureDir, "./staleignore"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("without -unused-ignores exit = %d, want 0; stdout: %s stderr: %s", code, stdout.String(), stderr.String())
+	}
+	stdout.Reset()
+	code := run([]string{"-C", fixtureDir, "-unused-ignores", "./staleignore"}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("-unused-ignores exit = %d, want 1; stderr: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "suppresses nothing") || !strings.Contains(out, "determinism") {
+		t.Fatalf("-unused-ignores output does not report the stale determinism directive:\n%s", out)
+	}
+	if strings.Contains(out, "ctxfirst") {
+		t.Fatalf("-unused-ignores reported the used ctxfirst directive:\n%s", out)
 	}
 }

@@ -578,6 +578,8 @@ func (c *Catalog) ReSolve(ctx context.Context) (Stats, error) {
 // cancels the window-to-window accumulation exactly — un-drifted
 // estimates are epoch-constant, which is what makes skip decisions
 // reliable.
+//
+//fap:zeroalloc
 func senseObject(tr *estimate.Tracker, demand []float64, t0, w float64) error {
 	for j, r := range demand {
 		m := int(math.Round(r * w))
@@ -597,6 +599,8 @@ func senseObject(tr *estimate.Tracker, demand []float64, t0, w float64) error {
 // re-draws the weights — node rates move by up to 3× relative to each
 // other, enough to flip placement decisions, while the shape's backbone
 // stays put so the drifted problem remains in warm-start range.
+//
+//fap:zeroalloc
 func (c *Catalog) fillDemand(id, gen int, out []float64) {
 	nodes := c.cfg.Nodes
 	h := mix64(c.cfg.Seed ^ mix64(uint64(id)+1) ^ mix64(uint64(gen)<<20))
@@ -613,6 +617,8 @@ func (c *Catalog) fillDemand(id, gen int, out []float64) {
 
 // drifts reports whether object id's demand is re-drawn at the given
 // epoch (a seeded hash decision, independent per (id, epoch)).
+//
+//fap:zeroalloc
 func (c *Catalog) drifts(id, epoch int) bool {
 	const driftSalt = 0xD96EB1A810CAAF5B
 	u := unitFloat(mix64(mix64(c.cfg.Seed^driftSalt^uint64(id)+1) ^ uint64(epoch)))
@@ -622,6 +628,8 @@ func (c *Catalog) drifts(id, epoch int) bool {
 // accessCosts derives the traffic-weighted access costs C_i = Σ_j
 // (d_j/Σd)·pair[j][i] from a demand vector (topology.AccessCosts without
 // the per-call allocation).
+//
+//fap:zeroalloc
 func (c *Catalog) accessCosts(demand, out []float64) {
 	var total float64
 	for _, dj := range demand {
@@ -639,6 +647,8 @@ func (c *Catalog) accessCosts(demand, out []float64) {
 // mix64 is SplitMix64's finalizer: a deterministic, well-distributed
 // 64-bit hash used for demand shapes and drift selection (no global
 // rand, no per-run state).
+//
+//fap:zeroalloc
 func mix64(x uint64) uint64 {
 	x += 0x9E3779B97F4A7C15
 	x ^= x >> 30
@@ -650,4 +660,6 @@ func mix64(x uint64) uint64 {
 }
 
 // unitFloat maps a hash to [0, 1).
+//
+//fap:zeroalloc
 func unitFloat(x uint64) float64 { return float64(x>>11) / (1 << 53) }

@@ -1,0 +1,119 @@
+package lint_test
+
+import (
+	"go/types"
+	"path/filepath"
+	"testing"
+
+	"filealloc/internal/lint"
+)
+
+// loadGraphFixture builds the call graph over the graph fixture package
+// and returns it with a lookup for the package's top-level functions.
+func loadGraphFixture(t *testing.T) (*lint.Graph, func(name string) *types.Func) {
+	t.Helper()
+	pkgs, err := lint.Load(filepath.Join("testdata", "src"), "./graph")
+	if err != nil {
+		t.Fatalf("loading graph fixture: %v", err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("loaded %d packages, want 1", len(pkgs))
+	}
+	scope := pkgs[0].Types.Scope()
+	lookup := func(name string) *types.Func {
+		t.Helper()
+		fn, ok := scope.Lookup(name).(*types.Func)
+		if !ok {
+			t.Fatalf("fixture function %s not found", name)
+		}
+		return fn
+	}
+	return lint.BuildGraph(pkgs), lookup
+}
+
+// TestBuildGraphResolution pins the builder's resolution rules: plain
+// calls and concrete-receiver method calls produce body-backed edges,
+// interface dispatch produces a body-less edge, and function-value calls
+// are counted opaque.
+func TestBuildGraphResolution(t *testing.T) {
+	g, lookup := loadGraphFixture(t)
+
+	node := g.NodeOf(lookup("CallsHelper"))
+	if node == nil || len(node.Calls) != 1 || node.Opaque != 0 {
+		t.Fatalf("CallsHelper: node=%+v, want one resolved call and no opaque calls", node)
+	}
+	if callee := node.Calls[0].Callee; callee.Name() != "Helper" || g.NodeOf(callee) == nil {
+		t.Errorf("CallsHelper edge lands on %v, want the Helper declaration", callee)
+	}
+
+	node = g.NodeOf(lookup("CallsMethod"))
+	if node == nil || len(node.Calls) != 1 {
+		t.Fatalf("CallsMethod: node=%+v, want one resolved call", node)
+	}
+	if callee := node.Calls[0].Callee; callee.Name() != "Do" || g.NodeOf(callee) == nil {
+		t.Errorf("CallsMethod edge = %v (node %v), want the devirtualized Impl.Do body", callee, g.NodeOf(callee))
+	}
+
+	node = g.NodeOf(lookup("CallsInterface"))
+	if node == nil || len(node.Calls) != 1 {
+		t.Fatalf("CallsInterface: node=%+v, want one edge to the interface method", node)
+	}
+	if callee := node.Calls[0].Callee; g.NodeOf(callee) != nil {
+		t.Errorf("interface dispatch resolved to a body (%v); it must stay body-less", callee)
+	}
+
+	node = g.NodeOf(lookup("CallsFuncValue"))
+	if node == nil || len(node.Calls) != 0 || node.Opaque != 1 {
+		t.Fatalf("CallsFuncValue: node=%+v, want zero resolved calls and one opaque call", node)
+	}
+
+	node = g.NodeOf(lookup("InLit"))
+	if node == nil || len(node.Calls) != 1 || node.Calls[0].Callee.Name() != "Helper" {
+		t.Fatalf("InLit: node=%+v, want the literal's Helper call attributed to InLit", node)
+	}
+}
+
+// TestWalkRecursionAndPaths checks that Walk terminates on mutual
+// recursion, visits each function once with the BFS path from the root,
+// and prunes subtrees when the visitor returns false.
+func TestWalkRecursionAndPaths(t *testing.T) {
+	g, lookup := loadGraphFixture(t)
+
+	visited := map[string]int{}
+	g.Walk(lookup("Recurse"), func(fn *types.Func, path []lint.GraphCall) bool {
+		visited[fn.Name()]++
+		if len(path) == 0 || path[len(path)-1].Callee != fn {
+			t.Errorf("path to %s does not end at it: %v", fn.Name(), path)
+		}
+		return true
+	})
+	if len(visited) != 1 || visited["Mutual"] != 1 {
+		t.Fatalf("walk from Recurse visited %v, want exactly Mutual once (the root is never re-visited)", visited)
+	}
+
+	// Pruning: refuse to descend past Mutual; with the only edge cut, the
+	// walk still terminates and visits nothing else.
+	visited = map[string]int{}
+	g.Walk(lookup("Mutual"), func(fn *types.Func, path []lint.GraphCall) bool {
+		visited[fn.Name()]++
+		return false
+	})
+	if len(visited) != 1 || visited["Recurse"] != 1 {
+		t.Fatalf("pruned walk from Mutual visited %v, want exactly Recurse once", visited)
+	}
+}
+
+// TestDumpGraphDeterministic requires two independent builds over the same
+// packages to dump byte-identical graphs: the -graph flag and every
+// walk-order tie-break depend on it.
+func TestDumpGraphDeterministic(t *testing.T) {
+	g1, _ := loadGraphFixture(t)
+	g2, _ := loadGraphFixture(t)
+	d1, d2 := lint.DumpGraph(g1), lint.DumpGraph(g2)
+	if d1 == "" {
+		t.Fatal("graph dump is empty")
+	}
+	if d1 != d2 {
+		t.Fatalf("graph dump differs across builds:\n--- first\n%s\n--- second\n%s", d1, d2)
+	}
+}

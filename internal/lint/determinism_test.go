@@ -9,12 +9,16 @@ import (
 // TestDeterminism proves the analyzer catches every seeded violation in the
 // numeric-named fixture and stays silent both on the fixture's clean
 // functions (seeded RNG, sorted-key accumulation, integer counting) and on
-// an entire non-numeric package using the same constructs.
+// an entire non-numeric package using the same constructs. The core case
+// is the transitive layer: solver entry points reaching clockutil's
+// nondeterminism through call chains a per-function pass cannot see, while
+// the same reach from a non-entry-point method stays silent.
 func TestDeterminism(t *testing.T) {
 	for _, tc := range []fixtureCase{
 		{pkg: "costmodel", analyzer: lint.Determinism, wants: 6},
 		{pkg: "clockutil", analyzer: lint.Determinism, wants: 0},
 		{pkg: "recovery", analyzer: lint.Determinism, wants: 2},
+		{pkg: "core", analyzer: lint.Determinism, wants: 2, deps: []string{"clockutil"}},
 	} {
 		t.Run(tc.pkg, func(t *testing.T) { checkFixture(t, tc) })
 	}

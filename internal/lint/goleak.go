@@ -1,0 +1,196 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// goleakSegments names the packages that spawn long-lived goroutines: the
+// agent runtime, the transport layer, the sweep driver, the recovery
+// machinery, and the catalog's sharded solvers. cmd/ binaries are exempt —
+// their goroutines die with the process.
+var goleakSegments = map[string]bool{
+	"agent":     true,
+	"transport": true,
+	"sweep":     true,
+	"recovery":  true,
+	"catalog":   true,
+}
+
+// GoLeak requires every go statement in a concurrent package to be tied to
+// a shutdown mechanism the rest of the module can drive: the spawned body
+// (or, via the call graph, anything it statically reaches) must signal a
+// sync.WaitGroup with Done, watch a context's Done channel, or receive
+// from a channel the package close()s somewhere — the tracked-Close idiom
+// the transport endpoints use. A goroutine with none of the three has no
+// path from shutdown code to its exit, which is exactly how PR-4-era
+// acceptLoop leaks accumulated until the churn experiments started
+// counting goroutines.
+//
+// Spawns through function values (go fn() where fn is a variable or field)
+// are unresolvable without a pointer analysis and are reported as such:
+// make the spawn direct, or record a //fap:ignore with the shutdown story.
+var GoLeak = &Analyzer{
+	Name: "goleak",
+	Doc:  "every go statement in agent/transport/sweep/recovery/catalog must be tied to a WaitGroup, a context, or a close()d channel",
+	Run:  runGoLeak,
+}
+
+func runGoLeak(p *Pass) {
+	if !hasSegment(p.Path, goleakSegments) {
+		return
+	}
+	c := &goleakChecker{
+		graph:  p.Graph,
+		closed: make(map[*types.Info]map[types.Object]bool),
+		memo:   make(map[*types.Func]bool),
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			switch fun := ast.Unparen(g.Call.Fun).(type) {
+			case *ast.FuncLit:
+				if !c.litTracked(p, fun) {
+					p.Reportf(g.Pos(), "goroutine is not tied to a WaitGroup, context, or close()d channel; shutdown has no way to reach its exit")
+				}
+			default:
+				fn := calleeFunc(p.Info, g.Call)
+				if fn == nil {
+					p.Reportf(g.Pos(), "go through a function value cannot be checked for a shutdown path; spawn a declared function or record the shutdown story in a //fap:ignore")
+					return true
+				}
+				if !c.fnTracked(fn) {
+					p.Reportf(g.Pos(), "goroutine %s is not tied to a WaitGroup, context, or close()d channel; shutdown has no way to reach its exit", shortFuncName(fn))
+				}
+			}
+			return true
+		})
+	}
+}
+
+// goleakChecker memoizes, per function, whether its body or anything it
+// statically reaches contains a tracking construct, and caches each
+// package's set of close()d channel objects (keyed by the package's
+// *types.Info, the pointer a Pass and the graph's nodes share).
+type goleakChecker struct {
+	graph  *Graph
+	closed map[*types.Info]map[types.Object]bool
+	memo   map[*types.Func]bool
+}
+
+// litTracked reports whether a spawned function literal is tracked: a
+// tracking construct in its own body, or a statically resolved call to a
+// tracked declared function.
+func (c *goleakChecker) litTracked(p *Pass, lit *ast.FuncLit) bool {
+	return c.bodyTracked(p.Info, p.Files, lit.Body)
+}
+
+// fnTracked reports whether fn's declared body (or its static call
+// subtree) contains a tracking construct. Functions outside the loaded
+// packages are opaque and count as untracked.
+func (c *goleakChecker) fnTracked(fn *types.Func) bool {
+	if v, ok := c.memo[fn]; ok {
+		return v
+	}
+	c.memo[fn] = false // recursion terminates untracked
+	node := c.graph.NodeOf(fn)
+	if node == nil {
+		return false
+	}
+	tracked := c.bodyTracked(node.Pkg.Info, node.Pkg.Files, node.Decl.Body)
+	c.memo[fn] = tracked
+	return tracked
+}
+
+// bodyTracked scans one body for the three tracking constructs, and
+// recurses into statically resolved callees.
+func (c *goleakChecker) bodyTracked(info *types.Info, files []*ast.File, body ast.Node) bool {
+	closed := c.closedSet(info, files)
+	tracked := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if tracked {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			fn := calleeFunc(info, n)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			switch {
+			case fn.Pkg().Path() == "sync" && fn.Name() == "Done":
+				tracked = true // wg.Done: the spawner's Wait observes the exit
+			case fn.Pkg().Path() == "context" && fn.Name() == "Done":
+				tracked = true // <-ctx.Done(): cancellation reaches the body
+			case c.fnTracked(fn):
+				tracked = true
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && closed[chanObject(info, n.X)] {
+				tracked = true // receive on a channel the package close()s
+			}
+		case *ast.RangeStmt:
+			if n.X == nil {
+				return true
+			}
+			if t := info.TypeOf(n.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok && closed[chanObject(info, n.X)] {
+					tracked = true // range over a close()d channel terminates
+				}
+			}
+		}
+		return true
+	})
+	return tracked
+}
+
+// closedSet returns the objects (locals, package vars, struct fields) that
+// appear as close() arguments anywhere in the package's files.
+func (c *goleakChecker) closedSet(info *types.Info, files []*ast.File) map[types.Object]bool {
+	if set, ok := c.closed[info]; ok {
+		return set
+	}
+	set := make(map[types.Object]bool)
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) != 1 {
+				return true
+			}
+			id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if b, ok := info.Uses[id].(*types.Builtin); !ok || b.Name() != "close" {
+				return true
+			}
+			if obj := chanObject(info, call.Args[0]); obj != nil {
+				set[obj] = true
+			}
+			return true
+		})
+	}
+	c.closed[info] = set
+	return set
+}
+
+// chanObject resolves a channel expression to its object identity: the
+// variable for plain identifiers, the field object for selectors (shared
+// across every instance of the struct, which is the tracking granularity
+// we want — close(e.done) in Close tracks <-e.done in any goroutine).
+func chanObject(info *types.Info, e ast.Expr) types.Object {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if o := info.Uses[x]; o != nil {
+			return o
+		}
+		return info.Defs[x]
+	case *ast.SelectorExpr:
+		return info.Uses[x.Sel]
+	}
+	return nil
+}

@@ -1,0 +1,23 @@
+package lint_test
+
+import (
+	"testing"
+
+	"filealloc/internal/lint"
+)
+
+// TestGoLeak proves the analyzer ties goroutines to their shutdown
+// mechanisms through the call graph: WaitGroup signals, context
+// cancellation, and close()d channels all pass — directly in the spawned
+// literal or any number of resolved calls away — while fire-and-forget
+// spawns and unresolvable function-value spawns are flagged. The clean
+// clockutil package shows the segment scoping: no diagnostics outside the
+// concurrent packages.
+func TestGoLeak(t *testing.T) {
+	for _, tc := range []fixtureCase{
+		{pkg: "agent/goleakfix", analyzer: lint.GoLeak, wants: 3},
+		{pkg: "clockutil", analyzer: lint.GoLeak, wants: 0},
+	} {
+		t.Run(tc.pkg, func(t *testing.T) { checkFixture(t, tc) })
+	}
+}

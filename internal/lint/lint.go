@@ -1,13 +1,18 @@
 // Package lint implements fapvet, the repository's domain-specific static
-// analysis suite. Six analyzers enforce contracts the runtime tests can
-// only spot-check: determinism of the numeric packages, the //fap:zeroalloc
-// annotation on allocation-free hot paths, context plumbing conventions,
-// lock hygiene around the blocking transport calls, non-discarded
-// transport errors, and a wall-clock import ban in the metrics packages.
-// The suite is built on the standard library's go/ast,
-// go/parser, and go/types only; packages are loaded through the go
-// toolchain's export data (see Load), so it works offline like the rest of
-// the module.
+// analysis suite. Eight analyzers enforce contracts the runtime tests can
+// only spot-check: determinism of the numeric packages (with taint
+// propagated over the module call graph from the solver entry points),
+// the //fap:zeroalloc annotation on allocation-free hot paths (local
+// constructs and transitively reachable allocating callees alike),
+// context plumbing conventions, lock hygiene around the blocking
+// transport calls, non-discarded transport errors, a wall-clock import
+// ban in the metrics packages, goroutine-leak tracking in the concurrent
+// packages, and lock-order inversion cycles. The suite is built on the
+// standard library's go/ast, go/parser, and go/types only; packages are
+// loaded through the go toolchain's export data (see Load), so it works
+// offline like the rest of the module. Interprocedural checks share one
+// whole-module call graph per Run (see BuildGraph for its resolution
+// rules and soundness caveats).
 package lint
 
 import (
@@ -47,7 +52,7 @@ type Analyzer struct {
 
 // All returns the full analyzer suite in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{Determinism, ZeroAlloc, CtxFirst, LockGuard, ErrDrop, WallTime}
+	return []*Analyzer{Determinism, ZeroAlloc, CtxFirst, LockGuard, ErrDrop, WallTime, GoLeak, LockOrder}
 }
 
 // Pass carries one package through one analyzer.
@@ -61,6 +66,10 @@ type Pass struct {
 	Info  *types.Info
 	// Path is the package's import path.
 	Path string
+	// Graph is the whole-module call graph shared by every pass of one
+	// Run. Interprocedural analyzers reach other packages through it;
+	// per-package analyzers ignore it.
+	Graph *Graph
 
 	ignores ignoreIndex
 	diags   *[]Diagnostic
@@ -80,15 +89,38 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
+// Options tunes a Run beyond analyzer selection.
+type Options struct {
+	// ReportUnusedIgnores additionally reports, under the pseudo-analyzer
+	// "fapvet", every well-formed //fap:ignore directive that suppressed
+	// no diagnostic of the analyzers that ran — a stale suppression is a
+	// waived contract nobody is violating, and deleting it re-arms the
+	// gate. Only directives naming an analyzer in the selected set are
+	// audited: a directive for a skipped analyzer is not provably stale.
+	ReportUnusedIgnores bool
+}
+
 // Run applies the analyzers to every package and returns the combined
 // findings sorted by position. Malformed //fap:ignore directives (missing
 // analyzer name or justification, unknown analyzer) are reported under the
 // pseudo-analyzer "fapvet" and cannot themselves be suppressed.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	return RunWithOptions(pkgs, analyzers, Options{})
+}
+
+// RunWithOptions is Run with explicit Options. The whole-module call
+// graph backing the interprocedural analyzers is built once here and
+// shared by every pass.
+func RunWithOptions(pkgs []*Package, analyzers []*Analyzer, opts Options) []Diagnostic {
 	known := make(map[string]bool, len(analyzers))
 	for _, a := range All() {
 		known[a.Name] = true
 	}
+	ran := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		ran[a.Name] = true
+	}
+	graph := BuildGraph(pkgs)
 	var diags []Diagnostic
 	for _, pkg := range pkgs {
 		ignores, bad := buildIgnoreIndex(pkg, known)
@@ -101,10 +133,14 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 				Pkg:      pkg.Types,
 				Info:     pkg.Info,
 				Path:     pkg.Path,
+				Graph:    graph,
 				ignores:  ignores,
 				diags:    &diags,
 			}
 			a.Run(pass)
+		}
+		if opts.ReportUnusedIgnores {
+			diags = append(diags, ignores.unused(ran)...)
 		}
 	}
 	sort.Slice(diags, func(i, j int) bool {
@@ -132,27 +168,81 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 // recorded reason is itself a diagnostic.
 const ignorePrefix = "//fap:ignore"
 
+// allocOKPrefix marks a function as an acknowledged allocation site:
+//
+//	//fap:allocok <justification...>
+//
+// placed in the function's doc comment. The transitive zeroalloc pass
+// treats calls to such a function as non-allocating — the escape hatch
+// for the documented cold-path grow helpers (growFloats and friends)
+// whose make only fires when a buffer must grow. Like //fap:ignore, the
+// justification is mandatory.
+const allocOKPrefix = "//fap:allocok"
+
 type ignoreKey struct {
 	file string
 	line int
 }
 
+// ignoreEntry is one //fap:ignore directive for one analyzer, tracking
+// whether it suppressed anything during the run.
+type ignoreEntry struct {
+	pos  token.Position
+	name string
+	used bool
+}
+
 // ignoreIndex maps a directive's file and line to the analyzers it covers.
-type ignoreIndex map[ignoreKey]map[string]bool
+type ignoreIndex map[ignoreKey]map[string]*ignoreEntry
 
 // suppressed reports whether a directive for analyzer covers a diagnostic
-// at pos: same line, or the line directly above.
+// at pos — same line, or the line directly above — and marks the covering
+// directive as used.
 func (idx ignoreIndex) suppressed(analyzer string, pos token.Position) bool {
 	for _, line := range [2]int{pos.Line, pos.Line - 1} {
-		if set, ok := idx[ignoreKey{pos.Filename, line}]; ok && set[analyzer] {
-			return true
+		if set, ok := idx[ignoreKey{pos.Filename, line}]; ok {
+			if e := set[analyzer]; e != nil {
+				e.used = true
+				return true
+			}
 		}
 	}
 	return false
 }
 
+// unused returns a diagnostic for every directive that suppressed nothing,
+// restricted to the analyzers that actually ran, sorted by position.
+func (idx ignoreIndex) unused(ran map[string]bool) []Diagnostic {
+	var out []Diagnostic
+	for _, set := range idx {
+		for _, e := range set {
+			if e.used || !ran[e.name] {
+				continue
+			}
+			out = append(out, Diagnostic{
+				Pos:      e.pos,
+				Analyzer: "fapvet",
+				Message:  fmt.Sprintf("fap:ignore %s suppresses nothing; delete the stale directive to re-arm the gate", e.name),
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Message < b.Message
+	})
+	return out
+}
+
 // buildIgnoreIndex collects the package's //fap:ignore directives and
-// reports malformed ones.
+// reports malformed ones — and malformed //fap:allocok directives, whose
+// justification is equally mandatory (the well-formed ones are consumed
+// by the zeroalloc analyzer via hasDirective).
 func buildIgnoreIndex(pkg *Package, known map[string]bool) (ignoreIndex, []Diagnostic) {
 	idx := make(ignoreIndex)
 	var bad []Diagnostic
@@ -162,6 +252,12 @@ func buildIgnoreIndex(pkg *Package, known map[string]bool) (ignoreIndex, []Diagn
 	for _, f := range pkg.Files {
 		for _, group := range f.Comments {
 			for _, c := range group.List {
+				if strings.HasPrefix(c.Text, allocOKPrefix) {
+					if len(strings.Fields(strings.TrimPrefix(c.Text, allocOKPrefix))) == 0 {
+						report(pkg.Fset.Position(c.Pos()), "fap:allocok needs a justification naming why this allocation site is acceptable")
+					}
+					continue
+				}
 				if !strings.HasPrefix(c.Text, ignorePrefix) {
 					continue
 				}
@@ -182,9 +278,11 @@ func buildIgnoreIndex(pkg *Package, known map[string]bool) (ignoreIndex, []Diagn
 				}
 				key := ignoreKey{pos.Filename, pos.Line}
 				if idx[key] == nil {
-					idx[key] = make(map[string]bool)
+					idx[key] = make(map[string]*ignoreEntry)
 				}
-				idx[key][name] = true
+				if idx[key][name] == nil {
+					idx[key][name] = &ignoreEntry{pos: pos, name: name}
+				}
 			}
 		}
 	}

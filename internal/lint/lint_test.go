@@ -20,13 +20,30 @@ type fixtureCase struct {
 	pkg      string
 	analyzer *lint.Analyzer
 	wants    int
+	// deps lists additional fixture packages to load alongside pkg. The
+	// loader only parses the packages named by its patterns (dependencies
+	// come back as export data without ASTs), so cross-package cases must
+	// name every package whose bodies the interprocedural analyzers need.
+	// Want comments still live in pkg only: transitive diagnostics are
+	// reported at the call edge inside the root package, and the deps must
+	// stay diagnostic-free for the analyzer under test.
+	deps []string
 }
 
-// runFixture loads one package of the fixture module under testdata/src and
-// runs the given analyzers over it.
+// runFixture loads packages of the fixture module under testdata/src and
+// runs the given analyzers over them.
 func runFixture(t *testing.T, pkg string, analyzers ...*lint.Analyzer) []lint.Diagnostic {
 	t.Helper()
-	pkgs, err := lint.Load(filepath.Join("testdata", "src"), "./"+pkg)
+	return runFixtureDeps(t, pkg, nil, analyzers...)
+}
+
+func runFixtureDeps(t *testing.T, pkg string, deps []string, analyzers ...*lint.Analyzer) []lint.Diagnostic {
+	t.Helper()
+	patterns := []string{"./" + pkg}
+	for _, d := range deps {
+		patterns = append(patterns, "./"+d)
+	}
+	pkgs, err := lint.Load(filepath.Join("testdata", "src"), patterns...)
 	if err != nil {
 		t.Fatalf("loading fixture %s: %v", pkg, err)
 	}
@@ -86,7 +103,7 @@ func parseWants(t *testing.T, dir, analyzer string) []*want {
 // checkFixture runs one fixtureCase end to end.
 func checkFixture(t *testing.T, tc fixtureCase) {
 	t.Helper()
-	diags := runFixture(t, tc.pkg, tc.analyzer)
+	diags := runFixtureDeps(t, tc.pkg, tc.deps, tc.analyzer)
 	wants := parseWants(t, filepath.Join("testdata", "src", tc.pkg), tc.analyzer.Name)
 	if len(wants) != tc.wants {
 		t.Fatalf("fixture self-check: %s has %d want comments for %s, expected %d",
@@ -157,6 +174,37 @@ func TestIgnoreDirectives(t *testing.T) {
 	}
 	if !sawUnknown {
 		t.Error("no diagnostic about an unknown analyzer name")
+	}
+}
+
+// TestUnusedIgnores pins the -unused-ignores contract: a directive that
+// suppressed a diagnostic is silent, a well-formed directive that
+// suppressed nothing is reported under "fapvet" — but only when the audit
+// is on, and only for analyzers that actually ran.
+func TestUnusedIgnores(t *testing.T) {
+	pkgs, err := lint.Load(filepath.Join("testdata", "src"), "./staleignore")
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+
+	diags := lint.RunWithOptions(pkgs, lint.All(), lint.Options{ReportUnusedIgnores: true})
+	if len(diags) != 1 {
+		t.Fatalf("audit run produced %d diagnostics, want exactly the stale directive:\n%s", len(diags), render(diags))
+	}
+	d := diags[0]
+	if d.Analyzer != "fapvet" || !strings.Contains(d.Message, "suppresses nothing") || !strings.Contains(d.Message, "determinism") {
+		t.Fatalf("stale-directive diagnostic = %s, want a fapvet report naming determinism", d)
+	}
+
+	if off := lint.Run(pkgs, lint.All()); len(off) != 0 {
+		t.Fatalf("without the audit the package must be clean, got:\n%s", render(off))
+	}
+
+	// With determinism skipped, its directive is not provably stale and the
+	// audit must stay silent.
+	partial := lint.RunWithOptions(pkgs, []*lint.Analyzer{lint.CtxFirst}, lint.Options{ReportUnusedIgnores: true})
+	if len(partial) != 0 {
+		t.Fatalf("audit over a partial suite reported a directive for an analyzer that never ran:\n%s", render(partial))
 	}
 }
 

@@ -1,0 +1,293 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// lockorderSegments names the packages with enough mutexes for ordering to
+// matter: the agent runtime, the transport layer (four mutexes in the
+// fault injector alone), and the recovery machinery.
+var lockorderSegments = map[string]bool{
+	"agent":     true,
+	"transport": true,
+	"recovery":  true,
+}
+
+// LockOrder builds a per-package lock-acquisition graph and reports
+// inversion cycles: if one code path locks A then B while another locks B
+// then A, two goroutines can each hold one lock and wait forever on the
+// other. Lock identity is the declared object — a struct field counts as
+// one lock across every instance, which over-approximates (two distinct
+// instances cannot deadlock on the same field) but matches how the
+// module's singletons are used.
+//
+// Acquisition edges come from a lexical replay of each function, in source
+// order, the same simulation lockguard uses: Lock/RLock acquires,
+// Unlock/RUnlock releases, deferred unlocks release only at return. A call
+// to a declared function while holding A additionally adds edges from A to
+// every lock the callee's static call subtree acquires, so an inversion
+// split across helpers is still seen. Calls through interfaces and
+// function values are opaque; cycles threaded through them are missed.
+var LockOrder = &Analyzer{
+	Name: "lockorder",
+	Doc:  "report lock-order inversion cycles in the per-package lock-acquisition graph of agent/transport/recovery",
+	Run:  runLockOrder,
+}
+
+// lockEdge is one observed ordering: to was acquired while from was held.
+type lockEdge struct {
+	from, to types.Object
+	pos      token.Pos // the acquisition of to
+}
+
+func runLockOrder(p *Pass) {
+	if !hasSegment(p.Path, lockorderSegments) {
+		return
+	}
+	c := &lockOrderChecker{graph: p.Graph, memo: make(map[*types.Func]map[types.Object]bool)}
+	var edges []lockEdge
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				edges = append(edges, c.replayEdges(p.Info, fd)...)
+			}
+		}
+	}
+	reportLockCycles(p, edges)
+}
+
+// lockOrderChecker memoizes the set of lock objects each declared
+// function's static call subtree acquires.
+type lockOrderChecker struct {
+	graph *Graph
+	memo  map[*types.Func]map[types.Object]bool
+}
+
+// lockObject resolves a mutex expression (the receiver of Lock/Unlock) to
+// its declared object: field, package var, or local.
+func lockObject(info *types.Info, e ast.Expr) types.Object {
+	return chanObject(info, e) // same resolution rules as channels
+}
+
+// acquires returns the lock objects fn's body and static call subtree
+// acquire. Opaque and external callees contribute nothing.
+func (c *lockOrderChecker) acquires(fn *types.Func) map[types.Object]bool {
+	if set, ok := c.memo[fn]; ok {
+		return set
+	}
+	c.memo[fn] = nil // recursion contributes nothing new on the cycle
+	node := c.graph.NodeOf(fn)
+	if node == nil {
+		return nil
+	}
+	set := make(map[types.Object]bool)
+	info := node.Pkg.Info
+	ast.Inspect(node.Decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee := calleeFunc(info, call)
+		if callee == nil {
+			return true
+		}
+		if callee.Pkg() != nil && callee.Pkg().Path() == "sync" {
+			if callee.Name() == "Lock" || callee.Name() == "RLock" {
+				if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+					if obj := lockObject(info, sel.X); obj != nil {
+						set[obj] = true
+					}
+				}
+			}
+			return true
+		}
+		for obj := range c.acquires(callee) {
+			set[obj] = true
+		}
+		return true
+	})
+	c.memo[fn] = set
+	return set
+}
+
+// replayEdges replays fd's body in source order and returns the ordering
+// edges it exhibits: every lock (or transitive lock, through a call) taken
+// while another lock is held.
+func (c *lockOrderChecker) replayEdges(info *types.Info, fd *ast.FuncDecl) []lockEdge {
+	var deferRanges [][2]int
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if d, ok := n.(*ast.DeferStmt); ok {
+			deferRanges = append(deferRanges, [2]int{int(d.Pos()), int(d.End())})
+		}
+		return true
+	})
+	inDefer := func(pos int) bool {
+		for _, r := range deferRanges {
+			if pos >= r[0] && pos <= r[1] {
+				return true
+			}
+		}
+		return false
+	}
+
+	type event struct {
+		pos  int
+		kind int // evLock, evUnlock, or 3 for a call acquiring locks transitively
+		obj  types.Object
+		via  map[types.Object]bool // kind 3: locks the callee subtree acquires
+	}
+	const evCall = 3
+	var events []event
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(info, call)
+		if fn == nil {
+			return true
+		}
+		pos := int(call.Pos())
+		if fn.Pkg() != nil && fn.Pkg().Path() == "sync" {
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := lockObject(info, sel.X)
+			if obj == nil {
+				return true
+			}
+			switch fn.Name() {
+			case "Lock", "RLock":
+				events = append(events, event{pos, evLock, obj, nil})
+			case "Unlock", "RUnlock":
+				if !inDefer(pos) {
+					events = append(events, event{pos, evUnlock, obj, nil})
+				}
+			}
+			return true
+		}
+		if via := c.acquires(fn); len(via) > 0 {
+			events = append(events, event{pos, evCall, nil, via})
+		}
+		return true
+	})
+	sort.Slice(events, func(i, j int) bool { return events[i].pos < events[j].pos })
+
+	var edges []lockEdge
+	var held []types.Object
+	for _, ev := range events {
+		switch ev.kind {
+		case evLock:
+			for _, h := range held {
+				if h != ev.obj {
+					edges = append(edges, lockEdge{h, ev.obj, token.Pos(ev.pos)})
+				}
+			}
+			held = append(held, ev.obj)
+		case evUnlock:
+			for i := len(held) - 1; i >= 0; i-- {
+				if held[i] == ev.obj {
+					held = append(held[:i], held[i+1:]...)
+					break
+				}
+			}
+		case evCall:
+			for _, h := range held {
+				for obj := range ev.via {
+					if h != obj {
+						edges = append(edges, lockEdge{h, obj, token.Pos(ev.pos)})
+					}
+				}
+			}
+		}
+	}
+	return edges
+}
+
+// reportLockCycles builds the acquisition graph from the collected edges
+// and reports each inversion cycle once, at the earliest edge position on
+// the cycle. Traversal order is pinned by declaration position so the
+// diagnostics are deterministic.
+func reportLockCycles(p *Pass, edges []lockEdge) {
+	succ := make(map[types.Object]map[types.Object]token.Pos)
+	for _, e := range edges {
+		if succ[e.from] == nil {
+			succ[e.from] = make(map[types.Object]token.Pos)
+		}
+		if old, ok := succ[e.from][e.to]; !ok || e.pos < old {
+			succ[e.from][e.to] = e.pos
+		}
+	}
+	objs := make([]types.Object, 0, len(succ))
+	for o := range succ {
+		objs = append(objs, o)
+	}
+	sort.Slice(objs, func(i, j int) bool { return objs[i].Pos() < objs[j].Pos() })
+	sortedSucc := func(o types.Object) []types.Object {
+		out := make([]types.Object, 0, len(succ[o]))
+		for s := range succ[o] {
+			out = append(out, s)
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i].Pos() < out[j].Pos() })
+		return out
+	}
+
+	reported := make(map[string]bool)
+	var stack []types.Object
+	onStack := make(map[types.Object]int)
+	var visit func(o types.Object)
+	visit = func(o types.Object) {
+		onStack[o] = len(stack)
+		stack = append(stack, o)
+		for _, next := range sortedSucc(o) {
+			if at, ok := onStack[next]; ok {
+				reportCycle(p, stack[at:], succ, reported)
+				continue
+			}
+			visit(next)
+		}
+		stack = stack[:len(stack)-1]
+		delete(onStack, o)
+	}
+	for _, o := range objs {
+		if _, ok := onStack[o]; !ok {
+			visit(o)
+		}
+	}
+}
+
+// reportCycle emits one diagnostic for a cycle (a slice of lock objects in
+// acquisition order), deduplicated by its canonical membership key.
+func reportCycle(p *Pass, cycle []types.Object, succ map[types.Object]map[types.Object]token.Pos, reported map[string]bool) {
+	names := make([]string, len(cycle))
+	for i, o := range cycle {
+		names[i] = o.Name()
+	}
+	key := append([]string(nil), names...)
+	sort.Strings(key)
+	canon := strings.Join(key, "\x00")
+	if reported[canon] {
+		return
+	}
+	reported[canon] = true
+
+	at := token.NoPos
+	var detail []string
+	for i, from := range cycle {
+		to := cycle[(i+1)%len(cycle)]
+		pos := succ[from][to]
+		if at == token.NoPos || pos < at {
+			at = pos
+		}
+		position := p.Fset.Position(pos)
+		detail = append(detail, names[(i+1)%len(names)]+" while holding "+names[i]+" at "+position.Filename+":"+strconv.Itoa(position.Line))
+	}
+	p.Reportf(at, "lock-order inversion cycle %s -> %s: %s; acquire these locks in one fixed order everywhere",
+		strings.Join(names, " -> "), names[0], strings.Join(detail, "; "))
+}

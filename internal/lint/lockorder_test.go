@@ -1,0 +1,20 @@
+package lint_test
+
+import (
+	"testing"
+
+	"filealloc/internal/lint"
+)
+
+// TestLockOrder proves the analyzer reports each inversion cycle exactly
+// once: the direct two-lock inversion, and the inversion assembled through
+// a helper call that only the call graph connects — while consistent
+// orders (including ones using deferred unlocks) stay silent.
+func TestLockOrder(t *testing.T) {
+	for _, tc := range []fixtureCase{
+		{pkg: "agent/lockordfix", analyzer: lint.LockOrder, wants: 2},
+		{pkg: "clockutil", analyzer: lint.LockOrder, wants: 0},
+	} {
+		t.Run(tc.pkg, func(t *testing.T) { checkFixture(t, tc) })
+	}
+}

@@ -6,11 +6,12 @@ import (
 	"filealloc/internal/lint"
 )
 
-// TestSelfApplication runs the full analyzer suite over the real module —
-// the same invocation scripts/check.sh gates on — and requires zero
-// diagnostics, so the gate cannot silently drift away from the tree: any
-// new violation (or a stale //fap:ignore justification) fails this test
-// before it fails CI.
+// TestSelfApplication runs the full analyzer suite — with the stale-
+// suppression audit on — over the real module, the same invocation
+// scripts/check.sh gates on, and requires zero diagnostics, so the gate
+// cannot silently drift away from the tree: any new violation (or a
+// //fap:ignore directive that stopped suppressing anything) fails this
+// test before it fails CI.
 func TestSelfApplication(t *testing.T) {
 	pkgs, err := lint.Load("../..", "./...")
 	if err != nil {
@@ -19,7 +20,7 @@ func TestSelfApplication(t *testing.T) {
 	if len(pkgs) < 10 {
 		t.Fatalf("loaded only %d packages; the module pattern is not resolving", len(pkgs))
 	}
-	for _, d := range lint.Run(pkgs, lint.All()) {
+	for _, d := range lint.RunWithOptions(pkgs, lint.All(), lint.Options{ReportUnusedIgnores: true}) {
 		t.Errorf("fapvet is not clean on the module: %s", d)
 	}
 }

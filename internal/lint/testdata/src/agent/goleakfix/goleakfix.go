@@ -1,0 +1,108 @@
+// Package goleakfix exercises the goleak analyzer: its import path
+// carries the agent segment, so every go statement must be tied to a
+// WaitGroup, a context, or a close()d channel — directly in the spawned
+// body or through any statically resolved call chain.
+package goleakfix
+
+import (
+	"context"
+	"sync"
+)
+
+// Runner spawns the goroutines under test.
+type Runner struct {
+	wg   sync.WaitGroup
+	done chan struct{}
+}
+
+// GoodWaitGroup ties the goroutine to a WaitGroup.
+func (r *Runner) GoodWaitGroup() {
+	r.wg.Add(1)
+	go func() {
+		defer r.wg.Done()
+		work()
+	}()
+	r.wg.Wait()
+}
+
+// GoodContext ties the goroutine to ctx cancellation.
+func GoodContext(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+	}()
+}
+
+// GoodClosedChannel ties the goroutine to the channel Close closes.
+func (r *Runner) GoodClosedChannel() {
+	go func() {
+		<-r.done
+	}()
+}
+
+// Close closes the channel the goroutine above receives on.
+func (r *Runner) Close() {
+	close(r.done)
+}
+
+// GoodNamed spawns a declared method whose body signals the WaitGroup —
+// visible only through the call graph.
+func (r *Runner) GoodNamed() {
+	r.wg.Add(1)
+	go r.loop()
+}
+
+func (r *Runner) loop() {
+	defer r.wg.Done()
+	work()
+}
+
+// GoodNestedCall reaches the WaitGroup signal two hops away.
+func (r *Runner) GoodNestedCall() {
+	r.wg.Add(1)
+	go func() {
+		r.finish()
+	}()
+}
+
+func (r *Runner) finish() {
+	r.wg.Done()
+}
+
+// GoodLocalChannel ties the goroutine to a locally close()d channel.
+func GoodLocalChannel() {
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		<-stop
+	}()
+}
+
+// BadFireAndForget has no shutdown tie at all: nothing can make this
+// goroutine exit.
+func BadFireAndForget() {
+	go func() { // want goleak: not tied to a WaitGroup
+		for {
+			work()
+		}
+	}()
+}
+
+// BadNamed spawns a declared function with no shutdown tie anywhere in
+// its call subtree.
+func BadNamed() {
+	go spin() // want goleak: not tied to a WaitGroup
+}
+
+func spin() {
+	for {
+		work()
+	}
+}
+
+// BadFunctionValue spawns through a variable: statically unverifiable,
+// reported as such.
+func BadFunctionValue(fn func()) {
+	go fn() // want goleak: function value
+}
+
+func work() {}

@@ -1,0 +1,73 @@
+// Package lockordfix exercises the lockorder analyzer: its import path
+// carries the agent segment, so inconsistent lock-acquisition orders
+// across functions — including orders assembled through helper calls —
+// are inversion cycles.
+package lockordfix
+
+import "sync"
+
+// Server holds the locks under test; each field is one lock identity.
+type Server struct {
+	mu1, mu2 sync.Mutex
+	mu3, mu4 sync.Mutex
+	mu5, mu6 sync.Mutex
+}
+
+// LockAB acquires mu1 then mu2.
+func (s *Server) LockAB() {
+	s.mu1.Lock()
+	s.mu2.Lock() // want lockorder: lock-order inversion cycle
+	s.mu2.Unlock()
+	s.mu1.Unlock()
+}
+
+// LockBA acquires the same pair in the opposite order: two goroutines
+// running LockAB and LockBA can each hold one lock and wait forever.
+func (s *Server) LockBA() {
+	s.mu2.Lock()
+	s.mu1.Lock()
+	s.mu1.Unlock()
+	s.mu2.Unlock()
+}
+
+// ThreeThenFour reaches mu4 through a helper while holding mu3: the
+// inversion against FourThenThree is split across functions, which only
+// the call graph sees.
+func (s *Server) ThreeThenFour() {
+	s.mu3.Lock()
+	s.lockFour() // want lockorder: lock-order inversion cycle
+	s.mu3.Unlock()
+}
+
+// FourThenThree acquires the same pair directly, in the opposite order.
+func (s *Server) FourThenThree() {
+	s.mu4.Lock()
+	s.mu3.Lock()
+	s.mu3.Unlock()
+	s.mu4.Unlock()
+}
+
+// lockFour acquires mu4 on behalf of its callers.
+func (s *Server) lockFour() {
+	s.mu4.Lock()
+	s.mu4.Unlock()
+}
+
+// ConsistentOne and ConsistentTwo acquire mu5 then mu6 in the same order
+// everywhere: a consistent order is never a cycle.
+func (s *Server) ConsistentOne() {
+	s.mu5.Lock()
+	s.mu6.Lock()
+	s.mu6.Unlock()
+	s.mu5.Unlock()
+}
+
+// ConsistentTwo repeats the order with a deferred release: the deferred
+// unlock holds mu5 to return, and the nested mu6 acquisition is still the
+// same mu5 -> mu6 edge.
+func (s *Server) ConsistentTwo() {
+	s.mu5.Lock()
+	defer s.mu5.Unlock()
+	s.mu6.Lock()
+	s.mu6.Unlock()
+}

@@ -1,0 +1,48 @@
+// Package core mirrors the real solver package's shape for the
+// determinism taint fixture: its import path carries the core segment and
+// its methods are named like the solver entry points, so the taint walk
+// starts here — while the nondeterminism lives one package away in
+// clockutil, which is non-numeric and locally exempt. A per-function pass
+// sees nothing wrong in either package.
+package core
+
+import "fix/clockutil"
+
+// Allocator mirrors the real solver type.
+type Allocator struct{ stamp float64 }
+
+// Run is a solver root: reaching clockutil's wall-clock read through any
+// statically resolvable chain is a diagnostic at the first call edge.
+func (a *Allocator) Run() {
+	a.stamp = float64(clockutil.Stamp().Unix()) // want determinism: reaches nondeterminism
+}
+
+// Helper reaches the same clock read but is not an entry point, so the
+// taint stays scoped to the paper's solver surface and this is silent.
+func (a *Allocator) Helper() {
+	a.stamp = float64(clockutil.Stamp().Unix())
+}
+
+// WarmSolver mirrors the warm-start solver type.
+type WarmSolver struct{ jitter float64 }
+
+// SolveWarm is a root reaching the global rand source two hops away: the
+// first hop is a same-package helper the walk descends through without
+// re-blaming (the local layer owns numeric-package bodies).
+func (w *WarmSolver) SolveWarm() {
+	w.jitter = indirect() // want determinism: reaches nondeterminism
+}
+
+// Solve is a root whose reachable callees are all deterministic.
+func (w *WarmSolver) Solve(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// indirect forwards to the tainted helper package.
+func indirect() float64 {
+	return clockutil.Jitter()
+}

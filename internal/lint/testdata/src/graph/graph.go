@@ -1,0 +1,50 @@
+// Package graph exercises the call-graph builder itself: plain calls,
+// devirtualized method calls, interface dispatch, function values,
+// recursion, and calls made from inside function literals.
+package graph
+
+// Doer is the interface seam: dispatch through it cannot be resolved to a
+// body.
+type Doer interface{ Do() int }
+
+// Impl is the concrete type behind Doer.
+type Impl struct{ n int }
+
+// Do is Impl's method.
+func (i Impl) Do() int { return i.n }
+
+// Helper is a plain function callee.
+func Helper() int { return 1 }
+
+// CallsHelper has one static edge.
+func CallsHelper() int { return Helper() }
+
+// CallsMethod devirtualizes: the receiver's static type is concrete, so
+// the edge lands on Impl.Do's body.
+func CallsMethod(i Impl) int { return i.Do() }
+
+// CallsInterface dispatches through the interface: the edge resolves only
+// to the body-less interface method, which no walk can enter.
+func CallsInterface(d Doer) int { return d.Do() }
+
+// CallsFuncValue calls through a function value: no callee object at all,
+// counted as opaque.
+func CallsFuncValue(f func() int) int { return f() }
+
+// Recurse calls itself and Mutual; the builder and Walk must terminate on
+// the cycle.
+func Recurse(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return Recurse(n-1) + Mutual(n)
+}
+
+// Mutual closes a two-function cycle with Recurse.
+func Mutual(n int) int { return Recurse(n - 2) }
+
+// InLit calls Helper from inside a function literal: the edge is
+// attributed to InLit, the enclosing declaration.
+func InLit() func() int {
+	return func() int { return Helper() }
+}

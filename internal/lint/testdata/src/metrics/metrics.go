@@ -6,6 +6,8 @@ package metrics
 import (
 	"sort"
 	"time" // want walltime: must not import "time"
+
+	"fix/clockutil"
 )
 
 // LastScrape smuggles a wall-clock reading into exported state — the
@@ -15,6 +17,12 @@ var LastScrape time.Time
 // Touch records the scrape instant.
 func Touch() {
 	LastScrape = time.Now()
+}
+
+// Scrape launders the clock through a helper package: this file's import
+// ban cannot see it, the call graph can.
+func Scrape() {
+	LastScrape = clockutil.Stamp() // want walltime: reaches the time package
 }
 
 // Keys is fine: the ban is on time, not on the rest of the stdlib.

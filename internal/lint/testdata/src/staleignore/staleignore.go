@@ -1,0 +1,22 @@
+// Package staleignore carries one used and one stale suppression for the
+// -unused-ignores audit: the ctxfirst directive below suppresses a real
+// diagnostic, the determinism directive suppresses nothing and must be
+// reported when the audit is on — and only then.
+package staleignore
+
+import "context"
+
+// Holder stores a context in a struct: a real ctxfirst diagnostic, waived
+// with a justification, so its directive counts as used.
+type Holder struct {
+	ctx context.Context //fap:ignore ctxfirst fixture: this directive must suppress something
+}
+
+// Ctx returns the held context.
+func (h *Holder) Ctx() context.Context { return h.ctx }
+
+// Clean needs no waiver; the directive above it suppresses nothing and is
+// the stale case.
+//
+//fap:ignore determinism fixture: nothing here is nondeterministic
+func Clean() int { return 4 }

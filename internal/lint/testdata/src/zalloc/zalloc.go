@@ -1,7 +1,10 @@
 // Package zalloc exercises the zeroalloc analyzer: functions annotated
-// //fap:zeroalloc may not contain allocation constructs; everything else
-// may allocate freely.
+// //fap:zeroalloc may not contain allocation constructs — nor reach any,
+// through any statically resolvable call chain; everything else may
+// allocate freely.
 package zalloc
+
+import "fix/zhelper"
 
 type point struct{ x, y int }
 
@@ -84,4 +87,39 @@ func BadClosure(n int) func() int {
 // Unannotated may allocate: the contract is opt-in per function.
 func Unannotated(n int) []float64 {
 	return make([]float64, n)
+}
+
+// helperAlloc is unannotated and allocates; legal on its own, a violation
+// only when a //fap:zeroalloc function reaches it.
+func helperAlloc() []int {
+	return []int{1}
+}
+
+// chain merely forwards, putting one clean hop between the contract and
+// the allocation.
+func chain() []int { return helperAlloc() }
+
+// BadTransitiveLocal reaches an allocation two same-package hops away —
+// invisible to a per-function check.
+//
+//fap:zeroalloc
+func BadTransitiveLocal() []int {
+	return chain() // want zeroalloc: reaches an allocating construct
+}
+
+// BadTransitiveCross reaches an allocation in another package.
+//
+//fap:zeroalloc
+func BadTransitiveCross(n int) []float64 {
+	return zhelper.Alloc(n) // want zeroalloc: reaches an allocating construct
+}
+
+// GoodTransitive only reaches clean, annotated, or //fap:allocok callees.
+//
+//fap:zeroalloc
+func GoodTransitive(buf []float64) []float64 {
+	zhelper.Pure(buf)
+	buf = zhelper.Grow(buf, cap(buf))
+	Sum(buf, buf)
+	return buf
 }

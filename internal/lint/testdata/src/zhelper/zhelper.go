@@ -1,0 +1,29 @@
+// Package zhelper provides the cross-package callees for zalloc's
+// transitive cases. Nothing here is annotated //fap:zeroalloc, so nothing
+// here is a diagnostic on its own — the violations appear only at the
+// annotated call sites in zalloc that reach these bodies.
+package zhelper
+
+// Alloc allocates: calling it from a //fap:zeroalloc function is the
+// cross-package violation an exercised-path AllocsPerRun test can miss.
+func Alloc(n int) []float64 {
+	return make([]float64, n)
+}
+
+// Pure writes through the caller's buffer only.
+func Pure(dst []float64) {
+	for i := range dst {
+		dst[i] = 0
+	}
+}
+
+// Grow is a justified cold-path allocation site: the transitive pass
+// prunes at the directive instead of blaming callers.
+//
+//fap:allocok grows only when capacity is exceeded; steady state reuses the backing array
+func Grow(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}

@@ -1,6 +1,10 @@
 package lint
 
-import "strconv"
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+)
 
 // walltimeSegments names the packages whose exported numbers must be pure
 // functions of protocol state: the metrics registry and anything that
@@ -10,14 +14,23 @@ var walltimeSegments = map[string]bool{
 	"metrics": true,
 }
 
-// WallTime forbids importing the time package anywhere in a metrics
-// package. The determinism analyzer already bans time.Now in numeric
-// packages; metrics packages get the stricter import-level ban because
-// every value they hold is exported verbatim into snapshots, so even
-// durations or timers smuggle scheduling noise into the output.
+// WallTime forbids wall-clock access anywhere in a metrics package. Two
+// layers:
+//
+//   - Locally, importing the time package at all is a diagnostic (the
+//     determinism analyzer already bans time.Now in numeric packages;
+//     metrics packages get the stricter import-level ban because every
+//     value they hold is exported verbatim into snapshots, so even
+//     durations or timers smuggle scheduling noise into the output).
+//   - Transitively, a metrics function whose reachable module callees
+//     call into the time package — laundering the clock through an
+//     intermediary in another package, which the import ban cannot see —
+//     is reported at the first call edge leaving the metrics function,
+//     via the shared call graph. Interface and function-value calls are
+//     opaque (see BuildGraph).
 var WallTime = &Analyzer{
 	Name: "walltime",
-	Doc:  "forbid importing time in metrics packages; round indices are the clock",
+	Doc:  "forbid importing or transitively reaching the time package in metrics packages; round indices are the clock",
 	Run:  runWallTime,
 }
 
@@ -32,6 +45,39 @@ func runWallTime(p *Pass) {
 				continue
 			}
 			p.Reportf(imp.Pos(), "metrics packages must not import %q: snapshots export every stored value, and wall-clock readings make them run-dependent", path)
+		}
+	}
+	runWallTimeTransitive(p)
+}
+
+// runWallTimeTransitive walks the call graph from every function declared
+// in the metrics package and reports paths that end in the time package.
+// The time functions themselves appear in the graph as external edge
+// targets, so any statically resolved route to one — at any depth, through
+// any number of intermediary packages — is visible. A direct call from the
+// metrics package (path length 1) is skipped: the import ban already flags
+// it at the import line.
+func runWallTimeTransitive(p *Pass) {
+	if p.Graph == nil {
+		return
+	}
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			root, ok := p.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			p.Graph.Walk(root, func(fn *types.Func, path []GraphCall) bool {
+				if fn.Pkg() != nil && fn.Pkg().Path() == "time" && len(path) > 1 {
+					p.Reportf(path[0].Pos, "call to %s reaches the time package via %s (path: %s); metrics must be pure functions of protocol state",
+						shortFuncName(path[0].Callee), shortFuncName(fn), renderPath(root, path))
+				}
+				return true
+			})
 		}
 	}
 }

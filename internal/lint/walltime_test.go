@@ -7,11 +7,13 @@ import (
 )
 
 // TestWallTime proves the analyzer flags a time import inside a
-// metrics-segment package and ignores the same import everywhere else
-// (clockutil imports time freely and must stay silent).
+// metrics-segment package, flags a metrics function laundering the clock
+// through a helper package the import ban cannot see, and ignores the
+// same constructs everywhere else (clockutil imports time freely and must
+// stay silent).
 func TestWallTime(t *testing.T) {
 	for _, tc := range []fixtureCase{
-		{pkg: "metrics", analyzer: lint.WallTime, wants: 1},
+		{pkg: "metrics", analyzer: lint.WallTime, wants: 2, deps: []string{"clockutil"}},
 		{pkg: "clockutil", analyzer: lint.WallTime, wants: 0},
 	} {
 		t.Run(tc.pkg, func(t *testing.T) { checkFixture(t, tc) })

@@ -4,44 +4,57 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"strconv"
 	"strings"
 )
 
-// zeroAllocDirective marks a function whose body must stay free of
-// allocation constructs. The contract is per-function and source-level:
-// the annotated body itself may not contain make, new, append to a slice
-// the caller does not own, escaping composite literals, or capturing
-// closures. Callees are not checked transitively (a cold-path grow helper
-// may allocate); the AllocsPerRun tests remain the runtime ground truth for
-// the composed hot path — this analyzer keeps them honest at the source
-// level by catching new allocation sites the moment they are written.
+// zeroAllocDirective marks a function whose body — and, since the
+// call-graph upgrade, whose reachable callees — must stay free of
+// allocation constructs. The local half is source-level: the annotated
+// body itself may not contain make, new, append to a slice the caller
+// does not own, escaping composite literals, or capturing closures. The
+// transitive half walks the module call graph: any statically resolvable
+// callee (any package, any depth) containing such a construct is a
+// diagnostic at the first call edge leaving the annotated function,
+// unless the callee is itself annotated //fap:zeroalloc (its own body is
+// checked directly) or carries //fap:allocok (a justified cold-path
+// allocation site, e.g. a grow helper). Calls through interfaces,
+// function values, and into packages outside the module are opaque — see
+// BuildGraph — so the AllocsPerRun tests remain the runtime ground truth
+// for dynamically dispatched paths; this analyzer catches everything the
+// static call structure pins down, including cross-package helpers an
+// exercised-path test never reaches.
 const zeroAllocDirective = "//fap:zeroalloc"
 
 // ZeroAlloc enforces the //fap:zeroalloc annotation contract.
 var ZeroAlloc = &Analyzer{
 	Name: "zeroalloc",
-	Doc:  "functions annotated //fap:zeroalloc must not contain allocation constructs",
+	Doc:  "functions annotated //fap:zeroalloc must not contain or reach allocation constructs",
 	Run:  runZeroAlloc,
 }
 
 func runZeroAlloc(p *Pass) {
+	facts := newAllocFacts(p.Graph)
 	for _, f := range p.Files {
 		for _, decl := range f.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
-			if !ok || fd.Body == nil || !hasZeroAllocDirective(fd.Doc) {
+			if !ok || fd.Body == nil || !hasDirective(fd.Doc, zeroAllocDirective) {
 				continue
 			}
 			checkZeroAlloc(p, fd)
+			checkZeroAllocTransitive(p, fd, facts)
 		}
 	}
 }
 
-func hasZeroAllocDirective(doc *ast.CommentGroup) bool {
+// hasDirective reports whether doc contains a comment line that is
+// exactly directive or starts with directive followed by a space.
+func hasDirective(doc *ast.CommentGroup, directive string) bool {
 	if doc == nil {
 		return false
 	}
 	for _, c := range doc.List {
-		if c.Text == zeroAllocDirective || strings.HasPrefix(c.Text, zeroAllocDirective+" ") {
+		if c.Text == directive || strings.HasPrefix(c.Text, directive+" ") {
 			return true
 		}
 	}
@@ -49,7 +62,7 @@ func hasZeroAllocDirective(doc *ast.CommentGroup) bool {
 }
 
 func checkZeroAlloc(p *Pass, fd *ast.FuncDecl) {
-	callerOwned := collectParams(p, fd)
+	callerOwned := collectParams(p.Info, fd)
 	ast.Inspect(fd.Body, func(n ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.CallExpr:
@@ -67,7 +80,7 @@ func checkZeroAlloc(p *Pass, fd *ast.FuncDecl) {
 			case "new":
 				p.Reportf(n.Pos(), "new in a //fap:zeroalloc function; hoist the value to the caller")
 			case "append":
-				if len(n.Args) > 0 && !rootedInParam(p, n.Args[0], callerOwned) {
+				if len(n.Args) > 0 && !rootedInParam(p.Info, n.Args[0], callerOwned) {
 					p.Reportf(n.Pos(), "append to a slice the caller does not own may grow and allocate; append into a caller-owned buffer")
 				}
 			}
@@ -83,7 +96,7 @@ func checkZeroAlloc(p *Pass, fd *ast.FuncDecl) {
 				p.Reportf(n.Pos(), "slice or map literal allocates in a //fap:zeroalloc function")
 			}
 		case *ast.FuncLit:
-			if name := capturedLocal(p, fd, n); name != "" {
+			if name := capturedLocal(p.Info, fd, n); name != "" {
 				p.Reportf(n.Pos(), "closure captures %q and allocates in a //fap:zeroalloc function", name)
 			}
 		}
@@ -91,10 +104,121 @@ func checkZeroAlloc(p *Pass, fd *ast.FuncDecl) {
 	})
 }
 
+// checkZeroAllocTransitive walks the call graph from the annotated
+// function and reports, at the first outgoing call edge, every reachable
+// callee body containing an allocating construct. Each offending callee
+// is reported once per annotated root.
+func checkZeroAllocTransitive(p *Pass, fd *ast.FuncDecl, facts *allocFacts) {
+	root, ok := p.Info.Defs[fd.Name].(*types.Func)
+	if !ok || p.Graph == nil {
+		return
+	}
+	p.Graph.Walk(root, func(fn *types.Func, path []GraphCall) bool {
+		node := p.Graph.NodeOf(fn)
+		if node == nil {
+			return true // external or interface callee: opaque by contract
+		}
+		if hasDirective(node.Decl.Doc, zeroAllocDirective) {
+			// The callee carries its own contract; its body (and subtree)
+			// is checked at its own declaration, not re-blamed here.
+			return false
+		}
+		if hasDirective(node.Decl.Doc, allocOKPrefix) {
+			return false // justified allocation site; don't descend
+		}
+		if desc, ok := facts.allocates(node); ok {
+			p.Reportf(path[0].Pos, "call to %s in a //fap:zeroalloc function reaches an allocating construct: %s (path: %s)",
+				shortFuncName(path[0].Callee), desc, renderPath(root, path))
+			return false // one finding per offending callee; don't pile on its subtree
+		}
+		return true
+	})
+}
+
+// allocFacts lazily computes and memoizes, per declared function, the
+// first allocating construct its own body contains (ignoring what its
+// callees do — the graph walk composes the verdicts).
+type allocFacts struct {
+	graph *Graph
+	memo  map[*types.Func]allocFact
+}
+
+type allocFact struct {
+	desc string
+	has  bool
+}
+
+func newAllocFacts(g *Graph) *allocFacts {
+	return &allocFacts{graph: g, memo: make(map[*types.Func]allocFact)}
+}
+
+// allocates returns a description of the first allocating construct in
+// node's body, judged by the same rules as the local zeroalloc check
+// with node's own parameters as the caller-owned set.
+func (af *allocFacts) allocates(node *GraphNode) (string, bool) {
+	if fact, ok := af.memo[node.Fn]; ok {
+		return fact.desc, fact.has
+	}
+	info := node.Pkg.Info
+	owned := collectParams(info, node.Decl)
+	var fact allocFact
+	record := func(what string, pos token.Pos) {
+		if fact.has {
+			return
+		}
+		position := node.Pkg.Fset.Position(pos)
+		fact = allocFact{desc: what + " at " + position.Filename + ":" + strconv.Itoa(position.Line), has: true}
+	}
+	ast.Inspect(node.Decl.Body, func(n ast.Node) bool {
+		if fact.has {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			id, ok := ast.Unparen(n.Fun).(*ast.Ident)
+			if !ok {
+				return true
+			}
+			b, ok := info.Uses[id].(*types.Builtin)
+			if !ok {
+				return true
+			}
+			switch b.Name() {
+			case "make":
+				record("make", n.Pos())
+			case "new":
+				record("new", n.Pos())
+			case "append":
+				if len(n.Args) > 0 && !rootedInParam(info, n.Args[0], owned) {
+					record("growing append", n.Pos())
+				}
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+					record("escaping composite literal", n.Pos())
+				}
+			}
+		case *ast.CompositeLit:
+			switch info.TypeOf(n).Underlying().(type) {
+			case *types.Slice, *types.Map:
+				record("slice or map literal", n.Pos())
+			}
+		case *ast.FuncLit:
+			if name := capturedLocal(info, node.Decl, n); name != "" {
+				record("closure capturing "+name, n.Pos())
+			}
+		}
+		return true
+	})
+	af.memo[node.Fn] = fact
+	return fact.desc, fact.has
+}
+
 // collectParams returns the objects of fd's receiver and parameters — the
 // values the caller owns, and therefore the only legitimate append targets
 // in a zero-alloc body.
-func collectParams(p *Pass, fd *ast.FuncDecl) map[types.Object]bool {
+func collectParams(info *types.Info, fd *ast.FuncDecl) map[types.Object]bool {
 	owned := make(map[types.Object]bool)
 	add := func(fl *ast.FieldList) {
 		if fl == nil {
@@ -102,7 +226,7 @@ func collectParams(p *Pass, fd *ast.FuncDecl) map[types.Object]bool {
 		}
 		for _, field := range fl.List {
 			for _, name := range field.Names {
-				if obj := p.Info.Defs[name]; obj != nil {
+				if obj := info.Defs[name]; obj != nil {
 					owned[obj] = true
 				}
 			}
@@ -115,11 +239,11 @@ func collectParams(p *Pass, fd *ast.FuncDecl) map[types.Object]bool {
 
 // rootedInParam reports whether e's leftmost base is a parameter or the
 // receiver (e.g. buf, step.Delta, r.scratch[i]).
-func rootedInParam(p *Pass, e ast.Expr, owned map[types.Object]bool) bool {
+func rootedInParam(info *types.Info, e ast.Expr, owned map[types.Object]bool) bool {
 	for {
 		switch x := ast.Unparen(e).(type) {
 		case *ast.Ident:
-			return owned[p.Info.Uses[x]]
+			return owned[info.Uses[x]]
 		case *ast.SelectorExpr:
 			e = x.X
 		case *ast.IndexExpr:
@@ -137,7 +261,7 @@ func rootedInParam(p *Pass, e ast.Expr, owned map[types.Object]bool) bool {
 // capturedLocal returns the name of a variable declared in the enclosing
 // function but referenced inside lit, which forces the closure (and the
 // variable) to be heap-allocated. It returns "" when lit captures nothing.
-func capturedLocal(p *Pass, outer *ast.FuncDecl, lit *ast.FuncLit) string {
+func capturedLocal(info *types.Info, outer *ast.FuncDecl, lit *ast.FuncLit) string {
 	captured := ""
 	ast.Inspect(lit.Body, func(n ast.Node) bool {
 		if captured != "" {
@@ -147,7 +271,7 @@ func capturedLocal(p *Pass, outer *ast.FuncDecl, lit *ast.FuncLit) string {
 		if !ok {
 			return true
 		}
-		obj, ok := p.Info.Uses[id].(*types.Var)
+		obj, ok := info.Uses[id].(*types.Var)
 		if !ok || obj.IsField() {
 			return true
 		}

@@ -9,11 +9,13 @@ import (
 // TestZeroAlloc proves the annotation contract: every allocation construct
 // inside a //fap:zeroalloc function is flagged (make, new, unhoisted
 // append, slice literal, escaping composite literal, capturing closure),
-// while annotated-but-clean functions and unannotated allocating functions
+// and so is every reachable callee containing one — same-package chains
+// and cross-package calls alike — while annotated-but-clean functions,
+// unannotated allocating functions, and //fap:allocok-justified callees
 // pass.
 func TestZeroAlloc(t *testing.T) {
 	for _, tc := range []fixtureCase{
-		{pkg: "zalloc", analyzer: lint.ZeroAlloc, wants: 6},
+		{pkg: "zalloc", analyzer: lint.ZeroAlloc, wants: 8, deps: []string{"zhelper"}},
 	} {
 		t.Run(tc.pkg, func(t *testing.T) { checkFixture(t, tc) })
 	}

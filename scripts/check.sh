@@ -18,8 +18,18 @@ fi
 echo "== go vet ./..."
 go vet ./...
 
-echo "== fapvet ./..."
-go run ./cmd/fapvet ./...
+echo "== fapvet -unused-ignores ./..."
+# Full eight-analyzer suite plus the stale-suppression audit: a directive
+# that stopped suppressing anything fails the gate until it is deleted.
+go run ./cmd/fapvet -unused-ignores ./...
+
+echo "== fapvet -json report"
+# The machine-readable report CI uploads as an artifact must parse and be
+# empty of findings: "[]" exactly, modulo whitespace.
+FAPVET_JSON="$(mktemp)"
+trap 'rm -f "$FAPVET_JSON"' EXIT
+go run ./cmd/fapvet -json ./... > "$FAPVET_JSON"
+awk 'BEGIN { RS = "" } { gsub(/[ \t\n]/, "") } $0 != "[]" { print "fapvet -json report is not an empty array:"; print; exit 1 }' "$FAPVET_JSON"
 
 echo "== go test -race ./..."
 go test -race ./...
@@ -79,7 +89,7 @@ echo "== bench_json.awk fixture"
 # a backslash) so a matcher or escaping regression shows up as a diff,
 # not as invalid JSON in CI artifacts.
 AWK_OUT="$(mktemp)"
-trap 'rm -f "$AWK_OUT"' EXIT
+trap 'rm -f "$FAPVET_JSON" "$AWK_OUT"' EXIT
 awk -v cores=8 -f scripts/bench_json.awk scripts/testdata/bench_raw.txt > "$AWK_OUT"
 if ! diff -u scripts/testdata/bench_golden.json "$AWK_OUT"; then
 	echo "bench_json.awk output diverged from scripts/testdata/bench_golden.json" >&2
@@ -125,7 +135,7 @@ if [ "$CORES" -lt 4 ]; then
 	echo "   skipped: $CORES core(s) < 4, speedup would be noise"
 else
 	FLOOR_OUT="$(mktemp)"
-	trap 'rm -f "$AWK_OUT" "$FLOOR_OUT"' EXIT
+	trap 'rm -f "$FAPVET_JSON" "$AWK_OUT" "$FLOOR_OUT"' EXIT
 	BENCH_OUT="$FLOOR_OUT" scripts/bench.sh 'Fig5AlphaSweep|Fig6Scaling' 5x > /dev/null
 	awk '
 	/"figure":/ {
@@ -163,7 +173,7 @@ if [ "$CORES" -lt 4 ]; then
 	echo "   skipped: $CORES core(s) < 4, contrast would be noise"
 else
 	WARM_OUT="$(mktemp)"
-	trap 'rm -f "$AWK_OUT" "$FLOOR_OUT" "$WARM_OUT"' EXIT
+	trap 'rm -f "$FAPVET_JSON" "$AWK_OUT" "$FLOOR_OUT" "$WARM_OUT"' EXIT
 	BENCH_OUT="$WARM_OUT" scripts/bench.sh 'Catalog(Cold|Warm)' 1x > /dev/null
 	awk '
 	/"name": "BenchmarkCatalog(Cold|Warm)"/ {
