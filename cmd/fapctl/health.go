@@ -1,0 +1,166 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// nodeHealth is one row of the health table: the /healthz verdict plus
+// the progress gauges scraped from /metrics.
+type nodeHealth struct {
+	addr     string
+	ok       bool
+	detail   string
+	node     int
+	round    float64
+	hasRound bool
+	spread   float64
+	hasSprd  bool
+	epoch    float64
+	hasEpoch bool
+	accesses float64
+	hasAcc   bool
+}
+
+// runHealth implements `fapctl health <url...>`: probe every node's
+// /healthz and /metrics, print an aligned liveness/lag table (lag is each
+// node's round distance behind the most advanced node), and fail with a
+// non-zero exit when any node is unhealthy.
+func runHealth(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("fapctl health", flag.ContinueOnError)
+	timeout := fs.Duration("timeout", 5*time.Second, "per-probe timeout")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() < 1 {
+		return fmt.Errorf("usage: fapctl health [-timeout d] <url...> (e.g. http://127.0.0.1:9090)")
+	}
+	client := &http.Client{Timeout: *timeout}
+	rows := make([]nodeHealth, fs.NArg())
+	for i, arg := range fs.Args() {
+		rows[i] = probeNode(client, strings.TrimRight(arg, "/"))
+	}
+
+	maxRound := 0.0
+	for _, r := range rows {
+		if r.ok && r.hasRound && r.round > maxRound {
+			maxRound = r.round
+		}
+	}
+	fmt.Fprintf(w, "%-5s %-28s %-9s %7s %5s %12s %7s %9s\n",
+		"node", "addr", "status", "round", "lag", "spread", "epoch", "accesses")
+	unhealthy := 0
+	for _, r := range rows {
+		if !r.ok {
+			unhealthy++
+			fmt.Fprintf(w, "%-5s %-28s %-9s %s\n", "-", r.addr, "DOWN", r.detail)
+			continue
+		}
+		lag := "-"
+		round := "-"
+		if r.hasRound {
+			round = strconv.FormatFloat(r.round, 'f', -1, 64)
+			lag = strconv.FormatFloat(maxRound-r.round, 'f', -1, 64)
+		}
+		fmt.Fprintf(w, "%-5d %-28s %-9s %7s %5s %12s %7s %9s\n",
+			r.node, r.addr, "ok", round, lag,
+			optValue(r.spread, r.hasSprd, "%.3g"),
+			optValue(r.epoch, r.hasEpoch, "%.0f"),
+			optValue(r.accesses, r.hasAcc, "%.0f"))
+	}
+	if unhealthy > 0 {
+		return fmt.Errorf("%d of %d nodes unhealthy", unhealthy, len(rows))
+	}
+	return nil
+}
+
+func optValue(v float64, ok bool, format string) string {
+	if !ok {
+		return "-"
+	}
+	return fmt.Sprintf(format, v)
+}
+
+// probeNode checks one node: /healthz must answer 200 with status "ok",
+// and /metrics must parse. A node whose liveness probe succeeds but whose
+// metrics scrape fails is still reported unhealthy — an observability
+// endpoint that cannot be scraped cannot be trusted.
+func probeNode(client *http.Client, base string) nodeHealth {
+	h := nodeHealth{addr: base}
+	resp, err := client.Get(base + "/healthz")
+	if err != nil {
+		h.detail = err.Error()
+		return h
+	}
+	var probe struct {
+		Status string `json:"status"`
+		Node   int    `json:"node"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&probe)
+	resp.Body.Close() //nolint:errcheck // read-only response
+	if resp.StatusCode != http.StatusOK {
+		h.detail = "healthz status " + resp.Status
+		return h
+	}
+	if err != nil {
+		h.detail = "healthz body: " + err.Error()
+		return h
+	}
+	if probe.Status != "ok" {
+		h.detail = fmt.Sprintf("healthz reports %q", probe.Status)
+		return h
+	}
+	h.node = probe.Node
+
+	mresp, err := client.Get(base + "/metrics")
+	if err != nil {
+		h.detail = "metrics: " + err.Error()
+		return h
+	}
+	defer mresp.Body.Close() //nolint:errcheck // read-only response
+	if mresp.StatusCode != http.StatusOK {
+		h.detail = "metrics status " + mresp.Status
+		return h
+	}
+	fams, err := parsePromText(mresp.Body)
+	if err != nil {
+		h.detail = "metrics: " + err.Error()
+		return h
+	}
+	h.round, h.hasRound = familySum(fams, "fap_agent_round")
+	h.spread, h.hasSprd = familySum(fams, "fap_agent_spread")
+	h.epoch, h.hasEpoch = familySum(fams, "fap_serve_epoch")
+	h.accesses, h.hasAcc = familySum(fams, "fap_serve_accesses_total")
+	h.ok = true
+	return h
+}
+
+// familySum folds a scraped family into one number (the sum of its
+// sample values; a single-sample gauge is just its value).
+func familySum(fams []*promFamily, name string) (float64, bool) {
+	for _, f := range fams {
+		if f.name != name || len(f.samples) == 0 {
+			continue
+		}
+		sum := 0.0
+		for _, s := range f.samples {
+			s = strings.TrimSpace(s)
+			if i := strings.LastIndexByte(s, ' '); i >= 0 {
+				s = s[i+1:]
+			}
+			v, err := strconv.ParseFloat(s, 64)
+			if err != nil {
+				return 0, false
+			}
+			sum += v
+		}
+		return sum, true
+	}
+	return 0, false
+}

@@ -1,0 +1,151 @@
+package main
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// fakeNode serves the observability surface of one fapnode: a /healthz
+// probe and a /metrics exposition with the given bodies.
+func fakeNode(t *testing.T, healthz func(w http.ResponseWriter), metricsText string) *httptest.Server {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		healthz(w)
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		fmt.Fprint(w, metricsText)
+	})
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func healthzOK(node int) func(w http.ResponseWriter) {
+	return func(w http.ResponseWriter) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(w, `{"status":"ok","node":%d}`, node)
+	}
+}
+
+const servingMetrics = `# HELP fap_agent_round current protocol round
+# TYPE fap_agent_round gauge
+fap_agent_round 12
+# HELP fap_agent_spread convergence spread
+# TYPE fap_agent_spread gauge
+fap_agent_spread 3.5e-05
+# HELP fap_serve_epoch current serving plan epoch
+# TYPE fap_serve_epoch gauge
+fap_serve_epoch 3
+# HELP fap_serve_accesses_total access requests served
+# TYPE fap_serve_accesses_total counter
+fap_serve_accesses_total 145
+`
+
+const batchMetrics = `# HELP fap_agent_round current protocol round
+# TYPE fap_agent_round gauge
+fap_agent_round 9
+# HELP fap_agent_spread convergence spread
+# TYPE fap_agent_spread gauge
+fap_agent_spread 0.002
+`
+
+// TestHealthAllHealthy probes a serving node and a batch node: both rows
+// must be aligned, the laggard must show its round deficit, and the batch
+// node's missing serve gauges must render as "-".
+func TestHealthAllHealthy(t *testing.T) {
+	serving := fakeNode(t, healthzOK(0), servingMetrics)
+	batch := fakeNode(t, healthzOK(1), batchMetrics)
+
+	var out strings.Builder
+	if err := run([]string{"health", serving.URL, batch.URL}, &out); err != nil {
+		t.Fatalf("health over a healthy cluster: %v\n%s", err, out.String())
+	}
+	lines := strings.Split(strings.TrimRight(out.String(), "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("table has %d lines, want header + 2 rows:\n%s", len(lines), out.String())
+	}
+	for _, want := range []string{"node", "addr", "status", "round", "lag", "spread", "epoch", "accesses"} {
+		if !strings.Contains(lines[0], want) {
+			t.Errorf("header %q missing column %q", lines[0], want)
+		}
+	}
+	row0 := strings.Fields(lines[1])
+	row1 := strings.Fields(lines[2])
+	if len(row0) != 8 || len(row1) != 8 {
+		t.Fatalf("rows not aligned to 8 columns:\n%q\n%q", lines[1], lines[2])
+	}
+	// Serving node: round 12, lag 0 (it leads), epoch 3, 145 accesses.
+	if row0[0] != "0" || row0[2] != "ok" || row0[3] != "12" || row0[4] != "0" || row0[6] != "3" || row0[7] != "145" {
+		t.Errorf("serving row = %q", lines[1])
+	}
+	// Batch node: round 9, lag 3 behind, no serve gauges.
+	if row1[0] != "1" || row1[2] != "ok" || row1[3] != "9" || row1[4] != "3" || row1[6] != "-" || row1[7] != "-" {
+		t.Errorf("batch row = %q", lines[2])
+	}
+}
+
+// TestHealthUnhealthyNodeFails covers the non-zero exit contract: a dead
+// listener and a node whose probe reports a non-ok status both count as
+// unhealthy, while the healthy node still gets its row.
+func TestHealthUnhealthyNodeFails(t *testing.T) {
+	healthy := fakeNode(t, healthzOK(0), batchMetrics)
+	sick := fakeNode(t, func(w http.ResponseWriter) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprint(w, `{"status":"draining","node":1}`)
+	}, batchMetrics)
+	dead := httptest.NewServer(http.NotFoundHandler())
+	dead.Close() // keep the URL, kill the listener
+
+	var out strings.Builder
+	err := run([]string{"health", healthy.URL, sick.URL, dead.URL}, &out)
+	if err == nil {
+		t.Fatalf("health accepted an unhealthy cluster:\n%s", out.String())
+	}
+	if !strings.Contains(err.Error(), "2 of 3 nodes unhealthy") {
+		t.Errorf("error = %v, want 2 of 3 nodes unhealthy", err)
+	}
+	if !strings.Contains(out.String(), "ok") {
+		t.Errorf("healthy node missing from table:\n%s", out.String())
+	}
+	if strings.Count(out.String(), "DOWN") != 2 {
+		t.Errorf("want two DOWN rows:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), `healthz reports "draining"`) {
+		t.Errorf("sick node's detail missing:\n%s", out.String())
+	}
+}
+
+// TestHealthUsage rejects an empty node set.
+func TestHealthUsage(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"health"}, &out); err == nil {
+		t.Fatal("health accepted zero URLs")
+	}
+}
+
+// TestFamilySum exercises the scrape folding: labelled samples sum,
+// unlabelled gauges pass through, absent families report !ok.
+func TestFamilySum(t *testing.T) {
+	fams := []*promFamily{
+		{name: "plain", samples: []string{" 4"}},
+		{name: "labelled", samples: []string{`{a="x"} 1.5`, `{a="y"} 2.5`}},
+		{name: "garbled", samples: []string{" not-a-number"}},
+	}
+	if v, ok := familySum(fams, "plain"); !ok || v != 4 {
+		t.Errorf("plain = %v, %t", v, ok)
+	}
+	if v, ok := familySum(fams, "labelled"); !ok || v != 4 {
+		t.Errorf("labelled = %v, %t", v, ok)
+	}
+	if _, ok := familySum(fams, "garbled"); ok {
+		t.Error("garbled sample parsed")
+	}
+	if _, ok := familySum(fams, "absent"); ok {
+		t.Error("absent family reported present")
+	}
+}

@@ -21,6 +21,14 @@
 //
 //	fapctl metrics http://127.0.0.1:9090/metrics
 //
+// The health subcommand probes a whole node set's /healthz and /metrics
+// endpoints and prints an aligned liveness table — per-node protocol
+// round, lag behind the most advanced node, convergence spread, and (for
+// serving nodes) the live plan epoch and access count. It exits non-zero
+// when any node is down:
+//
+//	fapctl health http://127.0.0.1:9090 http://127.0.0.1:9091
+//
 // The placements subcommand queries a solved-catalog snapshot written by
 // fapsim -snapshot-out: with no object ids it summarises the snapshot;
 // with ids it prints each object's placement (node, share, demand share),
@@ -69,6 +77,9 @@ func run(args []string, w io.Writer) error {
 	}
 	if len(args) > 0 && args[0] == "placements" {
 		return runPlacements(args[1:], w)
+	}
+	if len(args) > 0 && args[0] == "health" {
+		return runHealth(args[1:], w)
 	}
 	fs := flag.NewFlagSet("fapctl", flag.ContinueOnError)
 	n := fs.Int("n", 4, "cluster size")

@@ -1,0 +1,103 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"filealloc/internal/loadgen"
+)
+
+const tinySpec = `{
+	"name": "tiny", "seed": 5, "nodes": 3,
+	"phases": [
+		{"name": "steady", "kind": "steady", "ticks": 3, "rps": 12},
+		{"name": "crash", "kind": "crash", "ticks": 4, "rps": 12, "kill": [2]}
+	]
+}`
+
+func TestRunDefaultSpecSmallWorkload(t *testing.T) {
+	dir := t.TempDir()
+	specPath := filepath.Join(dir, "spec.json")
+	if err := os.WriteFile(specPath, []byte(tinySpec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	jsonPath := filepath.Join(dir, "report.json")
+	csvPath := filepath.Join(dir, "report.csv")
+
+	var out bytes.Buffer
+	err := run([]string{"-spec", specPath, "-workers", "2", "-json", jsonPath, "-csv", csvPath}, &out)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+
+	var rep loadgen.Report
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("stdout is not a JSON report: %v\n%s", err, out.Bytes())
+	}
+	if rep.Spec != "tiny" || rep.Seed != 5 || len(rep.Phases) != 2 {
+		t.Fatalf("report = %+v", rep)
+	}
+	if rep.Totals.Requests != 3*12+4*12 {
+		t.Fatalf("total requests = %d, want 84", rep.Totals.Requests)
+	}
+	if rep.Totals.Errors != 0 {
+		t.Fatalf("run failed %d requests", rep.Totals.Errors)
+	}
+	if rep.Phases[1].AliveEnd != 2 {
+		t.Fatalf("crash phase alive = %d, want 2", rep.Phases[1].AliveEnd)
+	}
+
+	fileJSON, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(fileJSON, out.Bytes()) {
+		t.Fatal("-json file differs from stdout report")
+	}
+	fileCSV, err := os.ReadFile(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(fileCSV)), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("CSV has %d lines, want header + 2 phases:\n%s", len(lines), fileCSV)
+	}
+}
+
+func TestRunSeedOverrideIsDeterministic(t *testing.T) {
+	dir := t.TempDir()
+	specPath := filepath.Join(dir, "spec.json")
+	if err := os.WriteFile(specPath, []byte(tinySpec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var a, b bytes.Buffer
+	if err := run([]string{"-spec", specPath, "-seed", "9", "-workers", "1"}, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-spec", specPath, "-seed", "9", "-workers", "4"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatalf("seed-pinned reports differ across worker counts:\n%s\n---\n%s", a.Bytes(), b.Bytes())
+	}
+	if !strings.Contains(a.String(), `"seed": 9`) {
+		t.Fatal("-seed override not reflected in the report")
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-workers", "0"}, &out); err == nil {
+		t.Fatal("accepted -workers 0")
+	}
+	if err := run([]string{"-spec", "/nonexistent.json"}, &out); err == nil {
+		t.Fatal("accepted a missing spec file")
+	}
+	if err := run([]string{"extra"}, &out); err == nil {
+		t.Fatal("accepted positional arguments")
+	}
+}

@@ -25,8 +25,12 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
 	"time"
 
 	"filealloc/internal/agent"
@@ -38,7 +42,9 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	if err := run(os.Args[1:], os.Stdout, sigc); err != nil {
 		fmt.Fprintln(os.Stderr, "fapnode:", err)
 		os.Exit(1)
 	}
@@ -54,7 +60,12 @@ type result struct {
 	Resumed   int     `json:"resumed_from_round,omitempty"`
 }
 
-func run(args []string, out io.Writer) error {
+// run executes one fapnode. A signal on sigc (SIGINT/SIGTERM in main;
+// injectable in tests, nil blocks forever) triggers a graceful shutdown:
+// the batch protocol is cancelled cleanly, and serving mode drains
+// in-flight /access requests, flushes a final checkpoint, and closes the
+// metrics listener before returning.
+func run(args []string, out io.Writer, sigc <-chan os.Signal) error {
 	fs := flag.NewFlagSet("fapnode", flag.ContinueOnError)
 	id := fs.Int("id", 0, "this node's id (row in -addrs)")
 	addrsFlag := fs.String("addrs", "", "comma-separated listen addresses, one per node (required)")
@@ -77,6 +88,10 @@ func run(args []string, out io.Writer) error {
 	quorum := fs.Int("quorum", 0, "finish a round at its deadline once this many reports (incl. own) arrived; 0 requires full rounds (broadcast mode)")
 	departAfter := fs.Int("depart-after", 0, "declare a peer departed after this many consecutive missed quorum rounds (requires -quorum)")
 	metricsAddr := fs.String("metrics-addr", "", "serve /metrics (Prometheus text), /healthz, and /debug/pprof on this address (empty: disabled)")
+	serveFlag := fs.Bool("serve", false, "keep serving /access after convergence with live drift-triggered re-planning (requires -metrics-addr and -mode broadcast)")
+	serveHalfLife := fs.Float64("serve-halflife", 2, "serving mode: demand-estimate half-life in seconds")
+	driftThreshold := fs.Float64("drift-threshold", 0.25, "serving mode: relative per-origin demand drift that triggers a re-plan")
+	replanInterval := fs.Duration("replan-interval", time.Second, "serving mode: how often sensed demand is checked for drift")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -104,7 +119,11 @@ func run(args []string, out io.Writer) error {
 		init = topology.UniformRates(n, 1) // uniform fractions
 	}
 
-	model, err := buildModel(*topo, n, *linkCost, rates, *mu, *k)
+	g, err := buildGraph(*topo, n, *linkCost)
+	if err != nil {
+		return err
+	}
+	model, err := modelFromGraph(g, rates, *mu, *k)
 	if err != nil {
 		return err
 	}
@@ -120,6 +139,14 @@ func run(args []string, out io.Writer) error {
 	recoverable := *ckptDir != "" || *maxRestarts != 0
 	if recoverable && agentMode != agent.Broadcast {
 		return fmt.Errorf("-checkpoint-dir and -max-restarts require -mode broadcast")
+	}
+	if *serveFlag {
+		if *metricsAddr == "" {
+			return fmt.Errorf("-serve requires -metrics-addr (the /access endpoint is served there)")
+		}
+		if agentMode != agent.Broadcast {
+			return fmt.Errorf("-serve requires -mode broadcast (serving needs the full converged allocation)")
+		}
 	}
 
 	var obs agent.Observer = agent.NopObserver{}
@@ -146,18 +173,49 @@ func run(args []string, out io.Writer) error {
 	fmt.Fprintf(os.Stderr, "fapnode %d: listening on %s, C_i=%.4f, waiting for peers...\n",
 		*id, ep.Addr(), model.AccessCost(*id))
 
-	var agentEP transport.Endpoint = ep
+	var (
+		agentEP transport.Endpoint = ep
+		srv     *http.Server
+		access  *accessServer
+	)
 	if reg != nil {
 		agentEP = transport.NewMeteredEndpoint(ep, reg)
+		mux := metricsMux(reg, *id)
+		if *serveFlag {
+			access, err = newAccessServer(*id, n, g, *mu, *k, serveOptions{
+				enabled:  true,
+				halfLife: *serveHalfLife,
+				drift:    *driftThreshold,
+				interval: *replanInterval,
+			}, reg, obs)
+			if err != nil {
+				return err
+			}
+			mux.HandleFunc("/access", access.handleAccess)
+		}
 		ln, err := net.Listen("tcp", *metricsAddr)
 		if err != nil {
 			return fmt.Errorf("metrics listener: %w", err)
 		}
-		srv := &http.Server{Handler: metricsMux(reg, *id)}
+		srv = &http.Server{Handler: mux}
 		go srv.Serve(ln)  //nolint:errcheck // reports ErrServerClosed on shutdown
-		defer srv.Close() //nolint:errcheck // process exit follows
+		defer srv.Close() //nolint:errcheck // backstop; the serve path shuts down gracefully first
 		fmt.Fprintf(os.Stderr, "fapnode %d: observability on http://%s (/metrics, /healthz, /debug/pprof)\n", *id, ln.Addr())
 	}
+
+	// A signal cancels the protocol context: the batch run unwinds
+	// cleanly, and serving mode leaves its serve loop to drain and exit.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var signalled atomic.Bool
+	go func() {
+		select {
+		case <-sigc:
+			signalled.Store(true)
+			cancel()
+		case <-ctx.Done():
+		}
+	}()
 
 	cfg := agent.Config{
 		Endpoint:      agentEP,
@@ -205,11 +263,15 @@ func run(args []string, out io.Writer) error {
 		restarts int
 	)
 	if *maxRestarts != 0 {
-		sout, serr := recovery.RunSupervisedAgent(context.Background(), cfg, recovery.SupervisorConfig{
+		sout, serr := recovery.RunSupervisedAgent(ctx, cfg, recovery.SupervisorConfig{
 			MaxRestarts: *maxRestarts,
 			Seed:        int64(*id) + 1,
 		}, store)
 		if serr != nil {
+			if signalled.Load() {
+				fmt.Fprintf(os.Stderr, "fapnode %d: interrupted, shutting down cleanly\n", *id)
+				return nil
+			}
 			return serr
 		}
 		outcome, restarts = sout.Outcome, sout.Restarts
@@ -217,13 +279,17 @@ func run(args []string, out io.Writer) error {
 		if recoverable {
 			cfg.Checkpoint = store
 		}
-		outcome, err = agent.Run(context.Background(), cfg)
+		outcome, err = agent.Run(ctx, cfg)
 		if err != nil {
+			if signalled.Load() {
+				fmt.Fprintf(os.Stderr, "fapnode %d: interrupted, shutting down cleanly\n", *id)
+				return nil
+			}
 			return err
 		}
 	}
 	enc := json.NewEncoder(out)
-	return enc.Encode(result{
+	if err := enc.Encode(result{
 		Node:      *id,
 		Fragment:  outcome.X,
 		Rounds:    outcome.Rounds,
@@ -231,27 +297,85 @@ func run(args []string, out io.Writer) error {
 		Messages:  outcome.MessagesSent,
 		Restarts:  restarts,
 		Resumed:   resumedFrom,
-	})
+	}); err != nil {
+		return err
+	}
+	if access == nil {
+		return nil
+	}
+	return serveUntilSignal(ctx, access, srv, store, outcome, rates, *id, *ckptDir != "")
+}
+
+// serveUntilSignal is the serving-mode tail of run: activate the
+// converged plan, sense demand and re-plan on drift until the signal
+// context is cancelled, then drain in-flight /access requests, flush a
+// final checkpoint, and close the observability listener.
+func serveUntilSignal(ctx context.Context, access *accessServer, srv *http.Server, store recovery.Resumer, outcome agent.Outcome, rates []float64, id int, persist bool) error {
+	fullX := outcome.FullX
+	if len(fullX) == 0 {
+		return fmt.Errorf("fapnode %d: serve mode needs the full allocation but the outcome has none", id)
+	}
+	access.activate(fullX, rates)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		access.replanLoop(ctx)
+	}()
+	fmt.Fprintf(os.Stderr, "fapnode %d: serving /access (drift threshold %.2f, interval %s); SIGINT/SIGTERM drains and exits\n",
+		id, access.opts.drift, access.opts.interval)
+	<-ctx.Done()
+	wg.Wait()
+
+	// Drain: in-flight /access requests finish under the plan that
+	// admitted them; new connections are refused.
+	shctx, shcancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer shcancel()
+	if err := srv.Shutdown(shctx); err != nil {
+		fmt.Fprintf(os.Stderr, "fapnode %d: draining access server: %v\n", id, err)
+	}
+
+	epoch, x := access.snapshot()
+	if persist {
+		alive := outcome.Alive
+		if len(alive) != len(x) {
+			alive = make([]bool, len(x))
+			for i := range alive {
+				alive[i] = true
+			}
+		}
+		round := outcome.Rounds + epoch
+		if err := store.SaveRound(round, x[id], x, alive, 0); err != nil {
+			return fmt.Errorf("fapnode %d: final checkpoint: %w", id, err)
+		}
+		fmt.Fprintf(os.Stderr, "fapnode %d: flushed final checkpoint (round %d, epoch %d)\n", id, round, epoch)
+	}
+	fmt.Fprintf(os.Stderr, "fapnode %d: shutdown complete (served epoch %d)\n", id, epoch)
+	return nil
 }
 
 func buildModel(topo string, n int, linkCost float64, rates []float64, mu, k float64) (*costmodel.SingleFile, error) {
-	var (
-		g   *topology.Graph
-		err error
-	)
-	switch topo {
-	case "ring":
-		g, err = topology.Ring(n, linkCost)
-	case "mesh":
-		g, err = topology.FullMesh(n, linkCost)
-	case "star":
-		g, err = topology.Star(n, linkCost)
-	default:
-		return nil, fmt.Errorf("unknown -topology %q", topo)
-	}
+	g, err := buildGraph(topo, n, linkCost)
 	if err != nil {
 		return nil, err
 	}
+	return modelFromGraph(g, rates, mu, k)
+}
+
+func buildGraph(topo string, n int, linkCost float64) (*topology.Graph, error) {
+	switch topo {
+	case "ring":
+		return topology.Ring(n, linkCost)
+	case "mesh":
+		return topology.FullMesh(n, linkCost)
+	case "star":
+		return topology.Star(n, linkCost)
+	default:
+		return nil, fmt.Errorf("unknown -topology %q", topo)
+	}
+}
+
+func modelFromGraph(g *topology.Graph, rates []float64, mu, k float64) (*costmodel.SingleFile, error) {
 	access, err := topology.AccessCosts(g, rates, topology.RoundTrip)
 	if err != nil {
 		return nil, err

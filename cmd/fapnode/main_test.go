@@ -75,26 +75,26 @@ func TestBuildModelTopologies(t *testing.T) {
 
 func TestRunValidation(t *testing.T) {
 	var b strings.Builder
-	if err := run([]string{"-addrs", "x"}, &b); err == nil {
+	if err := run([]string{"-addrs", "x"}, &b, nil); err == nil {
 		t.Error("single-node cluster accepted")
 	}
-	if err := run([]string{"-addrs", "a,b", "-id", "7"}, &b); err == nil {
+	if err := run([]string{"-addrs", "a,b", "-id", "7"}, &b, nil); err == nil {
 		t.Error("out-of-range id accepted")
 	}
-	if err := run([]string{"-addrs", "a,b", "-mode", "gossip"}, &b); err == nil {
+	if err := run([]string{"-addrs", "a,b", "-mode", "gossip"}, &b, nil); err == nil {
 		t.Error("unknown mode accepted")
 	}
-	if err := run([]string{"-addrs", "a,b", "-init", "1,2,3"}, &b); err == nil {
+	if err := run([]string{"-addrs", "a,b", "-init", "1,2,3"}, &b, nil); err == nil {
 		t.Error("mismatched -init accepted")
 	}
 }
 
 func TestRunRecoveryFlagValidation(t *testing.T) {
 	var b strings.Builder
-	if err := run([]string{"-addrs", "a,b", "-mode", "coordinator", "-checkpoint-dir", t.TempDir()}, &b); err == nil {
+	if err := run([]string{"-addrs", "a,b", "-mode", "coordinator", "-checkpoint-dir", t.TempDir()}, &b, nil); err == nil {
 		t.Error("-checkpoint-dir accepted in coordinator mode")
 	}
-	if err := run([]string{"-addrs", "a,b", "-mode", "coordinator", "-max-restarts", "2"}, &b); err == nil {
+	if err := run([]string{"-addrs", "a,b", "-mode", "coordinator", "-max-restarts", "2"}, &b, nil); err == nil {
 		t.Error("-max-restarts accepted in coordinator mode")
 	}
 }
@@ -122,7 +122,7 @@ func TestRunClusterWithCheckpoints(t *testing.T) {
 				"-round-timeout", "10s",
 				"-checkpoint-dir", dirs[i],
 				"-max-restarts", "2",
-			}, &outs[i])
+			}, &outs[i], nil)
 		}(i)
 	}
 	wg.Wait()
@@ -170,7 +170,7 @@ func TestRunFullClusterInProcess(t *testing.T) {
 				"-init", "1,0,0",
 				"-alpha", "0.3",
 				"-round-timeout", "10s",
-			}, &outs[i])
+			}, &outs[i], nil)
 		}(i)
 	}
 	wg.Wait()

@@ -89,7 +89,7 @@ func TestRunClusterWithMetricsAddr(t *testing.T) {
 		errs[0] = run([]string{
 			"-id", "0", "-addrs", addrs, "-init", "1,0,0",
 			"-round-timeout", "10s", "-metrics-addr", metricsAddr,
-		}, &outs[0])
+		}, &outs[0], nil)
 	}()
 
 	// Wait for the observability server to come up, then scrape it while
@@ -118,7 +118,7 @@ func TestRunClusterWithMetricsAddr(t *testing.T) {
 			errs[i] = run([]string{
 				"-id", string(rune('0' + i)), "-addrs", addrs, "-init", "1,0,0",
 				"-round-timeout", "10s",
-			}, &outs[i])
+			}, &outs[i], nil)
 		}(i)
 	}
 	wg.Wait()

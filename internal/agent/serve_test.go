@@ -1,0 +1,373 @@
+package agent
+
+import (
+	"context"
+	"math"
+	"testing"
+	"time"
+
+	"filealloc/internal/costmodel"
+	"filealloc/internal/loadgen"
+	"filealloc/internal/protocol"
+	"filealloc/internal/transport"
+)
+
+// testReplanConfig builds a ReplanConfig over n identical nodes with unit
+// access-cost spread: node i costs 1+i to access.
+func testReplanConfig(n int, mu float64) ReplanConfig {
+	mus := make([]float64, n)
+	for i := range mus {
+		mus[i] = mu
+	}
+	return ReplanConfig{
+		N:  n,
+		Mu: mus,
+		BuildModel: func(rates []float64, lambda float64, support []int) (*costmodel.SingleFile, error) {
+			acc := make([]float64, len(support))
+			svc := make([]float64, len(support))
+			for j, i := range support {
+				acc[j] = 1 + float64(i)
+				svc[j] = mus[i]
+			}
+			return costmodel.NewSingleFile(acc, svc, lambda, 1)
+		},
+	}
+}
+
+func TestReplanProducesCertifiedPlan(t *testing.T) {
+	rc := testReplanConfig(3, 20)
+	rates := []float64{2, 2, 2}
+	prev := make([]float64, 3)
+	alive := []bool{true, true, true}
+	pr, err := rc.Replan(context.Background(), rates, prev, alive)
+	if err != nil {
+		t.Fatalf("Replan: %v", err)
+	}
+	if !pr.Certified {
+		t.Fatal("plan not KKT-certified")
+	}
+	if pr.FellBack {
+		t.Log("warm budget exhausted; cold fallback used (allowed)")
+	}
+	sum := 0.0
+	for _, x := range pr.X {
+		if x < 0 {
+			t.Fatalf("negative allocation %v", pr.X)
+		}
+		sum += x
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		t.Fatalf("allocation sums to %v, want 1", sum)
+	}
+	if pr.Lambda != 6 {
+		t.Fatalf("lambda = %v, want 6", pr.Lambda)
+	}
+}
+
+func TestReplanRestrictsToAliveSupport(t *testing.T) {
+	rc := testReplanConfig(3, 20)
+	rates := []float64{2, 2, 2}
+	prev := []float64{0.4, 0.3, 0.3}
+	alive := []bool{true, false, true}
+	pr, err := rc.Replan(context.Background(), rates, prev, alive)
+	if err != nil {
+		t.Fatalf("Replan: %v", err)
+	}
+	if !pr.Certified {
+		t.Fatal("degraded plan not certified")
+	}
+	if pr.X[1] != 0 {
+		t.Fatalf("dead node allocated %v", pr.X[1])
+	}
+	sum := pr.X[0] + pr.X[2]
+	if math.Abs(sum-1) > 1e-6 {
+		t.Fatalf("surviving allocation sums to %v, want 1", sum)
+	}
+}
+
+func TestReplanWarmStartReusesPreviousPlan(t *testing.T) {
+	rc := testReplanConfig(3, 20)
+	rates := []float64{2, 2, 2}
+	alive := []bool{true, true, true}
+	prevZero := make([]float64, 3)
+	cold, err := rc.Replan(context.Background(), rates, prevZero, alive)
+	if err != nil {
+		t.Fatalf("cold replan: %v", err)
+	}
+	// Re-solving from the optimum must converge (much) faster than the
+	// capacity-proportional cold start.
+	warm, err := rc.Replan(context.Background(), rates, cold.X, alive)
+	if err != nil {
+		t.Fatalf("warm replan: %v", err)
+	}
+	if !warm.Certified {
+		t.Fatal("warm plan not certified")
+	}
+	if warm.Iterations > cold.Iterations {
+		t.Fatalf("warm start took %d iterations, cold %d", warm.Iterations, cold.Iterations)
+	}
+}
+
+// driveServer starts a Server on node 0 of a 2-node memory network and
+// returns the driver endpoint (node 1).
+func driveServer(t *testing.T, cfg ServerConfig) transport.Endpoint {
+	t.Helper()
+	net, err := transport.NewMemoryNetwork(2)
+	if err != nil {
+		t.Fatalf("network: %v", err)
+	}
+	t.Cleanup(func() { _ = net.Close() })
+	srvEP, err := net.Endpoint(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Endpoint = srvEP
+	srv, err := NewServer(cfg)
+	if err != nil {
+		t.Fatalf("server: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- srv.Run(ctx) }()
+	t.Cleanup(func() {
+		cancel()
+		if err := <-done; err != nil {
+			t.Errorf("server run: %v", err)
+		}
+	})
+	drv, err := net.Endpoint(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return drv
+}
+
+func roundTrip(t *testing.T, ep transport.Endpoint, payload []byte) protocol.Envelope {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if err := ep.Send(ctx, 0, payload); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	msg, err := ep.Recv(ctx)
+	if err != nil {
+		t.Fatalf("recv: %v", err)
+	}
+	env, err := protocol.Decode(msg.Payload)
+	if err != nil {
+		t.Fatalf("decode reply: %v", err)
+	}
+	return env
+}
+
+func TestServerServesAccessAndAdoptsPlans(t *testing.T) {
+	drv := driveServer(t, ServerConfig{
+		Node:   0,
+		N:      2,
+		DistTo: []float64{0, 0.5},
+		Mu:     10,
+		K:      1,
+		InitPlan: protocol.Plan{
+			Epoch: 1,
+			X:     []float64{0.5, 0.5},
+			Alive: []bool{true, true},
+		},
+	})
+
+	// Access from origin 1: transfer 0.5 plus the unloaded waiting term
+	// K/Mu = 0.1 -> 600000 microseconds.
+	access, err := protocol.EncodeAccess(protocol.Access{ID: 1, Origin: 1, T: 1, Epoch: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := roundTrip(t, drv, access)
+	if env.Kind != protocol.KindAccessReply {
+		t.Fatalf("reply kind = %q", env.Kind)
+	}
+	if env.AccessReply.LatencyMicros != 600000 {
+		t.Fatalf("latency = %d us, want 600000", env.AccessReply.LatencyMicros)
+	}
+	if env.AccessReply.Epoch != 1 {
+		t.Fatalf("reply epoch = %d, want 1", env.AccessReply.Epoch)
+	}
+
+	// A newer plan is adopted and acked at its epoch.
+	plan, err := protocol.EncodePlan(protocol.Plan{ID: 2, Epoch: 3, X: []float64{1, 0}, Alive: []bool{true, false}, Degraded: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	env = roundTrip(t, drv, plan)
+	if env.Kind != protocol.KindPlanAck || env.PlanAck.Epoch != 3 {
+		t.Fatalf("plan ack = %+v, want epoch 3", env.PlanAck)
+	}
+
+	// A stale plan is still acked (at the current epoch), never an error.
+	stale, err := protocol.EncodePlan(protocol.Plan{ID: 3, Epoch: 2, X: []float64{0.5, 0.5}, Alive: []bool{true, true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	env = roundTrip(t, drv, stale)
+	if env.Kind != protocol.KindPlanAck || env.PlanAck.Epoch != 3 {
+		t.Fatalf("stale plan ack = %+v, want epoch 3", env.PlanAck)
+	}
+
+	// Requests routed under the old epoch are served normally; the reply
+	// reports the server's (newer) epoch and degraded flag.
+	staleAccess, err := protocol.EncodeAccess(protocol.Access{ID: 4, Origin: 0, T: 2, Epoch: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	env = roundTrip(t, drv, staleAccess)
+	if env.Kind != protocol.KindAccessReply || env.AccessReply.Err != "" {
+		t.Fatalf("stale-epoch access = %+v, want served", env.AccessReply)
+	}
+	if !env.AccessReply.Degraded || env.AccessReply.Epoch != 3 {
+		t.Fatalf("stale-epoch access reply = %+v, want degraded epoch 3", env.AccessReply)
+	}
+
+	// Pings return the sensed per-origin rates.
+	ping, err := protocol.EncodePing(protocol.Ping{ID: 5, T: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	env = roundTrip(t, drv, ping)
+	if env.Kind != protocol.KindPong || env.Pong.Epoch != 3 || len(env.Pong.Rates) != 2 {
+		t.Fatalf("pong = %+v", env.Pong)
+	}
+}
+
+// newTestServeCluster builds a small cluster for closed-loop tests.
+func newTestServeCluster(t *testing.T, n int, seed int64) *ServeCluster {
+	t.Helper()
+	mu := make([]float64, n)
+	rates := make([]float64, n)
+	for i := range mu {
+		mu[i] = 30
+		rates[i] = 4
+	}
+	sc, err := NewServeCluster(context.Background(), ServeClusterConfig{
+		N:              n,
+		Mu:             mu,
+		K:              1,
+		InitRates:      rates,
+		RequestTimeout: 500 * time.Millisecond,
+		Retries:        1,
+		DownAfter:      2,
+		Seed:           seed,
+	})
+	if err != nil {
+		t.Fatalf("serve cluster: %v", err)
+	}
+	t.Cleanup(func() {
+		if err := sc.Close(); err != nil {
+			t.Errorf("close: %v", err)
+		}
+	})
+	return sc
+}
+
+func TestServeClusterServesAndReplansOnDrift(t *testing.T) {
+	sc := newTestServeCluster(t, 3, 1)
+	ctx := context.Background()
+
+	epoch0 := sc.ctrl.Plan().Epoch
+	id := uint64(0)
+	replanned := false
+	for tick := 1; tick <= 8 && !replanned; tick++ {
+		// All demand from origin 0 — far from the uniform InitRates.
+		for i := 0; i < 20; i++ {
+			id++
+			out := sc.Fire(ctx, loadgen.Request{ID: id, Origin: 0, U: float64(i%10) / 10.0, U2: 0.5, T: float64(tick)})
+			if !out.OK {
+				t.Fatalf("tick %d request %d failed: %s", tick, i, out.ErrClass)
+			}
+			if out.LatencyMicros <= 0 {
+				t.Fatalf("non-positive latency %d", out.LatencyMicros)
+			}
+		}
+		info, err := sc.Tick(ctx, float64(tick), 0)
+		if err != nil {
+			t.Fatalf("tick %d: %v", tick, err)
+		}
+		if info.Rejected {
+			t.Fatalf("tick %d rejected a plan", tick)
+		}
+		if info.Replanned {
+			if !info.Certified {
+				t.Fatalf("tick %d adopted an uncertified plan", tick)
+			}
+			replanned = true
+		}
+	}
+	if !replanned {
+		t.Fatal("skewed demand never triggered a re-plan")
+	}
+	if got := sc.ctrl.Plan().Epoch; got <= epoch0 {
+		t.Fatalf("epoch %d did not advance past %d", got, epoch0)
+	}
+}
+
+func TestServeClusterDegradedModeAfterCrash(t *testing.T) {
+	sc := newTestServeCluster(t, 3, 2)
+	ctx := context.Background()
+
+	// Warm up: a couple of ticks of uniform demand.
+	id := uint64(0)
+	fireTick := func(tick int) (ok, failed int) {
+		for i := 0; i < 12; i++ {
+			id++
+			out := sc.Fire(ctx, loadgen.Request{ID: id, Origin: i % 3, U: float64(i%12) / 12.0, U2: 0.7, T: float64(tick)})
+			if out.OK {
+				ok++
+			} else {
+				failed++
+			}
+		}
+		return ok, failed
+	}
+	for tick := 1; tick <= 2; tick++ {
+		if _, failed := fireTick(tick); failed > 0 {
+			t.Fatalf("healthy tick %d had %d failures", tick, failed)
+		}
+		if _, err := sc.Tick(ctx, float64(tick), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	if err := sc.Kill(1); err != nil {
+		t.Fatalf("kill: %v", err)
+	}
+	// With the detector not yet triggered, requests routed at node 1 fail
+	// fast and must be served by the degraded fallback — zero failures.
+	sawFallback := false
+	degradedPlan := false
+	for tick := 3; tick <= 8; tick++ {
+		okBefore := id
+		_ = okBefore
+		ok, failed := fireTick(tick)
+		if failed > 0 {
+			t.Fatalf("tick %d after crash: %d/%d requests failed", tick, failed, ok+failed)
+		}
+		info, err := sc.Tick(ctx, float64(tick), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info.Replanned && !info.Certified {
+			t.Fatalf("tick %d adopted an uncertified plan", tick)
+		}
+		if info.Degraded {
+			degradedPlan = true
+			plan := sc.ctrl.Plan()
+			if plan.X[1] != 0 {
+				t.Fatalf("degraded plan still allocates %v to the dead node", plan.X[1])
+			}
+		}
+	}
+	_ = sawFallback
+	if !degradedPlan {
+		t.Fatal("crash never produced a degraded re-plan")
+	}
+	if !sc.clnt.Down(1) {
+		t.Fatal("failure detector never marked the crashed node down")
+	}
+}

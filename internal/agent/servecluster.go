@@ -1,0 +1,426 @@
+package agent
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"filealloc/internal/costmodel"
+	"filealloc/internal/loadgen"
+	"filealloc/internal/metrics"
+	"filealloc/internal/protocol"
+	"filealloc/internal/topology"
+	"filealloc/internal/transport"
+)
+
+// ID-space partition for serving-plane correlation IDs: load-generator
+// request IDs occupy the low bits; a failed primary's rerouted attempt
+// and a hedge arm flip a dedicated bit each (both may complete, so they
+// need distinct pending-map slots); controller traffic sets the top bit.
+const (
+	fallbackIDBit = uint64(1) << 62
+	hedgeIDBit    = uint64(1) << 61
+)
+
+// ServeClusterConfig describes an in-process serving cluster: N Server
+// nodes over a memory network, one Controller, and one hardened Client
+// shared by the load generator and the controller.
+type ServeClusterConfig struct {
+	// N is the node count, Graph the topology (defaults to a ring with
+	// unit link cost when nil).
+	N     int
+	Graph *topology.Graph
+	// Mu holds per-node service rates, K the delay-cost weight.
+	Mu []float64
+	K  float64
+	// InitRates is the assumed initial per-origin demand.
+	InitRates []float64
+	// HalfLife is the demand estimator half-life in virtual seconds
+	// (default 2); DriftThreshold the re-plan trigger (default 0.25).
+	HalfLife       float64
+	DriftThreshold float64
+	// Epsilon, KKTTol, WarmSteps tune the re-solver (see ReplanConfig).
+	Epsilon   float64
+	KKTTol    float64
+	WarmSteps int
+	// RequestTimeout, Retries, MaxInFlight, DownAfter, Seed tune the
+	// client (see transport.ClientConfig).
+	RequestTimeout time.Duration
+	Retries        int
+	MaxInFlight    int
+	DownAfter      int
+	Seed           int64
+	// HedgeDelay, when positive, hedges access requests to a second
+	// replica after the delay. HedgeFromP99, additionally, re-derives
+	// the delay each tick from the previous tick's observed p99.
+	HedgeDelay   time.Duration
+	HedgeFromP99 bool
+	// Faults, when non-nil, wraps every server endpoint in a
+	// FaultEndpoint with this configuration (chaos testing).
+	Faults *transport.FaultConfig
+	// Registry receives the fap_client_* families (optional).
+	Registry *metrics.Registry
+	// Observer receives lifecycle events from servers and controller.
+	Observer Observer
+}
+
+// ServeCluster implements loadgen.Target over an in-process cluster. The
+// routing view (plan, alive set, epoch) is snapshotted by Fire and only
+// updated at tick boundaries (Tick, Kill), so every request in a tick
+// routes against the same state regardless of worker interleaving — the
+// root of the byte-deterministic phase report.
+type ServeCluster struct {
+	cfg  ServeClusterConfig
+	net  *transport.MemoryNetwork
+	clnt *transport.Client
+	ctrl *Controller
+
+	mu       sync.Mutex
+	killed   []bool
+	cancels  []context.CancelFunc
+	view     protocol.Plan
+	hedging  bool
+	runErrs  []error
+	closed   bool
+	serverWG sync.WaitGroup
+}
+
+var _ loadgen.Target = (*ServeCluster)(nil)
+
+// NewServeCluster builds the cluster: topology costs, initial certified
+// plan, N running servers, and the shared client. The context bounds the
+// server goroutines' lifetime (Close also stops them).
+func NewServeCluster(ctx context.Context, cfg ServeClusterConfig) (*ServeCluster, error) {
+	if cfg.N < 2 {
+		return nil, fmt.Errorf("%w: serving cluster needs at least 2 nodes, got %d", ErrServe, cfg.N)
+	}
+	if cfg.Graph == nil {
+		g, err := topology.Ring(cfg.N, 1)
+		if err != nil {
+			return nil, fmt.Errorf("agent: serve cluster ring: %w", err)
+		}
+		cfg.Graph = g
+	}
+	if len(cfg.Mu) != cfg.N || len(cfg.InitRates) != cfg.N {
+		return nil, fmt.Errorf("%w: Mu has %d and InitRates %d entries for %d nodes", ErrServe, len(cfg.Mu), len(cfg.InitRates), cfg.N)
+	}
+	if cfg.Observer == nil {
+		cfg.Observer = NopObserver{}
+	}
+	pair, err := topology.PairCosts(cfg.Graph, topology.RoundTrip)
+	if err != nil {
+		return nil, fmt.Errorf("agent: serve cluster pair costs: %w", err)
+	}
+
+	net, err := transport.NewMemoryNetwork(cfg.N + 1)
+	if err != nil {
+		return nil, err
+	}
+	sc := &ServeCluster{
+		cfg:     cfg,
+		net:     net,
+		killed:  make([]bool, cfg.N),
+		cancels: make([]context.CancelFunc, cfg.N),
+		hedging: cfg.HedgeDelay > 0,
+	}
+
+	clientEP, err := net.Endpoint(cfg.N)
+	if err != nil {
+		return nil, err
+	}
+	clnt, err := transport.NewClient(transport.ClientConfig{
+		Endpoint:       &gateEndpoint{inner: clientEP, dead: sc.isKilled},
+		ReplyID:        protocol.ReplyIDOf,
+		RequestTimeout: cfg.RequestTimeout,
+		Retries:        cfg.Retries,
+		MaxInFlight:    cfg.MaxInFlight,
+		DownAfter:      cfg.DownAfter,
+		Seed:           cfg.Seed,
+		HedgeDelay:     cfg.HedgeDelay,
+		Registry:       cfg.Registry,
+	})
+	if err != nil {
+		return nil, err
+	}
+	sc.clnt = clnt
+
+	graph := cfg.Graph
+	buildModel := func(rates []float64, lambda float64, support []int) (*costmodel.SingleFile, error) {
+		access, err := topology.AccessCosts(graph, rates, topology.RoundTrip)
+		if err != nil {
+			return nil, err
+		}
+		acc := make([]float64, len(support))
+		svc := make([]float64, len(support))
+		for j, i := range support {
+			acc[j] = access[i]
+			svc[j] = cfg.Mu[i]
+		}
+		return costmodel.NewSingleFile(acc, svc, lambda, cfg.K)
+	}
+	ctrl, err := NewController(ctx, ControllerConfig{
+		Client: clnt,
+		N:      cfg.N,
+		Replan: ReplanConfig{
+			N:          cfg.N,
+			BuildModel: buildModel,
+			Mu:         cfg.Mu,
+			Epsilon:    cfg.Epsilon,
+			WarmSteps:  cfg.WarmSteps,
+			KKTTol:     cfg.KKTTol,
+		},
+		InitRates:      cfg.InitRates,
+		DriftThreshold: cfg.DriftThreshold,
+		Observer:       cfg.Observer,
+	})
+	if err != nil {
+		closeErr := clnt.Close()
+		_ = closeErr
+		return nil, err
+	}
+	sc.ctrl = ctrl
+	sc.view = ctrl.Plan()
+
+	initPlan := ctrl.Plan()
+	for i := 0; i < cfg.N; i++ {
+		ep, err := net.Endpoint(i)
+		if err != nil {
+			return nil, err
+		}
+		if cfg.Faults != nil {
+			fep, ferr := transport.NewFaultEndpoint(ep, *cfg.Faults)
+			if ferr != nil {
+				return nil, ferr
+			}
+			ep = fep
+		}
+		distTo := make([]float64, cfg.N)
+		for o := 0; o < cfg.N; o++ {
+			distTo[o] = pair[o][i]
+		}
+		srv, err := NewServer(ServerConfig{
+			Endpoint: ep,
+			Node:     i,
+			N:        cfg.N,
+			DistTo:   distTo,
+			Mu:       cfg.Mu[i],
+			K:        cfg.K,
+			HalfLife: cfg.HalfLife,
+			InitPlan: initPlan,
+			Observer: cfg.Observer,
+		})
+		if err != nil {
+			return nil, err
+		}
+		srvCtx, cancel := context.WithCancel(ctx)
+		sc.cancels[i] = cancel
+		sc.serverWG.Add(1)
+		go func(s *Server) {
+			defer sc.serverWG.Done()
+			if runErr := s.Run(srvCtx); runErr != nil {
+				sc.mu.Lock()
+				sc.runErrs = append(sc.runErrs, runErr)
+				sc.mu.Unlock()
+			}
+		}(srv)
+	}
+	return sc, nil
+}
+
+// Nodes returns the cluster size.
+func (sc *ServeCluster) Nodes() int { return sc.cfg.N }
+
+func (sc *ServeCluster) isKilled(node int) bool {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	return node >= 0 && node < len(sc.killed) && sc.killed[node]
+}
+
+// snapshotView copies the routing view (updated only between batches).
+func (sc *ServeCluster) snapshotView() (x []float64, alive []bool, epoch int, degraded bool, hedging bool) {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	return sc.view.X, sc.view.Alive, sc.view.Epoch, sc.view.Degraded, sc.hedging
+}
+
+// Fire executes one access request: route by the plan's weights over the
+// detector's alive view, send with deadline/retries (hedged when
+// enabled), and on primary failure reroute once to a surviving replica —
+// degraded mode serves the request instead of erroring.
+func (sc *ServeCluster) Fire(ctx context.Context, req loadgen.Request) loadgen.Outcome {
+	x, alive, epoch, degraded, hedging := sc.snapshotView()
+	primary, err := transport.Route(x, alive, -1, req.U)
+	if err != nil {
+		return loadgen.Outcome{ErrClass: "no_candidates"}
+	}
+	payload, err := protocol.EncodeAccess(protocol.Access{ID: req.ID, Origin: req.Origin, T: req.T, Epoch: epoch})
+	if err != nil {
+		return loadgen.Outcome{ErrClass: "encode"}
+	}
+
+	var reply []byte
+	servedErr := error(nil)
+	if hedging {
+		fb, ferr := transport.Route(x, alive, primary, req.U2)
+		if ferr == nil && fb != primary {
+			hid := req.ID | hedgeIDBit
+			hpayload, herr := protocol.EncodeAccess(protocol.Access{ID: hid, Origin: req.Origin, T: req.T, Epoch: epoch})
+			if herr == nil {
+				reply, _, servedErr = sc.clnt.DoHedged(ctx, primary, fb, req.ID, payload, hid, hpayload)
+			} else {
+				reply, servedErr = sc.clnt.Do(ctx, primary, req.ID, payload)
+			}
+		} else {
+			reply, servedErr = sc.clnt.Do(ctx, primary, req.ID, payload)
+		}
+	} else {
+		reply, servedErr = sc.clnt.Do(ctx, primary, req.ID, payload)
+	}
+
+	usedFallback := false
+	if servedErr != nil && ctx.Err() == nil {
+		// Degraded fallback: treat the primary as dead for this request
+		// and reroute to a surviving replica under renormalized weights.
+		alive2 := append([]bool(nil), alive...)
+		alive2[primary] = false
+		fb, ferr := transport.Route(x, alive2, -1, req.U)
+		if ferr == nil {
+			fid := req.ID | fallbackIDBit
+			fpayload, perr := protocol.EncodeAccess(protocol.Access{ID: fid, Origin: req.Origin, T: req.T, Epoch: epoch})
+			if perr == nil {
+				if r2, err2 := sc.clnt.Do(ctx, fb, fid, fpayload); err2 == nil {
+					reply, servedErr = r2, nil
+					usedFallback = true
+				}
+			}
+		}
+	}
+	if servedErr != nil {
+		return loadgen.Outcome{ErrClass: classifyErr(servedErr)}
+	}
+	env, err := protocol.Decode(reply)
+	if err != nil || env.Kind != protocol.KindAccessReply {
+		return loadgen.Outcome{ErrClass: "bad_reply"}
+	}
+	ar := env.AccessReply
+	if ar.Err != "" {
+		return loadgen.Outcome{ErrClass: "served_error"}
+	}
+	return loadgen.Outcome{
+		OK:            true,
+		Node:          ar.Node,
+		Epoch:         ar.Epoch,
+		LatencyMicros: ar.LatencyMicros,
+		Degraded:      degraded || usedFallback || ar.Degraded,
+		Fallback:      usedFallback,
+	}
+}
+
+// Tick runs the controller round and refreshes the routing view; with
+// HedgeFromP99 set it also re-derives the hedge delay from the previous
+// tick's p99 (real time at this edge: the hedge timer is a wall-clock
+// race by nature).
+func (sc *ServeCluster) Tick(ctx context.Context, t float64, p99Micros int64) (loadgen.TickInfo, error) {
+	if sc.cfg.HedgeFromP99 && p99Micros > 0 {
+		sc.clnt.SetHedgeDelay(2 * time.Duration(p99Micros) * time.Microsecond)
+	}
+	info, err := sc.ctrl.Tick(ctx, t)
+	sc.mu.Lock()
+	sc.view = sc.ctrl.Plan()
+	sc.mu.Unlock()
+	return info, err
+}
+
+// Kill crashes a node: its server stops, its endpoint closes, and every
+// subsequent send to it fails fast (connection-refused semantics). The
+// failure detector is not informed — heartbeats and request failures must
+// discover the death.
+func (sc *ServeCluster) Kill(node int) error {
+	if node < 0 || node >= sc.cfg.N {
+		return fmt.Errorf("%w: kill node %d of %d", ErrServe, node, sc.cfg.N)
+	}
+	sc.mu.Lock()
+	already := sc.killed[node]
+	sc.killed[node] = true
+	cancel := sc.cancels[node]
+	sc.mu.Unlock()
+	if already {
+		return nil
+	}
+	cancel()
+	ep, err := sc.net.Endpoint(node)
+	if err != nil {
+		return err
+	}
+	return ep.Close()
+}
+
+// Close tears the cluster down and reports any server run error.
+func (sc *ServeCluster) Close() error {
+	sc.mu.Lock()
+	if sc.closed {
+		sc.mu.Unlock()
+		return nil
+	}
+	sc.closed = true
+	cancels := append([]context.CancelFunc(nil), sc.cancels...)
+	sc.mu.Unlock()
+	for _, cancel := range cancels {
+		cancel()
+	}
+	err := sc.net.Close()
+	sc.serverWG.Wait()
+	if cerr := sc.clnt.Close(); err == nil {
+		err = cerr
+	}
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	if err == nil && len(sc.runErrs) > 0 {
+		err = sc.runErrs[0]
+	}
+	return err
+}
+
+// classifyErr maps client errors to stable outcome classes.
+func classifyErr(err error) string {
+	switch {
+	case errors.Is(err, transport.ErrOverloaded):
+		return "overloaded"
+	case errors.Is(err, transport.ErrNoReply):
+		return "deadline"
+	case errors.Is(err, transport.ErrCrashed):
+		return "crashed"
+	case errors.Is(err, transport.ErrClosed):
+		return "closed"
+	case errors.Is(err, transport.ErrNoCandidates):
+		return "no_candidates"
+	default:
+		return "transport"
+	}
+}
+
+// gateEndpoint fails sends to killed nodes immediately
+// (connection-refused semantics) so the client path observes a crash as a
+// fast deterministic error instead of a buffered send that times out.
+type gateEndpoint struct {
+	inner transport.Endpoint
+	dead  func(node int) bool
+}
+
+func (g *gateEndpoint) ID() int    { return g.inner.ID() }
+func (g *gateEndpoint) Peers() int { return g.inner.Peers() }
+
+func (g *gateEndpoint) Send(ctx context.Context, to int, payload []byte) error {
+	if g.dead(to) {
+		return fmt.Errorf("agent: node %d is down: %w", to, transport.ErrCrashed)
+	}
+	return g.inner.Send(ctx, to, payload)
+}
+
+func (g *gateEndpoint) Recv(ctx context.Context) (transport.Message, error) {
+	return g.inner.Recv(ctx)
+}
+
+func (g *gateEndpoint) Close() error { return g.inner.Close() }

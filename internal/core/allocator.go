@@ -431,7 +431,16 @@ func (a *Allocator) RunWithScratch(ctx context.Context, init []float64, s *Scrat
 
 		u, err := a.obj.Utility(x)
 		if err != nil {
-			return Result{}, fmt.Errorf("core: utility at iteration %d: %w", iter, err)
+			if xPrev == nil {
+				return Result{}, fmt.Errorf("core: utility at iteration %d: %w", iter, err)
+			}
+			// An overshot step can leave the iterate outside the model's
+			// domain entirely (a queue driven past its service rate has
+			// infinite cost, so Utility errors rather than returning a
+			// number). Treat it as a utility of -Inf: the backtracking
+			// guard below halves α from the saved iterate until the step
+			// lands back inside the domain.
+			u = math.Inf(-1)
 		}
 		// Theorem-2 backtracking guard, dynamic stepsize only: the bound is
 		// evaluated at the pre-step point, and M/M/1 curvature grows along
@@ -452,7 +461,7 @@ func (a *Allocator) RunWithScratch(ctx context.Context, init []float64, s *Scrat
 					}
 				}
 				if u, err = a.obj.Utility(x); err != nil {
-					return Result{}, fmt.Errorf("core: utility at iteration %d: %w", iter, err)
+					u = math.Inf(-1) // still outside the domain: keep halving
 				}
 			}
 			if u < prevU {

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"math"
 )
 
 // Solver is the shared entry point for whole solves: cold solves
@@ -213,7 +214,14 @@ func (w *WarmSolver) incrementalStep(s *Scratch, prevU float64) (u float64, conv
 		}
 	}
 	if u, err = a.obj.Utility(x); err != nil {
-		return prevU, false, false, err
+		if a.dynamicSafety == 0 {
+			return prevU, false, false, err
+		}
+		// The step left the iterate outside the model's domain (an
+		// unstable queue has infinite cost): treat it as a utility of
+		// -Inf so the backtracking guard below recovers from xPrev,
+		// mirroring the cold loop.
+		u = math.Inf(-1)
 	}
 	if a.dynamicSafety > 0 && u < prevU {
 		// Theorem-2 backtracking guard, mirroring the cold loop: the
@@ -231,7 +239,7 @@ func (w *WarmSolver) incrementalStep(s *Scratch, prevU float64) (u float64, conv
 				}
 			}
 			if u, err = a.obj.Utility(x); err != nil {
-				return prevU, false, false, err
+				u = math.Inf(-1) // still outside the domain: keep halving
 			}
 		}
 		if u < prevU {

@@ -13,6 +13,7 @@ func TestCtxFirst(t *testing.T) {
 	for _, tc := range []fixtureCase{
 		{pkg: "ctxfix", analyzer: lint.CtxFirst, wants: 4},
 		{pkg: "sweep", analyzer: lint.CtxFirst, wants: 1},
+		{pkg: "loadgen", analyzer: lint.CtxFirst, wants: 1},
 	} {
 		t.Run(tc.pkg, func(t *testing.T) { checkFixture(t, tc) })
 	}

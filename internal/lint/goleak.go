@@ -8,14 +8,16 @@ import (
 
 // goleakSegments names the packages that spawn long-lived goroutines: the
 // agent runtime, the transport layer, the sweep driver, the recovery
-// machinery, and the catalog's sharded solvers. cmd/ binaries are exempt —
-// their goroutines die with the process.
+// machinery, the catalog's sharded solvers, and the load generator's
+// firing engine. cmd/ binaries are exempt — their goroutines die with the
+// process.
 var goleakSegments = map[string]bool{
 	"agent":     true,
 	"transport": true,
 	"sweep":     true,
 	"recovery":  true,
 	"catalog":   true,
+	"loadgen":   true,
 }
 
 // GoLeak requires every go statement in a concurrent package to be tied to

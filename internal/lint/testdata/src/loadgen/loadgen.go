@@ -1,0 +1,51 @@
+// Package loadgen exercises the load-generator segment scoping: phase
+// reports are contractually byte-identical for a given (spec, seed), so
+// the walltime import ban, its transitive clock-laundering check, and the
+// goleak shutdown rule all apply here; the ctxfirst parameter-order rule
+// holds as everywhere.
+package loadgen
+
+import (
+	"context"
+	"sync"
+	"time" // want walltime: must not import "time"
+
+	"fix/clockutil"
+)
+
+// ReportStamp smuggles a wall-clock reading into the report — the exact
+// determinism break the segment ban exists to stop.
+var ReportStamp time.Time
+
+// Stamp launders the clock through a helper package: the import ban in
+// that package's file cannot see it, the call graph can.
+func Stamp() {
+	ReportStamp = clockutil.Stamp() // want walltime: reaches the time package
+}
+
+// BadFire spawns a firing worker nothing can stop: no WaitGroup, no
+// context, no close()d channel.
+func BadFire() {
+	go func() { // want goleak: not tied to a WaitGroup
+		for {
+			fire()
+		}
+	}()
+}
+
+// GoodWorker ties its worker to a WaitGroup the way the engine's sweep
+// workers are tied.
+func GoodWorker() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		fire()
+	}()
+	wg.Wait()
+}
+
+// BadOrder buries the context behind the batch index.
+func BadOrder(i int, ctx context.Context) {} // want ctxfirst: first parameter
+
+func fire() {}

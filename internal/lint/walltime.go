@@ -8,10 +8,13 @@ import (
 
 // walltimeSegments names the packages whose exported numbers must be pure
 // functions of protocol state: the metrics registry and anything that
-// feeds it. Round indices are the clock there — a snapshot that embeds a
-// wall-clock reading can never be byte-identical across runs.
+// feeds it, and the load generator, whose phase reports are contractually
+// byte-identical for a given (spec, seed). Tick and round indices are the
+// clock there — a snapshot or report that embeds a wall-clock reading can
+// never be byte-identical across runs.
 var walltimeSegments = map[string]bool{
 	"metrics": true,
+	"loadgen": true,
 }
 
 // WallTime forbids wall-clock access anywhere in a metrics package. Two
@@ -30,7 +33,7 @@ var walltimeSegments = map[string]bool{
 //     opaque (see BuildGraph).
 var WallTime = &Analyzer{
 	Name: "walltime",
-	Doc:  "forbid importing or transitively reaching the time package in metrics packages; round indices are the clock",
+	Doc:  "forbid importing or transitively reaching the time package in metrics/loadgen packages; tick and round indices are the clock",
 	Run:  runWallTime,
 }
 
@@ -44,7 +47,7 @@ func runWallTime(p *Pass) {
 			if err != nil || path != "time" {
 				continue
 			}
-			p.Reportf(imp.Pos(), "metrics packages must not import %q: snapshots export every stored value, and wall-clock readings make them run-dependent", path)
+			p.Reportf(imp.Pos(), "walltime-scoped packages must not import %q: snapshots and reports export every stored value, and wall-clock readings make them run-dependent", path)
 		}
 	}
 	runWallTimeTransitive(p)
@@ -73,7 +76,7 @@ func runWallTimeTransitive(p *Pass) {
 			}
 			p.Graph.Walk(root, func(fn *types.Func, path []GraphCall) bool {
 				if fn.Pkg() != nil && fn.Pkg().Path() == "time" && len(path) > 1 {
-					p.Reportf(path[0].Pos, "call to %s reaches the time package via %s (path: %s); metrics must be pure functions of protocol state",
+					p.Reportf(path[0].Pos, "call to %s reaches the time package via %s (path: %s); exported numbers must be pure functions of protocol state",
 						shortFuncName(path[0].Callee), shortFuncName(fn), renderPath(root, path))
 				}
 				return true

@@ -14,6 +14,7 @@ import (
 func TestWallTime(t *testing.T) {
 	for _, tc := range []fixtureCase{
 		{pkg: "metrics", analyzer: lint.WallTime, wants: 2, deps: []string{"clockutil"}},
+		{pkg: "loadgen", analyzer: lint.WallTime, wants: 2, deps: []string{"clockutil"}},
 		{pkg: "clockutil", analyzer: lint.WallTime, wants: 0},
 	} {
 		t.Run(tc.pkg, func(t *testing.T) { checkFixture(t, tc) })

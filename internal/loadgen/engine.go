@@ -1,0 +1,275 @@
+package loadgen
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"filealloc/internal/metrics"
+	"filealloc/internal/sweep"
+)
+
+// latencyBounds are the fap_load_latency_micros histogram buckets
+// (microseconds).
+var latencyBounds = []int64{
+	1_000, 2_000, 5_000, 10_000, 20_000, 50_000,
+	100_000, 200_000, 500_000, 1_000_000, 2_000_000, 5_000_000,
+}
+
+// Config drives one closed-loop run.
+type Config struct {
+	// Spec is the load script; Spec.Nodes must match Target.Nodes().
+	Spec Spec
+	// Target is the cluster under test.
+	Target Target
+	// Workers fans each tick's batch over this many sweep workers
+	// (default 1). The report is byte-identical at any setting.
+	Workers int
+	// Registry, when non-nil, receives the fap_load_* families.
+	Registry *metrics.Registry
+}
+
+// loadMetrics holds the per-run fap_load_* instruments.
+type loadMetrics struct {
+	reg *metrics.Registry
+}
+
+func (lm loadMetrics) phase(name string) metrics.Label { return metrics.L("phase", name) }
+
+// Run executes the spec tick by tick. Each tick: pre-draw the batch from
+// the single seeded stream (serial, in tick order), fire it over the
+// sweep workers (a barrier — every request completes before the control
+// plane moves), aggregate outcomes in request-index order, then run one
+// control-plane Tick. Randomness never crosses the worker boundary and
+// every recorded number derives from protocol state, so the report is a
+// pure function of (spec, seed).
+func Run(ctx context.Context, cfg Config) (*Report, error) {
+	if cfg.Target == nil {
+		return nil, fmt.Errorf("loadgen: nil target")
+	}
+	if err := cfg.Spec.Validate(); err != nil {
+		return nil, err
+	}
+	if got := cfg.Target.Nodes(); got != cfg.Spec.Nodes {
+		return nil, fmt.Errorf("loadgen: spec expects %d nodes, target has %d", cfg.Spec.Nodes, got)
+	}
+	workers := cfg.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	reg := cfg.Registry
+	if reg == nil {
+		reg = metrics.New()
+	}
+	lm := loadMetrics{reg: reg}
+	epochGauge := reg.Gauge("fap_load_epoch", "current plan epoch")
+	aliveGauge := reg.Gauge("fap_load_alive", "nodes the failure detector considers alive")
+
+	rng := rand.New(rand.NewSource(cfg.Spec.Seed))
+	report := &Report{Spec: cfg.Spec.Name, Seed: cfg.Spec.Seed, Nodes: cfg.Spec.Nodes}
+
+	globalTick := 0
+	prevRPS := cfg.Spec.Phases[0].RPS
+	lastP99 := int64(0)
+	for _, phase := range cfg.Spec.Phases {
+		pr := PhaseReport{Name: phase.Name, Kind: phase.Kind, Ticks: phase.Ticks, ConvergenceLagTicks: -1}
+		phaseStartEpoch := 0
+		baseRPS := prevRPS
+		weights := phase.Weights
+		if weights == nil {
+			weights = make([]float64, cfg.Spec.Nodes)
+			for i := range weights {
+				weights[i] = 1
+			}
+		}
+		cdf := weightCDF(weights)
+
+		reqCounter := reg.Counter("fap_load_requests_total", "requests fired", lm.phase(phase.Name))
+		errCounter := reg.Counter("fap_load_errors_total", "requests that failed after all recovery", lm.phase(phase.Name))
+		degCounter := reg.Counter("fap_load_degraded_total", "requests served in degraded mode", lm.phase(phase.Name))
+		fbCounter := reg.Counter("fap_load_fallbacks_total", "requests rerouted around a dead primary", lm.phase(phase.Name))
+		latHist := reg.Histogram("fap_load_latency_micros", "model-derived access latency", latencyBounds, lm.phase(phase.Name))
+		replanOK := reg.Counter("fap_load_replans_total", "re-plans by outcome", lm.phase(phase.Name), metrics.L("outcome", "certified"))
+		replanRej := reg.Counter("fap_load_replans_total", "re-plans by outcome", lm.phase(phase.Name), metrics.L("outcome", "rejected"))
+		lagGauge := reg.Gauge("fap_load_convergence_lag_ticks", "ticks from phase start to the first certified re-plan", lm.phase(phase.Name))
+
+		var phaseLatencies []int64
+		for pt := 0; pt < phase.Ticks; pt++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			t := float64(globalTick + 1)
+			if pt == 0 {
+				for _, node := range phase.Kill {
+					if err := cfg.Target.Kill(node); err != nil {
+						return nil, fmt.Errorf("loadgen: killing node %d: %w", node, err)
+					}
+				}
+			}
+
+			rps := phase.RPS
+			if phase.Kind == PhaseRamp {
+				rps = baseRPS + (phase.RPS-baseRPS)*float64(pt+1)/float64(phase.Ticks)
+			}
+			count := int(math.Round(rps))
+			if count < 1 {
+				count = 1
+			}
+
+			// Pre-draw the whole batch serially so the seeded stream is
+			// consumed in a worker-independent order.
+			batch := make([]Request, count)
+			for i := range batch {
+				batch[i] = Request{
+					ID:     uint64(globalTick)<<20 | uint64(i),
+					Origin: drawOrigin(cdf, rng.Float64()),
+					U:      rng.Float64(),
+					U2:     rng.Float64(),
+					T:      t,
+				}
+			}
+			outcomes := make([]Outcome, count)
+			if err := sweep.Run(ctx, count, workers, func(ctx context.Context, i int) error {
+				outcomes[i] = cfg.Target.Fire(ctx, batch[i])
+				return nil
+			}); err != nil {
+				return nil, fmt.Errorf("loadgen: firing tick %d: %w", globalTick, err)
+			}
+
+			// Aggregate in index order (the one canonical order).
+			tickLat := make([]int64, 0, count)
+			for _, o := range outcomes {
+				pr.Requests++
+				reqCounter.Inc()
+				if !o.OK {
+					pr.Errors++
+					errCounter.Inc()
+					if pr.ErrorClasses == nil {
+						pr.ErrorClasses = make(map[string]int)
+					}
+					pr.ErrorClasses[o.ErrClass]++
+					continue
+				}
+				tickLat = append(tickLat, o.LatencyMicros)
+				phaseLatencies = append(phaseLatencies, o.LatencyMicros)
+				latHist.Observe(o.LatencyMicros)
+				if o.Degraded {
+					pr.Degraded++
+					degCounter.Inc()
+				}
+				if o.Fallback {
+					pr.Fallbacks++
+					fbCounter.Inc()
+				}
+			}
+			sort.Slice(tickLat, func(a, b int) bool { return tickLat[a] < tickLat[b] })
+			if len(tickLat) > 0 {
+				lastP99 = percentileMicros(tickLat, 0.99)
+			}
+
+			info, err := cfg.Target.Tick(ctx, t, lastP99)
+			if err != nil {
+				return nil, fmt.Errorf("loadgen: control tick %d: %w", globalTick, err)
+			}
+			if pt == 0 {
+				// The epoch entering the phase: lag counts ticks until
+				// the first certified plan that supersedes it.
+				phaseStartEpoch = info.Epoch
+				if info.Replanned {
+					phaseStartEpoch = info.Epoch - 1
+				}
+			}
+			if info.Replanned && info.Certified {
+				pr.Replans++
+				pr.CertifiedReplans++
+				replanOK.Inc()
+				pr.SolveIterations += info.SolveIterations
+				if info.FellBack {
+					pr.ColdFallbacks++
+				}
+				if pr.ConvergenceLagTicks < 0 && info.Epoch > phaseStartEpoch {
+					pr.ConvergenceLagTicks = pt + 1
+					lagGauge.Set(float64(pt + 1))
+				}
+			}
+			if info.Rejected {
+				pr.RejectedPlans++
+				replanRej.Inc()
+			}
+			pr.EpochEnd = info.Epoch
+			pr.AliveEnd = 0
+			for _, a := range info.Alive {
+				if a {
+					pr.AliveEnd++
+				}
+			}
+			epochGauge.Set(float64(info.Epoch))
+			aliveGauge.Set(float64(pr.AliveEnd))
+
+			globalTick++
+			prevRPS = rps
+		}
+
+		sort.Slice(phaseLatencies, func(a, b int) bool { return phaseLatencies[a] < phaseLatencies[b] })
+		if n := len(phaseLatencies); n > 0 {
+			pr.P50Micros = percentileMicros(phaseLatencies, 0.50)
+			pr.P95Micros = percentileMicros(phaseLatencies, 0.95)
+			pr.P99Micros = percentileMicros(phaseLatencies, 0.99)
+			var sum int64
+			for _, l := range phaseLatencies {
+				sum += l
+			}
+			pr.MeanMicros = sum / int64(n)
+		}
+		if pr.ConvergenceLagTicks < 0 {
+			pr.ConvergenceLagTicks = 0
+		}
+		report.Phases = append(report.Phases, pr)
+	}
+	report.fillTotals()
+	return report, nil
+}
+
+// weightCDF folds weights into a normalized cumulative distribution.
+func weightCDF(weights []float64) []float64 {
+	cdf := make([]float64, len(weights))
+	sum := 0.0
+	for _, w := range weights {
+		sum += w
+	}
+	acc := 0.0
+	for i, w := range weights {
+		acc += w / sum
+		cdf[i] = acc
+	}
+	cdf[len(cdf)-1] = 1
+	return cdf
+}
+
+// drawOrigin maps a uniform draw through the CDF.
+func drawOrigin(cdf []float64, u float64) int {
+	for i, c := range cdf {
+		if u < c {
+			return i
+		}
+	}
+	return len(cdf) - 1
+}
+
+// percentileMicros is the nearest-rank percentile of an ascending-sorted
+// slice.
+func percentileMicros(sorted []int64, q float64) int64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}

@@ -1,0 +1,103 @@
+// Package loadgen is the seeded, phased closed-loop load generator: it
+// fires access requests at a serving cluster phase by phase (steady /
+// ramp / burst / shift / crash), senses the outcomes, and emits a
+// deterministic per-phase report (p50/p95/p99 latency, error rate,
+// degraded-mode counts, and convergence lag after each demand shift).
+//
+// Determinism contract: this package never touches the wall clock — the
+// fapvet walltime analyzer bans the time import here outright. Virtual
+// time is the tick index (one tick = one virtual second); request
+// latencies are the serving model's own numbers carried back in replies;
+// and all randomness comes from one seeded source drained in tick order
+// before any parallel work starts. Same spec + same seed ⇒ byte-identical
+// reports at any -workers setting. Real time exists only at the CLI edge
+// (cmd/fapload) and inside the transport the cluster runs on.
+package loadgen
+
+import "context"
+
+// Request is one generated access request. All randomness a request needs
+// is pre-drawn by the engine (single-threaded, in tick order) so firing
+// requests in parallel cannot reorder the seeded stream: U drives the
+// primary routing draw, U2 the hedge-fallback draw. T is the virtual
+// timestamp (the tick clock) the serving node feeds to its demand
+// estimator.
+type Request struct {
+	ID     uint64
+	Origin int
+	U      float64
+	U2     float64
+	T      float64
+}
+
+// Outcome is the result of one request, every field derived from
+// protocol state (never from wall time).
+type Outcome struct {
+	// OK is true when some node served the request.
+	OK bool
+	// Node is the node that served it.
+	Node int
+	// Epoch is the plan epoch the serving node was on.
+	Epoch int
+	// LatencyMicros is the model-derived access latency in integer
+	// microseconds (transfer + queueing at the serving node).
+	LatencyMicros int64
+	// Degraded marks a request served while part of the cluster was
+	// down (including requests rerouted around a dead primary).
+	Degraded bool
+	// Fallback marks a request whose primary attempt failed and that
+	// was rerouted to a surviving replica.
+	Fallback bool
+	// ErrClass classifies a failed request ("deadline", "crashed",
+	// "overloaded", ...); empty when OK.
+	ErrClass string
+}
+
+// TickInfo reports what the control plane did at a tick boundary:
+// heartbeats, failure detection, drift checks, and any re-plan.
+type TickInfo struct {
+	// T is the virtual time of the tick boundary.
+	T float64
+	// Epoch is the plan epoch after the tick.
+	Epoch int
+	// Replanned is true when a new plan was accepted this tick;
+	// Certified whether it carried a KKT certificate (accepted plans
+	// always do — a failed certificate rejects the plan and sets
+	// Rejected instead).
+	Replanned bool
+	Certified bool
+	Rejected  bool
+	// FellBack is true when the warm solve exhausted its incremental
+	// budget and fell back to a cold solve.
+	FellBack bool
+	// SolveIterations is the iteration count of the accepted solve.
+	SolveIterations int
+	// Degraded is true while the current plan excludes dead nodes.
+	Degraded bool
+	// Alive is the failure detector's current per-node verdict.
+	Alive []bool
+	// Rates is the aggregated per-origin demand estimate the tick saw.
+	Rates []float64
+}
+
+// Target is the serving cluster under test. agent.ServeCluster is the
+// in-process implementation; Fire must be safe for concurrent use
+// (the engine fans a tick's batch over sweep workers) and Tick/Kill are
+// only called between batches, so view changes never race a batch.
+type Target interface {
+	// Nodes returns the cluster size.
+	Nodes() int
+	// Fire executes one request end to end (routing, deadlines,
+	// retries, degraded fallback) and reports the outcome.
+	Fire(ctx context.Context, req Request) Outcome
+	// Tick runs one control-plane round at virtual time t: heartbeats,
+	// demand aggregation, drift check, re-plan. p99Micros is the
+	// previous tick's observed p99 latency, offered so the target can
+	// derive a hedging delay from it.
+	Tick(ctx context.Context, t float64, p99Micros int64) (TickInfo, error)
+	// Kill crashes a node (fail-fast: subsequent sends to it error
+	// immediately). The failure detector is NOT told — it must notice.
+	Kill(node int) error
+	// Close tears the cluster down.
+	Close() error
+}

@@ -1,0 +1,104 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// PhaseReport aggregates one phase's outcomes. Every field is derived
+// from protocol state (model latencies, counts, tick indices), so two
+// runs of the same spec and seed produce byte-identical reports whatever
+// the worker count.
+type PhaseReport struct {
+	Name     string `json:"name"`
+	Kind     string `json:"kind"`
+	Ticks    int    `json:"ticks"`
+	Requests int    `json:"requests"`
+	Errors   int    `json:"errors"`
+	// ErrorClasses breaks Errors down by outcome class (JSON encodes
+	// map keys sorted, keeping the report deterministic).
+	ErrorClasses map[string]int `json:"error_classes,omitempty"`
+	Degraded     int            `json:"degraded"`
+	Fallbacks    int            `json:"fallbacks"`
+	P50Micros    int64          `json:"p50_us"`
+	P95Micros    int64          `json:"p95_us"`
+	P99Micros    int64          `json:"p99_us"`
+	MeanMicros   int64          `json:"mean_us"`
+	// Replans counts accepted (always certified) re-plans;
+	// RejectedPlans the solves vetoed by the KKT certificate;
+	// ColdFallbacks the accepted plans whose warm budget ran out.
+	Replans          int `json:"replans"`
+	CertifiedReplans int `json:"certified_replans"`
+	RejectedPlans    int `json:"rejected_plans"`
+	ColdFallbacks    int `json:"cold_fallbacks"`
+	SolveIterations  int `json:"solve_iterations"`
+	// ConvergenceLagTicks is the number of ticks from phase start to
+	// the first certified re-plan superseding the plan the phase began
+	// under; 0 when the phase never needed one.
+	ConvergenceLagTicks int `json:"convergence_lag_ticks"`
+	EpochEnd            int `json:"epoch_end"`
+	AliveEnd            int `json:"alive_end"`
+}
+
+// Totals aggregates across phases.
+type Totals struct {
+	Requests         int `json:"requests"`
+	Errors           int `json:"errors"`
+	Degraded         int `json:"degraded"`
+	Fallbacks        int `json:"fallbacks"`
+	Replans          int `json:"replans"`
+	CertifiedReplans int `json:"certified_replans"`
+	RejectedPlans    int `json:"rejected_plans"`
+}
+
+// Report is the full phase report of one closed-loop run.
+type Report struct {
+	Spec   string        `json:"spec"`
+	Seed   int64         `json:"seed"`
+	Nodes  int           `json:"nodes"`
+	Phases []PhaseReport `json:"phases"`
+	Totals Totals        `json:"totals"`
+}
+
+func (r *Report) fillTotals() {
+	var t Totals
+	for _, p := range r.Phases {
+		t.Requests += p.Requests
+		t.Errors += p.Errors
+		t.Degraded += p.Degraded
+		t.Fallbacks += p.Fallbacks
+		t.Replans += p.Replans
+		t.CertifiedReplans += p.CertifiedReplans
+		t.RejectedPlans += p.RejectedPlans
+	}
+	r.Totals = t
+}
+
+// JSON renders the report as indented JSON (stable field and map-key
+// order).
+func (r *Report) JSON() ([]byte, error) {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: encoding report: %w", err)
+	}
+	return append(b, '\n'), nil
+}
+
+// csvHeader is the fixed CSV column set.
+const csvHeader = "phase,kind,ticks,requests,errors,degraded,fallbacks,p50_us,p95_us,p99_us,mean_us,replans,certified_replans,rejected_plans,cold_fallbacks,solve_iterations,convergence_lag_ticks,epoch_end,alive_end"
+
+// CSV renders one row per phase under a fixed header.
+func (r *Report) CSV() []byte {
+	var b strings.Builder
+	b.WriteString(csvHeader)
+	b.WriteByte('\n')
+	for _, p := range r.Phases {
+		fmt.Fprintf(&b, "%s,%s,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d\n",
+			p.Name, p.Kind, p.Ticks, p.Requests, p.Errors, p.Degraded, p.Fallbacks,
+			p.P50Micros, p.P95Micros, p.P99Micros, p.MeanMicros,
+			p.Replans, p.CertifiedReplans, p.RejectedPlans, p.ColdFallbacks,
+			p.SolveIterations, p.ConvergenceLagTicks, p.EpochEnd, p.AliveEnd)
+	}
+	return []byte(b.String())
+}

@@ -1,0 +1,137 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Phase kinds. Only "ramp" changes rate semantics (linear interpolation
+// from the previous phase's final rate); the others are labels that make
+// specs and reports self-describing.
+const (
+	PhaseSteady = "steady"
+	PhaseRamp   = "ramp"
+	PhaseBurst  = "burst"
+	PhaseShift  = "shift"
+	PhaseCrash  = "crash"
+)
+
+// maxRPS bounds per-tick batch sizes; request IDs pack the in-tick index
+// into 20 bits.
+const maxRPS = 1 << 20
+
+// Phase is one segment of the load script.
+type Phase struct {
+	// Name labels the phase in the report (unique within a spec).
+	Name string `json:"name"`
+	// Kind is one of steady/ramp/burst/shift/crash.
+	Kind string `json:"kind"`
+	// Ticks is the phase length in virtual seconds.
+	Ticks int `json:"ticks"`
+	// RPS is the request rate per tick. A ramp phase interpolates
+	// linearly from the previous phase's final rate to RPS; every other
+	// kind holds RPS constant.
+	RPS float64 `json:"rps"`
+	// Weights is the per-origin demand distribution (normalized by the
+	// engine); nil means uniform. A shift phase is just a phase whose
+	// weights differ from its predecessor's.
+	Weights []float64 `json:"weights,omitempty"`
+	// Kill lists nodes crashed at the first tick of the phase.
+	Kill []int `json:"kill,omitempty"`
+}
+
+// Spec is a full phased load script.
+type Spec struct {
+	// Name labels the run in the report.
+	Name string `json:"name"`
+	// Seed feeds the engine's single request-generation stream.
+	Seed int64 `json:"seed"`
+	// Nodes is the cluster size the spec expects.
+	Nodes int `json:"nodes"`
+	// Phases run in order.
+	Phases []Phase `json:"phases"`
+}
+
+// ParseSpec decodes and validates a JSON spec.
+func ParseSpec(b []byte) (Spec, error) {
+	var s Spec
+	if err := json.Unmarshal(b, &s); err != nil {
+		return Spec{}, fmt.Errorf("loadgen: parsing spec: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return Spec{}, err
+	}
+	return s, nil
+}
+
+// Validate checks the spec's internal consistency.
+func (s Spec) Validate() error {
+	if s.Nodes < 2 {
+		return fmt.Errorf("loadgen: spec needs at least 2 nodes, got %d", s.Nodes)
+	}
+	if len(s.Phases) == 0 {
+		return fmt.Errorf("loadgen: spec %q has no phases", s.Name)
+	}
+	seen := make(map[string]bool, len(s.Phases))
+	for pi, p := range s.Phases {
+		if p.Name == "" {
+			return fmt.Errorf("loadgen: phase %d has no name", pi)
+		}
+		if seen[p.Name] {
+			return fmt.Errorf("loadgen: duplicate phase name %q", p.Name)
+		}
+		seen[p.Name] = true
+		switch p.Kind {
+		case PhaseSteady, PhaseRamp, PhaseBurst, PhaseShift, PhaseCrash:
+		default:
+			return fmt.Errorf("loadgen: phase %q has unknown kind %q", p.Name, p.Kind)
+		}
+		if p.Ticks < 1 {
+			return fmt.Errorf("loadgen: phase %q has %d ticks", p.Name, p.Ticks)
+		}
+		if p.RPS <= 0 || p.RPS > maxRPS {
+			return fmt.Errorf("loadgen: phase %q rps %v outside (0, %d]", p.Name, p.RPS, maxRPS)
+		}
+		if p.Weights != nil {
+			if len(p.Weights) != s.Nodes {
+				return fmt.Errorf("loadgen: phase %q has %d weights for %d nodes", p.Name, len(p.Weights), s.Nodes)
+			}
+			sum := 0.0
+			for _, w := range p.Weights {
+				if w < 0 {
+					return fmt.Errorf("loadgen: phase %q has negative weight %v", p.Name, w)
+				}
+				sum += w
+			}
+			if sum <= 0 {
+				return fmt.Errorf("loadgen: phase %q weights sum to %v", p.Name, sum)
+			}
+		}
+		for _, k := range p.Kill {
+			if k < 0 || k >= s.Nodes {
+				return fmt.Errorf("loadgen: phase %q kills unknown node %d", p.Name, k)
+			}
+		}
+	}
+	return nil
+}
+
+// DefaultSpec is the canonical steady → shift → burst → crash script over
+// a 5-node cluster: uniform steady demand, a demand shift toward nodes 0
+// and 1, a burst at 2.2x the steady rate, then node 1 crashes under
+// sustained load. Total capacity (5 x 25) comfortably exceeds the burst
+// rate even with one node down.
+func DefaultSpec() Spec {
+	skew := []float64{0.4, 0.3, 0.1, 0.1, 0.1}
+	return Spec{
+		Name:  "steady-shift-burst-crash",
+		Seed:  1,
+		Nodes: 5,
+		Phases: []Phase{
+			{Name: "steady", Kind: PhaseSteady, Ticks: 10, RPS: 40},
+			{Name: "shift", Kind: PhaseShift, Ticks: 10, RPS: 40, Weights: skew},
+			{Name: "burst", Kind: PhaseBurst, Ticks: 8, RPS: 90, Weights: skew},
+			{Name: "crash", Kind: PhaseCrash, Ticks: 12, RPS: 60, Weights: skew, Kill: []int{1}},
+		},
+	}
+}

@@ -1,0 +1,241 @@
+package loadgen
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestParseSpecValid(t *testing.T) {
+	s, err := ParseSpec([]byte(`{
+		"name": "tiny", "seed": 7, "nodes": 2,
+		"phases": [
+			{"name": "warm", "kind": "steady", "ticks": 3, "rps": 5},
+			{"name": "up", "kind": "ramp", "ticks": 2, "rps": 10, "weights": [1, 3]}
+		]
+	}`))
+	if err != nil {
+		t.Fatalf("ParseSpec: %v", err)
+	}
+	if s.Name != "tiny" || s.Seed != 7 || s.Nodes != 2 || len(s.Phases) != 2 {
+		t.Fatalf("parsed spec = %+v", s)
+	}
+}
+
+func TestSpecValidateRejects(t *testing.T) {
+	base := func() Spec {
+		return Spec{Name: "x", Seed: 1, Nodes: 2, Phases: []Phase{{Name: "p", Kind: PhaseSteady, Ticks: 1, RPS: 1}}}
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Spec)
+		want   string
+	}{
+		{"one node", func(s *Spec) { s.Nodes = 1 }, "at least 2 nodes"},
+		{"no phases", func(s *Spec) { s.Phases = nil }, "no phases"},
+		{"unnamed phase", func(s *Spec) { s.Phases[0].Name = "" }, "no name"},
+		{"duplicate names", func(s *Spec) { s.Phases = append(s.Phases, s.Phases[0]) }, "duplicate phase name"},
+		{"unknown kind", func(s *Spec) { s.Phases[0].Kind = "surge" }, "unknown kind"},
+		{"zero ticks", func(s *Spec) { s.Phases[0].Ticks = 0 }, "ticks"},
+		{"zero rps", func(s *Spec) { s.Phases[0].RPS = 0 }, "rps"},
+		{"huge rps", func(s *Spec) { s.Phases[0].RPS = maxRPS + 1 }, "rps"},
+		{"weight dim", func(s *Spec) { s.Phases[0].Weights = []float64{1} }, "weights"},
+		{"negative weight", func(s *Spec) { s.Phases[0].Weights = []float64{1, -1} }, "negative weight"},
+		{"zero weights", func(s *Spec) { s.Phases[0].Weights = []float64{0, 0} }, "sum to"},
+		{"kill out of range", func(s *Spec) { s.Phases[0].Kill = []int{2} }, "unknown node"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := base()
+			tc.mutate(&s)
+			err := s.Validate()
+			if err == nil {
+				t.Fatal("Validate accepted an invalid spec")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestDefaultSpecValid(t *testing.T) {
+	if err := DefaultSpec().Validate(); err != nil {
+		t.Fatalf("DefaultSpec invalid: %v", err)
+	}
+}
+
+func TestDrawOrigin(t *testing.T) {
+	cdf := weightCDF([]float64{1, 1, 2})
+	for _, tc := range []struct {
+		u    float64
+		want int
+	}{{0.0, 0}, {0.24, 0}, {0.25, 1}, {0.49, 1}, {0.5, 2}, {0.999, 2}} {
+		if got := drawOrigin(cdf, tc.u); got != tc.want {
+			t.Fatalf("drawOrigin(%v) = %d, want %d", tc.u, got, tc.want)
+		}
+	}
+}
+
+func TestPercentileMicros(t *testing.T) {
+	sorted := []int64{10, 20, 30, 40, 50, 60, 70, 80, 90, 100}
+	for _, tc := range []struct {
+		q    float64
+		want int64
+	}{{0.5, 50}, {0.95, 100}, {0.99, 100}, {0.1, 10}} {
+		if got := percentileMicros(sorted, tc.q); got != tc.want {
+			t.Fatalf("percentile(%v) = %d, want %d", tc.q, got, tc.want)
+		}
+	}
+	if got := percentileMicros(nil, 0.5); got != 0 {
+		t.Fatalf("percentile of empty = %d, want 0", got)
+	}
+}
+
+// fakeTarget is a scripted Target: fixed latency per node, a configurable
+// re-plan tick, and full request capture for order checks.
+type fakeTarget struct {
+	nodes     int
+	replanAt  map[int]bool // global tick (1-based T) -> certify a re-plan
+	mu        sync.Mutex
+	fired     []Request
+	epoch     int
+	tickCount int
+}
+
+func (f *fakeTarget) Nodes() int { return f.nodes }
+
+func (f *fakeTarget) Fire(ctx context.Context, req Request) Outcome {
+	f.mu.Lock()
+	f.fired = append(f.fired, req)
+	f.mu.Unlock()
+	return Outcome{OK: true, Node: req.Origin, Epoch: f.epoch, LatencyMicros: int64(1000 + req.Origin)}
+}
+
+func (f *fakeTarget) Tick(ctx context.Context, t float64, p99 int64) (TickInfo, error) {
+	f.tickCount++
+	info := TickInfo{T: t, Epoch: f.epoch, Alive: make([]bool, f.nodes)}
+	for i := range info.Alive {
+		info.Alive[i] = true
+	}
+	if f.replanAt[int(t)] {
+		f.epoch++
+		info.Epoch = f.epoch
+		info.Replanned = true
+		info.Certified = true
+		info.SolveIterations = 5
+	}
+	return info, nil
+}
+
+func (f *fakeTarget) Kill(node int) error { return nil }
+func (f *fakeTarget) Close() error        { return nil }
+
+func TestRunAggregatesAndMeasuresLag(t *testing.T) {
+	spec := Spec{
+		Name: "lag", Seed: 3, Nodes: 2,
+		Phases: []Phase{
+			{Name: "a", Kind: PhaseSteady, Ticks: 2, RPS: 4},
+			{Name: "b", Kind: PhaseShift, Ticks: 3, RPS: 4, Weights: []float64{3, 1}},
+		},
+	}
+	// Phase b starts at global tick 3; the re-plan lands on its second
+	// tick -> convergence lag 2.
+	ft := &fakeTarget{nodes: 2, replanAt: map[int]bool{4: true}}
+	rep, err := Run(context.Background(), Config{Spec: spec, Target: ft})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(rep.Phases) != 2 {
+		t.Fatalf("phases = %d", len(rep.Phases))
+	}
+	a, b := rep.Phases[0], rep.Phases[1]
+	if a.Requests != 8 || b.Requests != 12 {
+		t.Fatalf("requests = %d, %d; want 8, 12", a.Requests, b.Requests)
+	}
+	if a.Errors != 0 || b.Errors != 0 {
+		t.Fatalf("errors = %d, %d", a.Errors, b.Errors)
+	}
+	if a.ConvergenceLagTicks != 0 {
+		t.Fatalf("phase a lag = %d, want 0", a.ConvergenceLagTicks)
+	}
+	if b.ConvergenceLagTicks != 2 {
+		t.Fatalf("phase b lag = %d, want 2", b.ConvergenceLagTicks)
+	}
+	if b.Replans != 1 || b.CertifiedReplans != 1 || b.SolveIterations != 5 {
+		t.Fatalf("phase b replans = %+v", b)
+	}
+	if rep.Totals.Requests != 20 || rep.Totals.Replans != 1 {
+		t.Fatalf("totals = %+v", rep.Totals)
+	}
+
+	// The batch IDs pack (tick, index) and batches are drawn serially.
+	ft.mu.Lock()
+	defer ft.mu.Unlock()
+	if len(ft.fired) != 20 {
+		t.Fatalf("fired = %d", len(ft.fired))
+	}
+	for _, req := range ft.fired {
+		if req.Origin < 0 || req.Origin >= 2 {
+			t.Fatalf("bad origin %d", req.Origin)
+		}
+		if req.T != float64(int(req.ID>>20)+1) {
+			t.Fatalf("request %d has T %v", req.ID, req.T)
+		}
+	}
+}
+
+func TestRunRampInterpolatesRate(t *testing.T) {
+	spec := Spec{
+		Name: "ramp", Seed: 1, Nodes: 2,
+		Phases: []Phase{
+			{Name: "low", Kind: PhaseSteady, Ticks: 1, RPS: 10},
+			{Name: "up", Kind: PhaseRamp, Ticks: 5, RPS: 60},
+		},
+	}
+	ft := &fakeTarget{nodes: 2}
+	rep, err := Run(context.Background(), Config{Spec: spec, Target: ft})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// Ramp ticks: 20, 30, 40, 50, 60 -> 200 requests.
+	if got := rep.Phases[1].Requests; got != 200 {
+		t.Fatalf("ramp requests = %d, want 200", got)
+	}
+}
+
+func TestReportJSONAndCSV(t *testing.T) {
+	rep := &Report{
+		Spec: "s", Seed: 9, Nodes: 2,
+		Phases: []PhaseReport{{
+			Name: "p", Kind: PhaseSteady, Ticks: 1, Requests: 4, Errors: 1,
+			ErrorClasses: map[string]int{"deadline": 1},
+			P50Micros:    1000, P95Micros: 2000, P99Micros: 2000, MeanMicros: 1200,
+			Replans: 1, CertifiedReplans: 1, ConvergenceLagTicks: 1, EpochEnd: 2, AliveEnd: 2,
+		}},
+	}
+	rep.fillTotals()
+	j1, err := rep.JSON()
+	if err != nil {
+		t.Fatalf("JSON: %v", err)
+	}
+	j2, _ := rep.JSON()
+	if string(j1) != string(j2) {
+		t.Fatal("JSON not stable across encodes")
+	}
+	if !strings.Contains(string(j1), `"convergence_lag_ticks": 1`) {
+		t.Fatalf("JSON missing lag field:\n%s", j1)
+	}
+	csv := string(rep.CSV())
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("CSV lines = %d:\n%s", len(lines), csv)
+	}
+	if lines[0] != csvHeader {
+		t.Fatalf("CSV header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "p,steady,1,4,1,") {
+		t.Fatalf("CSV row = %q", lines[1])
+	}
+}

@@ -79,20 +79,32 @@ type VectorReport struct {
 
 // envelope wraps a message with its kind for wire framing.
 type envelope struct {
-	Kind   Kind            `json:"kind"`
-	Report *Report         `json:"report,omitempty"`
-	Update *Update         `json:"update,omitempty"`
-	Vector *VectorReport   `json:"vector,omitempty"`
-	Extra  json.RawMessage `json:"extra,omitempty"`
+	Kind        Kind            `json:"kind"`
+	Report      *Report         `json:"report,omitempty"`
+	Update      *Update         `json:"update,omitempty"`
+	Vector      *VectorReport   `json:"vector,omitempty"`
+	Access      *Access         `json:"access,omitempty"`
+	AccessReply *AccessReply    `json:"access_reply,omitempty"`
+	Plan        *Plan           `json:"plan,omitempty"`
+	PlanAck     *PlanAck        `json:"plan_ack,omitempty"`
+	Ping        *Ping           `json:"ping,omitempty"`
+	Pong        *Pong           `json:"pong,omitempty"`
+	Extra       json.RawMessage `json:"extra,omitempty"`
 }
 
 // Envelope is a decoded wire message: exactly one of the payload fields
 // matching Kind is non-nil.
 type Envelope struct {
-	Kind   Kind
-	Report *Report
-	Update *Update
-	Vector *VectorReport
+	Kind        Kind
+	Report      *Report
+	Update      *Update
+	Vector      *VectorReport
+	Access      *Access
+	AccessReply *AccessReply
+	Plan        *Plan
+	PlanAck     *PlanAck
+	Ping        *Ping
+	Pong        *Pong
 }
 
 // EncodeReport serializes a Report.
@@ -144,6 +156,36 @@ func Decode(payload []byte) (Envelope, error) {
 			return Envelope{}, fmt.Errorf("%w: vector-report envelope without body", ErrBadMessage)
 		}
 		return Envelope{Kind: KindVectorReport, Vector: env.Vector}, nil
+	case KindAccess:
+		if env.Access == nil {
+			return Envelope{}, fmt.Errorf("%w: access envelope without body", ErrBadMessage)
+		}
+		return Envelope{Kind: KindAccess, Access: env.Access}, nil
+	case KindAccessReply:
+		if env.AccessReply == nil {
+			return Envelope{}, fmt.Errorf("%w: access-reply envelope without body", ErrBadMessage)
+		}
+		return Envelope{Kind: KindAccessReply, AccessReply: env.AccessReply}, nil
+	case KindPlan:
+		if env.Plan == nil {
+			return Envelope{}, fmt.Errorf("%w: plan envelope without body", ErrBadMessage)
+		}
+		return Envelope{Kind: KindPlan, Plan: env.Plan}, nil
+	case KindPlanAck:
+		if env.PlanAck == nil {
+			return Envelope{}, fmt.Errorf("%w: plan-ack envelope without body", ErrBadMessage)
+		}
+		return Envelope{Kind: KindPlanAck, PlanAck: env.PlanAck}, nil
+	case KindPing:
+		if env.Ping == nil {
+			return Envelope{}, fmt.Errorf("%w: ping envelope without body", ErrBadMessage)
+		}
+		return Envelope{Kind: KindPing, Ping: env.Ping}, nil
+	case KindPong:
+		if env.Pong == nil {
+			return Envelope{}, fmt.Errorf("%w: pong envelope without body", ErrBadMessage)
+		}
+		return Envelope{Kind: KindPong, Pong: env.Pong}, nil
 	default:
 		return Envelope{}, fmt.Errorf("%w: unknown kind %q", ErrBadMessage, env.Kind)
 	}

@@ -1,0 +1,131 @@
+package protocol
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+func TestServeMessageRoundTrips(t *testing.T) {
+	access := Access{ID: 42, Origin: 3, T: 7, Epoch: 2}
+	reply := AccessReply{ID: 42, Node: 1, Origin: 3, Epoch: 2, LatencyMicros: 1500, Degraded: true}
+	plan := Plan{ID: 9, Epoch: 4, X: []float64{0.5, 0.5, 0}, Alive: []bool{true, true, false}, Degraded: true, Lambda: 12, Q: 3.25}
+	ack := PlanAck{ID: 9, Epoch: 4, Node: 2}
+	ping := Ping{ID: 77, T: 8}
+	pong := Pong{ID: 77, Node: 2, Epoch: 4, Rates: []float64{1, 2, 3}}
+
+	cases := []struct {
+		name   string
+		encode func() ([]byte, error)
+		kind   Kind
+		check  func(t *testing.T, env Envelope)
+	}{
+		{"access", func() ([]byte, error) { return EncodeAccess(access) }, KindAccess,
+			func(t *testing.T, env Envelope) {
+				if !reflect.DeepEqual(*env.Access, access) {
+					t.Fatalf("access round trip: got %+v", *env.Access)
+				}
+			}},
+		{"access-reply", func() ([]byte, error) { return EncodeAccessReply(reply) }, KindAccessReply,
+			func(t *testing.T, env Envelope) {
+				if !reflect.DeepEqual(*env.AccessReply, reply) {
+					t.Fatalf("access reply round trip: got %+v", *env.AccessReply)
+				}
+			}},
+		{"plan", func() ([]byte, error) { return EncodePlan(plan) }, KindPlan,
+			func(t *testing.T, env Envelope) {
+				if !reflect.DeepEqual(*env.Plan, plan) {
+					t.Fatalf("plan round trip: got %+v", *env.Plan)
+				}
+			}},
+		{"plan-ack", func() ([]byte, error) { return EncodePlanAck(ack) }, KindPlanAck,
+			func(t *testing.T, env Envelope) {
+				if !reflect.DeepEqual(*env.PlanAck, ack) {
+					t.Fatalf("plan ack round trip: got %+v", *env.PlanAck)
+				}
+			}},
+		{"ping", func() ([]byte, error) { return EncodePing(ping) }, KindPing,
+			func(t *testing.T, env Envelope) {
+				if !reflect.DeepEqual(*env.Ping, ping) {
+					t.Fatalf("ping round trip: got %+v", *env.Ping)
+				}
+			}},
+		{"pong", func() ([]byte, error) { return EncodePong(pong) }, KindPong,
+			func(t *testing.T, env Envelope) {
+				if !reflect.DeepEqual(*env.Pong, pong) {
+					t.Fatalf("pong round trip: got %+v", *env.Pong)
+				}
+			}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			b, err := tc.encode()
+			if err != nil {
+				t.Fatalf("encoding: %v", err)
+			}
+			env, err := Decode(b)
+			if err != nil {
+				t.Fatalf("decoding: %v", err)
+			}
+			if env.Kind != tc.kind {
+				t.Fatalf("kind = %q, want %q", env.Kind, tc.kind)
+			}
+			tc.check(t, env)
+		})
+	}
+}
+
+func TestReplyIDOf(t *testing.T) {
+	replyB, err := EncodeAccessReply(AccessReply{ID: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ackB, err := EncodePlanAck(PlanAck{ID: 22})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pongB, err := EncodePong(Pong{ID: 33})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		payload []byte
+		id      uint64
+	}{{replyB, 11}, {ackB, 22}, {pongB, 33}} {
+		id, ok := ReplyIDOf(tc.payload)
+		if !ok || id != tc.id {
+			t.Fatalf("ReplyIDOf = (%d, %v), want (%d, true)", id, ok, tc.id)
+		}
+	}
+
+	// Request kinds and garbage carry no reply ID.
+	accessB, err := EncodeAccess(Access{ID: 44})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, payload := range [][]byte{accessB, []byte("not json"), nil} {
+		if id, ok := ReplyIDOf(payload); ok {
+			t.Fatalf("ReplyIDOf(%q) = (%d, true), want false", payload, id)
+		}
+	}
+}
+
+// TestEncodeRejectsNonFiniteFloats pins the encoders' error path: JSON
+// has no representation for NaN, and a non-finite number in a protocol
+// message is always an upstream bug worth failing loudly on.
+func TestEncodeRejectsNonFiniteFloats(t *testing.T) {
+	nan := math.NaN()
+	for name, encode := range map[string]func() error{
+		"access":        func() error { _, err := EncodeAccess(Access{T: nan}); return err },
+		"plan":          func() error { _, err := EncodePlan(Plan{X: []float64{nan}}); return err },
+		"ping":          func() error { _, err := EncodePing(Ping{T: nan}); return err },
+		"pong":          func() error { _, err := EncodePong(Pong{Rates: []float64{nan}}); return err },
+		"report":        func() error { _, err := EncodeReport(Report{Marginal: nan}); return err },
+		"update":        func() error { _, err := EncodeUpdate(Update{Delta: []float64{nan}}); return err },
+		"vector-report": func() error { _, err := EncodeVectorReport(VectorReport{Marginals: []float64{nan}}); return err },
+	} {
+		if err := encode(); err == nil {
+			t.Errorf("%s: NaN encoded without error", name)
+		}
+	}
+}

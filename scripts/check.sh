@@ -42,6 +42,16 @@ go test -race -count 1 \
 	-run 'TestChaosChurnContract|TestChurn|TestCrash|TestDoubleCrash|TestPartitionDepart|TestDepartRejoin|TestSupervise|TestFaultCrash' \
 	./internal/experiments/ ./internal/recovery/ ./internal/transport/
 
+echo "== closed-loop serving smoke under -race"
+# The fapload gate: a steady phase then a crash phase over a live 5-node
+# serving cluster, fired through the hardened client path. The test itself
+# asserts the contract — zero failed requests through the crash, a
+# certified degraded re-plan within the convergence-lag ceiling, and no
+# stale-plan errors — so a bare pass here is the acceptance bar.
+go test -race -count 1 \
+	-run 'TestClosedLoopSmoke|TestPhaseReportDeterministicAcrossWorkers' \
+	./internal/loadgen/
+
 echo "== catalog determinism under -race"
 # The catalog batch-solves shards across sweep workers; its byte-identical
 # determinism pin is exactly the kind of contract a data race would break
