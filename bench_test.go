@@ -13,13 +13,16 @@ package filealloc
 import (
 	"context"
 	"fmt"
+	"math/rand"
 	"runtime"
 	"testing"
 
+	"filealloc/internal/agent"
 	"filealloc/internal/catalog"
 	"filealloc/internal/core"
 	"filealloc/internal/costmodel"
 	"filealloc/internal/experiments"
+	"filealloc/internal/gossip"
 	"filealloc/internal/multicopy"
 	"filealloc/internal/sim"
 	"filealloc/internal/sweep"
@@ -528,4 +531,53 @@ func BenchmarkSimulator(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkGossipRound runs one full tree-mode aggregation solve over a
+// 64-node random connected graph per iteration and reports the wire
+// bill alongside ns/op: msgs/round and bytes/round are the quantities
+// the gossip subsystem exists to shrink versus the N(N-1) broadcast
+// reference (E19), so a regression here is a protocol regression even
+// when the wall clock holds steady.
+func BenchmarkGossipRound(b *testing.B) {
+	const n = 64
+	ctx := context.Background()
+	g, err := topology.RandomConnected(n, 2*n, 0.1, 1, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(42))
+	models := make([]agent.LocalModel, n)
+	for i := range models {
+		models[i] = agent.LocalModel{
+			AccessCost:  0.5 + 2*rng.Float64(),
+			ServiceRate: 1.5 + rng.Float64(),
+			Lambda:      1,
+			K:           1,
+		}
+	}
+	init := make([]float64, n)
+	for i := range init {
+		init[i] = 1 / float64(n)
+	}
+	b.ResetTimer()
+	var bill gossip.Bill
+	for i := 0; i < b.N; i++ {
+		res, err := gossip.RunCluster(ctx, gossip.ClusterConfig{
+			Graph:  g,
+			Models: models,
+			Init:   append([]float64(nil), init...),
+			Alpha:  0.3,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Converged || !res.Certified {
+			b.Fatalf("converged=%v certified=%v after %d rounds",
+				res.Converged, res.Certified, res.Rounds)
+		}
+		bill = res.Bill
+	}
+	b.ReportMetric(bill.MessagesPerRound(), "msgs/round")
+	b.ReportMetric(bill.BytesPerRound(), "bytes/round")
 }

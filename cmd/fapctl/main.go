@@ -29,6 +29,15 @@
 //
 //	fapctl health http://127.0.0.1:9090 http://127.0.0.1:9091
 //
+// The gossip subcommand runs a large cluster (1000 nodes by default)
+// that agrees on the allocation by hierarchical tree aggregation or
+// epidemic push-sum instead of all-pairs broadcast, certifies the fixed
+// point against the KKT conditions, and prints the per-round message
+// bill next to broadcast's N·(N−1):
+//
+//	fapctl gossip -n 1000 -mode both
+//	fapctl gossip -n 200 -churn 3 -metrics-out gossip-metrics.json
+//
 // The placements subcommand queries a solved-catalog snapshot written by
 // fapsim -snapshot-out: with no object ids it summarises the snapshot;
 // with ids it prints each object's placement (node, share, demand share),
@@ -80,6 +89,9 @@ func run(args []string, w io.Writer) error {
 	}
 	if len(args) > 0 && args[0] == "health" {
 		return runHealth(args[1:], w)
+	}
+	if len(args) > 0 && args[0] == "gossip" {
+		return runGossip(args[1:], w)
 	}
 	fs := flag.NewFlagSet("fapctl", flag.ContinueOnError)
 	n := fs.Int("n", 4, "cluster size")

@@ -1,0 +1,109 @@
+package gossip
+
+import (
+	"fmt"
+	"sort"
+
+	"filealloc/internal/topology"
+)
+
+// Tree is a deterministic BFS spanning tree over the alive subgraph of
+// an access network. The root is the lowest alive node id and neighbors
+// are expanded in ascending order, so every node that knows the graph
+// and the alive set derives the identical tree with no coordination.
+type Tree struct {
+	// Root is the aggregation root (lowest alive id).
+	Root int
+	// Parent maps node id to its tree parent; -1 for the root and for
+	// dead nodes.
+	Parent []int
+	// Children maps node id to its tree children in ascending order.
+	Children [][]int
+	// Depth is the maximum distance from the root to any alive node.
+	Depth int
+}
+
+// BuildTree constructs the spanning tree for graph g restricted to the
+// alive set (nil means every node is alive). It returns ErrPartitioned
+// if some alive node is unreachable from the root through alive nodes.
+func BuildTree(g *topology.Graph, alive []bool) (*Tree, error) {
+	n := g.NumNodes()
+	if alive != nil && len(alive) != n {
+		return nil, fmt.Errorf("gossip: alive mask has %d entries for %d nodes", len(alive), n)
+	}
+	isAlive := func(i int) bool { return alive == nil || alive[i] }
+	root := -1
+	total := 0
+	for i := 0; i < n; i++ {
+		if isAlive(i) {
+			total++
+			if root < 0 {
+				root = i
+			}
+		}
+	}
+	if root < 0 {
+		return nil, fmt.Errorf("gossip: no alive nodes")
+	}
+	t := &Tree{
+		Root:     root,
+		Parent:   make([]int, n),
+		Children: make([][]int, n),
+	}
+	for i := range t.Parent {
+		t.Parent[i] = -1
+	}
+	depth := make([]int, n)
+	visited := make([]bool, n)
+	visited[root] = true
+	queue := []int{root}
+	reached := 1
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		nbs := append([]int(nil), g.Neighbors(u)...)
+		sort.Ints(nbs)
+		for _, v := range nbs {
+			if !isAlive(v) || visited[v] {
+				continue
+			}
+			visited[v] = true
+			t.Parent[v] = u
+			t.Children[u] = append(t.Children[u], v)
+			depth[v] = depth[u] + 1
+			if depth[v] > t.Depth {
+				t.Depth = depth[v]
+			}
+			queue = append(queue, v)
+			reached++
+		}
+	}
+	if reached != total {
+		return nil, fmt.Errorf("%w: reached %d of %d alive nodes from root %d",
+			ErrPartitioned, reached, total, root)
+	}
+	return t, nil
+}
+
+// aliveAdjacency returns, for every alive node, its alive neighbors in
+// ascending order — the shared schedule both sides of a push-sum
+// exchange derive peer picks from. Entries for dead nodes are nil.
+func aliveAdjacency(g *topology.Graph, alive []bool) [][]int {
+	n := g.NumNodes()
+	adj := make([][]int, n)
+	for i := 0; i < n; i++ {
+		if alive != nil && !alive[i] {
+			continue
+		}
+		nbs := append([]int(nil), g.Neighbors(i)...)
+		sort.Ints(nbs)
+		kept := nbs[:0]
+		for _, v := range nbs {
+			if alive == nil || alive[v] {
+				kept = append(kept, v)
+			}
+		}
+		adj[i] = kept
+	}
+	return adj
+}

@@ -20,6 +20,7 @@ var numericSegments = map[string]bool{
 	"replication": true,
 	"recovery":    true, // checkpoints must replay bit-identically
 	"catalog":     true, // solved catalogs must be byte-identical across worker counts
+	"gossip":      true, // tree folds and exchange schedules must replay bit-identically
 }
 
 // randConstructors are the math/rand functions that build explicit seeded

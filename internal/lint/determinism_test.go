@@ -19,6 +19,7 @@ func TestDeterminism(t *testing.T) {
 		{pkg: "clockutil", analyzer: lint.Determinism, wants: 0},
 		{pkg: "recovery", analyzer: lint.Determinism, wants: 2},
 		{pkg: "core", analyzer: lint.Determinism, wants: 2, deps: []string{"clockutil"}},
+		{pkg: "gossip", analyzer: lint.Determinism, wants: 3},
 	} {
 		t.Run(tc.pkg, func(t *testing.T) { checkFixture(t, tc) })
 	}

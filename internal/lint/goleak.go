@@ -18,6 +18,7 @@ var goleakSegments = map[string]bool{
 	"recovery":  true,
 	"catalog":   true,
 	"loadgen":   true,
+	"gossip":    true,
 }
 
 // GoLeak requires every go statement in a concurrent package to be tied to

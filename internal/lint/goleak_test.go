@@ -17,6 +17,7 @@ func TestGoLeak(t *testing.T) {
 	for _, tc := range []fixtureCase{
 		{pkg: "agent/goleakfix", analyzer: lint.GoLeak, wants: 3},
 		{pkg: "loadgen", analyzer: lint.GoLeak, wants: 1},
+		{pkg: "gossip", analyzer: lint.GoLeak, wants: 1},
 		{pkg: "clockutil", analyzer: lint.GoLeak, wants: 0},
 	} {
 		t.Run(tc.pkg, func(t *testing.T) { checkFixture(t, tc) })

@@ -1,0 +1,98 @@
+// Package gossip exercises the determinism and goleak analyzers over the
+// aggregation engine's idioms: its import path carries the gossip
+// segment, so solves must be bit-reproducible (no wall clock, no global
+// randomness, no map-ordered float folds) and every spawned node
+// goroutine must be tied to a shutdown mechanism.
+package gossip
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Engine is a stand-in for the per-node aggregation engine.
+type Engine struct {
+	wg   sync.WaitGroup
+	done chan struct{}
+}
+
+// GoodSeededSchedule derives the exchange schedule from an explicit seed,
+// the reproducible way to randomize peer picks.
+func GoodSeededSchedule(seed int64, n int) []int {
+	rng := rand.New(rand.NewSource(seed))
+	picks := make([]int, n)
+	for i := range picks {
+		picks[i] = rng.Intn(n)
+	}
+	return picks
+}
+
+// BadSchedulePick draws the exchange target from the process-wide source.
+func BadSchedulePick(n int) int {
+	return rand.Intn(n) // want determinism: shared process-wide source
+}
+
+// BadRoundStamp reads the wall clock into a round record.
+func BadRoundStamp() int64 {
+	return time.Now().UnixNano() // want determinism: time.Now
+}
+
+// BadAggregateFold accumulates partial sums in map-iteration order, so
+// the rounded total depends on Go's randomized map walk.
+func BadAggregateFold(partials map[int]float64) float64 {
+	var sum float64
+	for _, v := range partials {
+		sum += v // want determinism: iteration order
+	}
+	return sum
+}
+
+// GoodCountFold is clean: integer accumulation commutes exactly, so map
+// order cannot change the result.
+func GoodCountFold(counts map[int]int) int {
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	return total
+}
+
+// GoodSpawn ties each node goroutine to the engine's WaitGroup.
+func (e *Engine) GoodSpawn(nodes int) {
+	for i := 0; i < nodes; i++ {
+		e.wg.Add(1)
+		go func() {
+			defer e.wg.Done()
+			runNode()
+		}()
+	}
+	e.wg.Wait()
+}
+
+// GoodSupervised ties the watchdog to context cancellation.
+func GoodSupervised(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+	}()
+}
+
+// GoodClosable ties the pump to the channel Close closes.
+func (e *Engine) GoodClosable() {
+	go func() {
+		<-e.done
+	}()
+}
+
+// Close releases the pump goroutine.
+func (e *Engine) Close() {
+	close(e.done)
+}
+
+// BadFireAndForget spawns a node with no shutdown tie at all.
+func BadFireAndForget() {
+	go runNode() // want goleak: not tied to a WaitGroup
+}
+
+func runNode() {}

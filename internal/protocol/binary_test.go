@@ -1,0 +1,207 @@
+package protocol
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"reflect"
+	"testing"
+)
+
+// binarySeedEnvelopes covers every message kind with representative
+// values: negative ints, zero-length and multi-element slices, strings,
+// and (for float fields) NaN and ±Inf, which the JSON codec cannot carry
+// but the binary codec must.
+func binarySeedEnvelopes() []Envelope {
+	return []Envelope{
+		{Kind: KindReport, Report: &Report{Round: 7, Node: 3, Marginal: -12.25, Alloc: 0.125, Curvature: -0.5, Planned: 0xDEADBEEF}},
+		{Kind: KindReport, Report: &Report{Round: 0, Node: 0, Marginal: math.NaN(), Alloc: math.Inf(1), Curvature: math.Inf(-1)}},
+		{Kind: KindUpdate, Update: &Update{Round: 9, Delta: []float64{0.1, -0.1, 0}, Done: true}},
+		{Kind: KindUpdate, Update: &Update{Round: -1, Delta: nil}},
+		{Kind: KindVectorReport, Vector: &VectorReport{Round: 3, Node: 1, Marginals: []float64{-1, -2}, Allocs: []float64{0.5, 0.5}}},
+		{Kind: KindAccess, Access: &Access{ID: 42, Origin: 5, T: 17.5, Epoch: 2}},
+		{Kind: KindAccessReply, AccessReply: &AccessReply{ID: 42, Node: 1, Origin: 5, Epoch: 2, LatencyMicros: -3, Degraded: true, Err: "saturated μ≤λx"}},
+		{Kind: KindPlan, Plan: &Plan{ID: 1, Epoch: 3, X: []float64{0.25, 0.75}, Alive: []bool{true, false}, Degraded: true, Lambda: 1, Q: -4.5}},
+		{Kind: KindPlanAck, PlanAck: &PlanAck{ID: 1, Epoch: 3, Node: 0}},
+		{Kind: KindPing, Ping: &Ping{ID: 9, T: 0.25}},
+		{Kind: KindPong, Pong: &Pong{ID: 9, Node: 2, Epoch: 1, Rates: []float64{0.5, 0.25, 0.25}}},
+		{Kind: KindAggUp, AggUp: &AggUp{Round: 5, Pass: 1, Epoch: 2, Node: 7, Agg: Aggregate{
+			SumG: -10.5, SumGC: 1e-17, SumH: -2, SumHC: -3e-18, SumX: 1, SumXC: 2e-16,
+			Count: 4, MinG: -4, MaxG: -1, BoundCount: 1, BoundMinG: -4,
+			OutNode: 3, OutG: -2.5, Changed: 1, RatioCount: 2, MinRatio: 0.75,
+		}}},
+		{Kind: KindAggUp, AggUp: &AggUp{Node: 0, Agg: Aggregate{OutNode: -1}}},
+		{Kind: KindAggDown, AggDown: &AggDown{Round: 5, Pass: 2, Epoch: 2, Avg: -2.625, Count: 4, Drop: true, Readmit: -1, Final: true, Truncation: 0.5, Spread: 3, Converged: true, NoOp: false, Renorm: 1.0000000000000002}},
+		{Kind: KindGossipShare, GossipShare: &GossipShare{Round: 1, Tick: 3, Epoch: 0, Node: 6, SG: -5.25, SGC: -1e-18, WA: 0.5, SX: 0.125, SXC: 0, WN: 0.25}},
+		{Kind: KindGossipExtrema, GossipExtrema: &GossipExtrema{Round: 1, Tick: 3, Epoch: 0, Node: 6, HasInt: true, IntMinG: -7, IntMaxG: -1, BoundOK: true, HasOut: true, OutG: -3, OutNode: 2}},
+		{Kind: KindGossipExtrema, GossipExtrema: &GossipExtrema{BoundOK: false, OutNode: -1}},
+	}
+}
+
+// envelopesBitEqual compares decoded envelopes through their canonical
+// binary encoding, so NaN payloads compare equal bit-for-bit.
+func envelopesBitEqual(t *testing.T, a, b Envelope) bool {
+	t.Helper()
+	ea, err := EncodeBinary(a)
+	if err != nil {
+		t.Fatalf("encoding %s: %v", a.Kind, err)
+	}
+	eb, err := EncodeBinary(b)
+	if err != nil {
+		t.Fatalf("encoding %s: %v", b.Kind, err)
+	}
+	return bytes.Equal(ea, eb)
+}
+
+// TestBinaryRoundTrip pins decode(encode(m)) == m for every kind,
+// including NaN/Inf float payloads.
+func TestBinaryRoundTrip(t *testing.T) {
+	for _, env := range binarySeedEnvelopes() {
+		frame, err := EncodeBinary(env)
+		if err != nil {
+			t.Fatalf("%s: encode: %v", env.Kind, err)
+		}
+		if !IsBinary(frame) {
+			t.Fatalf("%s: encoded frame does not start with the binary magic", env.Kind)
+		}
+		got, err := Decode(frame)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", env.Kind, err)
+		}
+		if got.Kind != env.Kind {
+			t.Fatalf("round trip changed kind: %s -> %s", env.Kind, got.Kind)
+		}
+		if !envelopesBitEqual(t, env, got) {
+			t.Errorf("%s: round trip changed payload:\n  in:  %+v\n  out: %+v", env.Kind, env, got)
+		}
+	}
+}
+
+// TestBinaryTruncationIsErrBadMessage pins the framing contract: every
+// strict prefix of every valid frame is rejected as ErrBadMessage, and
+// so is a frame with trailing bytes.
+func TestBinaryTruncationIsErrBadMessage(t *testing.T) {
+	for _, env := range binarySeedEnvelopes() {
+		frame, err := EncodeBinary(env)
+		if err != nil {
+			t.Fatalf("%s: encode: %v", env.Kind, err)
+		}
+		for cut := 1; cut < len(frame); cut++ {
+			if _, err := Decode(frame[:cut]); !errors.Is(err, ErrBadMessage) {
+				t.Fatalf("%s: truncated frame (%d of %d bytes) gave err=%v, want ErrBadMessage", env.Kind, cut, len(frame), err)
+			}
+		}
+		padded := append(append([]byte(nil), frame...), 0)
+		if _, err := Decode(padded); !errors.Is(err, ErrBadMessage) {
+			t.Fatalf("%s: frame with a trailing byte gave err=%v, want ErrBadMessage", env.Kind, err)
+		}
+	}
+}
+
+// TestBinaryRejectsBadFrames covers the explicit rejection paths:
+// unknown version, unknown kind code, lying length prefix, out-of-range
+// integer fields, and malformed bool bytes.
+func TestBinaryRejectsBadFrames(t *testing.T) {
+	cases := map[string][]byte{
+		"wrong version":     {binMagic, BinaryVersion + 1, codeReport, 0},
+		"unknown kind code": {binMagic, BinaryVersion, 200, 0},
+		"length over-claim": {binMagic, BinaryVersion, codePing, 10, 1},
+		"length under-claim": append(
+			[]byte{binMagic, BinaryVersion, codePing, 1},
+			make([]byte, 9)...), // ping needs uvarint+8 bytes, claims 1
+		"huge slice count": {binMagic, BinaryVersion, codeUpdate, 4, 2, 0, 0xFF, 0x7F},
+		"bad bool byte":    {binMagic, BinaryVersion, codeUpdate, 3, 2, 7, 0},
+	}
+	for name, frame := range cases {
+		if _, err := Decode(frame); !errors.Is(err, ErrBadMessage) {
+			t.Errorf("%s: err=%v, want ErrBadMessage", name, err)
+		}
+	}
+	// An integer field carrying a value outside int32 must be rejected,
+	// not silently wrapped into a plausible node id.
+	var w binWriter
+	w.varint(int64(math.MaxInt32) + 1)
+	w.varint(0)
+	w.float(0)
+	w.float(0)
+	w.float(0)
+	w.uvarint(0)
+	frame := []byte{binMagic, BinaryVersion, codeReport, byte(len(w.buf))}
+	frame = append(frame, w.buf...)
+	if _, err := Decode(frame); !errors.Is(err, ErrBadMessage) {
+		t.Errorf("out-of-range int field: err=%v, want ErrBadMessage", err)
+	}
+}
+
+// TestJSONBinaryCrossEquivalence pins codec interchangeability: for every
+// kind (with JSON-representable values), the JSON encoding and the binary
+// encoding of the same message decode to identical envelopes — so a
+// binary-speaking node and a JSON-speaking node see the same protocol.
+func TestJSONBinaryCrossEquivalence(t *testing.T) {
+	for _, env := range binarySeedEnvelopes() {
+		if !jsonRepresentable(env) {
+			continue
+		}
+		jsonBytes, err := marshal(CodecJSON, env)
+		if err != nil {
+			t.Fatalf("%s: JSON encode: %v", env.Kind, err)
+		}
+		binBytes, err := marshal(CodecBinary, env)
+		if err != nil {
+			t.Fatalf("%s: binary encode: %v", env.Kind, err)
+		}
+		if IsBinary(jsonBytes) {
+			t.Fatalf("%s: JSON payload detected as binary", env.Kind)
+		}
+		fromJSON, err := Decode(jsonBytes)
+		if err != nil {
+			t.Fatalf("%s: decoding JSON form: %v", env.Kind, err)
+		}
+		fromBin, err := Decode(binBytes)
+		if err != nil {
+			t.Fatalf("%s: decoding binary form: %v", env.Kind, err)
+		}
+		if !reflect.DeepEqual(fromJSON, fromBin) {
+			t.Errorf("%s: codecs disagree:\n  json:   %+v\n  binary: %+v", env.Kind, fromJSON, fromBin)
+		}
+	}
+}
+
+// jsonRepresentable reports whether the envelope survives encoding/json
+// (which rejects NaN and ±Inf).
+func jsonRepresentable(env Envelope) bool {
+	_, err := encodeJSONEnvelope(env)
+	return err == nil
+}
+
+// TestGossipKindEncoders pins the per-kind gossip encoders and RoundOf
+// coverage of the new kinds in both codecs.
+func TestGossipKindEncoders(t *testing.T) {
+	for _, codec := range []Codec{CodecJSON, CodecBinary} {
+		up, err := EncodeAggUp(codec, AggUp{Round: 11, Pass: 1, Node: 2, Agg: Aggregate{Count: 3, OutNode: -1}})
+		if err != nil {
+			t.Fatalf("%v: EncodeAggUp: %v", codec, err)
+		}
+		down, err := EncodeAggDown(codec, AggDown{Round: 11, Pass: 1, Avg: -2, Count: 3, Readmit: -1})
+		if err != nil {
+			t.Fatalf("%v: EncodeAggDown: %v", codec, err)
+		}
+		share, err := EncodeGossipShare(codec, GossipShare{Round: 11, Tick: 2, Node: 1, SG: -1, WA: 1, SX: 0.5, WN: 1})
+		if err != nil {
+			t.Fatalf("%v: EncodeGossipShare: %v", codec, err)
+		}
+		ext, err := EncodeGossipExtrema(codec, GossipExtrema{Round: 11, Tick: 2, Node: 1, OutNode: -1})
+		if err != nil {
+			t.Fatalf("%v: EncodeGossipExtrema: %v", codec, err)
+		}
+		for name, payload := range map[string][]byte{"agg-up": up, "agg-down": down, "share": share, "extrema": ext} {
+			round, ok := RoundOf(payload)
+			if !ok || round != 11 {
+				t.Errorf("%v %s: RoundOf = (%d, %v), want (11, true)", codec, name, round, ok)
+			}
+		}
+	}
+	if _, err := marshal(Codec(99), Envelope{Kind: KindPing, Ping: &Ping{}}); !errors.Is(err, ErrBadMessage) {
+		t.Errorf("unknown codec: err=%v, want ErrBadMessage", err)
+	}
+}

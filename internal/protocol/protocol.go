@@ -79,32 +79,40 @@ type VectorReport struct {
 
 // envelope wraps a message with its kind for wire framing.
 type envelope struct {
-	Kind        Kind            `json:"kind"`
-	Report      *Report         `json:"report,omitempty"`
-	Update      *Update         `json:"update,omitempty"`
-	Vector      *VectorReport   `json:"vector,omitempty"`
-	Access      *Access         `json:"access,omitempty"`
-	AccessReply *AccessReply    `json:"access_reply,omitempty"`
-	Plan        *Plan           `json:"plan,omitempty"`
-	PlanAck     *PlanAck        `json:"plan_ack,omitempty"`
-	Ping        *Ping           `json:"ping,omitempty"`
-	Pong        *Pong           `json:"pong,omitempty"`
-	Extra       json.RawMessage `json:"extra,omitempty"`
+	Kind          Kind            `json:"kind"`
+	Report        *Report         `json:"report,omitempty"`
+	Update        *Update         `json:"update,omitempty"`
+	Vector        *VectorReport   `json:"vector,omitempty"`
+	Access        *Access         `json:"access,omitempty"`
+	AccessReply   *AccessReply    `json:"access_reply,omitempty"`
+	Plan          *Plan           `json:"plan,omitempty"`
+	PlanAck       *PlanAck        `json:"plan_ack,omitempty"`
+	Ping          *Ping           `json:"ping,omitempty"`
+	Pong          *Pong           `json:"pong,omitempty"`
+	AggUp         *AggUp          `json:"agg_up,omitempty"`
+	AggDown       *AggDown        `json:"agg_down,omitempty"`
+	GossipShare   *GossipShare    `json:"gossip_share,omitempty"`
+	GossipExtrema *GossipExtrema  `json:"gossip_extrema,omitempty"`
+	Extra         json.RawMessage `json:"extra,omitempty"`
 }
 
 // Envelope is a decoded wire message: exactly one of the payload fields
 // matching Kind is non-nil.
 type Envelope struct {
-	Kind        Kind
-	Report      *Report
-	Update      *Update
-	Vector      *VectorReport
-	Access      *Access
-	AccessReply *AccessReply
-	Plan        *Plan
-	PlanAck     *PlanAck
-	Ping        *Ping
-	Pong        *Pong
+	Kind          Kind
+	Report        *Report
+	Update        *Update
+	Vector        *VectorReport
+	Access        *Access
+	AccessReply   *AccessReply
+	Plan          *Plan
+	PlanAck       *PlanAck
+	Ping          *Ping
+	Pong          *Pong
+	AggUp         *AggUp
+	AggDown       *AggDown
+	GossipShare   *GossipShare
+	GossipExtrema *GossipExtrema
 }
 
 // EncodeReport serializes a Report.
@@ -134,8 +142,15 @@ func EncodeVectorReport(v VectorReport) ([]byte, error) {
 	return b, nil
 }
 
-// Decode parses a wire payload.
+// Decode parses a wire payload, auto-detecting the codec: a frame
+// starting with the binary magic byte is decoded binary, anything else
+// falls back to the JSON envelope. That per-message detection is the
+// negotiation story — a peer that only speaks JSON is understood without
+// configuration, whatever the local side writes.
 func Decode(payload []byte) (Envelope, error) {
+	if IsBinary(payload) {
+		return decodeBinary(payload)
+	}
 	var env envelope
 	if err := json.Unmarshal(payload, &env); err != nil {
 		return Envelope{}, fmt.Errorf("%w: %v", ErrBadMessage, err)
@@ -186,6 +201,26 @@ func Decode(payload []byte) (Envelope, error) {
 			return Envelope{}, fmt.Errorf("%w: pong envelope without body", ErrBadMessage)
 		}
 		return Envelope{Kind: KindPong, Pong: env.Pong}, nil
+	case KindAggUp:
+		if env.AggUp == nil {
+			return Envelope{}, fmt.Errorf("%w: agg-up envelope without body", ErrBadMessage)
+		}
+		return Envelope{Kind: KindAggUp, AggUp: env.AggUp}, nil
+	case KindAggDown:
+		if env.AggDown == nil {
+			return Envelope{}, fmt.Errorf("%w: agg-down envelope without body", ErrBadMessage)
+		}
+		return Envelope{Kind: KindAggDown, AggDown: env.AggDown}, nil
+	case KindGossipShare:
+		if env.GossipShare == nil {
+			return Envelope{}, fmt.Errorf("%w: gossip-share envelope without body", ErrBadMessage)
+		}
+		return Envelope{Kind: KindGossipShare, GossipShare: env.GossipShare}, nil
+	case KindGossipExtrema:
+		if env.GossipExtrema == nil {
+			return Envelope{}, fmt.Errorf("%w: gossip-extrema envelope without body", ErrBadMessage)
+		}
+		return Envelope{Kind: KindGossipExtrema, GossipExtrema: env.GossipExtrema}, nil
 	default:
 		return Envelope{}, fmt.Errorf("%w: unknown kind %q", ErrBadMessage, env.Kind)
 	}
@@ -208,6 +243,14 @@ func RoundOf(payload []byte) (int, bool) {
 		return env.Update.Round, true
 	case KindVectorReport:
 		return env.Vector.Round, true
+	case KindAggUp:
+		return env.AggUp.Round, true
+	case KindAggDown:
+		return env.AggDown.Round, true
+	case KindGossipShare:
+		return env.GossipShare.Round, true
+	case KindGossipExtrema:
+		return env.GossipExtrema.Round, true
 	default:
 		return 0, false
 	}

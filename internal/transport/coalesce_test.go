@@ -1,0 +1,143 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+)
+
+func TestCoalescerBatchesPerPeer(t *testing.T) {
+	net, err := NewMemoryNetwork(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer net.Close()
+	ep0, _ := net.Endpoint(0)
+	ep1, _ := net.Endpoint(1)
+	ep2, _ := net.Endpoint(2)
+	c := NewCoalescer(ep0)
+	rc1 := NewCoalescer(ep1)
+	rc2 := NewCoalescer(ep2)
+
+	ctx := context.Background()
+	// Three messages to node 1 (one batch), one to node 2 (pass-through).
+	for _, m := range []string{"alpha", "beta", "gamma"} {
+		if err := c.Send(ctx, 1, []byte(m)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Send(ctx, 2, []byte("solo")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	var got []string
+	for i := 0; i < 3; i++ {
+		msg, err := rc1.Recv(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if msg.From != 0 {
+			t.Fatalf("message from %d, want 0", msg.From)
+		}
+		got = append(got, string(msg.Payload))
+	}
+	if want := []string{"alpha", "beta", "gamma"}; !reflect.DeepEqual(got, want) {
+		t.Errorf("batched messages arrived as %v, want %v", got, want)
+	}
+	msg, err := rc2.Recv(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(msg.Payload) != "solo" {
+		t.Errorf("pass-through payload = %q, want %q", msg.Payload, "solo")
+	}
+
+	stats := c.Stats()
+	if stats.MessagesSent != 4 || stats.FramesSent != 2 || stats.BatchesSent != 1 {
+		t.Errorf("stats = %+v, want 4 messages in 2 frames (1 batch)", stats)
+	}
+}
+
+// A single message per peer must travel unwrapped, so a peer reading the
+// raw endpoint (no Coalescer) sees the original payload.
+func TestCoalescerSinglePassThrough(t *testing.T) {
+	net, err := NewMemoryNetwork(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer net.Close()
+	ep0, _ := net.Endpoint(0)
+	ep1, _ := net.Endpoint(1)
+	c := NewCoalescer(ep0)
+
+	ctx := context.Background()
+	if err := c.Send(ctx, 1, []byte("raw")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+	msg, err := ep1.Recv(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(msg.Payload) != "raw" {
+		t.Errorf("raw endpoint received %q, want %q", msg.Payload, "raw")
+	}
+}
+
+func TestCoalescerFlushEmptyIsNoOp(t *testing.T) {
+	net, err := NewMemoryNetwork(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer net.Close()
+	ep0, _ := net.Endpoint(0)
+	c := NewCoalescer(ep0)
+	if err := c.Flush(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if stats := c.Stats(); stats.FramesSent != 0 {
+		t.Errorf("empty flush sent %d frames", stats.FramesSent)
+	}
+}
+
+func TestCoalescerRejectsUnknownPeer(t *testing.T) {
+	net, err := NewMemoryNetwork(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer net.Close()
+	ep0, _ := net.Endpoint(0)
+	c := NewCoalescer(ep0)
+	if err := c.Send(context.Background(), 7, []byte("x")); !errors.Is(err, ErrUnknownPeer) {
+		t.Errorf("Send(7) err = %v, want ErrUnknownPeer", err)
+	}
+}
+
+func TestBatchCodecRejectsCorrupt(t *testing.T) {
+	frames := map[string][]byte{
+		"empty count":      {batchMagic, 0},
+		"truncated part":   {batchMagic, 2, 5, 'a'},
+		"trailing bytes":   append(encodeBatch([][]byte{[]byte("a"), []byte("b")}), 0xEE),
+		"bad count varint": {batchMagic, 0xFF},
+	}
+	for name, frame := range frames {
+		if _, err := decodeBatch(frame); err == nil {
+			t.Errorf("%s: decodeBatch accepted a corrupt frame", name)
+		}
+	}
+	// Round trip sanity, including empty parts.
+	parts := [][]byte{[]byte("one"), nil, []byte("three")}
+	got, err := decodeBatch(encodeBatch(parts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || string(got[0]) != "one" || len(got[1]) != 0 || string(got[2]) != "three" {
+		t.Errorf("batch round trip = %q", got)
+	}
+}

@@ -22,6 +22,7 @@ type MemoryNetwork struct {
 	endpoints []*memoryEndpoint
 	dropRate  float64
 	rng       *rand.Rand
+	bufSize   int
 	closed    bool
 }
 
@@ -39,12 +40,25 @@ func WithDropRate(rate float64, seed int64) MemoryOption {
 	}
 }
 
+// WithBufferSize overrides the per-endpoint inbox capacity. The default
+// suits the one-message-per-peer-per-round broadcast protocol; a
+// thousand-node broadcast reference run needs room for a full fan-in
+// (N−1 reports land in the coordinator's inbox at once) or senders
+// deadlock against each other's blocked Sends.
+func WithBufferSize(n int) MemoryOption {
+	return func(net *MemoryNetwork) {
+		if n > 0 {
+			net.bufSize = n
+		}
+	}
+}
+
 // NewMemoryNetwork creates a cluster of n connected endpoints.
 func NewMemoryNetwork(n int, opts ...MemoryOption) (*MemoryNetwork, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("transport: cluster needs at least one node, got %d", n)
 	}
-	net := &MemoryNetwork{}
+	net := &MemoryNetwork{bufSize: memoryBufferSize}
 	for _, opt := range opts {
 		opt(net)
 	}
@@ -53,7 +67,7 @@ func NewMemoryNetwork(n int, opts ...MemoryOption) (*MemoryNetwork, error) {
 		net.endpoints[i] = &memoryEndpoint{
 			id:    i,
 			net:   net,
-			inbox: make(chan Message, memoryBufferSize),
+			inbox: make(chan Message, net.bufSize),
 			done:  make(chan struct{}),
 		}
 	}

@@ -4,9 +4,11 @@ import (
 	"bufio"
 	"context"
 	"encoding/base64"
+	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sync"
 	"time"
@@ -16,8 +18,14 @@ import (
 // goroutines block (exerting TCP back-pressure) when it is full.
 const tcpInboxSize = 1024
 
-// defaultMaxFrameBytes bounds a single JSON-line frame on the wire.
+// defaultMaxFrameBytes bounds a single frame on the wire (JSON line or
+// binary body).
 const defaultMaxFrameBytes = 16 * 1024 * 1024
+
+// tcpBinMagic opens a length-prefixed binary wire frame. It can never be
+// the first byte of a JSON-line frame ('{'), so a reader peeking one
+// byte can demultiplex the two framings on the same connection.
+const tcpBinMagic = 0xFD
 
 // wireFrame is one JSON line on a TCP connection.
 type wireFrame struct {
@@ -52,9 +60,22 @@ func WithMaxFrameBytes(n int) TCPOption {
 	return func(e *TCPEndpoint) { e.maxFrameBytes = n }
 }
 
+// WithBinaryFraming makes the endpoint prefer length-prefixed binary
+// wire frames over JSON lines. Negotiation is per peer: on dialing a
+// peer the endpoint announces itself with a binary hello frame, and it
+// upgrades its own sends to a peer only after that peer has demonstrated
+// binary framing on an inbound connection. Until then — and against
+// endpoints that never speak binary — every send falls back to the
+// JSON-line framing, so mixed clusters interoperate frame by frame.
+func WithBinaryFraming() TCPOption {
+	return func(e *TCPEndpoint) { e.preferBinary = true }
+}
+
 // TCPEndpoint connects one node of the allocation protocol to its peers
-// over TCP with JSON-line framing. Outgoing connections are dialed lazily
-// and cached; every accepted connection feeds a shared inbox.
+// over TCP. Two framings share each connection, demultiplexed by the
+// first byte: legacy JSON lines and length-prefixed binary frames (see
+// WithBinaryFraming). Outgoing connections are dialed lazily and cached;
+// every accepted connection feeds a shared inbox.
 type TCPEndpoint struct {
 	id    int
 	addrs []string
@@ -62,10 +83,12 @@ type TCPEndpoint struct {
 
 	maxFrameBytes int
 	readErrHook   func(remote string, err error)
+	preferBinary  bool
 
-	mu    sync.Mutex
-	conns map[int]*tcpConn
-	wg    sync.WaitGroup
+	mu       sync.Mutex
+	conns    map[int]*tcpConn
+	binPeers map[int]bool
+	wg       sync.WaitGroup
 
 	inbox chan Message
 
@@ -88,6 +111,7 @@ func ListenTCP(id int, addrs []string, opts ...TCPOption) (*TCPEndpoint, error) 
 		addrs:         append([]string(nil), addrs...),
 		maxFrameBytes: defaultMaxFrameBytes,
 		conns:         make(map[int]*tcpConn),
+		binPeers:      make(map[int]bool),
 		inbox:         make(chan Message, tcpInboxSize),
 		done:          make(chan struct{}),
 	}
@@ -157,40 +181,134 @@ func (e *TCPEndpoint) readLoop(conn net.Conn) {
 		}
 	}()
 
-	scanner := bufio.NewScanner(conn)
-	// The scanner's effective limit is max(limit, cap(buf)), so the
-	// initial buffer must not exceed a small configured frame limit.
-	initial := 64 * 1024
-	if initial > e.maxFrameBytes {
-		initial = e.maxFrameBytes
-	}
-	scanner.Buffer(make([]byte, 0, initial), e.maxFrameBytes)
-	for scanner.Scan() {
-		var frame wireFrame
-		if err := json.Unmarshal(scanner.Bytes(), &frame); err != nil {
-			continue // skip malformed line; protocol layer re-requests nothing, rounds are idempotent per peer
-		}
-		payload, err := base64.StdEncoding.DecodeString(frame.Payload)
+	// Mixed-framing read loop: peek one byte to tell a binary frame
+	// (tcpBinMagic) from a JSON line ('{' or anything else), then consume
+	// exactly one frame of that kind. Both framings may interleave freely
+	// on one connection, so a peer can upgrade mid-stream.
+	r := bufio.NewReader(conn)
+	var readErr error
+	for {
+		head, err := r.Peek(1)
 		if err != nil {
-			continue
+			readErr = err
+			break
+		}
+		var from int
+		var payload []byte
+		if head[0] == tcpBinMagic {
+			from, payload, err = e.readBinaryFrame(r)
+			if err != nil {
+				readErr = err
+				break
+			}
+			e.markBinaryPeer(from)
+			if payload == nil {
+				continue // hello frame: capability announcement only
+			}
+		} else {
+			from, payload, err = e.readJSONFrame(r)
+			if err != nil {
+				readErr = err
+				break
+			}
+			if payload == nil {
+				continue // malformed line skipped; rounds are idempotent per peer
+			}
 		}
 		select {
-		case e.inbox <- Message{From: frame.From, Payload: payload}:
+		case e.inbox <- Message{From: from, Payload: payload}:
 		case <-e.done:
 			return
 		}
 	}
-	// A scanner error (oversized frame, mid-stream read failure) means
-	// this peer's messages silently stop arriving; surface it so the
-	// operator sees more than an eventual round timeout. Shutdown closes
-	// the connection deliberately — not an error worth reporting.
-	if err := scanner.Err(); err != nil && e.readErrHook != nil {
+	// A read error (oversized frame, mid-stream failure) means this
+	// peer's messages silently stop arriving; surface it so the operator
+	// sees more than an eventual round timeout. EOF and shutdown close
+	// the connection deliberately — not errors worth reporting.
+	if readErr != nil && !errors.Is(readErr, io.EOF) && e.readErrHook != nil {
 		select {
 		case <-e.done:
 		default:
-			e.readErrHook(conn.RemoteAddr().String(), err)
+			e.readErrHook(conn.RemoteAddr().String(), readErr)
 		}
 	}
+}
+
+// readBinaryFrame consumes one [magic][uvarint len][uvarint from][payload]
+// frame. A frame whose body is just the sender id is a hello: it returns
+// a nil payload. Frame-shape violations are errors (the stream cannot be
+// resynchronized after a bad length prefix).
+func (e *TCPEndpoint) readBinaryFrame(r *bufio.Reader) (int, []byte, error) {
+	if _, err := r.ReadByte(); err != nil { // magic, already peeked
+		return 0, nil, err
+	}
+	size, err := binary.ReadUvarint(r)
+	if err != nil {
+		return 0, nil, fmt.Errorf("transport: reading binary frame length: %w", err)
+	}
+	if size == 0 || size > uint64(e.maxFrameBytes) {
+		return 0, nil, fmt.Errorf("transport: binary frame of %d bytes exceeds limit %d", size, e.maxFrameBytes)
+	}
+	body := make([]byte, size)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return 0, nil, fmt.Errorf("transport: reading binary frame body: %w", err)
+	}
+	from, n := binary.Uvarint(body)
+	if n <= 0 || from >= uint64(len(e.addrs)) {
+		return 0, nil, fmt.Errorf("transport: binary frame with bad sender id")
+	}
+	if int(size) == n {
+		return int(from), nil, nil // hello
+	}
+	return int(from), body[n:], nil
+}
+
+// readJSONFrame consumes one newline-terminated JSON frame. Malformed
+// lines return a nil payload (skipped, stream stays aligned on the next
+// newline); an over-long line is an error because the reader cannot skip
+// what it refuses to buffer.
+func (e *TCPEndpoint) readJSONFrame(r *bufio.Reader) (int, []byte, error) {
+	line, err := r.ReadSlice('\n')
+	if err == bufio.ErrBufferFull {
+		// Accumulate up to the frame limit, then give up.
+		buf := append([]byte(nil), line...)
+		for err == bufio.ErrBufferFull && len(buf) <= e.maxFrameBytes {
+			line, err = r.ReadSlice('\n')
+			buf = append(buf, line...)
+		}
+		if len(buf) > e.maxFrameBytes {
+			return 0, nil, fmt.Errorf("transport: JSON frame exceeds limit %d: %w", e.maxFrameBytes, bufio.ErrTooLong)
+		}
+		line = buf
+	}
+	if err != nil {
+		return 0, nil, err
+	}
+	var frame wireFrame
+	if err := json.Unmarshal(line, &frame); err != nil {
+		return 0, nil, nil
+	}
+	payload, err := base64.StdEncoding.DecodeString(frame.Payload)
+	if err != nil {
+		return 0, nil, nil
+	}
+	return frame.From, payload, nil
+}
+
+// markBinaryPeer records that a peer demonstrated binary framing.
+func (e *TCPEndpoint) markBinaryPeer(from int) {
+	e.mu.Lock()
+	e.binPeers[from] = true
+	e.mu.Unlock()
+}
+
+// SpeaksBinary reports whether peer `to` has demonstrated binary framing
+// on an inbound connection (and will therefore be sent binary frames,
+// when this endpoint prefers them).
+func (e *TCPEndpoint) SpeaksBinary(to int) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.binPeers[to]
 }
 
 // Send implements Endpoint. The first send to a peer dials it; the
@@ -209,14 +327,19 @@ func (e *TCPEndpoint) Send(ctx context.Context, to int, payload []byte) error {
 	if err != nil {
 		return err
 	}
-	frame, err := json.Marshal(wireFrame{
-		From:    e.id,
-		Payload: base64.StdEncoding.EncodeToString(payload),
-	})
-	if err != nil {
-		return fmt.Errorf("transport: encoding frame: %w", err)
+	var frame []byte
+	if e.preferBinary && e.SpeaksBinary(to) {
+		frame = e.binaryFrame(payload)
+	} else {
+		frame, err = json.Marshal(wireFrame{
+			From:    e.id,
+			Payload: base64.StdEncoding.EncodeToString(payload),
+		})
+		if err != nil {
+			return fmt.Errorf("transport: encoding frame: %w", err)
+		}
+		frame = append(frame, '\n')
 	}
-	frame = append(frame, '\n')
 	tc.mu.Lock()
 	defer tc.mu.Unlock()
 	// Always (re)set the write deadline: a context without one must clear
@@ -278,15 +401,36 @@ func (e *TCPEndpoint) conn(ctx context.Context, to int) (*tcpConn, error) {
 		}
 	}
 	e.mu.Lock()
-	defer e.mu.Unlock()
 	if existing, ok := e.conns[to]; ok {
 		// Lost the race; keep the first connection.
+		e.mu.Unlock()
 		c.Close() //fap:ignore errdrop closing the duplicate connection that lost the dial race
 		return existing, nil
 	}
 	tc := &tcpConn{c: c}
 	e.conns[to] = tc
+	e.mu.Unlock()
+	if e.preferBinary {
+		// Announce binary capability so the peer can upgrade its sends
+		// back to us. Best-effort: a failed hello only delays the upgrade.
+		tc.mu.Lock()
+		_, _ = tc.c.Write(e.binaryFrame(nil)) // hello is a capability hint, not protocol state
+		tc.mu.Unlock()
+	}
 	return tc, nil
+}
+
+// binaryFrame wraps payload in the length-prefixed binary wire framing:
+// [magic][uvarint bodyLen][uvarint from][payload]. A nil payload encodes
+// the hello frame.
+func (e *TCPEndpoint) binaryFrame(payload []byte) []byte {
+	var from [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(from[:], uint64(e.id))
+	frame := make([]byte, 0, 1+binary.MaxVarintLen64+n+len(payload))
+	frame = append(frame, tcpBinMagic)
+	frame = binary.AppendUvarint(frame, uint64(n+len(payload)))
+	frame = append(frame, from[:n]...)
+	return append(frame, payload...)
 }
 
 func (e *TCPEndpoint) dropConn(to int, tc *tcpConn) {

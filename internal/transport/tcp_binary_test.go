@@ -1,0 +1,162 @@
+package transport
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// startBinaryPair boots a two-node TCP cluster with binary framing
+// preferred on both sides and returns the endpoints.
+func startBinaryPair(t *testing.T, opts ...TCPOption) (*TCPEndpoint, *TCPEndpoint) {
+	t.Helper()
+	addrs := []string{"127.0.0.1:0", "127.0.0.1:0"}
+	a, err := ListenTCP(0, addrs, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { a.Close() })
+	b, err := ListenTCP(1, addrs, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { b.Close() })
+	if err := a.SetPeerAddr(1, b.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.SetPeerAddr(0, a.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	return a, b
+}
+
+// TestTCPBinaryUpgrade pins the negotiation flow: the first send rides
+// JSON (the peer has not demonstrated binary yet), the dial's hello
+// frame announces capability, and subsequent sends in the reverse
+// direction upgrade to binary framing — all carrying payloads intact.
+func TestTCPBinaryUpgrade(t *testing.T) {
+	a, b := startBinaryPair(t, WithBinaryFraming())
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	if a.SpeaksBinary(1) {
+		t.Fatal("peer marked binary before any frame arrived")
+	}
+	if err := a.Send(ctx, 1, []byte("first")); err != nil {
+		t.Fatal(err)
+	}
+	msg, err := b.Recv(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msg.From != 0 || string(msg.Payload) != "first" {
+		t.Fatalf("got %d/%q, want 0/first", msg.From, msg.Payload)
+	}
+	// a's dial carried a hello, so b now knows a speaks binary and its
+	// replies upgrade. The hello and the payload share a connection, so
+	// by the time Recv returned the hello was already processed.
+	if !b.SpeaksBinary(0) {
+		t.Fatal("hello frame did not mark the dialing peer as binary")
+	}
+	if err := b.Send(ctx, 0, []byte("reply")); err != nil {
+		t.Fatal(err)
+	}
+	msg, err = a.Recv(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msg.From != 1 || string(msg.Payload) != "reply" {
+		t.Fatalf("got %d/%q, want 1/reply", msg.From, msg.Payload)
+	}
+	// b's dial also sent a hello, so a has now seen binary from b.
+	if !a.SpeaksBinary(1) {
+		t.Fatal("binary reply did not mark the peer as binary")
+	}
+	// Third leg runs fully upgraded; payload must still round-trip,
+	// including bytes that would break line framing.
+	payload := []byte("binary\npayload\xfb\xfd\x00")
+	if err := a.Send(ctx, 1, payload); err != nil {
+		t.Fatal(err)
+	}
+	msg, err = b.Recv(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(msg.Payload) != string(payload) {
+		t.Fatalf("binary frame corrupted payload: %q", msg.Payload)
+	}
+}
+
+// A binary-preferring node must interoperate with a JSON-only peer: the
+// JSON-only side never demonstrates binary, so every frame it receives
+// stays JSON and every frame it sends is understood.
+func TestTCPBinaryInteropWithJSONPeer(t *testing.T) {
+	addrs := []string{"127.0.0.1:0", "127.0.0.1:0"}
+	a, err := ListenTCP(0, addrs, WithBinaryFraming())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := ListenTCP(1, addrs) // JSON-only
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	if err := a.SetPeerAddr(1, b.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.SetPeerAddr(0, a.Addr()); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	for i := 0; i < 3; i++ {
+		if err := a.Send(ctx, 1, []byte("ping")); err != nil {
+			t.Fatal(err)
+		}
+		if msg, err := b.Recv(ctx); err != nil || string(msg.Payload) != "ping" {
+			t.Fatalf("round %d: msg=%v err=%v", i, msg, err)
+		}
+		if err := b.Send(ctx, 0, []byte("pong")); err != nil {
+			t.Fatal(err)
+		}
+		if msg, err := a.Recv(ctx); err != nil || string(msg.Payload) != "pong" {
+			t.Fatalf("round %d: msg=%v err=%v", i, msg, err)
+		}
+	}
+	if a.SpeaksBinary(1) {
+		t.Error("JSON-only peer was marked binary")
+	}
+}
+
+// Binary frames over the coalescer over TCP: the full stack the gossip
+// runner uses when pointed at real sockets.
+func TestTCPBinaryWithCoalescer(t *testing.T) {
+	a, b := startBinaryPair(t, WithBinaryFraming())
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	ca := NewCoalescer(a)
+	cb := NewCoalescer(b)
+	for _, m := range []string{"share", "extrema"} {
+		if err := ca.Send(ctx, 1, []byte(m)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ca.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"share", "extrema"} {
+		msg, err := cb.Recv(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(msg.Payload) != want {
+			t.Fatalf("payload = %q, want %q", msg.Payload, want)
+		}
+	}
+	if got := ca.Stats(); got.BatchesSent != 1 {
+		t.Errorf("stats = %+v, want one batch", got)
+	}
+}

@@ -2,8 +2,10 @@
 // decentralized allocation protocol: a Transport moves opaque payloads
 // between the numbered nodes of a cluster. Two implementations are
 // provided: an in-memory channel network (with deterministic failure
-// injection for tests) and a TCP mesh with JSON-line framing for running
-// the protocol across real processes.
+// injection for tests) and a TCP mesh for running the protocol across
+// real processes, speaking JSON-line framing with a per-peer negotiated
+// upgrade to length-prefixed binary frames. A Coalescer wrapper batches
+// multiple messages to the same peer into one wire frame.
 package transport
 
 import (

@@ -8,8 +8,8 @@
 #
 #	scripts/bench.sh [bench-regex] [benchtime]
 #
-# defaults: 'Fig|Catalog' (every figure benchmark plus the catalog
-# cold/warm contrast) and 5x. BENCH_OUT overrides
+# defaults: 'Fig|Catalog|Gossip' (every figure benchmark, the catalog
+# cold/warm contrast, and the gossip wire-bill round) and 5x. BENCH_OUT overrides
 # the output path (check.sh's floor gate writes to a temp file so the
 # committed trajectory is untouched). The JSON is built by
 # scripts/bench_json.awk from `go test -bench` output — no extra tooling
@@ -18,7 +18,7 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-PATTERN="${1:-Fig|Catalog}"
+PATTERN="${1:-Fig|Catalog|Gossip}"
 BENCHTIME="${2:-5x}"
 OUT="${BENCH_OUT:-BENCH_figures.json}"
 RAW="$(mktemp)"

@@ -42,6 +42,17 @@ go test -race -count 1 \
 	-run 'TestChaosChurnContract|TestChurn|TestCrash|TestDoubleCrash|TestPartitionDepart|TestDepartRejoin|TestSupervise|TestFaultCrash' \
 	./internal/experiments/ ./internal/recovery/ ./internal/transport/
 
+echo "== gossip chaos + property battery under -race"
+# The thousand-node aggregation contract: under injected faults a run
+# either certifies or fails loudly, and the tree fold's compensated mean
+# stays within 1 ulp for any fold shape. Both are scheduling-sensitive
+# (node goroutines, fault timing), so run them uncached under the race
+# detector; -short keeps the property instances at smoke size here —
+# the plain ./... pass above runs the full 1000 instances.
+go test -race -count 1 -short \
+	-run 'TestChaosMatrix|TestProperty|TestGossipCommandWorkersByteIdentical' \
+	./internal/gossip/ ./cmd/fapctl/
+
 echo "== closed-loop serving smoke under -race"
 # The fapload gate: a steady phase then a crash phase over a live 5-node
 # serving cluster, fired through the hardened client path. The test itself
@@ -127,7 +138,7 @@ if [ ! -f BENCH_figures.json ]; then
 	exit 1
 fi
 STALE=0
-for bench in $(go test -list '^Benchmark(Fig|Catalog)' . | grep '^Benchmark'); do
+for bench in $(go test -list '^Benchmark(Fig|Catalog|Gossip)' . | grep '^Benchmark'); do
 	if ! grep -q "\"name\": \"$bench" BENCH_figures.json; then
 		echo "BENCH_figures.json has no entry for $bench -- stale; re-run scripts/bench.sh" >&2
 		STALE=1
